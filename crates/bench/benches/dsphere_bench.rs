@@ -1,0 +1,97 @@
+//! E8 / paper Fig. 10 — Dependency-Sphere cost.
+//!
+//! * `commit`: one sphere with K member messages (all picked up) and one
+//!   KV resource, driven to `commit_DS`. Expected linear in K (each member
+//!   needs its outcome decided and its deferred actions released).
+//! * `abort`: same shape, `abort_DS` immediately (force-fail + compensation
+//!   release for every member).
+//! * `two_phase_commit`: the bare resource-coordinator cost per enlisted
+//!   resource, isolating the OTS substrate.
+
+use cond_bench::{queue_names, system_world, workload};
+use condmsg::ConditionalReceiver;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsphere::{DSphereService, KvStore, ProbeResource, TransactionManager};
+use mq::Wait;
+use simtime::Millis;
+
+fn bench_sphere(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsphere");
+    for k in [1usize, 4, 8] {
+        group.throughput(Throughput::Elements(k as u64));
+
+        let world = system_world(&queue_names(k));
+        let service = DSphereService::new(world.messenger.clone());
+        let kv = KvStore::new("db");
+        let conditions: Vec<_> = (0..k)
+            .map(|_| workload::fan_out(1, Millis(600_000)))
+            .collect();
+        let mut receiver = ConditionalReceiver::new(world.qmgr.clone()).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("commit", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sphere = service.begin();
+                sphere.enlist(kv.clone()).unwrap();
+                kv.put(sphere.xid(), "k", "v");
+                for cond in conditions.iter().take(k) {
+                    // All conditions target Q.D0; give each its own read.
+                    sphere.send_message("member", cond).unwrap();
+                }
+                for _ in 0..k {
+                    receiver
+                        .read_message("Q.D0", Wait::NoWait)
+                        .unwrap()
+                        .unwrap();
+                }
+                let outcome = sphere.try_commit().unwrap().unwrap();
+                assert!(outcome.is_committed());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("abort", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sphere = service.begin();
+                sphere.enlist(kv.clone()).unwrap();
+                kv.put(sphere.xid(), "k", "v");
+                for cond in conditions.iter().take(k) {
+                    sphere.send_message("member", cond).unwrap();
+                }
+                let outcome = sphere.abort("bench abort").unwrap();
+                assert!(!outcome.is_committed());
+                // Drain: each member left an original + compensation on
+                // Q.D0, which annihilate on the next read attempt.
+                while receiver
+                    .read_message("Q.D0", Wait::NoWait)
+                    .unwrap()
+                    .is_some()
+                {}
+            });
+        });
+    }
+
+    // Pure 2PC cost over probe resources.
+    for r in [1usize, 4, 16] {
+        let tm = TransactionManager::new();
+        let resources: Vec<_> = (0..r)
+            .map(|i| ProbeResource::new(format!("r{i}")))
+            .collect();
+        group.throughput(Throughput::Elements(r as u64));
+        group.bench_with_input(BenchmarkId::new("two_phase_commit", r), &r, |b, _| {
+            b.iter(|| {
+                let mut tx = tm.begin();
+                for res in &resources {
+                    tx.enlist(res.clone());
+                }
+                tx.commit().unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sphere
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E3 / paper Fig. 3 — cost of the condition object model: compiling a
+//! condition tree into constraints and evaluating it against a full set of
+//! acknowledgments, as a function of tree width and depth.
+//!
+//! Expected shape: both compile and evaluate are linear in the number of
+//! destination leaves (the composite flattens into per-leaf constraints).
+
+use cond_bench::workload;
+use condmsg::{AckState, CompiledCondition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simtime::{Millis, Time};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_tree/compile");
+    for (label, condition) in [
+        ("flat_4", workload::fan_out(4, Millis(100))),
+        ("flat_32", workload::fan_out(32, Millis(100))),
+        ("flat_256", workload::fan_out(256, Millis(100))),
+        ("deep_3x3", workload::deep_tree(3, 3, Millis(100))),
+        ("deep_4x4", workload::deep_tree(4, 4, Millis(100))),
+        ("paper_fig4", workload::example1(1_000)),
+    ] {
+        group.throughput(Throughput::Elements(condition.leaf_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &condition, |b, cond| {
+            b.iter(|| CompiledCondition::compile(cond).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_tree/evaluate");
+    for (label, condition) in [
+        ("flat_4", workload::fan_out(4, Millis(100))),
+        ("flat_32", workload::fan_out(32, Millis(100))),
+        ("flat_256", workload::fan_out(256, Millis(100))),
+        ("deep_4x4", workload::deep_tree(4, 4, Millis(100))),
+        ("paper_fig4", workload::example1(1_000)),
+    ] {
+        let compiled = CompiledCondition::compile(&condition).unwrap();
+        let n = compiled.leaves().len();
+        let mut acks = AckState::new(n);
+        for leaf in 0..n as u32 {
+            acks.record_processed(leaf, Time(10), Time(20), None);
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &compiled, |b, c| {
+            b.iter(|| c.evaluate(&acks, Time(0), Time(50)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_acks(c: &mut Criterion) {
+    // The evaluation manager's actual workload: apply one ack, re-evaluate.
+    let mut group = c.benchmark_group("eval_tree/ack_apply_and_evaluate");
+    for n in [4usize, 32, 256] {
+        let compiled = CompiledCondition::compile(&workload::fan_out(n, Millis(100))).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &compiled, |b, c| {
+            let mut acks = AckState::new(n);
+            let mut leaf = 0u32;
+            b.iter(|| {
+                acks.record_read(leaf % n as u32, Time(10), None);
+                leaf += 1;
+                c.evaluate(&acks, Time(0), Time(50))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_compile, bench_evaluate, bench_incremental_acks
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4 / paper Fig. 6 — the cost of the conditional-messaging indirection
+//! on the send path.
+//!
+//! Compares, for N ∈ {1, 2, 4, 8, 16} destinations:
+//! * `raw`: N direct `QueueManager::put` calls (what a JMS app would do),
+//! * `conditional`: one `send_message` (fan-out + send-record WAL + parked
+//!   compensations, all in one local transaction).
+//!
+//! Expected shape: a small constant factor (the extra control properties,
+//! the log record and one compensation per destination), amortizing as N
+//! grows.
+
+use cond_bench::{queue_names, system_world, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mq::Message;
+use simtime::Millis;
+
+const PAYLOAD: &str = "group meeting notification payload";
+
+fn bench_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("send_overhead");
+    for n in [1usize, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements(n as u64));
+
+        let world = system_world(&queue_names(n));
+        group.bench_with_input(BenchmarkId::new("raw_put", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    world
+                        .qmgr
+                        .put(
+                            &format!("Q.D{i}"),
+                            Message::text(PAYLOAD).persistent(true).build(),
+                        )
+                        .unwrap();
+                }
+            });
+        });
+        // Drain what the raw benchmark enqueued.
+        for i in 0..n {
+            world
+                .qmgr
+                .queue(&format!("Q.D{i}"))
+                .unwrap()
+                .purge()
+                .unwrap();
+        }
+
+        let condition = workload::fan_out(n, Millis(60_000));
+        group.bench_with_input(BenchmarkId::new("conditional_send", n), &n, |b, _| {
+            b.iter(|| world.messenger.send_message(PAYLOAD, &condition).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_send
+}
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! The application-level baseline: condition management hand-rolled on top
+//! of raw `mq`, with no conditional-messaging middleware.
+//!
+//! This is what the paper's introduction describes applications being
+//! "forced to implement" today: the sender invents a correlation scheme,
+//! sends one message per queue, sets up and drains its own acknowledgment
+//! queue, keeps its own per-message deadline bookkeeping, and every
+//! receiver must remember to send an explicit acknowledgment in the
+//! sender's expected format. The benchmarks compare this against the
+//! middleware path to quantify the overhead the middleware adds (and the
+//! application code it removes).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mq::{Message, MqResult, QueueManager, Wait};
+use simtime::{Millis, Time};
+
+/// Property carrying the baseline's hand-rolled correlation id.
+pub const BASELINE_ID: &str = "app.baseline.id";
+/// Property naming the queue acks must be sent to.
+pub const BASELINE_ACK_QUEUE: &str = "app.baseline.ack_queue";
+/// Property carrying the receiver's read timestamp on a baseline ack.
+pub const BASELINE_READ_TS: &str = "app.baseline.read_ts";
+
+struct PendingNotification {
+    sent_at: Time,
+    window: Millis,
+    expected: usize,
+    timely_acks: usize,
+    late: bool,
+}
+
+/// Hand-rolled sender-side bookkeeping: one instance per application.
+pub struct BaselineSender {
+    qmgr: Arc<QueueManager>,
+    ack_queue: String,
+    next_id: u64,
+    pending: HashMap<u64, PendingNotification>,
+}
+
+impl BaselineSender {
+    /// Sets up the sender's private ack queue.
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation failures.
+    pub fn new(qmgr: Arc<QueueManager>, ack_queue: impl Into<String>) -> MqResult<BaselineSender> {
+        let ack_queue = ack_queue.into();
+        qmgr.ensure_queue(&ack_queue)?;
+        Ok(BaselineSender {
+            qmgr,
+            ack_queue,
+            next_id: 0,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Sends `payload` to each queue and starts tracking the all-must-read
+    /// deadline, mirroring the conditional `pickup_within` on all
+    /// destinations.
+    ///
+    /// # Errors
+    ///
+    /// Put failures.
+    pub fn send_notification(
+        &mut self,
+        payload: &str,
+        queues: &[String],
+        window: Millis,
+    ) -> MqResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        for queue in queues {
+            let msg = Message::text(payload)
+                .property(BASELINE_ID, id as i64)
+                .property(BASELINE_ACK_QUEUE, self.ack_queue.as_str())
+                .persistent(true)
+                .build();
+            self.qmgr.put(queue, msg)?;
+        }
+        self.pending.insert(
+            id,
+            PendingNotification {
+                sent_at: self.qmgr.clock().now(),
+                window,
+                expected: queues.len(),
+                timely_acks: 0,
+                late: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Drains the ack queue, updates bookkeeping, applies deadlines, and
+    /// returns `(id, success)` for every newly decided notification.
+    ///
+    /// # Errors
+    ///
+    /// Get failures.
+    pub fn poll(&mut self) -> MqResult<Vec<(u64, bool)>> {
+        while let Some(ack) = self.qmgr.get(&self.ack_queue, Wait::NoWait)? {
+            let Some(id) = ack.i64_property(BASELINE_ID).map(|v| v as u64) else {
+                continue;
+            };
+            let Some(read_ts) = ack.i64_property(BASELINE_READ_TS).map(|v| Time(v as u64)) else {
+                continue;
+            };
+            if let Some(p) = self.pending.get_mut(&id) {
+                if read_ts <= p.sent_at + p.window {
+                    p.timely_acks += 1;
+                } else {
+                    p.late = true;
+                }
+            }
+        }
+        let now = self.qmgr.clock().now();
+        let decided: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.timely_acks >= p.expected || p.late || now > p.sent_at + p.window)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::new();
+        for id in decided {
+            let p = self.pending.remove(&id).expect("key present");
+            out.push((id, p.timely_acks >= p.expected && !p.late));
+        }
+        Ok(out)
+    }
+
+    /// Notifications still awaiting a decision.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Hand-rolled receiver behaviour: read a message and explicitly send the
+/// acknowledgment the sender expects.
+///
+/// # Errors
+///
+/// Get/put failures.
+pub fn baseline_receive(qmgr: &Arc<QueueManager>, queue: &str) -> MqResult<Option<Message>> {
+    let Some(msg) = qmgr.get(queue, Wait::NoWait)? else {
+        return Ok(None);
+    };
+    if let (Some(id), Some(ack_queue)) = (
+        msg.i64_property(BASELINE_ID),
+        msg.str_property(BASELINE_ACK_QUEUE).map(str::to_owned),
+    ) {
+        let ack = Message::text("")
+            .property(BASELINE_ID, id)
+            .property(BASELINE_READ_TS, qmgr.clock().now().as_millis() as i64)
+            .persistent(true)
+            .build();
+        qmgr.put(&ack_queue, ack)?;
+    }
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimClock;
+
+    fn setup(n: usize) -> (Arc<SimClock>, Arc<QueueManager>, Vec<String>) {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        let queues: Vec<String> = (0..n).map(|i| format!("Q{i}")).collect();
+        for q in &queues {
+            qmgr.create_queue(q).unwrap();
+        }
+        (clock, qmgr, queues)
+    }
+
+    #[test]
+    fn baseline_success_path() {
+        let (clock, qmgr, queues) = setup(3);
+        let mut sender = BaselineSender::new(qmgr.clone(), "APP.ACK").unwrap();
+        let id = sender
+            .send_notification("hello", &queues, Millis(100))
+            .unwrap();
+        clock.advance(Millis(10));
+        for q in &queues {
+            baseline_receive(&qmgr, q).unwrap().unwrap();
+        }
+        let decided = sender.poll().unwrap();
+        assert_eq!(decided, vec![(id, true)]);
+        assert_eq!(sender.pending_count(), 0);
+    }
+
+    #[test]
+    fn baseline_failure_on_missing_ack() {
+        let (clock, qmgr, queues) = setup(2);
+        let mut sender = BaselineSender::new(qmgr.clone(), "APP.ACK").unwrap();
+        let id = sender
+            .send_notification("hello", &queues, Millis(100))
+            .unwrap();
+        clock.advance(Millis(10));
+        baseline_receive(&qmgr, &queues[0]).unwrap().unwrap();
+        assert!(sender.poll().unwrap().is_empty(), "still waiting");
+        clock.advance(Millis(200));
+        let decided = sender.poll().unwrap();
+        assert_eq!(decided, vec![(id, false)]);
+    }
+
+    #[test]
+    fn baseline_failure_on_late_ack() {
+        let (clock, qmgr, queues) = setup(1);
+        let mut sender = BaselineSender::new(qmgr.clone(), "APP.ACK").unwrap();
+        let id = sender
+            .send_notification("hello", &queues, Millis(50))
+            .unwrap();
+        clock.advance(Millis(80));
+        baseline_receive(&qmgr, &queues[0]).unwrap().unwrap();
+        let decided = sender.poll().unwrap();
+        assert_eq!(decided, vec![(id, false)]);
+    }
+}

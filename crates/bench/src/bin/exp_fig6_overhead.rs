@@ -1,0 +1,105 @@
+//! E4 — paper Fig. 6: the two message levels and the cost of the
+//! conditional-messaging indirection.
+//!
+//! For N destinations, measures wall-clock per operation for raw puts vs a
+//! conditional send, and counts the standard messages the middleware
+//! generates per conditional message (originals + parked compensations +
+//! the send-log record — the paper's point that "if no conditional
+//! messaging system were available, the application would have to create
+//! similar messages").
+
+use std::time::Instant;
+
+use cond_bench::{header, queue_names, row, system_world, workload};
+use mq::Message;
+use simtime::Millis;
+
+const ITERS: usize = 2_000;
+const PAYLOAD: &str = "group meeting notification payload";
+
+fn main() {
+    println!("# E4 — Fig. 6: send-path overhead (conditional vs raw JMS-style put)\n");
+    header(&[
+        "destinations",
+        "raw put (µs/send)",
+        "conditional (µs/send)",
+        "factor",
+        "standard msgs per conditional msg",
+    ]);
+    for n in [1usize, 2, 4, 8, 16] {
+        // Raw path.
+        let world = system_world(&queue_names(n));
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            for i in 0..n {
+                world
+                    .qmgr
+                    .put(
+                        &format!("Q.D{i}"),
+                        Message::text(PAYLOAD).persistent(true).build(),
+                    )
+                    .unwrap();
+            }
+        }
+        let raw = start.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+
+        // Conditional path.
+        let world = system_world(&queue_names(n));
+        let condition = workload::fan_out(n, Millis(600_000));
+        let slog_before = world
+            .qmgr
+            .queue("DS.SLOG.Q")
+            .unwrap()
+            .stats()
+            .enqueued
+            .get();
+        let comp_before = world
+            .qmgr
+            .queue("DS.COMP.Q")
+            .unwrap()
+            .stats()
+            .enqueued
+            .get();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            world.messenger.send_message(PAYLOAD, &condition).unwrap();
+        }
+        let cond = start.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+        let slog = world
+            .qmgr
+            .queue("DS.SLOG.Q")
+            .unwrap()
+            .stats()
+            .enqueued
+            .get()
+            - slog_before;
+        let comp = world
+            .qmgr
+            .queue("DS.COMP.Q")
+            .unwrap()
+            .stats()
+            .enqueued
+            .get()
+            - comp_before;
+        let generated = n as f64 + (slog as f64 + comp as f64) / ITERS as f64;
+
+        row(&[
+            n.to_string(),
+            format!("{raw:.1}"),
+            format!("{cond:.1}"),
+            format!("{:.2}x", cond / raw),
+            format!(
+                "{generated:.0} ({n} originals + {} comp + {} log)",
+                comp / ITERS as u64,
+                slog / ITERS as u64
+            ),
+        ]);
+    }
+    println!();
+    println!(
+        "expected shape: the conditional send costs a small constant factor over raw puts \
+         (≈2 extra internal messages per destination-set: one compensation per destination \
+         plus one send-log record), and the factor shrinks as N grows because the log \
+         record amortizes."
+    );
+}

@@ -1,0 +1,71 @@
+//! Shared harness code for the benchmarks and the `exp_*` experiment
+//! binaries: workload builders, a deterministic scenario driver, and the
+//! **application-level baseline** (S22 in DESIGN.md) — what a sender has
+//! to hand-roll *without* conditional messaging, used as the comparator
+//! the paper argues against ("applications themselves are forced to
+//! implement the management of such conditions on messages").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod workload;
+
+use std::sync::Arc;
+
+use condmsg::ConditionalMessenger;
+use mq::journal::NullJournal;
+use mq::{QueueManager, SharedClock};
+use simtime::{SimClock, SystemClock};
+
+/// A ready-to-use single-manager world for experiments.
+pub struct World {
+    /// The queue manager.
+    pub qmgr: Arc<QueueManager>,
+    /// The conditional messaging service attached to it.
+    pub messenger: Arc<ConditionalMessenger>,
+}
+
+/// Builds a world on a system clock with the given application queues and
+/// a null journal (pure in-memory throughput; persistence is measured
+/// separately in `mq_core`).
+pub fn system_world(queues: &[String]) -> World {
+    build_world(SystemClock::new(), queues)
+}
+
+/// Builds a deterministic world on the given sim clock.
+pub fn sim_world(clock: Arc<SimClock>, queues: &[String]) -> World {
+    build_world(clock, queues)
+}
+
+fn build_world(clock: SharedClock, queues: &[String]) -> World {
+    let qmgr = QueueManager::builder("QM1")
+        .clock(clock)
+        .journal(NullJournal::new())
+        .build()
+        .expect("queue manager");
+    for q in queues {
+        qmgr.create_queue(q).expect("queue");
+    }
+    let messenger = ConditionalMessenger::new(qmgr.clone()).expect("messenger");
+    World { qmgr, messenger }
+}
+
+/// Names `n` destination queues `Q.D0..Q.Dn`.
+pub fn queue_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("Q.D{i}")).collect()
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}

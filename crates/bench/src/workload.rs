@@ -1,0 +1,104 @@
+//! Workload builders shared by the benchmarks and experiments: the paper's
+//! two running-example conditions plus parameterized fan-out and tree
+//! shapes.
+
+use condmsg::{Condition, Destination, DestinationSet};
+use simtime::Millis;
+
+/// A flat all-must-pick-up fan-out over `n` queues `Q.D0..`.
+pub fn fan_out(n: usize, window: Millis) -> Condition {
+    if n == 1 {
+        return Destination::queue("QM1", "Q.D0")
+            .pickup_within(window)
+            .into();
+    }
+    DestinationSet::of(
+        (0..n)
+            .map(|i| Destination::queue("QM1", format!("Q.D{i}")).into())
+            .collect(),
+    )
+    .pickup_within(window)
+    .into()
+}
+
+/// The paper's Fig. 4 condition with one "day" = `day` milliseconds, over
+/// queues `Q.R1..Q.R4`.
+pub fn example1(day: u64) -> Condition {
+    let qr3 = Destination::queue("QM1", "Q.R3")
+        .recipient("receiver3")
+        .process_within(Millis(7 * day));
+    let others = DestinationSet::of(vec![
+        Destination::queue("QM1", "Q.R1")
+            .recipient("receiver1")
+            .into(),
+        Destination::queue("QM1", "Q.R2")
+            .recipient("receiver2")
+            .into(),
+        Destination::queue("QM1", "Q.R4")
+            .recipient("receiver4")
+            .into(),
+    ])
+    .process_within(Millis(11 * day))
+    .min_process(2);
+    DestinationSet::of(vec![qr3.into(), others.into()])
+        .pickup_within(Millis(2 * day))
+        .into()
+}
+
+/// The paper's Fig. 5 condition (shared queue `Q.CENTRAL`).
+pub fn example2(window: Millis) -> Condition {
+    Destination::queue("QM1", "Q.CENTRAL")
+        .pickup_within(window)
+        .into()
+}
+
+/// A balanced condition tree with the given `depth` and `fanout`
+/// (leaves = fanout^depth), each level adding a pick-up window and a
+/// min-count — stresses compilation and evaluation (E3 / Fig. 3).
+pub fn deep_tree(depth: u32, fanout: usize, window: Millis) -> Condition {
+    fn build(level: u32, fanout: usize, window: Millis, next_leaf: &mut usize) -> Condition {
+        if level == 0 {
+            let leaf = *next_leaf;
+            *next_leaf += 1;
+            return Destination::queue("QM1", format!("Q.D{leaf}")).into();
+        }
+        let members = (0..fanout)
+            .map(|_| build(level - 1, fanout, window, next_leaf))
+            .collect();
+        DestinationSet::of(members)
+            .pickup_within(window)
+            .min_pickup(1.max(fanout as u32 / 2))
+            .into()
+    }
+    let mut next_leaf = 0;
+    build(depth, fanout, window, &mut next_leaf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_shapes() {
+        assert_eq!(fan_out(1, Millis(10)).leaf_count(), 1);
+        assert_eq!(fan_out(8, Millis(10)).leaf_count(), 8);
+        fan_out(8, Millis(10)).validate().unwrap();
+    }
+
+    #[test]
+    fn example_conditions_validate() {
+        example1(1000).validate().unwrap();
+        assert_eq!(example1(1000).leaf_count(), 4);
+        example2(Millis(20_000)).validate().unwrap();
+    }
+
+    #[test]
+    fn deep_tree_leaf_count() {
+        let tree = deep_tree(3, 3, Millis(100));
+        tree.validate().unwrap();
+        assert_eq!(tree.leaf_count(), 27);
+        let wide = deep_tree(1, 32, Millis(100));
+        wide.validate().unwrap();
+        assert_eq!(wide.leaf_count(), 32);
+    }
+}

@@ -1,0 +1,1178 @@
+//! The sender-side conditional messaging service (paper §2.3, §2.5–§2.7).
+//!
+//! [`ConditionalMessenger`] is the application's entry point for sending
+//! conditional messages. It owns the four sender-side service queues of the
+//! paper's architecture (Fig. 9) — `DS.SLOG.Q`, `DS.ACK.Q`, `DS.COMP.Q`,
+//! `DS.OUTCOME.Q` — and implements:
+//!
+//! * **Send** ([`ConditionalMessenger::send_message`]): compiles the
+//!   condition, journals a [`SendRecord`] to the sender log, fans the
+//!   payload out as one standard message per destination leaf (with control
+//!   properties), and parks pre-generated compensation messages — all in a
+//!   single local messaging transaction, so a crash can never leave a
+//!   half-sent conditional message.
+//! * **Evaluation manager** ([`ConditionalMessenger::pump`]): consumes
+//!   acknowledgments from `DS.ACK.Q` (logging each to the sender log before
+//!   applying it), re-evaluates pending conditions, detects deadline and
+//!   timeout expiry, and finalizes outcomes.
+//! * **Outcome actions**: on success, optional success notifications to all
+//!   destinations; on failure, release of the parked compensation messages
+//!   (paper §2.6). Both are performed atomically with the outcome
+//!   notification put on `DS.OUTCOME.Q`.
+//! * **Recovery** ([`ConditionalMessenger::new`] replays the sender log):
+//!   a restarted sender rebuilds its evaluation state machines exactly and
+//!   continues monitoring in-flight conditional messages.
+//!
+//! Deterministic tests drive evaluation with [`ConditionalMessenger::pump`]
+//! under a [`simtime::SimClock`]; examples and benches use
+//! [`ConditionalMessenger::spawn_daemon`] with a system clock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use mq::selector::Selector;
+use mq::{MqError, QueueAddress, QueueManager, Wait};
+use parking_lot::Mutex;
+use simtime::Time;
+
+use crate::condition::Condition;
+use crate::config::CondConfig;
+use crate::error::{CondError, CondResult};
+use crate::eval::{AckState, CompiledCondition, Verdict};
+use crate::ids::CondMessageId;
+use crate::wire::{
+    self, AckKind, Acknowledgment, MessageOutcome, OutcomeNotification, SendOptions, SendRecord,
+    SlogEntry,
+};
+
+/// Evaluation status of a conditional message, as known to this messenger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MessageStatus {
+    /// Monitoring and evaluation are still in progress.
+    Pending,
+    /// The evaluation finished with this outcome.
+    Decided(OutcomeNotification),
+    /// The id is not known to this messenger instance.
+    Unknown,
+}
+
+struct PendingEval {
+    compiled: CompiledCondition,
+    send_time: Time,
+    timeout_at: Option<Time>,
+    acks: AckState,
+    success_notifications: bool,
+    defer_outcome_actions: bool,
+}
+
+/// The sender-side conditional messaging service.
+pub struct ConditionalMessenger {
+    qmgr: Arc<QueueManager>,
+    config: CondConfig,
+    pending: Mutex<HashMap<CondMessageId, PendingEval>>,
+    decided: Mutex<HashMap<CondMessageId, OutcomeNotification>>,
+    /// Decided messages whose outcome actions are deferred (D-Spheres);
+    /// value = the message's success-notification setting.
+    deferred: Mutex<HashMap<CondMessageId, bool>>,
+    /// Serializes pump() invocations (daemon + explicit callers).
+    pump_lock: Mutex<()>,
+}
+
+impl fmt::Debug for ConditionalMessenger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConditionalMessenger")
+            .field("manager", &self.qmgr.name())
+            .field("pending", &self.pending.lock().len())
+            .finish()
+    }
+}
+
+impl ConditionalMessenger {
+    /// Attaches a conditional messaging service to a queue manager with
+    /// default configuration, creating the service queues if needed and
+    /// recovering in-flight evaluation state from the sender log.
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation or journal failures; malformed sender-log entries.
+    pub fn new(qmgr: Arc<QueueManager>) -> CondResult<Arc<ConditionalMessenger>> {
+        ConditionalMessenger::with_config(qmgr, CondConfig::default())
+    }
+
+    /// Like [`ConditionalMessenger::new`] with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConditionalMessenger::new`].
+    pub fn with_config(
+        qmgr: Arc<QueueManager>,
+        config: CondConfig,
+    ) -> CondResult<Arc<ConditionalMessenger>> {
+        for queue in [
+            &config.slog_queue,
+            &config.ack_queue,
+            &config.comp_queue,
+            &config.outcome_queue,
+            &config.done_queue,
+        ] {
+            qmgr.ensure_queue(queue)?;
+        }
+        let messenger = Arc::new(ConditionalMessenger {
+            qmgr,
+            config,
+            pending: Mutex::new(HashMap::new()),
+            decided: Mutex::new(HashMap::new()),
+            deferred: Mutex::new(HashMap::new()),
+            pump_lock: Mutex::new(()),
+        });
+        messenger.recover()?;
+        Ok(messenger)
+    }
+
+    /// The underlying queue manager.
+    pub fn manager(&self) -> &Arc<QueueManager> {
+        &self.qmgr
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &CondConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------ send --
+
+    /// Sends a conditional message (paper's `sendMessage(Object,
+    /// Condition)`). On failure a *system-generated* compensation message
+    /// is delivered to every destination.
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::InvalidCondition`] or messaging failures. On error
+    /// nothing was sent (the send transaction rolled back).
+    pub fn send_message(
+        &self,
+        payload: impl Into<Bytes>,
+        condition: &Condition,
+    ) -> CondResult<CondMessageId> {
+        self.send_with(payload, None, condition, SendOptions::default())
+    }
+
+    /// Sends a conditional message with application-defined compensation
+    /// data (paper's `sendMessage(Object, Object, Condition)`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConditionalMessenger::send_message`].
+    pub fn send_message_with_compensation(
+        &self,
+        payload: impl Into<Bytes>,
+        compensation: impl Into<Bytes>,
+        condition: &Condition,
+    ) -> CondResult<CondMessageId> {
+        self.send_with(
+            payload,
+            Some(compensation.into()),
+            condition,
+            SendOptions::default(),
+        )
+    }
+
+    /// Fully general send with per-send [`SendOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ConditionalMessenger::send_message`].
+    pub fn send_with(
+        &self,
+        payload: impl Into<Bytes>,
+        compensation: Option<Bytes>,
+        condition: &Condition,
+        options: SendOptions,
+    ) -> CondResult<CondMessageId> {
+        let payload = payload.into();
+        let compiled = CompiledCondition::compile(condition)?;
+        let cond_id = CondMessageId::generate();
+        let send_time = self.qmgr.clock().now();
+        let record = SendRecord {
+            cond_id,
+            send_time,
+            condition: condition.clone(),
+            payload: payload.clone(),
+            compensation: compensation.clone(),
+            options: options.clone(),
+        };
+
+        // One local transaction covers: the send record (WAL), the fan-out
+        // (local queues and transmission queues alike), and the parked
+        // compensation messages. Atomic under crash.
+        let mut session = self.qmgr.session();
+        session.begin()?;
+        session.put(
+            &self.config.slog_queue,
+            SlogEntry::Send(record).to_message(),
+        )?;
+        // Stage the parked compensations *before* the originals: commit
+        // applies staged puts in order, so by the time any original is
+        // visible (and can be acknowledged, evaluated and finalized), its
+        // compensation is already on DS.COMP.Q.
+        for leaf in compiled.leaves() {
+            let comp =
+                wire::make_compensation(cond_id, leaf.index, &leaf.queue, compensation.as_ref());
+            session.put(&self.config.comp_queue, comp)?;
+        }
+        for leaf in compiled.leaves() {
+            let msg = wire::make_original(
+                &payload,
+                cond_id,
+                leaf,
+                self.qmgr.name(),
+                &self.config.ack_queue,
+            );
+            session.put_to(&leaf.queue, msg)?;
+        }
+        // Register the evaluation *before* the fan-out commit: the moment
+        // the commit makes the messages visible, a fast receiver's ack can
+        // race into DS.ACK.Q and be pumped — it must find the pending
+        // entry, not be dropped as unknown.
+        let timeout_at = options
+            .evaluation_timeout
+            .or(self.config.default_evaluation_timeout)
+            .map(|t| send_time + t);
+        let success_notifications = options
+            .success_notifications
+            .unwrap_or(self.config.success_notifications);
+        self.pending.lock().insert(
+            cond_id,
+            PendingEval {
+                compiled,
+                send_time,
+                timeout_at,
+                acks: AckState::new(condition.leaf_count()),
+                success_notifications,
+                defer_outcome_actions: options.defer_outcome_actions,
+            },
+        );
+        if let Err(e) = session.commit() {
+            self.pending.lock().remove(&cond_id);
+            return Err(e.into());
+        }
+        Ok(cond_id)
+    }
+
+    // ------------------------------------------------------ evaluation --
+
+    /// Runs one evaluation-manager cycle: drains `DS.ACK.Q`, re-evaluates
+    /// pending conditions against the current clock, finalizes decided
+    /// messages (outcome actions + outcome notification) and returns the
+    /// newly decided outcomes.
+    ///
+    /// Deterministic: with a `SimClock`, `advance` + `pump` reproduces any
+    /// timing scenario exactly.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures; malformed acknowledgments are consumed and
+    /// skipped rather than wedging the queue.
+    pub fn pump(&self) -> CondResult<Vec<OutcomeNotification>> {
+        let _serial = self.pump_lock.lock();
+        self.drain_acks()?;
+        let now = self.qmgr.clock().now();
+
+        // Decide.
+        let mut decided = Vec::new();
+        {
+            let mut pending = self.pending.lock();
+            let ids: Vec<CondMessageId> = pending.keys().copied().collect();
+            for id in ids {
+                let eval = pending.get(&id).expect("key present");
+                let verdict = eval.compiled.evaluate_with_grace(
+                    &eval.acks,
+                    eval.send_time,
+                    now,
+                    self.config.ack_grace,
+                );
+                let outcome = match verdict {
+                    Verdict::Satisfied => Some((MessageOutcome::Success, None)),
+                    Verdict::Violated(reason) => Some((MessageOutcome::Failure, Some(reason))),
+                    Verdict::Pending => match eval.timeout_at {
+                        Some(t) if now >= t => Some((
+                            MessageOutcome::Failure,
+                            Some("evaluation timeout expired".to_owned()),
+                        )),
+                        _ => None,
+                    },
+                };
+                if let Some((outcome, reason)) = outcome {
+                    let eval = pending.remove(&id).expect("key present");
+                    decided.push((id, eval, outcome, reason));
+                }
+            }
+        }
+
+        // Finalize outside the pending lock (messaging I/O).
+        let mut out = Vec::new();
+        for (id, eval, outcome, reason) in decided {
+            let notification = self.finalize(id, &eval, outcome, reason, now)?;
+            self.decided.lock().insert(id, notification.clone());
+            out.push(notification);
+        }
+        Ok(out)
+    }
+
+    fn drain_acks(&self) -> CondResult<()> {
+        loop {
+            let mut session = self.qmgr.session();
+            session.begin()?;
+            let Some(msg) = session.get(&self.config.ack_queue, Wait::NoWait)? else {
+                session.rollback()?;
+                return Ok(());
+            };
+            match Acknowledgment::from_message(&msg) {
+                Ok(ack) => {
+                    // Log the ack before applying it (WAL): recovery replays
+                    // AckSeen entries to rebuild the in-memory state.
+                    let relevant = self.pending.lock().contains_key(&ack.cond_id);
+                    if relevant {
+                        session.put(
+                            &self.config.slog_queue,
+                            SlogEntry::AckSeen(ack.clone()).to_message(),
+                        )?;
+                    }
+                    session.commit()?;
+                    if relevant {
+                        self.apply_ack(&ack);
+                    }
+                }
+                Err(_) => {
+                    // Malformed ack: consume and drop rather than wedge.
+                    session.commit()?;
+                }
+            }
+        }
+    }
+
+    fn apply_ack(&self, ack: &Acknowledgment) {
+        let mut pending = self.pending.lock();
+        if let Some(eval) = pending.get_mut(&ack.cond_id) {
+            match ack.kind {
+                AckKind::Read => {
+                    eval.acks
+                        .record_read(ack.leaf, ack.read_at, ack.recipient.clone());
+                }
+                AckKind::Processed => {
+                    eval.acks.record_processed(
+                        ack.leaf,
+                        ack.read_at,
+                        ack.processed_at.unwrap_or(ack.read_at),
+                        ack.recipient.clone(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn finalize(
+        &self,
+        cond_id: CondMessageId,
+        eval: &PendingEval,
+        outcome: MessageOutcome,
+        reason: Option<String>,
+        now: Time,
+    ) -> CondResult<OutcomeNotification> {
+        let notification = OutcomeNotification {
+            cond_id,
+            outcome,
+            reason,
+            decided_at: now,
+        };
+
+        // One transaction: the outcome log entry, the outcome actions
+        // (compensation release or success notifications, plus removal of
+        // the parked compensations), and the outcome notification.
+        let mut session = self.qmgr.session();
+        session.begin()?;
+        session.put(
+            &self.config.done_queue,
+            SlogEntry::Outcome {
+                cond_id,
+                outcome,
+                decided_at: now,
+            }
+            .to_message(),
+        )?;
+        if !eval.defer_outcome_actions {
+            self.stage_outcome_actions(&mut session, cond_id, outcome, eval.success_notifications)?;
+        }
+        session.put(&self.config.outcome_queue, notification.to_message())?;
+        session.commit()?;
+
+        if eval.defer_outcome_actions {
+            // Keep the send record (for recovery) and the parked
+            // compensations until the sphere releases the actions.
+            self.deferred
+                .lock()
+                .insert(cond_id, eval.success_notifications);
+        } else {
+            // Cleanup pass: drop the send/ack log entries; the outcome
+            // entry on the history queue marks the message decided for any
+            // future recovery.
+            self.purge_slog(cond_id)?;
+        }
+        Ok(notification)
+    }
+
+    /// Stages the outcome actions for `cond_id` into `session`: on failure
+    /// the parked compensation messages are released to their destinations;
+    /// on success they are consumed and, when enabled, success
+    /// notifications are sent instead (paper §2.6).
+    fn stage_outcome_actions(
+        &self,
+        session: &mut mq::Session,
+        cond_id: CondMessageId,
+        outcome: MessageOutcome,
+        success_notifications: bool,
+    ) -> CondResult<()> {
+        // Parked compensations carry the conditional message id as their
+        // correlation id; the indexed get avoids scanning a busy DS.COMP.Q.
+        while let Some(comp) =
+            session.get_by_correlation(&self.config.comp_queue, &cond_id.to_hex(), Wait::NoWait)?
+        {
+            let dest = comp
+                .str_property(wire::P_COMP_DEST)
+                .and_then(QueueAddress::parse)
+                .ok_or_else(|| CondError::Malformed("compensation missing destination".into()))?;
+            match outcome {
+                MessageOutcome::Failure => session.put_to(&dest, comp)?,
+                MessageOutcome::Success => {
+                    if success_notifications {
+                        let leaf = wire::leaf_of(&comp)?;
+                        session.put_to(&dest, wire::make_success_notification(cond_id, leaf))?;
+                    }
+                    // The parked compensation is simply consumed.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs the deferred outcome actions of a decided conditional
+    /// message, treating it per `group_outcome` — the overall outcome of
+    /// the Dependency-Sphere the message belonged to (paper §3.1: "only
+    /// when the D-Sphere terminates as a whole … outcome actions for all
+    /// individual messages … will be initiated based on the overall
+    /// D-Sphere outcome").
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::UnknownMessage`] when the message has no deferred
+    /// actions pending; messaging failures.
+    pub fn release_outcome_actions(
+        &self,
+        cond_id: CondMessageId,
+        group_outcome: MessageOutcome,
+    ) -> CondResult<()> {
+        let success_notifications = self
+            .deferred
+            .lock()
+            .remove(&cond_id)
+            .ok_or(CondError::UnknownMessage(cond_id))?;
+        let mut session = self.qmgr.session();
+        session.begin()?;
+        self.stage_outcome_actions(&mut session, cond_id, group_outcome, success_notifications)?;
+        session.commit()?;
+        self.purge_slog(cond_id)?;
+        Ok(())
+    }
+
+    /// Forces a pending conditional message to fail immediately (used when
+    /// a Dependency-Sphere aborts while member evaluations are still in
+    /// progress). Returns the resulting (or previously decided) outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::UnknownMessage`] for ids this messenger never sent.
+    pub fn force_fail(
+        &self,
+        cond_id: CondMessageId,
+        reason: impl Into<String>,
+    ) -> CondResult<OutcomeNotification> {
+        let _serial = self.pump_lock.lock();
+        let eval = self.pending.lock().remove(&cond_id);
+        match eval {
+            Some(eval) => {
+                let now = self.qmgr.clock().now();
+                let notification = self.finalize(
+                    cond_id,
+                    &eval,
+                    MessageOutcome::Failure,
+                    Some(reason.into()),
+                    now,
+                )?;
+                self.decided.lock().insert(cond_id, notification.clone());
+                Ok(notification)
+            }
+            None => self
+                .decided
+                .lock()
+                .get(&cond_id)
+                .cloned()
+                .ok_or(CondError::UnknownMessage(cond_id)),
+        }
+    }
+
+    /// Removes every active-log entry of a decided conditional message
+    /// (correlation-indexed: O(entries for this message)).
+    fn purge_slog(&self, cond_id: CondMessageId) -> CondResult<()> {
+        while self
+            .qmgr
+            .get_by_correlation(&self.config.slog_queue, &cond_id.to_hex(), Wait::NoWait)?
+            .is_some()
+        {}
+        Ok(())
+    }
+
+    /// Drains decided-outcome history entries older than `before` from the
+    /// history queue, bounding its growth; returns how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures.
+    pub fn prune_decided_before(&self, before: Time) -> CondResult<usize> {
+        let selector = Selector::parse(&format!(
+            "{} = 'outcome' AND {} < {}",
+            wire::P_SLOG_ENTRY,
+            wire::P_SLOG_DECIDED_TS,
+            before.as_millis()
+        ))
+        .map_err(MqError::from)?;
+        let mut n = 0;
+        while let Some(msg) =
+            self.qmgr
+                .get_selected(&self.config.done_queue, &selector, Wait::NoWait)?
+        {
+            if let Ok(id) = wire::cond_id_of(&msg) {
+                self.decided.lock().remove(&id);
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    // ---------------------------------------------------------- status --
+
+    /// Reports what this messenger knows about a conditional message.
+    pub fn status(&self, id: CondMessageId) -> MessageStatus {
+        if let Some(n) = self.decided.lock().get(&id) {
+            return MessageStatus::Decided(n.clone());
+        }
+        if self.pending.lock().contains_key(&id) {
+            return MessageStatus::Pending;
+        }
+        MessageStatus::Unknown
+    }
+
+    /// Number of conditional messages still under evaluation.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Consumes the outcome notification for `id` from `DS.OUTCOME.Q`,
+    /// waiting per `wait`. Applications correlate outcomes with the
+    /// conditional message id returned by send (paper §2.3).
+    ///
+    /// Note: with a manual-pump setup, call [`ConditionalMessenger::pump`]
+    /// first; the notification only exists once the evaluation completed.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures or a malformed notification.
+    pub fn take_outcome(
+        &self,
+        id: CondMessageId,
+        wait: Wait,
+    ) -> CondResult<Option<OutcomeNotification>> {
+        match self
+            .qmgr
+            .get_by_correlation(&self.config.outcome_queue, &id.to_hex(), wait)?
+        {
+            Some(msg) => Ok(Some(OutcomeNotification::from_message(&msg)?)),
+            None => Ok(None),
+        }
+    }
+
+    // -------------------------------------------------------- recovery --
+
+    /// Rebuilds evaluation state from the sender log (paper §2.3: "creates
+    /// a log entry for the outgoing messages and stores the log entry
+    /// persistently"). Called automatically from the constructor.
+    fn recover(&self) -> CondResult<()> {
+        let slog = self.qmgr.queue(&self.config.slog_queue)?;
+        let mut sends: HashMap<CondMessageId, SendRecord> = HashMap::new();
+        let mut acks: Vec<Acknowledgment> = Vec::new();
+        let mut outcomes: HashMap<CondMessageId, (MessageOutcome, Time)> = HashMap::new();
+        for msg in slog.browse() {
+            match SlogEntry::from_message(&msg)? {
+                SlogEntry::Send(record) => {
+                    sends.insert(record.cond_id, record);
+                }
+                SlogEntry::AckSeen(ack) => acks.push(ack),
+                SlogEntry::Outcome { .. } => {
+                    // Legacy location; outcome history lives on done_queue.
+                }
+            }
+        }
+        for msg in self.qmgr.queue(&self.config.done_queue)?.browse() {
+            if let SlogEntry::Outcome {
+                cond_id,
+                outcome,
+                decided_at,
+            } = SlogEntry::from_message(&msg)?
+            {
+                outcomes.insert(cond_id, (outcome, decided_at));
+            }
+        }
+        let mut pending = self.pending.lock();
+        let mut decided = self.decided.lock();
+        let mut leftovers: Vec<CondMessageId> = Vec::new();
+        // Outcome entries whose send/ack entries were already purged: the
+        // message is decided; remember the outcome for status queries.
+        for (cond_id, (outcome, decided_at)) in &outcomes {
+            if !sends.contains_key(cond_id) {
+                decided.insert(
+                    *cond_id,
+                    OutcomeNotification {
+                        cond_id: *cond_id,
+                        outcome: *outcome,
+                        reason: None,
+                        decided_at: *decided_at,
+                    },
+                );
+            }
+        }
+        let mut deferred = self.deferred.lock();
+        for (cond_id, record) in sends {
+            if let Some((outcome, decided_at)) = outcomes.get(&cond_id) {
+                // Already decided before the crash.
+                decided.insert(
+                    cond_id,
+                    OutcomeNotification {
+                        cond_id,
+                        outcome: *outcome,
+                        reason: None,
+                        decided_at: *decided_at,
+                    },
+                );
+                if record.options.defer_outcome_actions {
+                    // Actions still owed to the sphere; keep the log
+                    // entries and parked compensations.
+                    deferred.insert(
+                        cond_id,
+                        record
+                            .options
+                            .success_notifications
+                            .unwrap_or(self.config.success_notifications),
+                    );
+                } else {
+                    leftovers.push(cond_id);
+                }
+                continue;
+            }
+            let compiled = CompiledCondition::compile(&record.condition)?;
+            let mut eval = PendingEval {
+                acks: AckState::new(compiled.leaves().len()),
+                compiled,
+                send_time: record.send_time,
+                timeout_at: record
+                    .options
+                    .evaluation_timeout
+                    .or(self.config.default_evaluation_timeout)
+                    .map(|t| record.send_time + t),
+                success_notifications: record
+                    .options
+                    .success_notifications
+                    .unwrap_or(self.config.success_notifications),
+                defer_outcome_actions: record.options.defer_outcome_actions,
+            };
+            for ack in acks.iter().filter(|a| a.cond_id == cond_id) {
+                match ack.kind {
+                    AckKind::Read => {
+                        eval.acks
+                            .record_read(ack.leaf, ack.read_at, ack.recipient.clone())
+                    }
+                    AckKind::Processed => eval.acks.record_processed(
+                        ack.leaf,
+                        ack.read_at,
+                        ack.processed_at.unwrap_or(ack.read_at),
+                        ack.recipient.clone(),
+                    ),
+                }
+            }
+            pending.insert(cond_id, eval);
+        }
+        drop(pending);
+        drop(decided);
+        drop(deferred);
+        for cond_id in leftovers {
+            self.purge_slog(cond_id)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- daemon --
+
+    /// Spawns a background thread that pumps the evaluation manager every
+    /// `poll` of real time. Intended for system-clock deployments; tests
+    /// with a `SimClock` should pump manually instead.
+    pub fn spawn_daemon(self: &Arc<Self>, poll: Duration) -> EvaluationDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let messenger = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("condmsg-eval-{}", self.qmgr.name()))
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    if messenger.pump().is_err() && !messenger.qmgr.is_running() {
+                        return;
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("failed to spawn evaluation daemon");
+        EvaluationDaemon {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a running evaluation daemon; stops (and joins) on drop.
+pub struct EvaluationDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for EvaluationDaemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvaluationDaemon")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl EvaluationDaemon {
+    /// Stops the daemon and waits for the thread to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EvaluationDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Destination, DestinationSet};
+    use mq::journal::MemJournal;
+    use mq::Message;
+    use simtime::{Millis, SimClock};
+
+    fn setup() -> (Arc<SimClock>, Arc<QueueManager>, Arc<ConditionalMessenger>) {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        (clock, qmgr, messenger)
+    }
+
+    fn two_dest_condition(window: Millis) -> Condition {
+        DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A").into(),
+            Destination::queue("QM1", "Q.B").into(),
+        ])
+        .pickup_within(window)
+        .into()
+    }
+
+    fn fake_read_ack(id: CondMessageId, leaf: u32, at: Time) -> Message {
+        Acknowledgment {
+            cond_id: id,
+            leaf,
+            kind: AckKind::Read,
+            read_at: at,
+            processed_at: None,
+            recipient: None,
+        }
+        .to_message()
+    }
+
+    #[test]
+    fn send_fans_out_with_control_properties() {
+        let (_clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        for queue in ["Q.A", "Q.B"] {
+            let msg = qmgr.get(queue, Wait::NoWait).unwrap().unwrap();
+            assert_eq!(msg.payload_str(), Some("hello"));
+            assert_eq!(wire::cond_id_of(&msg).unwrap(), id);
+            assert_eq!(msg.str_property(wire::P_SENDER_MANAGER), Some("QM1"));
+            assert_eq!(msg.str_property(wire::P_ACK_QUEUE), Some("DS.ACK.Q"));
+        }
+        // One compensation parked per destination.
+        assert_eq!(qmgr.queue("DS.COMP.Q").unwrap().depth(), 2);
+        // One send record on the log.
+        assert_eq!(qmgr.queue("DS.SLOG.Q").unwrap().depth(), 1);
+        assert_eq!(messenger.status(id), MessageStatus::Pending);
+        assert_eq!(messenger.pending_count(), 1);
+    }
+
+    #[test]
+    fn invalid_condition_sends_nothing() {
+        let (_clock, qmgr, messenger) = setup();
+        let bad: Condition = DestinationSet::empty().into();
+        assert!(messenger.send_message("x", &bad).is_err());
+        assert_eq!(qmgr.queue("DS.SLOG.Q").unwrap().depth(), 0);
+        assert_eq!(qmgr.queue("DS.COMP.Q").unwrap().depth(), 0);
+        assert_eq!(messenger.pending_count(), 0);
+    }
+
+    #[test]
+    fn timely_acks_produce_success_and_clear_compensations() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(10));
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(10)))
+            .unwrap();
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 1, Time(10)))
+            .unwrap();
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+        assert_eq!(outcomes[0].cond_id, id);
+        // Compensations consumed, not delivered.
+        assert_eq!(qmgr.queue("DS.COMP.Q").unwrap().depth(), 0);
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 1, "only the original");
+        // Outcome notification available and consumable.
+        let n = messenger.take_outcome(id, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(n.outcome, MessageOutcome::Success);
+        assert!(messenger.take_outcome(id, Wait::NoWait).unwrap().is_none());
+        assert!(matches!(messenger.status(id), MessageStatus::Decided(_)));
+        // Send/ack log entries purged from the active log; the outcome
+        // entry lives on the history queue.
+        assert_eq!(qmgr.queue("DS.SLOG.Q").unwrap().depth(), 0);
+        let done = qmgr.queue("DS.DONE.Q").unwrap().browse();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].str_property(wire::P_SLOG_ENTRY), Some("outcome"));
+    }
+
+    #[test]
+    fn deadline_passing_without_acks_fails_and_compensates() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(50));
+        assert!(messenger.pump().unwrap().is_empty(), "still pending");
+        clock.advance(Millis(51));
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+        assert!(outcomes[0].reason.as_deref().unwrap().contains("pick-up"));
+        // Compensation messages delivered to both destinations.
+        for queue in ["Q.A", "Q.B"] {
+            let msgs = qmgr.queue(queue).unwrap().browse();
+            assert_eq!(msgs.len(), 2, "{queue}: original + compensation");
+            assert!(msgs
+                .iter()
+                .any(|m| wire::kind_of(m) == wire::MessageKind::Compensation));
+        }
+        assert_eq!(qmgr.queue("DS.COMP.Q").unwrap().depth(), 0);
+        assert_eq!(messenger.status(id), {
+            let n = messenger.take_outcome(id, Wait::NoWait).unwrap().unwrap();
+            MessageStatus::Decided(n)
+        });
+    }
+
+    #[test]
+    fn late_ack_fails_immediately_before_deadline_of_others() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("x", &two_dest_condition(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(150));
+        // Ack arrives but its read timestamp is beyond the window.
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(120)))
+            .unwrap();
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    }
+
+    #[test]
+    fn evaluation_timeout_fails_pending_message() {
+        let (clock, qmgr, messenger) = setup();
+        // Processing window is long, but the evaluation timeout cuts in
+        // first (paper: "a timeout … to ultimately terminate an
+        // evaluation").
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A").into(),
+            Destination::queue("QM1", "Q.B").into(),
+        ])
+        .process_within(Millis(10_000))
+        .min_process(2)
+        .into();
+        let id = messenger
+            .send_with(
+                "x",
+                None,
+                &cond,
+                SendOptions {
+                    evaluation_timeout: Some(Millis(500)),
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap();
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(10)))
+            .unwrap();
+        clock.advance(Millis(499));
+        assert!(messenger.pump().unwrap().is_empty());
+        clock.advance(Millis(1));
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+        assert!(outcomes[0].reason.as_deref().unwrap().contains("timeout"));
+    }
+
+    #[test]
+    fn success_notifications_sent_when_enabled() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_with(
+                "x",
+                None,
+                &two_dest_condition(Millis(100)),
+                SendOptions {
+                    success_notifications: Some(true),
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap();
+        clock.advance(Millis(5));
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(5))).unwrap();
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 1, Time(5))).unwrap();
+        messenger.pump().unwrap();
+        for queue in ["Q.A", "Q.B"] {
+            let msgs = qmgr.queue(queue).unwrap().browse();
+            assert!(
+                msgs.iter()
+                    .any(|m| wire::kind_of(m) == wire::MessageKind::SuccessNotification),
+                "{queue} received a success notification"
+            );
+        }
+    }
+
+    #[test]
+    fn application_compensation_data_is_delivered() {
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message_with_compensation(
+                "meeting at 10",
+                "meeting cancelled",
+                &two_dest_condition(Millis(100)),
+            )
+            .unwrap();
+        clock.advance(Millis(200));
+        messenger.pump().unwrap();
+        let comp = qmgr
+            .queue("Q.A")
+            .unwrap()
+            .browse()
+            .into_iter()
+            .find(|m| wire::kind_of(m) == wire::MessageKind::Compensation)
+            .unwrap();
+        assert_eq!(comp.payload_str(), Some("meeting cancelled"));
+        assert_eq!(comp.bool_property(wire::P_COMP_SYSTEM), Some(false));
+    }
+
+    #[test]
+    fn acks_for_unknown_messages_are_consumed_silently() {
+        let (_clock, qmgr, messenger) = setup();
+        qmgr.put(
+            "DS.ACK.Q",
+            fake_read_ack(CondMessageId::generate(), 0, Time(1)),
+        )
+        .unwrap();
+        qmgr.put("DS.ACK.Q", Message::text("not an ack").build())
+            .unwrap();
+        assert!(messenger.pump().unwrap().is_empty());
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 0);
+        // No stray log entries.
+        assert_eq!(qmgr.queue("DS.SLOG.Q").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn multiple_messages_evaluate_independently() {
+        let (clock, qmgr, messenger) = setup();
+        let fast = messenger
+            .send_message("fast", &two_dest_condition(Millis(50)))
+            .unwrap();
+        let slow = messenger
+            .send_message("slow", &two_dest_condition(Millis(500)))
+            .unwrap();
+        clock.advance(Millis(10));
+        qmgr.put("DS.ACK.Q", fake_read_ack(fast, 0, Time(10)))
+            .unwrap();
+        qmgr.put("DS.ACK.Q", fake_read_ack(fast, 1, Time(10)))
+            .unwrap();
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].cond_id, fast);
+        assert_eq!(messenger.status(slow), MessageStatus::Pending);
+        clock.advance(Millis(600));
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].cond_id, slow);
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    }
+
+    #[test]
+    fn recovery_rebuilds_pending_state_and_continues() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        // One ack observed (and logged) before the crash.
+        clock.advance(Millis(10));
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(10)))
+            .unwrap();
+        messenger.pump().unwrap();
+        qmgr.crash();
+
+        // Restart: same journal, fresh manager + messenger.
+        let qmgr2 = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal)
+            .build()
+            .unwrap();
+        let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+        assert_eq!(messenger2.status(id), MessageStatus::Pending);
+        assert_eq!(messenger2.pending_count(), 1);
+        // The second ack arrives after restart; evaluation completes.
+        qmgr2
+            .put("DS.ACK.Q", fake_read_ack(id, 1, Time(20)))
+            .unwrap();
+        clock.advance(Millis(10));
+        let outcomes = messenger2.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+
+    #[test]
+    fn recovery_skips_already_decided_messages() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        let id = messenger
+            .send_message("x", &two_dest_condition(Millis(50)))
+            .unwrap();
+        clock.advance(Millis(100));
+        messenger.pump().unwrap(); // decides failure
+        qmgr.crash();
+
+        let qmgr2 = QueueManager::builder("QM1")
+            .clock(clock)
+            .journal(journal)
+            .build()
+            .unwrap();
+        let messenger2 = ConditionalMessenger::new(qmgr2).unwrap();
+        assert_eq!(messenger2.pending_count(), 0);
+        assert!(matches!(
+            messenger2.status(id),
+            MessageStatus::Decided(n) if n.outcome == MessageOutcome::Failure
+        ));
+    }
+
+    #[test]
+    fn unknown_id_status() {
+        let (_clock, _qmgr, messenger) = setup();
+        assert_eq!(
+            messenger.status(CondMessageId::generate()),
+            MessageStatus::Unknown
+        );
+    }
+
+    #[test]
+    fn prune_decided_history() {
+        let (clock, qmgr, messenger) = setup();
+        // Two messages decided at different times.
+        let early = messenger
+            .send_message("a", &two_dest_condition(Millis(10)))
+            .unwrap();
+        clock.advance(Millis(20));
+        messenger.pump().unwrap(); // early fails at t=20
+        clock.advance(Millis(100));
+        let late = messenger
+            .send_message("b", &two_dest_condition(Millis(10)))
+            .unwrap();
+        clock.advance(Millis(20));
+        messenger.pump().unwrap(); // late fails at t=140
+        assert_eq!(qmgr.queue("DS.DONE.Q").unwrap().depth(), 2);
+
+        let pruned = messenger.prune_decided_before(Time(100)).unwrap();
+        assert_eq!(pruned, 1);
+        assert_eq!(qmgr.queue("DS.DONE.Q").unwrap().depth(), 1);
+        assert_eq!(messenger.status(early), MessageStatus::Unknown, "forgotten");
+        assert!(matches!(messenger.status(late), MessageStatus::Decided(_)));
+        assert_eq!(messenger.prune_decided_before(Time(100)).unwrap(), 0);
+    }
+
+    #[test]
+    fn daemon_pumps_with_system_clock() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        let mut daemon = messenger.spawn_daemon(Duration::from_millis(2));
+        let id = messenger
+            .send_message("x", &two_dest_condition(Millis(40)))
+            .unwrap();
+        // No acks: the daemon should decide failure shortly after 40 ms.
+        let n = messenger
+            .take_outcome(id, Wait::Timeout(Millis(3_000)))
+            .unwrap()
+            .expect("outcome within timeout");
+        assert_eq!(n.outcome, MessageOutcome::Failure);
+        daemon.stop();
+    }
+}

@@ -1,0 +1,805 @@
+//! The receiver-side conditional messaging service (paper §2.4, §2.6).
+//!
+//! [`ConditionalReceiver`] wraps the standard messaging API for final
+//! recipients:
+//!
+//! * [`ConditionalReceiver::read_message`] reads from a queue and
+//!   *implicitly* initiates acknowledgments: a non-transactional read sends
+//!   a read-ack immediately; a read inside a receiver transaction
+//!   ([`ConditionalReceiver::begin_tx`] / [`ConditionalReceiver::commit_tx`])
+//!   sends a processed-ack only when the transaction commits — a rolled
+//!   back transaction redelivers the message and sends nothing. A receiver
+//!   therefore produces **exactly one acknowledgment per consumed
+//!   message**, never one for receipt *and* one for processing.
+//! * Every consumption is logged to the persistent receiver log
+//!   (`DS.RLOG.Q`).
+//! * Compensation handling: if a compensation message and its original are
+//!   both on the queue, they *annihilate* (neither is delivered); a
+//!   compensation is delivered to the application only when the receiver
+//!   log shows the original was consumed (paper §2.6, Fig. 8).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use mq::selector::Selector;
+use mq::{Message, MessageId, MqError, QueueAddress, QueueManager, Wait};
+use simtime::Time;
+
+use crate::config::CondConfig;
+use crate::error::{CondError, CondResult};
+use crate::ids::CondMessageId;
+use crate::wire::{self, AckKind, Acknowledgment, MessageKind};
+
+/// A message delivered through the conditional-messaging read API.
+#[derive(Debug, Clone)]
+pub struct ReceivedMessage {
+    kind: MessageKind,
+    cond_id: Option<CondMessageId>,
+    leaf: Option<u32>,
+    message: Message,
+}
+
+impl ReceivedMessage {
+    fn classify(message: Message) -> ReceivedMessage {
+        let kind = wire::kind_of(&message);
+        let cond_id = wire::cond_id_of(&message).ok();
+        let leaf = wire::leaf_of(&message).ok();
+        ReceivedMessage {
+            kind,
+            cond_id,
+            leaf,
+            message,
+        }
+    }
+
+    /// What kind of message this is.
+    pub fn kind(&self) -> MessageKind {
+        self.kind
+    }
+
+    /// The conditional message id, for anything but standard messages.
+    pub fn cond_id(&self) -> Option<CondMessageId> {
+        self.cond_id
+    }
+
+    /// The destination leaf index within the conditional message.
+    pub fn leaf(&self) -> Option<u32> {
+        self.leaf
+    }
+
+    /// The application payload.
+    pub fn payload(&self) -> &bytes::Bytes {
+        self.message.payload()
+    }
+
+    /// The payload as UTF-8, if valid.
+    pub fn payload_str(&self) -> Option<&str> {
+        self.message.payload_str()
+    }
+
+    /// Whether this is a system-generated (data-less) compensation.
+    pub fn is_system_compensation(&self) -> bool {
+        self.kind == MessageKind::Compensation
+            && self.message.bool_property(wire::P_COMP_SYSTEM) == Some(true)
+    }
+
+    /// The full underlying standard message.
+    pub fn message(&self) -> &Message {
+        &self.message
+    }
+}
+
+struct PendingAck {
+    cond_id: CondMessageId,
+    leaf: u32,
+    read_at: Time,
+    ack_to: QueueAddress,
+}
+
+/// The receiver-side conditional messaging service.
+///
+/// One receiver per consuming application (it is a stateful facade over a
+/// messaging session, so it is deliberately `!Sync`-style: use `&mut self`).
+pub struct ConditionalReceiver {
+    qmgr: Arc<QueueManager>,
+    config: CondConfig,
+    recipient: Option<String>,
+    session: mq::Session,
+    pending_acks: Vec<PendingAck>,
+    /// Per-queue enqueue counter at the last annihilation scan; if nothing
+    /// new arrived since, the scan is skipped (keeps reads O(1) on busy
+    /// queues).
+    scanned_at: HashMap<String, u64>,
+}
+
+impl fmt::Debug for ConditionalReceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConditionalReceiver")
+            .field("manager", &self.qmgr.name())
+            .field("recipient", &self.recipient)
+            .field("in_tx", &self.session.in_transaction())
+            .finish()
+    }
+}
+
+impl ConditionalReceiver {
+    /// Creates an anonymous receiver on a queue manager, ensuring the
+    /// receiver log queue exists.
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation failures.
+    pub fn new(qmgr: Arc<QueueManager>) -> CondResult<ConditionalReceiver> {
+        ConditionalReceiver::with_config(qmgr, None, CondConfig::default())
+    }
+
+    /// Creates a receiver with a recipient identity (reported in
+    /// acknowledgments, letting senders learn "numbers and identities …
+    /// of final recipients", paper §2.4).
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation failures.
+    pub fn with_identity(
+        qmgr: Arc<QueueManager>,
+        recipient: impl Into<String>,
+    ) -> CondResult<ConditionalReceiver> {
+        ConditionalReceiver::with_config(qmgr, Some(recipient.into()), CondConfig::default())
+    }
+
+    /// Fully general constructor.
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation failures.
+    pub fn with_config(
+        qmgr: Arc<QueueManager>,
+        recipient: Option<String>,
+        config: CondConfig,
+    ) -> CondResult<ConditionalReceiver> {
+        qmgr.ensure_queue(&config.rlog_queue)?;
+        let session = qmgr.session();
+        Ok(ConditionalReceiver {
+            qmgr,
+            config,
+            recipient,
+            session,
+            pending_acks: Vec::new(),
+            scanned_at: HashMap::new(),
+        })
+    }
+
+    /// The underlying queue manager.
+    pub fn manager(&self) -> &Arc<QueueManager> {
+        &self.qmgr
+    }
+
+    /// This receiver's recipient identity, if any.
+    pub fn recipient(&self) -> Option<&str> {
+        self.recipient.as_deref()
+    }
+
+    /// Whether a receiver transaction is active.
+    pub fn in_transaction(&self) -> bool {
+        self.session.in_transaction()
+    }
+
+    // ------------------------------------------------------------ read --
+
+    /// Reads the next deliverable message from `queue` (the paper's
+    /// `readMessage(String)`).
+    ///
+    /// Conditional originals trigger the implicit acknowledgment protocol;
+    /// compensation messages are annihilated, delivered or deferred per
+    /// §2.6; success notifications and standard messages pass through.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures, or [`CondError::Mq`] with
+    /// [`mq::MqError::NoRoute`] when an acknowledgment cannot be routed to
+    /// the sender's queue manager.
+    pub fn read_message(&mut self, queue: &str, wait: Wait) -> CondResult<Option<ReceivedMessage>> {
+        self.annihilate_pairs(queue)?;
+        let mut seen_comps: HashSet<MessageId> = HashSet::new();
+        loop {
+            let msg = if self.session.in_transaction() {
+                self.session.get(queue, wait)?
+            } else {
+                self.qmgr.get(queue, wait)?
+            };
+            let Some(msg) = msg else { return Ok(None) };
+            match wire::kind_of(&msg) {
+                MessageKind::Original => {
+                    let received = ReceivedMessage::classify(msg);
+                    self.acknowledge_original(&received)?;
+                    return Ok(Some(received));
+                }
+                MessageKind::Compensation => {
+                    let cond_id = wire::cond_id_of(&msg)?;
+                    let leaf = wire::leaf_of(&msg)?;
+                    if self.rlog_shows_consumed(cond_id, leaf)? {
+                        // Original was consumed: deliver the compensation
+                        // (exactly once — log the delivery).
+                        self.log_rlog_entry(cond_id, leaf, "comp-delivered")?;
+                        return Ok(Some(ReceivedMessage::classify(msg)));
+                    }
+                    // Encounter-time annihilation: the original may still
+                    // be behind this compensation in the queue (priority
+                    // reordering, or a pre-scan skipped as redundant). The
+                    // compensation in hand is already consumed; removing
+                    // the original completes the annihilation.
+                    let original_sel = pair_selector(wire::kind::ORIGINAL, cond_id, leaf)?;
+                    let mut session = self.qmgr.session();
+                    session.begin()?;
+                    if session
+                        .get_selected(queue, &original_sel, Wait::NoWait)?
+                        .is_some()
+                    {
+                        session.put(
+                            &self.config.rlog_queue,
+                            rlog_entry(cond_id, leaf, "annihilated", self.qmgr.clock().now()),
+                        )?;
+                        session.commit()?;
+                        continue;
+                    }
+                    session.rollback_for_retry()?;
+                    // Original neither in the queue nor consumed here:
+                    // defer the compensation.
+                    let msg_id = msg.id();
+                    self.requeue(queue, msg)?;
+                    if !seen_comps.insert(msg_id) {
+                        // Every remaining message is an undeliverable
+                        // compensation; report "nothing deliverable".
+                        return Ok(None);
+                    }
+                }
+                MessageKind::SuccessNotification | MessageKind::Standard => {
+                    return Ok(Some(ReceivedMessage::classify(msg)));
+                }
+            }
+        }
+    }
+
+    fn requeue(&mut self, queue: &str, msg: Message) -> CondResult<()> {
+        if self.session.in_transaction() {
+            // Staged: net effect after commit is a move to the back.
+            self.session.put(queue, msg)?;
+        } else {
+            self.qmgr.put(queue, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Annihilates original/compensation pairs sitting on the same queue
+    /// (paper §2.6: "both messages cancel each other out and will be
+    /// deleted from the queue").
+    fn annihilate_pairs(&mut self, queue: &str) -> CondResult<()> {
+        // Skip the scan when no message has been enqueued since the last
+        // one — no new compensation can have appeared.
+        let enqueued = match self.qmgr.queue(queue) {
+            Ok(q) => q.stats().enqueued.get(),
+            Err(_) => return Ok(()),
+        };
+        if self.scanned_at.get(queue) == Some(&enqueued) {
+            return Ok(());
+        }
+        self.scanned_at.insert(queue.to_owned(), enqueued);
+        let comp_selector = Selector::parse(&format!(
+            "{} = '{}'",
+            wire::P_KIND,
+            wire::kind::COMPENSATION
+        ))
+        .map_err(MqError::from)?;
+        let comps = match self.qmgr.queue(queue) {
+            Ok(q) => q.browse_selected(Some(&comp_selector)),
+            Err(_) => return Ok(()),
+        };
+        for comp in comps {
+            let (Ok(cond_id), Ok(leaf)) = (wire::cond_id_of(&comp), wire::leaf_of(&comp)) else {
+                continue;
+            };
+            let original_sel = pair_selector(wire::kind::ORIGINAL, cond_id, leaf)?;
+            let comp_sel = pair_selector(wire::kind::COMPENSATION, cond_id, leaf)?;
+            let mut session = self.qmgr.session();
+            session.begin()?;
+            let original = session.get_selected(queue, &original_sel, Wait::NoWait)?;
+            if original.is_none() {
+                session.rollback_for_retry()?;
+                continue;
+            }
+            let comp_taken = session.get_selected(queue, &comp_sel, Wait::NoWait)?;
+            if comp_taken.is_none() {
+                // Someone else consumed the compensation meanwhile.
+                session.rollback_for_retry()?;
+                continue;
+            }
+            session.put(
+                &self.config.rlog_queue,
+                rlog_entry(cond_id, leaf, "annihilated", self.qmgr.clock().now()),
+            )?;
+            session.commit()?;
+        }
+        Ok(())
+    }
+
+    fn acknowledge_original(&mut self, received: &ReceivedMessage) -> CondResult<()> {
+        let cond_id = received
+            .cond_id()
+            .ok_or_else(|| CondError::Malformed("original missing cond id".into()))?;
+        let leaf = received
+            .leaf()
+            .ok_or_else(|| CondError::Malformed("original missing leaf index".into()))?;
+        let ack_to = ack_address(received.message())?;
+        let read_at = self.qmgr.clock().now();
+        if self.session.in_transaction() {
+            // Deferred: the processed-ack is staged at commit time, in the
+            // same transaction as the consumption itself.
+            self.pending_acks.push(PendingAck {
+                cond_id,
+                leaf,
+                read_at,
+                ack_to,
+            });
+            return Ok(());
+        }
+        // Non-transactional read: read-ack plus consumption log entry, sent
+        // atomically right away.
+        let ack = Acknowledgment {
+            cond_id,
+            leaf,
+            kind: AckKind::Read,
+            read_at,
+            processed_at: None,
+            recipient: self.recipient.clone(),
+        };
+        let mut session = self.qmgr.session();
+        session.begin()?;
+        session.put(
+            &self.config.rlog_queue,
+            rlog_entry(cond_id, leaf, "consumed", read_at),
+        )?;
+        session.put_to(&ack_to, ack.to_message())?;
+        session.commit()?;
+        Ok(())
+    }
+
+    fn rlog_shows_consumed(&self, cond_id: CondMessageId, leaf: u32) -> CondResult<bool> {
+        let selector = Selector::parse(&format!(
+            "{} = '{}' AND {} = {} AND {} = 'consumed'",
+            wire::P_COND_ID,
+            cond_id.to_hex(),
+            wire::P_LEAF,
+            leaf,
+            wire::P_RLOG_ENTRY
+        ))
+        .map_err(MqError::from)?;
+        let rlog = self.qmgr.queue(&self.config.rlog_queue)?;
+        Ok(!rlog.browse_selected(Some(&selector)).is_empty())
+    }
+
+    fn log_rlog_entry(&mut self, cond_id: CondMessageId, leaf: u32, entry: &str) -> CondResult<()> {
+        let msg = rlog_entry(cond_id, leaf, entry, self.qmgr.clock().now());
+        if self.session.in_transaction() {
+            self.session.put(&self.config.rlog_queue, msg)?;
+        } else {
+            self.qmgr.put(&self.config.rlog_queue, msg)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------- transactions --
+
+    /// Begins a receiver transaction (the paper's `begin_tx()` facade).
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::TransactionActive`] if one is already active.
+    pub fn begin_tx(&mut self) -> CondResult<()> {
+        self.session.begin().map_err(|e| match e {
+            MqError::TransactionActive => CondError::TransactionActive,
+            other => CondError::Mq(other),
+        })?;
+        self.pending_acks.clear();
+        Ok(())
+    }
+
+    /// Commits the receiver transaction (the paper's `commit_tx()`).
+    ///
+    /// The consumption log entries and the *processed* acknowledgments of
+    /// every conditional message read in the transaction are staged into
+    /// the same transaction, so consumption and acknowledgment commit
+    /// atomically: "the generation of the second kind of acknowledgment is
+    /// bound to the successful commit of the receiver's transaction".
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::NoTransaction`] without an active transaction;
+    /// messaging failures (the transaction is then still open and can be
+    /// retried or rolled back).
+    pub fn commit_tx(&mut self) -> CondResult<()> {
+        if !self.session.in_transaction() {
+            return Err(CondError::NoTransaction);
+        }
+        let commit_time = self.qmgr.clock().now();
+        for pa in &self.pending_acks {
+            self.session.put(
+                &self.config.rlog_queue,
+                rlog_entry(pa.cond_id, pa.leaf, "consumed", pa.read_at),
+            )?;
+            let ack = Acknowledgment {
+                cond_id: pa.cond_id,
+                leaf: pa.leaf,
+                kind: AckKind::Processed,
+                read_at: pa.read_at,
+                processed_at: Some(commit_time),
+                recipient: self.recipient.clone(),
+            };
+            self.session.put_to(&pa.ack_to, ack.to_message())?;
+        }
+        self.session.commit()?;
+        self.pending_acks.clear();
+        Ok(())
+    }
+
+    /// Rolls back the receiver transaction: consumed messages return to
+    /// their queues and *no acknowledgment is generated* (paper §2.4).
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::NoTransaction`] without an active transaction.
+    pub fn rollback_tx(&mut self) -> CondResult<()> {
+        if !self.session.in_transaction() {
+            return Err(CondError::NoTransaction);
+        }
+        self.session.rollback()?;
+        self.pending_acks.clear();
+        Ok(())
+    }
+}
+
+fn pair_selector(kind: &str, cond_id: CondMessageId, leaf: u32) -> CondResult<Selector> {
+    Selector::parse(&format!(
+        "{} = '{}' AND {} = '{}' AND {} = {}",
+        wire::P_KIND,
+        kind,
+        wire::P_COND_ID,
+        cond_id.to_hex(),
+        wire::P_LEAF,
+        leaf
+    ))
+    .map_err(|e| CondError::Mq(e.into()))
+}
+
+fn rlog_entry(cond_id: CondMessageId, leaf: u32, entry: &str, at: Time) -> Message {
+    Message::builder(bytes::Bytes::new())
+        .property(wire::P_KIND, wire::kind::RLOG)
+        .property(wire::P_COND_ID, cond_id.to_hex())
+        .property(wire::P_LEAF, i64::from(leaf))
+        .property(wire::P_RLOG_ENTRY, entry)
+        .property(wire::P_RLOG_TS, at.as_millis() as i64)
+        .persistent(true)
+        .build()
+}
+
+fn ack_address(msg: &Message) -> CondResult<QueueAddress> {
+    let manager = msg
+        .str_property(wire::P_SENDER_MANAGER)
+        .ok_or_else(|| CondError::Malformed("original missing sender manager".into()))?;
+    let queue = msg
+        .str_property(wire::P_ACK_QUEUE)
+        .ok_or_else(|| CondError::Malformed("original missing ack queue".into()))?;
+    Ok(QueueAddress::new(manager, queue))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Condition, Destination, DestinationSet};
+    use crate::messenger::ConditionalMessenger;
+    use crate::wire::MessageOutcome;
+    use simtime::{Millis, SimClock};
+
+    fn setup() -> (Arc<SimClock>, Arc<QueueManager>, Arc<ConditionalMessenger>) {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        (clock, qmgr, messenger)
+    }
+
+    fn one_dest(window: Millis) -> Condition {
+        Destination::queue("QM1", "Q.A")
+            .pickup_within(window)
+            .into()
+    }
+
+    fn processing_dest(window: Millis) -> Condition {
+        Destination::queue("QM1", "Q.A")
+            .process_within(window)
+            .into()
+    }
+
+    #[test]
+    fn non_transactional_read_sends_read_ack_and_logs() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("hi", &one_dest(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(10));
+        let mut receiver = ConditionalReceiver::with_identity(qmgr.clone(), "alice").unwrap();
+        let got = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.kind(), MessageKind::Original);
+        assert_eq!(got.payload_str(), Some("hi"));
+        assert_eq!(got.cond_id(), Some(id));
+        // Ack on DS.ACK.Q with the read timestamp and identity (browse:
+        // the evaluation manager will consume it during pump()).
+        let ack_msg = &qmgr.queue("DS.ACK.Q").unwrap().browse()[0];
+        let ack = Acknowledgment::from_message(ack_msg).unwrap();
+        assert_eq!(ack.kind, AckKind::Read);
+        assert_eq!(ack.read_at, Time(10));
+        assert_eq!(ack.recipient.as_deref(), Some("alice"));
+        // RLOG records the consumption.
+        let rlog = qmgr.queue("DS.RLOG.Q").unwrap().browse();
+        assert_eq!(rlog.len(), 1);
+        assert_eq!(rlog[0].str_property(wire::P_RLOG_ENTRY), Some("consumed"));
+        // End to end: evaluation succeeds.
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+
+    #[test]
+    fn transactional_read_acks_only_on_commit() {
+        let (clock, qmgr, messenger) = setup();
+        let id = messenger
+            .send_message("work", &processing_dest(Millis(1_000)))
+            .unwrap();
+        clock.advance(Millis(10));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.begin_tx().unwrap();
+        let got = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.cond_id(), Some(id));
+        // Before commit: no ack, message invisible.
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 0);
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 0);
+        clock.advance(Millis(40));
+        receiver.commit_tx().unwrap();
+        let ack =
+            Acknowledgment::from_message(&qmgr.queue("DS.ACK.Q").unwrap().browse()[0]).unwrap();
+        assert_eq!(ack.kind, AckKind::Processed);
+        assert_eq!(ack.read_at, Time(10));
+        assert_eq!(ack.processed_at, Some(Time(50)));
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+
+    #[test]
+    fn rolled_back_read_redelivers_without_ack() {
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message("work", &processing_dest(Millis(1_000)))
+            .unwrap();
+        clock.advance(Millis(5));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.begin_tx().unwrap();
+        receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        receiver.rollback_tx().unwrap();
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 0, "no ack");
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 1, "redelivered");
+        // A second, successful attempt acks exactly once.
+        receiver.begin_tx().unwrap();
+        let again = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert!(again.message().redelivery_count() > 0);
+        receiver.commit_tx().unwrap();
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 1);
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+
+    #[test]
+    fn exactly_one_ack_per_consumption() {
+        // Non-transactional read: one read-ack, no processed-ack, even if
+        // processing was expected (paper: an acknowledgment of successful
+        // non-transactional processing cannot be generated automatically).
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message("work", &processing_dest(Millis(50)))
+            .unwrap();
+        clock.advance(Millis(5));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 1);
+        // Evaluation: processing required but only a read-ack → fails once
+        // the window passes.
+        clock.advance(Millis(100));
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    }
+
+    #[test]
+    fn annihilation_when_original_unread() {
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message_with_compensation("orig", "undo", &one_dest(Millis(30)))
+            .unwrap();
+        // Nobody reads; failure → compensation joins the original on Q.A.
+        clock.advance(Millis(60));
+        messenger.pump().unwrap();
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 2);
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        let got = receiver.read_message("Q.A", Wait::NoWait).unwrap();
+        assert!(got.is_none(), "both messages annihilated: {got:?}");
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 0);
+        // The annihilation is logged.
+        let rlog = qmgr.queue("DS.RLOG.Q").unwrap().browse();
+        assert!(rlog
+            .iter()
+            .any(|m| m.str_property(wire::P_RLOG_ENTRY) == Some("annihilated")));
+        // No acknowledgment was produced.
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn compensation_delivered_after_original_consumed() {
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message_with_compensation("orig", "undo", &processing_dest(Millis(30)))
+            .unwrap();
+        clock.advance(Millis(5));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        // Non-transactional read: consumption logged, but processing can
+        // never be acknowledged → the message will fail.
+        let got = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.kind(), MessageKind::Original);
+        clock.advance(Millis(60));
+        messenger.pump().unwrap();
+        // The compensation arrives and is deliverable because the RLOG
+        // shows consumption.
+        let comp = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(comp.kind(), MessageKind::Compensation);
+        assert_eq!(comp.payload_str(), Some("undo"));
+        assert!(!comp.is_system_compensation());
+        // Delivered exactly once.
+        assert!(receiver
+            .read_message("Q.A", Wait::NoWait)
+            .unwrap()
+            .is_none());
+        let rlog = qmgr.queue("DS.RLOG.Q").unwrap().browse();
+        assert!(rlog
+            .iter()
+            .any(|m| m.str_property(wire::P_RLOG_ENTRY) == Some("comp-delivered")));
+    }
+
+    #[test]
+    fn unresolvable_compensation_is_deferred_not_delivered() {
+        let (_clock, qmgr, _messenger) = setup();
+        // A compensation with no matching original anywhere (e.g. original
+        // expired in transit).
+        let comp = wire::make_compensation(
+            CondMessageId::generate(),
+            0,
+            &QueueAddress::new("QM1", "Q.A"),
+            None,
+        );
+        qmgr.put("Q.A", comp).unwrap();
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        assert!(receiver
+            .read_message("Q.A", Wait::NoWait)
+            .unwrap()
+            .is_none());
+        // Still parked on the queue for a later attempt.
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn deferred_compensation_does_not_block_other_messages() {
+        let (_clock, qmgr, _messenger) = setup();
+        let comp = wire::make_compensation(
+            CondMessageId::generate(),
+            0,
+            &QueueAddress::new("QM1", "Q.A"),
+            None,
+        );
+        qmgr.put("Q.A", comp).unwrap();
+        qmgr.put("Q.A", Message::text("ordinary").build()).unwrap();
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        let got = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.kind(), MessageKind::Standard);
+        assert_eq!(got.payload_str(), Some("ordinary"));
+        assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 1, "comp still parked");
+    }
+
+    #[test]
+    fn success_notifications_are_delivered_to_receivers() {
+        let (clock, qmgr, messenger) = setup();
+        use crate::wire::SendOptions;
+        let id = messenger
+            .send_with(
+                "data",
+                None,
+                &one_dest(Millis(100)),
+                SendOptions {
+                    success_notifications: Some(true),
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap();
+        clock.advance(Millis(5));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        messenger.pump().unwrap();
+        let note = receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(note.kind(), MessageKind::SuccessNotification);
+        assert_eq!(note.cond_id(), Some(id));
+    }
+
+    #[test]
+    fn tx_api_misuse_errors() {
+        let (_clock, qmgr, _messenger) = setup();
+        let mut receiver = ConditionalReceiver::new(qmgr).unwrap();
+        assert!(matches!(
+            receiver.commit_tx(),
+            Err(CondError::NoTransaction)
+        ));
+        assert!(matches!(
+            receiver.rollback_tx(),
+            Err(CondError::NoTransaction)
+        ));
+        receiver.begin_tx().unwrap();
+        assert!(matches!(
+            receiver.begin_tx(),
+            Err(CondError::TransactionActive)
+        ));
+        receiver.rollback_tx().unwrap();
+    }
+
+    #[test]
+    fn min_subset_condition_end_to_end() {
+        // 1-of-2 pickup: one receiver reading one queue is enough.
+        let (clock, qmgr, messenger) = setup();
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A").into(),
+            Destination::queue("QM1", "Q.B").into(),
+        ])
+        .pickup_within(Millis(100))
+        .min_pickup(1)
+        .into();
+        messenger.send_message("either", &cond).unwrap();
+        clock.advance(Millis(10));
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].outcome,
+            MessageOutcome::Success,
+            "early success at 1 of 2"
+        );
+    }
+
+    #[test]
+    fn shared_queue_competing_consumers_one_ack() {
+        // Example 2 shape: one queue, several potential readers, any one
+        // read satisfies the condition.
+        let (clock, qmgr, messenger) = setup();
+        messenger
+            .send_message("flight", &one_dest(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(1));
+        let mut r1 = ConditionalReceiver::with_identity(qmgr.clone(), "c1").unwrap();
+        let mut r2 = ConditionalReceiver::with_identity(qmgr.clone(), "c2").unwrap();
+        let got1 = r1.read_message("Q.A", Wait::NoWait).unwrap();
+        let got2 = r2.read_message("Q.A", Wait::NoWait).unwrap();
+        assert!(
+            got1.is_some() ^ got2.is_some(),
+            "exactly one controller wins"
+        );
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 1);
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+}

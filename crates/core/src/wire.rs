@@ -1,0 +1,765 @@
+//! Control information stamped on standard messages, and the internal
+//! message formats of the conditional-messaging system.
+//!
+//! Conditional messaging introduces *two levels* of messages (paper §2.3):
+//! the conditional message the application sees, and the standard messages
+//! used to implement it. The standard messages carry control properties —
+//! the conditional message id, the leaf index, whether processing is
+//! required, and the sender's queue manager and acknowledgment queue — so
+//! that any receiver-side conditional messaging system can route
+//! acknowledgments back without application involvement.
+
+use bytes::Bytes;
+use mq::codec::{CodecError, Decoder, Encoder, WireDecode, WireEncode};
+use mq::{Message, MessageBuilder, QueueAddress};
+use simtime::{Millis, Time};
+
+use crate::condition::Condition;
+use crate::error::{CondError, CondResult};
+use crate::eval::LeafSpec;
+use crate::ids::CondMessageId;
+
+// ------------------------------------------------------------ properties --
+
+/// Message kind discriminator property.
+pub const P_KIND: &str = "ds.kind";
+/// Conditional message id (hex) property.
+pub const P_COND_ID: &str = "ds.cond.id";
+/// Destination leaf index property.
+pub const P_LEAF: &str = "ds.leaf";
+/// Whether processing (vs. mere receipt) is required of this destination.
+pub const P_PROCESSING_REQUIRED: &str = "ds.processing.required";
+/// Sender's queue manager name (for routing acks back).
+pub const P_SENDER_MANAGER: &str = "ds.sender.qmgr";
+/// Sender's acknowledgment queue name.
+pub const P_ACK_QUEUE: &str = "ds.ack.queue";
+/// Acknowledgment type: `read` or `processed`.
+pub const P_ACK_TYPE: &str = "ds.ack.type";
+/// Read timestamp (ms) on an acknowledgment.
+pub const P_ACK_READ_TS: &str = "ds.ack.read_ts";
+/// Processing (commit) timestamp (ms) on an acknowledgment.
+pub const P_ACK_PROCESS_TS: &str = "ds.ack.process_ts";
+/// Acknowledging recipient identity.
+pub const P_RECIPIENT: &str = "ds.recipient";
+/// Outcome property: `success` or `failure`.
+pub const P_OUTCOME: &str = "ds.outcome";
+/// Failure reason on outcome notifications.
+pub const P_OUTCOME_REASON: &str = "ds.outcome.reason";
+/// Decision timestamp on outcome notifications.
+pub const P_OUTCOME_TS: &str = "ds.outcome.ts";
+/// Marks a system-generated (data-less) compensation message.
+pub const P_COMP_SYSTEM: &str = "ds.comp.system";
+/// Destination address (`manager/queue`) a parked compensation targets.
+pub const P_COMP_DEST: &str = "ds.comp.dest";
+/// Sender-log entry type: `send`, `ack`, `outcome`.
+pub const P_SLOG_ENTRY: &str = "ds.slog.entry";
+/// Decision timestamp property on outcome history entries (selectable for
+/// pruning).
+pub const P_SLOG_DECIDED_TS: &str = "ds.slog.decided_ts";
+/// Receiver-log entry type: `consumed`, `comp-delivered`, `annihilated`.
+pub const P_RLOG_ENTRY: &str = "ds.rlog.entry";
+/// Timestamp property on receiver-log entries.
+pub const P_RLOG_TS: &str = "ds.rlog.ts";
+
+/// Values of [`P_KIND`].
+pub mod kind {
+    /// A generated standard message carrying the application payload.
+    pub const ORIGINAL: &str = "original";
+    /// An internal acknowledgment (paper §2.4).
+    pub const ACK: &str = "ack";
+    /// A compensation message (paper §2.6).
+    pub const COMPENSATION: &str = "comp";
+    /// A success notification (paper §2.6).
+    pub const SUCCESS: &str = "success";
+    /// An outcome notification on `DS.OUTCOME.Q`.
+    pub const OUTCOME: &str = "outcome";
+    /// A sender-log entry on `DS.SLOG.Q`.
+    pub const SLOG: &str = "slog";
+    /// A receiver-log entry on `DS.RLOG.Q`.
+    pub const RLOG: &str = "rlog";
+}
+
+/// Classification of a message read through the conditional-messaging API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A conditional message's payload-bearing standard message.
+    Original,
+    /// A compensation message.
+    Compensation,
+    /// A success notification.
+    SuccessNotification,
+    /// A message not created by the conditional messaging system.
+    Standard,
+}
+
+/// Classifies a message by its control properties.
+pub fn kind_of(msg: &Message) -> MessageKind {
+    match msg.str_property(P_KIND) {
+        Some(kind::ORIGINAL) => MessageKind::Original,
+        Some(kind::COMPENSATION) => MessageKind::Compensation,
+        Some(kind::SUCCESS) => MessageKind::SuccessNotification,
+        _ => MessageKind::Standard,
+    }
+}
+
+/// Reads the conditional message id off an internal message.
+///
+/// # Errors
+///
+/// [`CondError::Malformed`] when the property is absent or unparsable.
+pub fn cond_id_of(msg: &Message) -> CondResult<CondMessageId> {
+    msg.str_property(P_COND_ID)
+        .and_then(CondMessageId::from_hex)
+        .ok_or_else(|| CondError::Malformed("missing or invalid ds.cond.id".into()))
+}
+
+/// Reads the leaf index off an internal message.
+///
+/// # Errors
+///
+/// [`CondError::Malformed`] when the property is absent or negative.
+pub fn leaf_of(msg: &Message) -> CondResult<u32> {
+    msg.i64_property(P_LEAF)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| CondError::Malformed("missing or invalid ds.leaf".into()))
+}
+
+// -------------------------------------------------------------- original --
+
+/// Builds the standard message for one destination leaf of a conditional
+/// message (paper §2.3: application data plus control information).
+pub fn make_original(
+    payload: &Bytes,
+    cond_id: CondMessageId,
+    leaf: &LeafSpec,
+    sender_manager: &str,
+    ack_queue: &str,
+) -> Message {
+    let mut builder: MessageBuilder = Message::builder(payload.clone())
+        .property(P_KIND, kind::ORIGINAL)
+        .property(P_COND_ID, cond_id.to_hex())
+        .property(P_LEAF, i64::from(leaf.index))
+        .property(P_PROCESSING_REQUIRED, leaf.processing_expected)
+        .property(P_SENDER_MANAGER, sender_manager)
+        .property(P_ACK_QUEUE, ack_queue)
+        .priority(leaf.priority)
+        .persistent(leaf.persistent)
+        .correlation_id(cond_id.to_hex());
+    if let Some(recipient) = &leaf.recipient {
+        builder = builder.property(P_RECIPIENT, recipient.as_str());
+    }
+    if let Some(ttl) = leaf.expiry {
+        builder = builder.ttl(ttl);
+    }
+    builder.build()
+}
+
+// ------------------------------------------------------------------- ack --
+
+/// The two internal acknowledgment types (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckKind {
+    /// Successful *non-transactional* read.
+    Read,
+    /// Successful *transactional* read — i.e. successful processing.
+    Processed,
+}
+
+/// A decoded internal acknowledgment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acknowledgment {
+    /// Conditional message being acknowledged.
+    pub cond_id: CondMessageId,
+    /// Destination leaf index.
+    pub leaf: u32,
+    /// Read or processed.
+    pub kind: AckKind,
+    /// When the message was read from the queue.
+    pub read_at: Time,
+    /// When the receiver's transaction committed ([`AckKind::Processed`]
+    /// only).
+    pub processed_at: Option<Time>,
+    /// Acknowledging recipient identity, if configured.
+    pub recipient: Option<String>,
+}
+
+impl Acknowledgment {
+    /// Encodes the acknowledgment as a persistent standard message.
+    pub fn to_message(&self) -> Message {
+        let mut builder = Message::builder(Bytes::new())
+            .property(P_KIND, kind::ACK)
+            .property(P_COND_ID, self.cond_id.to_hex())
+            .property(P_LEAF, i64::from(self.leaf))
+            .property(
+                P_ACK_TYPE,
+                match self.kind {
+                    AckKind::Read => "read",
+                    AckKind::Processed => "processed",
+                },
+            )
+            .property(P_ACK_READ_TS, self.read_at.as_millis() as i64)
+            .persistent(true)
+            .correlation_id(self.cond_id.to_hex());
+        if let Some(t) = self.processed_at {
+            builder = builder.property(P_ACK_PROCESS_TS, t.as_millis() as i64);
+        }
+        if let Some(r) = &self.recipient {
+            builder = builder.property(P_RECIPIENT, r.as_str());
+        }
+        builder.build()
+    }
+
+    /// Decodes an acknowledgment from a message.
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::Malformed`] when required properties are missing.
+    pub fn from_message(msg: &Message) -> CondResult<Acknowledgment> {
+        let cond_id = cond_id_of(msg)?;
+        let leaf = leaf_of(msg)?;
+        let kind = match msg.str_property(P_ACK_TYPE) {
+            Some("read") => AckKind::Read,
+            Some("processed") => AckKind::Processed,
+            other => return Err(CondError::Malformed(format!("bad ack type {other:?}"))),
+        };
+        let read_at = msg
+            .i64_property(P_ACK_READ_TS)
+            .map(|v| Time(v as u64))
+            .ok_or_else(|| CondError::Malformed("ack missing read timestamp".into()))?;
+        let processed_at = msg.i64_property(P_ACK_PROCESS_TS).map(|v| Time(v as u64));
+        if kind == AckKind::Processed && processed_at.is_none() {
+            return Err(CondError::Malformed(
+                "processed ack missing processing timestamp".into(),
+            ));
+        }
+        Ok(Acknowledgment {
+            cond_id,
+            leaf,
+            kind,
+            read_at,
+            processed_at,
+            recipient: msg.str_property(P_RECIPIENT).map(str::to_owned),
+        })
+    }
+}
+
+// --------------------------------------------------------------- outcome --
+
+/// Final outcome of a conditional message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageOutcome {
+    /// All conditions satisfied.
+    Success,
+    /// A condition was violated or the evaluation timed out.
+    Failure,
+}
+
+impl std::fmt::Display for MessageOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageOutcome::Success => write!(f, "success"),
+            MessageOutcome::Failure => write!(f, "failure"),
+        }
+    }
+}
+
+/// An outcome notification delivered to the sender's `DS.OUTCOME.Q`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeNotification {
+    /// Which conditional message was decided.
+    pub cond_id: CondMessageId,
+    /// Success or failure.
+    pub outcome: MessageOutcome,
+    /// Failure reason, when available.
+    pub reason: Option<String>,
+    /// Sender-clock time of the decision.
+    pub decided_at: Time,
+}
+
+impl OutcomeNotification {
+    /// Encodes the notification as a persistent message.
+    pub fn to_message(&self) -> Message {
+        let mut builder = Message::builder(Bytes::new())
+            .property(P_KIND, kind::OUTCOME)
+            .property(P_COND_ID, self.cond_id.to_hex())
+            .property(
+                P_OUTCOME,
+                match self.outcome {
+                    MessageOutcome::Success => "success",
+                    MessageOutcome::Failure => "failure",
+                },
+            )
+            .property(P_OUTCOME_TS, self.decided_at.as_millis() as i64)
+            .persistent(true)
+            .correlation_id(self.cond_id.to_hex());
+        if let Some(reason) = &self.reason {
+            builder = builder.property(P_OUTCOME_REASON, reason.as_str());
+        }
+        builder.build()
+    }
+
+    /// Decodes a notification from a message.
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::Malformed`] when required properties are missing.
+    pub fn from_message(msg: &Message) -> CondResult<OutcomeNotification> {
+        let cond_id = cond_id_of(msg)?;
+        let outcome = match msg.str_property(P_OUTCOME) {
+            Some("success") => MessageOutcome::Success,
+            Some("failure") => MessageOutcome::Failure,
+            other => return Err(CondError::Malformed(format!("bad outcome value {other:?}"))),
+        };
+        let decided_at = msg
+            .i64_property(P_OUTCOME_TS)
+            .map(|v| Time(v as u64))
+            .ok_or_else(|| CondError::Malformed("outcome missing timestamp".into()))?;
+        Ok(OutcomeNotification {
+            cond_id,
+            outcome,
+            reason: msg.str_property(P_OUTCOME_REASON).map(str::to_owned),
+            decided_at,
+        })
+    }
+}
+
+// --------------------------------------- compensation / success messages --
+
+/// Builds a compensation message parked on `DS.COMP.Q` at send time
+/// (paper §2.6). `data` is the application-defined compensation payload;
+/// `None` produces the system-generated variant.
+pub fn make_compensation(
+    cond_id: CondMessageId,
+    leaf: u32,
+    destination: &QueueAddress,
+    data: Option<&Bytes>,
+) -> Message {
+    Message::builder(data.cloned().unwrap_or_default())
+        .property(P_KIND, kind::COMPENSATION)
+        .property(P_COND_ID, cond_id.to_hex())
+        .property(P_LEAF, i64::from(leaf))
+        .property(P_COMP_SYSTEM, data.is_none())
+        .property(P_COMP_DEST, destination.to_string())
+        .persistent(true)
+        .correlation_id(cond_id.to_hex())
+        .build()
+}
+
+/// Builds a success notification for one destination (paper §2.6).
+pub fn make_success_notification(cond_id: CondMessageId, leaf: u32) -> Message {
+    Message::builder(Bytes::new())
+        .property(P_KIND, kind::SUCCESS)
+        .property(P_COND_ID, cond_id.to_hex())
+        .property(P_LEAF, i64::from(leaf))
+        .persistent(true)
+        .correlation_id(cond_id.to_hex())
+        .build()
+}
+
+// ---------------------------------------------------------- sender's log --
+
+/// Per-send options (paper: the sender may specify an evaluation timeout;
+/// success notifications are an outcome action the system "can" perform).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SendOptions {
+    /// Hard upper bound on evaluation, relative to the send timestamp. When
+    /// it expires with the verdict still pending, the message fails.
+    pub evaluation_timeout: Option<Millis>,
+    /// Overrides the service-level default for sending success
+    /// notifications to all destinations on success.
+    pub success_notifications: Option<bool>,
+    /// Defer outcome *actions* (compensation release / success
+    /// notifications) until explicitly released — used by Dependency-
+    /// Spheres, whose member messages act only on the overall sphere
+    /// outcome (paper §3.1).
+    pub defer_outcome_actions: bool,
+}
+
+impl WireEncode for SendOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_opt(self.evaluation_timeout.as_ref(), |e, m| {
+            e.put_u64(m.as_u64())
+        });
+        enc.put_opt(self.success_notifications.as_ref(), |e, b| e.put_bool(*b));
+        enc.put_bool(self.defer_outcome_actions);
+    }
+}
+
+impl WireDecode for SendOptions {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(SendOptions {
+            evaluation_timeout: dec.get_opt(|d| d.get_u64().map(Millis))?,
+            success_notifications: dec.get_opt(|d| d.get_bool())?,
+            defer_outcome_actions: dec.get_bool()?,
+        })
+    }
+}
+
+/// The durable record of one conditional send, written to `DS.SLOG.Q`
+/// before the standard messages go out; recovery rebuilds evaluation state
+/// from these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendRecord {
+    /// The conditional message id.
+    pub cond_id: CondMessageId,
+    /// Send timestamp on the sender's clock.
+    pub send_time: Time,
+    /// The full condition tree.
+    pub condition: Condition,
+    /// The application payload.
+    pub payload: Bytes,
+    /// Application-defined compensation payload, if provided.
+    pub compensation: Option<Bytes>,
+    /// Per-send options.
+    pub options: SendOptions,
+}
+
+impl WireEncode for SendRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(self.cond_id.as_u128());
+        enc.put_u64(self.send_time.as_millis());
+        self.condition.encode(enc);
+        enc.put_bytes(&self.payload);
+        enc.put_opt(self.compensation.as_ref(), |e, b| e.put_bytes(b));
+        self.options.encode(enc);
+    }
+}
+
+impl WireDecode for SendRecord {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(SendRecord {
+            cond_id: CondMessageId::from_u128(dec.get_u128()?),
+            send_time: Time(dec.get_u64()?),
+            condition: Condition::decode(dec)?,
+            payload: dec.get_bytes()?,
+            compensation: dec.get_opt(|d| d.get_bytes())?,
+            options: SendOptions::decode(dec)?,
+        })
+    }
+}
+
+/// A sender-log entry (the payload of a `DS.SLOG.Q` message).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlogEntry {
+    /// A conditional message was sent.
+    Send(SendRecord),
+    /// An acknowledgment was consumed from `DS.ACK.Q`.
+    AckSeen(Acknowledgment),
+    /// The evaluation finished with this outcome.
+    Outcome {
+        /// Which conditional message.
+        cond_id: CondMessageId,
+        /// Final outcome.
+        outcome: MessageOutcome,
+        /// Sender-clock decision time.
+        decided_at: Time,
+    },
+}
+
+impl SlogEntry {
+    /// The entry-type string stored in [`P_SLOG_ENTRY`].
+    pub fn entry_type(&self) -> &'static str {
+        match self {
+            SlogEntry::Send(_) => "send",
+            SlogEntry::AckSeen(_) => "ack",
+            SlogEntry::Outcome { .. } => "outcome",
+        }
+    }
+
+    /// The conditional message this entry concerns.
+    pub fn cond_id(&self) -> CondMessageId {
+        match self {
+            SlogEntry::Send(r) => r.cond_id,
+            SlogEntry::AckSeen(a) => a.cond_id,
+            SlogEntry::Outcome { cond_id, .. } => *cond_id,
+        }
+    }
+
+    /// Encodes the entry as a persistent sender-log message.
+    pub fn to_message(&self) -> Message {
+        let mut builder = Message::builder(self.to_bytes())
+            .property(P_KIND, kind::SLOG)
+            .property(P_COND_ID, self.cond_id().to_hex())
+            .property(P_SLOG_ENTRY, self.entry_type())
+            .correlation_id(self.cond_id().to_hex())
+            .persistent(true);
+        if let SlogEntry::Outcome { decided_at, .. } = self {
+            builder = builder.property(P_SLOG_DECIDED_TS, decided_at.as_millis() as i64);
+        }
+        builder.build()
+    }
+
+    /// Decodes an entry from a `DS.SLOG.Q` message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::Malformed`] on undecodable payloads.
+    pub fn from_message(msg: &Message) -> CondResult<SlogEntry> {
+        SlogEntry::from_bytes(msg.payload().clone()).map_err(CondError::from)
+    }
+}
+
+impl WireEncode for SlogEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SlogEntry::Send(record) => {
+                enc.put_u8(0);
+                record.encode(enc);
+            }
+            SlogEntry::AckSeen(ack) => {
+                enc.put_u8(1);
+                enc.put_u128(ack.cond_id.as_u128());
+                enc.put_u32(ack.leaf);
+                enc.put_u8(match ack.kind {
+                    AckKind::Read => 0,
+                    AckKind::Processed => 1,
+                });
+                enc.put_u64(ack.read_at.as_millis());
+                enc.put_opt(ack.processed_at.as_ref(), |e, t| e.put_u64(t.as_millis()));
+                enc.put_opt(ack.recipient.as_ref(), |e, s| e.put_str(s));
+            }
+            SlogEntry::Outcome {
+                cond_id,
+                outcome,
+                decided_at,
+            } => {
+                enc.put_u8(2);
+                enc.put_u128(cond_id.as_u128());
+                enc.put_u8(match outcome {
+                    MessageOutcome::Success => 0,
+                    MessageOutcome::Failure => 1,
+                });
+                enc.put_u64(decided_at.as_millis());
+            }
+        }
+    }
+}
+
+impl WireDecode for SlogEntry {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(SlogEntry::Send(SendRecord::decode(dec)?)),
+            1 => Ok(SlogEntry::AckSeen(Acknowledgment {
+                cond_id: CondMessageId::from_u128(dec.get_u128()?),
+                leaf: dec.get_u32()?,
+                kind: match dec.get_u8()? {
+                    0 => AckKind::Read,
+                    1 => AckKind::Processed,
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "AckKind",
+                            tag,
+                        })
+                    }
+                },
+                read_at: Time(dec.get_u64()?),
+                processed_at: dec.get_opt(|d| d.get_u64().map(Time))?,
+                recipient: dec.get_opt(|d| d.get_str())?,
+            })),
+            2 => Ok(SlogEntry::Outcome {
+                cond_id: CondMessageId::from_u128(dec.get_u128()?),
+                outcome: match dec.get_u8()? {
+                    0 => MessageOutcome::Success,
+                    1 => MessageOutcome::Failure,
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "MessageOutcome",
+                            tag,
+                        })
+                    }
+                },
+                decided_at: Time(dec.get_u64()?),
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "SlogEntry",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Destination;
+    use mq::Priority;
+
+    fn spec() -> LeafSpec {
+        LeafSpec {
+            index: 2,
+            queue: QueueAddress::new("QM9", "Q.X"),
+            recipient: Some("bob".into()),
+            pickup_window: Some(Millis(100)),
+            process_window: Some(Millis(200)),
+            processing_expected: true,
+            expiry: Some(Millis(5_000)),
+            persistent: true,
+            priority: Priority::new(7),
+        }
+    }
+
+    #[test]
+    fn original_carries_control_information() {
+        let id = CondMessageId::generate();
+        let payload = Bytes::from_static(b"data");
+        let msg = make_original(&payload, id, &spec(), "QM1", "DS.ACK.Q");
+        assert_eq!(kind_of(&msg), MessageKind::Original);
+        assert_eq!(cond_id_of(&msg).unwrap(), id);
+        assert_eq!(leaf_of(&msg).unwrap(), 2);
+        assert_eq!(msg.bool_property(P_PROCESSING_REQUIRED), Some(true));
+        assert_eq!(msg.str_property(P_SENDER_MANAGER), Some("QM1"));
+        assert_eq!(msg.str_property(P_ACK_QUEUE), Some("DS.ACK.Q"));
+        assert_eq!(msg.str_property(P_RECIPIENT), Some("bob"));
+        assert_eq!(msg.priority(), Priority::new(7));
+        assert!(msg.is_persistent());
+        assert_eq!(msg.ttl(), Some(Millis(5_000)));
+        assert_eq!(msg.payload(), &payload);
+        assert_eq!(msg.correlation_id(), Some(id.to_hex().as_str()));
+    }
+
+    #[test]
+    fn ack_roundtrip_read() {
+        let ack = Acknowledgment {
+            cond_id: CondMessageId::generate(),
+            leaf: 3,
+            kind: AckKind::Read,
+            read_at: Time(500),
+            processed_at: None,
+            recipient: None,
+        };
+        let back = Acknowledgment::from_message(&ack.to_message()).unwrap();
+        assert_eq!(back, ack);
+    }
+
+    #[test]
+    fn ack_roundtrip_processed() {
+        let ack = Acknowledgment {
+            cond_id: CondMessageId::generate(),
+            leaf: 0,
+            kind: AckKind::Processed,
+            read_at: Time(500),
+            processed_at: Some(Time(900)),
+            recipient: Some("r1".into()),
+        };
+        let back = Acknowledgment::from_message(&ack.to_message()).unwrap();
+        assert_eq!(back, ack);
+    }
+
+    #[test]
+    fn processed_ack_requires_processing_timestamp() {
+        let mut msg = Acknowledgment {
+            cond_id: CondMessageId::generate(),
+            leaf: 0,
+            kind: AckKind::Read,
+            read_at: Time(1),
+            processed_at: None,
+            recipient: None,
+        }
+        .to_message();
+        msg.set_property(P_ACK_TYPE, "processed");
+        assert!(Acknowledgment::from_message(&msg).is_err());
+        msg.set_property(P_ACK_TYPE, "bogus");
+        assert!(Acknowledgment::from_message(&msg).is_err());
+    }
+
+    #[test]
+    fn outcome_notification_roundtrip() {
+        for (outcome, reason) in [
+            (MessageOutcome::Success, None),
+            (MessageOutcome::Failure, Some("deadline passed".to_owned())),
+        ] {
+            let n = OutcomeNotification {
+                cond_id: CondMessageId::generate(),
+                outcome,
+                reason,
+                decided_at: Time(1234),
+            };
+            let back = OutcomeNotification::from_message(&n.to_message()).unwrap();
+            assert_eq!(back, n);
+        }
+    }
+
+    #[test]
+    fn compensation_messages_record_destination_and_origin() {
+        let id = CondMessageId::generate();
+        let dest = QueueAddress::new("QM2", "Q.R1");
+        let sys = make_compensation(id, 1, &dest, None);
+        assert_eq!(kind_of(&sys), MessageKind::Compensation);
+        assert_eq!(sys.bool_property(P_COMP_SYSTEM), Some(true));
+        assert_eq!(sys.str_property(P_COMP_DEST), Some("QM2/Q.R1"));
+        assert!(sys.payload().is_empty());
+
+        let data = Bytes::from_static(b"undo!");
+        let app = make_compensation(id, 1, &dest, Some(&data));
+        assert_eq!(app.bool_property(P_COMP_SYSTEM), Some(false));
+        assert_eq!(app.payload(), &data);
+    }
+
+    #[test]
+    fn success_notification_shape() {
+        let id = CondMessageId::generate();
+        let msg = make_success_notification(id, 4);
+        assert_eq!(kind_of(&msg), MessageKind::SuccessNotification);
+        assert_eq!(cond_id_of(&msg).unwrap(), id);
+        assert_eq!(leaf_of(&msg).unwrap(), 4);
+    }
+
+    #[test]
+    fn standard_messages_classify_as_standard() {
+        let msg = Message::text("plain").build();
+        assert_eq!(kind_of(&msg), MessageKind::Standard);
+        assert!(cond_id_of(&msg).is_err());
+        assert!(leaf_of(&msg).is_err());
+    }
+
+    #[test]
+    fn slog_entries_roundtrip() {
+        let record = SendRecord {
+            cond_id: CondMessageId::generate(),
+            send_time: Time(42),
+            condition: Destination::queue("M", "Q")
+                .pickup_within(Millis(10))
+                .into(),
+            payload: Bytes::from_static(b"pay"),
+            compensation: Some(Bytes::from_static(b"undo")),
+            options: SendOptions {
+                evaluation_timeout: Some(Millis(99)),
+                success_notifications: Some(true),
+                defer_outcome_actions: true,
+            },
+        };
+        let entries = vec![
+            SlogEntry::Send(record.clone()),
+            SlogEntry::AckSeen(Acknowledgment {
+                cond_id: record.cond_id,
+                leaf: 0,
+                kind: AckKind::Processed,
+                read_at: Time(50),
+                processed_at: Some(Time(60)),
+                recipient: Some("x".into()),
+            }),
+            SlogEntry::Outcome {
+                cond_id: record.cond_id,
+                outcome: MessageOutcome::Success,
+                decided_at: Time(70),
+            },
+        ];
+        for entry in entries {
+            let msg = entry.to_message();
+            assert_eq!(msg.str_property(P_KIND), Some(kind::SLOG));
+            assert_eq!(msg.str_property(P_SLOG_ENTRY), Some(entry.entry_type()));
+            assert_eq!(cond_id_of(&msg).unwrap(), entry.cond_id());
+            let back = SlogEntry::from_message(&msg).unwrap();
+            assert_eq!(back, entry);
+        }
+    }
+
+    #[test]
+    fn send_options_default_roundtrip() {
+        let opts = SendOptions::default();
+        let back = SendOptions::from_bytes(opts.to_bytes()).unwrap();
+        assert_eq!(back, opts);
+        assert!(back.evaluation_timeout.is_none());
+        assert!(back.success_notifications.is_none());
+    }
+}

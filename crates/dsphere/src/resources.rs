@@ -1,0 +1,587 @@
+//! In-memory transactional resources: the "distributed objects and
+//! databases" a Dependency-Sphere integrates (paper §3.2).
+//!
+//! * [`KvStore`] — a versioned key/value database with staged writes,
+//!   first-preparer-wins conflict detection, and atomic visibility at
+//!   commit.
+//! * [`Calendar`] — per-user time slots with a double-booking constraint
+//!   checked at prepare time (the paper's "update his calendar database"
+//!   from Example 1).
+//! * [`RoomReservations`] — room/slot bookings (the paper's "room
+//!   reservation" database).
+//! * [`ProbeResource`] — a counting resource with injectable votes, for
+//!   tests and experiments.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::otx::{TransactionalResource, Vote, Xid};
+
+// ------------------------------------------------------------------- kv --
+
+#[derive(Debug, Default)]
+struct KvInner {
+    committed: HashMap<String, String>,
+    /// Per-transaction staged writes; `None` = delete.
+    staged: HashMap<Xid, HashMap<String, Option<String>>>,
+    /// Transactions that passed prepare and hold their keys.
+    prepared: HashSet<Xid>,
+}
+
+/// A transactional key/value store.
+///
+/// Writes are staged per transaction and invisible until commit. Prepare
+/// detects write-write conflicts against already-prepared transactions
+/// (first-preparer-wins).
+pub struct KvStore {
+    name: String,
+    inner: Mutex<KvInner>,
+}
+
+impl fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new(name: impl Into<String>) -> Arc<KvStore> {
+        Arc::new(KvStore {
+            name: name.into(),
+            inner: Mutex::new(KvInner::default()),
+        })
+    }
+
+    /// Reads the committed value of a key.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.inner.lock().committed.get(key).cloned()
+    }
+
+    /// Number of committed keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().committed.len()
+    }
+
+    /// Whether the committed state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stages a write under a transaction.
+    pub fn put(&self, xid: Xid, key: impl Into<String>, value: impl Into<String>) {
+        self.inner
+            .lock()
+            .staged
+            .entry(xid)
+            .or_default()
+            .insert(key.into(), Some(value.into()));
+    }
+
+    /// Stages a delete under a transaction.
+    pub fn delete(&self, xid: Xid, key: &str) {
+        self.inner
+            .lock()
+            .staged
+            .entry(xid)
+            .or_default()
+            .insert(key.to_owned(), None);
+    }
+
+    /// Number of writes staged under a transaction.
+    pub fn staged_len(&self, xid: Xid) -> usize {
+        self.inner.lock().staged.get(&xid).map_or(0, HashMap::len)
+    }
+}
+
+impl TransactionalResource for KvStore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&self, xid: Xid) -> Vote {
+        let mut inner = self.inner.lock();
+        let Some(mine) = inner.staged.get(&xid) else {
+            return Vote::Commit; // read-only participant
+        };
+        // Write-write conflict against any *prepared* transaction.
+        let my_keys: HashSet<&String> = mine.keys().collect();
+        for other in inner.prepared.iter() {
+            if *other == xid {
+                continue;
+            }
+            if let Some(theirs) = inner.staged.get(other) {
+                if theirs.keys().any(|k| my_keys.contains(k)) {
+                    return Vote::Abort(format!(
+                        "write conflict with in-flight {other} in {}",
+                        self.name
+                    ));
+                }
+            }
+        }
+        inner.prepared.insert(xid);
+        Vote::Commit
+    }
+
+    fn commit(&self, xid: Xid) {
+        let mut inner = self.inner.lock();
+        inner.prepared.remove(&xid);
+        if let Some(writes) = inner.staged.remove(&xid) {
+            for (key, value) in writes {
+                match value {
+                    Some(v) => {
+                        inner.committed.insert(key, v);
+                    }
+                    None => {
+                        inner.committed.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn rollback(&self, xid: Xid) {
+        let mut inner = self.inner.lock();
+        inner.prepared.remove(&xid);
+        inner.staged.remove(&xid);
+    }
+}
+
+// ------------------------------------------------------------ slot table --
+
+/// Shared implementation for slot-booking resources: a map from
+/// `(owner, slot)` to a label, with a no-double-booking constraint
+/// enforced at prepare time.
+/// A booking key: `(owner, slot)`.
+type SlotKey = (String, u64);
+
+#[derive(Debug, Default)]
+struct SlotInner {
+    committed: HashMap<SlotKey, String>,
+    staged: HashMap<Xid, Vec<(SlotKey, String)>>,
+    prepared: HashSet<Xid>,
+}
+
+#[derive(Debug)]
+struct SlotTable {
+    name: String,
+    inner: Mutex<SlotInner>,
+}
+
+impl SlotTable {
+    fn new(name: String) -> SlotTable {
+        SlotTable {
+            name,
+            inner: Mutex::new(SlotInner::default()),
+        }
+    }
+
+    fn book(&self, xid: Xid, owner: &str, slot: u64, label: &str) {
+        self.inner
+            .lock()
+            .staged
+            .entry(xid)
+            .or_default()
+            .push(((owner.to_owned(), slot), label.to_owned()));
+    }
+
+    fn lookup(&self, owner: &str, slot: u64) -> Option<String> {
+        self.inner
+            .lock()
+            .committed
+            .get(&(owner.to_owned(), slot))
+            .cloned()
+    }
+
+    fn bookings(&self, owner: &str) -> Vec<(u64, String)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(u64, String)> = inner
+            .committed
+            .iter()
+            .filter(|((o, _), _)| o == owner)
+            .map(|((_, slot), label)| (*slot, label.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn prepare(&self, xid: Xid) -> Vote {
+        let mut inner = self.inner.lock();
+        let Some(mine) = inner.staged.get(&xid) else {
+            return Vote::Commit;
+        };
+        for (key, _) in mine {
+            if inner.committed.contains_key(key) {
+                return Vote::Abort(format!(
+                    "{} slot {} already booked for {} in {}",
+                    key.0, key.1, key.0, self.name
+                ));
+            }
+            // Conflicts with other prepared transactions.
+            for other in inner.prepared.iter() {
+                if *other == xid {
+                    continue;
+                }
+                if inner.staged[other].iter().any(|(k, _)| k == key) {
+                    return Vote::Abort(format!(
+                        "slot {}@{} contended by in-flight {other} in {}",
+                        key.1, key.0, self.name
+                    ));
+                }
+            }
+        }
+        inner.prepared.insert(xid);
+        Vote::Commit
+    }
+
+    fn commit(&self, xid: Xid) {
+        let mut inner = self.inner.lock();
+        inner.prepared.remove(&xid);
+        if let Some(entries) = inner.staged.remove(&xid) {
+            for (key, label) in entries {
+                inner.committed.insert(key, label);
+            }
+        }
+    }
+
+    fn rollback(&self, xid: Xid) {
+        let mut inner = self.inner.lock();
+        inner.prepared.remove(&xid);
+        inner.staged.remove(&xid);
+    }
+}
+
+/// A calendar database: per-user time slots, refusing double bookings at
+/// prepare time.
+#[derive(Debug)]
+pub struct Calendar {
+    table: SlotTable,
+}
+
+impl Calendar {
+    /// Creates an empty calendar.
+    pub fn new(name: impl Into<String>) -> Arc<Calendar> {
+        Arc::new(Calendar {
+            table: SlotTable::new(name.into()),
+        })
+    }
+
+    /// Stages an event for `user` at `slot` under a transaction.
+    pub fn schedule(&self, xid: Xid, user: &str, slot: u64, title: &str) {
+        self.table.book(xid, user, slot, title);
+    }
+
+    /// The committed event for `user` at `slot`, if any.
+    pub fn event(&self, user: &str, slot: u64) -> Option<String> {
+        self.table.lookup(user, slot)
+    }
+
+    /// All committed events for `user`, ordered by slot.
+    pub fn events(&self, user: &str) -> Vec<(u64, String)> {
+        self.table.bookings(user)
+    }
+}
+
+impl TransactionalResource for Calendar {
+    fn name(&self) -> &str {
+        &self.table.name
+    }
+    fn prepare(&self, xid: Xid) -> Vote {
+        self.table.prepare(xid)
+    }
+    fn commit(&self, xid: Xid) {
+        self.table.commit(xid)
+    }
+    fn rollback(&self, xid: Xid) {
+        self.table.rollback(xid)
+    }
+}
+
+/// A room-reservation database: room/slot bookings with conflict
+/// detection (the paper's "room reservation and other purposes").
+#[derive(Debug)]
+pub struct RoomReservations {
+    table: SlotTable,
+}
+
+impl RoomReservations {
+    /// Creates an empty reservation book.
+    pub fn new(name: impl Into<String>) -> Arc<RoomReservations> {
+        Arc::new(RoomReservations {
+            table: SlotTable::new(name.into()),
+        })
+    }
+
+    /// Stages a reservation of `room` at `slot` for `holder`.
+    pub fn reserve(&self, xid: Xid, room: &str, slot: u64, holder: &str) {
+        self.table.book(xid, room, slot, holder);
+    }
+
+    /// The committed holder of `room` at `slot`, if any.
+    pub fn holder(&self, room: &str, slot: u64) -> Option<String> {
+        self.table.lookup(room, slot)
+    }
+
+    /// All committed reservations of `room`, ordered by slot.
+    pub fn reservations(&self, room: &str) -> Vec<(u64, String)> {
+        self.table.bookings(room)
+    }
+}
+
+impl TransactionalResource for RoomReservations {
+    fn name(&self) -> &str {
+        &self.table.name
+    }
+    fn prepare(&self, xid: Xid) -> Vote {
+        self.table.prepare(xid)
+    }
+    fn commit(&self, xid: Xid) {
+        self.table.commit(xid)
+    }
+    fn rollback(&self, xid: Xid) {
+        self.table.rollback(xid)
+    }
+}
+
+// ----------------------------------------------------------------- probe --
+
+/// A test/experiment resource that counts protocol calls and votes as
+/// configured.
+pub struct ProbeResource {
+    name: String,
+    vote: Mutex<Vote>,
+    prepared: AtomicUsize,
+    committed: AtomicUsize,
+    rolled_back: AtomicUsize,
+}
+
+impl fmt::Debug for ProbeResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeResource")
+            .field("name", &self.name)
+            .field("prepared", &self.prepared())
+            .field("committed", &self.committed())
+            .field("rolled_back", &self.rolled_back())
+            .finish()
+    }
+}
+
+impl ProbeResource {
+    /// A probe that always votes commit.
+    pub fn new(name: impl Into<String>) -> Arc<ProbeResource> {
+        Arc::new(ProbeResource {
+            name: name.into(),
+            vote: Mutex::new(Vote::Commit),
+            prepared: AtomicUsize::new(0),
+            committed: AtomicUsize::new(0),
+            rolled_back: AtomicUsize::new(0),
+        })
+    }
+
+    /// A probe that always votes abort with `reason`.
+    pub fn vetoing(name: impl Into<String>, reason: impl Into<String>) -> Arc<ProbeResource> {
+        let probe = ProbeResource::new(name);
+        probe.set_vote(Vote::Abort(reason.into()));
+        probe
+    }
+
+    /// Changes the configured vote.
+    pub fn set_vote(&self, vote: Vote) {
+        *self.vote.lock() = vote;
+    }
+
+    /// Number of `prepare` calls.
+    pub fn prepared(&self) -> usize {
+        self.prepared.load(Ordering::SeqCst)
+    }
+
+    /// Number of `commit` calls.
+    pub fn committed(&self) -> usize {
+        self.committed.load(Ordering::SeqCst)
+    }
+
+    /// Number of `rollback` calls.
+    pub fn rolled_back(&self) -> usize {
+        self.rolled_back.load(Ordering::SeqCst)
+    }
+}
+
+impl TransactionalResource for ProbeResource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&self, _xid: Xid) -> Vote {
+        self.prepared.fetch_add(1, Ordering::SeqCst);
+        self.vote.lock().clone()
+    }
+
+    fn commit(&self, _xid: Xid) {
+        self.committed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn rollback(&self, _xid: Xid) {
+        self.rolled_back.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otx::TransactionManager;
+
+    #[test]
+    fn kv_staged_writes_invisible_until_commit() {
+        let tm = TransactionManager::new();
+        let kv = KvStore::new("db");
+        let mut tx = tm.begin();
+        tx.enlist(kv.clone());
+        kv.put(tx.xid(), "k", "v");
+        assert_eq!(kv.get("k"), None);
+        assert_eq!(kv.staged_len(tx.xid()), 1);
+        tx.commit().unwrap();
+        assert_eq!(kv.get("k"), Some("v".into()));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn kv_rollback_discards_staged() {
+        let tm = TransactionManager::new();
+        let kv = KvStore::new("db");
+        let mut tx = tm.begin();
+        tx.enlist(kv.clone());
+        kv.put(tx.xid(), "k", "v");
+        tx.rollback();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn kv_delete_and_overwrite() {
+        let tm = TransactionManager::new();
+        let kv = KvStore::new("db");
+        let mut tx = tm.begin();
+        tx.enlist(kv.clone());
+        kv.put(tx.xid(), "a", "1");
+        kv.put(tx.xid(), "b", "2");
+        tx.commit().unwrap();
+        let mut tx2 = tm.begin();
+        tx2.enlist(kv.clone());
+        kv.put(tx2.xid(), "a", "updated");
+        kv.delete(tx2.xid(), "b");
+        tx2.commit().unwrap();
+        assert_eq!(kv.get("a"), Some("updated".into()));
+        assert_eq!(kv.get("b"), None);
+    }
+
+    #[test]
+    fn kv_write_conflict_aborts_second_preparer() {
+        let tm = TransactionManager::new();
+        let kv = KvStore::new("db");
+        let tx1 = tm.begin();
+        let tx2 = tm.begin();
+        kv.put(tx1.xid(), "k", "one");
+        kv.put(tx2.xid(), "k", "two");
+        assert_eq!(kv.prepare(tx1.xid()), Vote::Commit);
+        match kv.prepare(tx2.xid()) {
+            Vote::Abort(reason) => assert!(reason.contains("write conflict"), "{reason}"),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        kv.commit(tx1.xid());
+        kv.rollback(tx2.xid());
+        assert_eq!(kv.get("k"), Some("one".into()));
+        drop(tx1);
+        drop(tx2);
+    }
+
+    #[test]
+    fn kv_disjoint_keys_do_not_conflict() {
+        let tm = TransactionManager::new();
+        let kv = KvStore::new("db");
+        let tx1 = tm.begin();
+        let tx2 = tm.begin();
+        kv.put(tx1.xid(), "a", "1");
+        kv.put(tx2.xid(), "b", "2");
+        assert_eq!(kv.prepare(tx1.xid()), Vote::Commit);
+        assert_eq!(kv.prepare(tx2.xid()), Vote::Commit);
+        kv.commit(tx1.xid());
+        kv.commit(tx2.xid());
+        assert_eq!(kv.len(), 2);
+        drop(tx1);
+        drop(tx2);
+    }
+
+    #[test]
+    fn calendar_rejects_double_booking() {
+        let tm = TransactionManager::new();
+        let cal = Calendar::new("cal");
+        let mut tx = tm.begin();
+        tx.enlist(cal.clone());
+        cal.schedule(tx.xid(), "alice", 10, "standup");
+        tx.commit().unwrap();
+        assert_eq!(cal.event("alice", 10), Some("standup".into()));
+
+        let mut tx2 = tm.begin();
+        tx2.enlist(cal.clone());
+        cal.schedule(tx2.xid(), "alice", 10, "conflicting");
+        let err = tx2.commit().unwrap_err();
+        assert!(err.reason.contains("already booked"), "{}", err.reason);
+        assert_eq!(cal.event("alice", 10), Some("standup".into()));
+        assert_eq!(cal.events("alice"), vec![(10, "standup".into())]);
+    }
+
+    #[test]
+    fn rooms_reserve_and_conflict() {
+        let tm = TransactionManager::new();
+        let rooms = RoomReservations::new("rooms");
+        let mut tx = tm.begin();
+        tx.enlist(rooms.clone());
+        rooms.reserve(tx.xid(), "R101", 10, "team-a");
+        rooms.reserve(tx.xid(), "R101", 11, "team-a");
+        tx.commit().unwrap();
+        assert_eq!(rooms.holder("R101", 10), Some("team-a".into()));
+        assert_eq!(rooms.reservations("R101").len(), 2);
+
+        let mut tx2 = tm.begin();
+        tx2.enlist(rooms.clone());
+        rooms.reserve(tx2.xid(), "R101", 10, "team-b");
+        assert!(tx2.commit().is_err());
+        assert_eq!(rooms.holder("R101", 10), Some("team-a".into()));
+    }
+
+    #[test]
+    fn slot_contention_between_inflight_transactions() {
+        let tm = TransactionManager::new();
+        let cal = Calendar::new("cal");
+        let tx1 = tm.begin();
+        let tx2 = tm.begin();
+        cal.schedule(tx1.xid(), "bob", 5, "a");
+        cal.schedule(tx2.xid(), "bob", 5, "b");
+        assert_eq!(cal.prepare(tx1.xid()), Vote::Commit);
+        assert!(matches!(cal.prepare(tx2.xid()), Vote::Abort(_)));
+        cal.rollback(tx1.xid());
+        cal.rollback(tx2.xid());
+        drop(tx1);
+        drop(tx2);
+    }
+
+    #[test]
+    fn probe_counts_and_votes() {
+        let probe = ProbeResource::new("p");
+        assert_eq!(probe.prepare(Xid::from_raw(1)), Vote::Commit);
+        probe.set_vote(Vote::Abort("nope".into()));
+        assert!(matches!(probe.prepare(Xid::from_raw(2)), Vote::Abort(_)));
+        probe.commit(Xid::from_raw(1));
+        probe.rollback(Xid::from_raw(2));
+        assert_eq!(
+            (probe.prepared(), probe.committed(), probe.rolled_back()),
+            (2, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,694 @@
+//! Dependency-Spheres: atomic units-of-work over conditional messages and
+//! transactional resources (paper §3).
+//!
+//! A [`DSphere`] is "a global context inside of which various conditional
+//! messages may occur", demarcated with `begin_DS` / `commit_DS` /
+//! `abort_DS` ([`DSphereService::begin`], [`DSphere::try_commit`],
+//! [`DSphere::abort`]). Its two defining properties, both from §3.1:
+//!
+//! * **Messages are sent immediately** — unlike ordinary messaging
+//!   transactions, publication is *not* bound to the sphere commit; the
+//!   messages go out, are monitored and evaluated as usual.
+//! * **Outcome actions are deferred** — compensation or success
+//!   notifications for each member message are initiated only when the
+//!   sphere terminates, based on the *overall* sphere outcome: the sphere
+//!   succeeds iff every member message succeeded *and* every enlisted
+//!   transactional resource votes commit (§3.2). If the sphere fails, all
+//!   member messages are compensated — including those that individually
+//!   succeeded — and all resources roll back.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use condmsg::{
+    CondError, CondMessageId, Condition, ConditionalMessenger, MessageOutcome, MessageStatus,
+    SendOptions,
+};
+use simtime::{Millis, Time};
+
+use crate::otx::{Transaction, TransactionManager, TransactionalResource};
+
+/// Errors reported by the D-Sphere service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SphereError {
+    /// The underlying conditional-messaging layer failed.
+    Cond(CondError),
+    /// The sphere has already terminated; no further work may join it.
+    Terminated,
+}
+
+impl fmt::Display for SphereError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SphereError::Cond(e) => write!(f, "conditional messaging error: {e}"),
+            SphereError::Terminated => write!(f, "dependency-sphere already terminated"),
+        }
+    }
+}
+
+impl std::error::Error for SphereError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SphereError::Cond(e) => Some(e),
+            SphereError::Terminated => None,
+        }
+    }
+}
+
+impl From<CondError> for SphereError {
+    fn from(e: CondError) -> Self {
+        SphereError::Cond(e)
+    }
+}
+
+/// Convenience result alias.
+pub type SphereResult<T> = Result<T, SphereError>;
+
+/// Final outcome of a Dependency-Sphere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SphereOutcome {
+    /// Every member message succeeded and all resources committed.
+    Committed,
+    /// The sphere failed; resources rolled back, compensations released.
+    Aborted {
+        /// Why the sphere failed (first message failure, resource veto,
+        /// timeout, or explicit abort).
+        reason: String,
+    },
+}
+
+impl SphereOutcome {
+    /// `true` for [`SphereOutcome::Committed`].
+    pub fn is_committed(&self) -> bool {
+        matches!(self, SphereOutcome::Committed)
+    }
+}
+
+impl fmt::Display for SphereOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SphereOutcome::Committed => write!(f, "committed"),
+            SphereOutcome::Aborted { reason } => write!(f, "aborted: {reason}"),
+        }
+    }
+}
+
+/// Factory for Dependency-Spheres over a conditional messenger and a
+/// transaction manager (paper Fig. 10: the D-Sphere service sits on the
+/// conditional messaging service and the object transaction service).
+pub struct DSphereService {
+    messenger: Arc<ConditionalMessenger>,
+    txm: Arc<TransactionManager>,
+}
+
+impl fmt::Debug for DSphereService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DSphereService")
+            .field("manager", &self.messenger.manager().name())
+            .finish()
+    }
+}
+
+impl DSphereService {
+    /// Creates a service with its own transaction manager.
+    pub fn new(messenger: Arc<ConditionalMessenger>) -> Arc<DSphereService> {
+        DSphereService::with_tx_manager(messenger, TransactionManager::new())
+    }
+
+    /// Creates a service sharing an existing transaction manager.
+    pub fn with_tx_manager(
+        messenger: Arc<ConditionalMessenger>,
+        txm: Arc<TransactionManager>,
+    ) -> Arc<DSphereService> {
+        Arc::new(DSphereService { messenger, txm })
+    }
+
+    /// The conditional messenger spheres send through.
+    pub fn messenger(&self) -> &Arc<ConditionalMessenger> {
+        &self.messenger
+    }
+
+    /// The transaction manager resources enlist with.
+    pub fn tx_manager(&self) -> &Arc<TransactionManager> {
+        &self.txm
+    }
+
+    /// Begins a sphere with no timeout (`begin_DS`).
+    pub fn begin(self: &Arc<Self>) -> DSphere {
+        self.begin_sphere(None)
+    }
+
+    /// Begins a sphere that fails if still undecided after `timeout`.
+    pub fn begin_with_timeout(self: &Arc<Self>, timeout: Millis) -> DSphere {
+        self.begin_sphere(Some(timeout))
+    }
+
+    fn begin_sphere(self: &Arc<Self>, timeout: Option<Millis>) -> DSphere {
+        let now = self.messenger.manager().clock().now();
+        DSphere {
+            service: self.clone(),
+            messages: Vec::new(),
+            tx: Some(self.txm.begin()),
+            began_at: now,
+            deadline: timeout.map(|t| now + t),
+            terminated: None,
+        }
+    }
+}
+
+/// An open Dependency-Sphere.
+pub struct DSphere {
+    service: Arc<DSphereService>,
+    messages: Vec<CondMessageId>,
+    tx: Option<Transaction>,
+    began_at: Time,
+    deadline: Option<Time>,
+    terminated: Option<SphereOutcome>,
+}
+
+impl fmt::Debug for DSphere {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DSphere")
+            .field("messages", &self.messages.len())
+            .field("began_at", &self.began_at)
+            .field("deadline", &self.deadline)
+            .field("terminated", &self.terminated)
+            .finish()
+    }
+}
+
+impl DSphere {
+    /// The ids of the conditional messages sent inside this sphere.
+    pub fn message_ids(&self) -> &[CondMessageId] {
+        &self.messages
+    }
+
+    /// The sphere's resource-transaction id; pass it to resource
+    /// operations ([`crate::resources::KvStore::put`] etc.).
+    pub fn xid(&self) -> crate::otx::Xid {
+        self.tx
+            .as_ref()
+            .expect("transaction alive until termination")
+            .xid()
+    }
+
+    /// When the sphere began, on the messenger's clock.
+    pub fn began_at(&self) -> Time {
+        self.began_at
+    }
+
+    /// The sphere's timeout deadline, if one was set.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// The outcome, once terminated.
+    pub fn outcome(&self) -> Option<&SphereOutcome> {
+        self.terminated.as_ref()
+    }
+
+    fn check_active(&self) -> SphereResult<()> {
+        if self.terminated.is_some() {
+            Err(SphereError::Terminated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sends a conditional message inside the sphere. The message goes out
+    /// *immediately* (§3.1), but its outcome actions are deferred until the
+    /// sphere terminates.
+    ///
+    /// # Errors
+    ///
+    /// [`SphereError::Terminated`]; condition/messaging errors.
+    pub fn send_message(
+        &mut self,
+        payload: impl Into<Bytes>,
+        condition: &Condition,
+    ) -> SphereResult<CondMessageId> {
+        self.send_with(payload, None, condition, SendOptions::default())
+    }
+
+    /// Sends a conditional message with application compensation data.
+    ///
+    /// # Errors
+    ///
+    /// See [`DSphere::send_message`].
+    pub fn send_message_with_compensation(
+        &mut self,
+        payload: impl Into<Bytes>,
+        compensation: impl Into<Bytes>,
+        condition: &Condition,
+    ) -> SphereResult<CondMessageId> {
+        self.send_with(
+            payload,
+            Some(compensation.into()),
+            condition,
+            SendOptions::default(),
+        )
+    }
+
+    /// Fully general sphere send; `defer_outcome_actions` is forced on.
+    ///
+    /// # Errors
+    ///
+    /// See [`DSphere::send_message`].
+    pub fn send_with(
+        &mut self,
+        payload: impl Into<Bytes>,
+        compensation: Option<Bytes>,
+        condition: &Condition,
+        mut options: SendOptions,
+    ) -> SphereResult<CondMessageId> {
+        self.check_active()?;
+        options.defer_outcome_actions = true;
+        let id = self
+            .service
+            .messenger
+            .send_with(payload, compensation, condition, options)?;
+        self.messages.push(id);
+        Ok(id)
+    }
+
+    /// Enlists a transactional resource (its staged work under
+    /// [`DSphere::xid`] commits or rolls back with the sphere, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SphereError::Terminated`].
+    pub fn enlist(&mut self, resource: Arc<dyn TransactionalResource>) -> SphereResult<()> {
+        self.check_active()?;
+        self.tx
+            .as_mut()
+            .expect("transaction alive while active")
+            .enlist(resource);
+        Ok(())
+    }
+
+    /// Attempts `commit_DS`: pumps the evaluation manager and, if every
+    /// member message is decided (or the sphere deadline has passed),
+    /// terminates the sphere and returns its outcome. Returns `Ok(None)`
+    /// while member evaluations are still pending.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures. Safe to retry.
+    pub fn try_commit(&mut self) -> SphereResult<Option<SphereOutcome>> {
+        if let Some(outcome) = &self.terminated {
+            return Ok(Some(outcome.clone()));
+        }
+        self.service.messenger.pump()?;
+        let now = self.service.messenger.manager().clock().now();
+
+        let mut pending: Vec<CondMessageId> = Vec::new();
+        let mut first_failure: Option<String> = None;
+        for id in &self.messages {
+            match self.service.messenger.status(*id) {
+                MessageStatus::Pending => pending.push(*id),
+                MessageStatus::Decided(n) => {
+                    if n.outcome == MessageOutcome::Failure && first_failure.is_none() {
+                        first_failure = Some(format!(
+                            "conditional message {id} failed: {}",
+                            n.reason.unwrap_or_else(|| "condition violated".into())
+                        ));
+                    }
+                }
+                MessageStatus::Unknown => {
+                    return Err(SphereError::Cond(CondError::UnknownMessage(*id)))
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            match self.deadline {
+                Some(d) if now >= d => {
+                    // Sphere timeout: undecided members count as failed.
+                    for id in &pending {
+                        self.service.messenger.force_fail(*id, "D-Sphere timeout")?;
+                    }
+                    if first_failure.is_none() {
+                        first_failure = Some("D-Sphere timeout".to_owned());
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+
+        let outcome = match first_failure {
+            None => {
+                // All messages succeeded: 2PC over the resources decides.
+                match self.tx.take().expect("transaction alive").commit() {
+                    Ok(()) => {
+                        self.release_all(MessageOutcome::Success)?;
+                        SphereOutcome::Committed
+                    }
+                    Err(aborted) => {
+                        self.release_all(MessageOutcome::Failure)?;
+                        SphereOutcome::Aborted {
+                            reason: aborted.to_string(),
+                        }
+                    }
+                }
+            }
+            Some(reason) => {
+                self.tx.take().expect("transaction alive").rollback();
+                self.release_all(MessageOutcome::Failure)?;
+                SphereOutcome::Aborted { reason }
+            }
+        };
+        self.terminated = Some(outcome.clone());
+        Ok(Some(outcome))
+    }
+
+    /// Blocking `commit_DS`: polls [`DSphere::try_commit`] every `poll` of
+    /// *real* time until the sphere terminates. Use with a system clock
+    /// (and ideally a sphere timeout or per-message evaluation timeouts so
+    /// termination is guaranteed).
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures.
+    pub fn commit_blocking(mut self, poll: Duration) -> SphereResult<SphereOutcome> {
+        loop {
+            if let Some(outcome) = self.try_commit()? {
+                return Ok(outcome);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// `abort_DS`: fails all member messages still pending, rolls back the
+    /// resource transaction, and releases compensations for *every* member
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures.
+    pub fn abort(&mut self, reason: impl Into<String>) -> SphereResult<SphereOutcome> {
+        if let Some(outcome) = &self.terminated {
+            return Ok(outcome.clone());
+        }
+        let reason = reason.into();
+        self.service.messenger.pump()?;
+        for id in &self.messages {
+            if self.service.messenger.status(*id) == MessageStatus::Pending {
+                self.service
+                    .messenger
+                    .force_fail(*id, format!("D-Sphere aborted: {reason}"))?;
+            }
+        }
+        if let Some(tx) = self.tx.take() {
+            tx.rollback();
+        }
+        self.release_all(MessageOutcome::Failure)?;
+        let outcome = SphereOutcome::Aborted { reason };
+        self.terminated = Some(outcome.clone());
+        Ok(outcome)
+    }
+
+    fn release_all(&self, group_outcome: MessageOutcome) -> SphereResult<()> {
+        for id in &self.messages {
+            self.service
+                .messenger
+                .release_outcome_actions(*id, group_outcome)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DSphere {
+    fn drop(&mut self) {
+        if self.terminated.is_none() {
+            // Undemarcated sphere: abort, best effort (C-DTOR-FAIL).
+            let _ = self.abort("sphere dropped without commit or abort");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{Calendar, KvStore, ProbeResource};
+    use condmsg::{ConditionalReceiver, Destination, MessageKind};
+    use mq::{QueueManager, Wait};
+    use simtime::SimClock;
+
+    struct Fixture {
+        clock: Arc<SimClock>,
+        qmgr: Arc<QueueManager>,
+        service: Arc<DSphereService>,
+    }
+
+    fn setup() -> Fixture {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        for q in ["Q.A", "Q.B", "Q.C"] {
+            qmgr.create_queue(q).unwrap();
+        }
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        let service = DSphereService::new(messenger);
+        Fixture {
+            clock,
+            qmgr,
+            service,
+        }
+    }
+
+    fn dest(queue: &str, window: Millis) -> Condition {
+        Destination::queue("QM1", queue)
+            .pickup_within(window)
+            .into()
+    }
+
+    fn read_all(qmgr: &Arc<QueueManager>, queue: &str) -> Vec<condmsg::ReceivedMessage> {
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        let mut out = Vec::new();
+        while let Some(m) = receiver.read_message(queue, Wait::NoWait).unwrap() {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn messages_are_sent_immediately_not_bound_to_commit() {
+        let f = setup();
+        let mut sphere = f.service.begin();
+        sphere
+            .send_message("now!", &dest("Q.A", Millis(100)))
+            .unwrap();
+        // Visible on the destination queue before any commit_DS.
+        assert_eq!(f.qmgr.queue("Q.A").unwrap().depth(), 1);
+        sphere.abort("test cleanup").unwrap();
+    }
+
+    #[test]
+    fn sphere_commits_when_all_members_succeed() {
+        let f = setup();
+        let kv = KvStore::new("db");
+        let mut sphere = f.service.begin();
+        sphere.enlist(kv.clone()).unwrap();
+        kv.put(sphere.xid(), "state", "scheduled");
+        let m1 = sphere.send_message("a", &dest("Q.A", Millis(100))).unwrap();
+        let m2 = sphere.send_message("b", &dest("Q.B", Millis(100))).unwrap();
+        assert_eq!(sphere.message_ids(), &[m1, m2]);
+
+        // Receivers pick both up in time.
+        f.clock.advance(Millis(10));
+        assert_eq!(read_all(&f.qmgr, "Q.A").len(), 1);
+        assert_eq!(read_all(&f.qmgr, "Q.B").len(), 1);
+
+        let outcome = sphere.try_commit().unwrap().expect("decided");
+        assert!(outcome.is_committed());
+        assert_eq!(
+            kv.get("state"),
+            Some("scheduled".into()),
+            "resource committed"
+        );
+        // No compensations delivered anywhere.
+        assert_eq!(f.qmgr.queue("Q.A").unwrap().depth(), 0);
+        assert_eq!(f.qmgr.queue("DS.COMP.Q").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn try_commit_waits_while_pending() {
+        let f = setup();
+        let mut sphere = f.service.begin();
+        sphere.send_message("a", &dest("Q.A", Millis(100))).unwrap();
+        assert_eq!(sphere.try_commit().unwrap(), None, "still pending");
+        f.clock.advance(Millis(10));
+        read_all(&f.qmgr, "Q.A");
+        let outcome = sphere.try_commit().unwrap().unwrap();
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn one_failed_message_fails_the_whole_sphere() {
+        let f = setup();
+        let kv = KvStore::new("db");
+        let mut sphere = f.service.begin();
+        sphere.enlist(kv.clone()).unwrap();
+        kv.put(sphere.xid(), "state", "should-not-commit");
+        sphere.send_message("a", &dest("Q.A", Millis(100))).unwrap();
+        sphere.send_message("b", &dest("Q.B", Millis(50))).unwrap();
+        // Only Q.A is read; Q.B's pick-up window lapses.
+        f.clock.advance(Millis(10));
+        read_all(&f.qmgr, "Q.A");
+        f.clock.advance(Millis(60));
+        let outcome = sphere.try_commit().unwrap().unwrap();
+        match &outcome {
+            SphereOutcome::Aborted { reason } => {
+                assert!(reason.contains("failed"), "{reason}")
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(kv.get("state"), None, "resource rolled back");
+        // Backward dependency: the *successful* message on Q.A is
+        // compensated too.
+        let a_msgs = f.qmgr.queue("Q.A").unwrap().browse();
+        assert_eq!(a_msgs.len(), 1, "compensation for the consumed original");
+        // Q.B: original still unread + compensation → annihilate on read.
+        assert!(read_all(&f.qmgr, "Q.B").is_empty());
+        assert_eq!(f.qmgr.queue("Q.B").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn resource_veto_fails_sphere_and_compensates_messages() {
+        let f = setup();
+        let veto = ProbeResource::vetoing("veto", "business rule violated");
+        let mut sphere = f.service.begin();
+        sphere.enlist(veto.clone()).unwrap();
+        sphere.send_message("a", &dest("Q.A", Millis(100))).unwrap();
+        f.clock.advance(Millis(5));
+        read_all(&f.qmgr, "Q.A");
+        let outcome = sphere.try_commit().unwrap().unwrap();
+        match &outcome {
+            SphereOutcome::Aborted { reason } => {
+                assert!(reason.contains("business rule violated"), "{reason}")
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(veto.rolled_back(), 1);
+        // The message succeeded individually, yet is compensated because
+        // the sphere failed.
+        let comps = read_all(&f.qmgr, "Q.A");
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].kind(), MessageKind::Compensation);
+        assert!(comps[0].is_system_compensation());
+    }
+
+    #[test]
+    fn sphere_timeout_fails_pending_members() {
+        let f = setup();
+        let mut sphere = f.service.begin_with_timeout(Millis(200));
+        assert_eq!(sphere.deadline(), Some(Time(200)));
+        sphere
+            .send_message("a", &dest("Q.A", Millis(10_000)))
+            .unwrap();
+        assert_eq!(sphere.try_commit().unwrap(), None);
+        f.clock.advance(Millis(250));
+        let outcome = sphere.try_commit().unwrap().unwrap();
+        match &outcome {
+            SphereOutcome::Aborted { reason } => {
+                assert!(reason.contains("timeout"), "{reason}")
+            }
+            other => panic!("expected timeout abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_abort_compensates_everything() {
+        let f = setup();
+        let cal = Calendar::new("calendar");
+        let mut sphere = f.service.begin();
+        sphere.enlist(cal.clone()).unwrap();
+        cal.schedule(sphere.xid(), "alice", 10, "meeting");
+        sphere
+            .send_message_with_compensation("invite", "cancelled", &dest("Q.A", Millis(100)))
+            .unwrap();
+        f.clock.advance(Millis(5));
+        read_all(&f.qmgr, "Q.A");
+        let outcome = sphere.abort("contract negotiation fell through").unwrap();
+        assert!(!outcome.is_committed());
+        assert_eq!(cal.event("alice", 10), None, "calendar rolled back");
+        let comps = read_all(&f.qmgr, "Q.A");
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].payload_str(), Some("cancelled"));
+    }
+
+    #[test]
+    fn terminated_sphere_rejects_further_work() {
+        let f = setup();
+        let mut sphere = f.service.begin();
+        sphere.abort("done").unwrap();
+        assert!(matches!(
+            sphere.send_message("x", &dest("Q.A", Millis(10))),
+            Err(SphereError::Terminated)
+        ));
+        assert!(matches!(
+            sphere.enlist(ProbeResource::new("r")),
+            Err(SphereError::Terminated)
+        ));
+        // try_commit / abort after termination return the prior outcome.
+        assert_eq!(
+            sphere.try_commit().unwrap().unwrap(),
+            SphereOutcome::Aborted {
+                reason: "done".into()
+            }
+        );
+        assert_eq!(
+            sphere.abort("again").unwrap(),
+            SphereOutcome::Aborted {
+                reason: "done".into()
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_sphere_aborts() {
+        let f = setup();
+        let kv = KvStore::new("db");
+        {
+            let mut sphere = f.service.begin();
+            sphere.enlist(kv.clone()).unwrap();
+            kv.put(sphere.xid(), "k", "v");
+            sphere.send_message("x", &dest("Q.A", Millis(100))).unwrap();
+            // dropped without demarcation
+        }
+        assert_eq!(kv.get("k"), None);
+        // Compensation (annihilating the unread original) awaits on Q.A.
+        assert!(read_all(&f.qmgr, "Q.A").is_empty());
+        assert_eq!(f.qmgr.queue("Q.A").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn empty_sphere_commits_trivially() {
+        let f = setup();
+        let mut sphere = f.service.begin();
+        let outcome = sphere.try_commit().unwrap().unwrap();
+        assert!(outcome.is_committed());
+        assert_eq!(outcome.to_string(), "committed");
+    }
+
+    #[test]
+    fn two_spheres_are_independent() {
+        let f = setup();
+        let mut s1 = f.service.begin();
+        let mut s2 = f.service.begin();
+        s1.send_message("one", &dest("Q.A", Millis(100))).unwrap();
+        s2.send_message("two", &dest("Q.B", Millis(50))).unwrap();
+        f.clock.advance(Millis(10));
+        read_all(&f.qmgr, "Q.A"); // only sphere 1's message is read
+        f.clock.advance(Millis(60)); // sphere 2's window lapses
+        let o1 = s1.try_commit().unwrap().unwrap();
+        let o2 = s2.try_commit().unwrap().unwrap();
+        assert!(o1.is_committed());
+        assert!(!o2.is_committed());
+    }
+}

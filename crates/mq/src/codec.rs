@@ -1,0 +1,684 @@
+//! Self-contained binary codec used for journal records and cross-manager
+//! message framing.
+//!
+//! The format is deliberately simple: little-endian fixed-width integers,
+//! LEB128 varints for lengths, length-prefixed UTF-8 strings, and a `u8` tag
+//! per enum variant. [`crc32`] provides integrity checking for journal
+//! framing ([`crate::journal`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simtime::{Millis, Time};
+
+use crate::message::{Message, MessageId, Priority, PropertyValue, QueueAddress};
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A declared length exceeds the remaining buffer (corruption guard).
+    LengthOverrun {
+        /// Declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            CodecError::BadTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::LengthOverrun {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining {remaining} bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Streaming encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Finishes encoding and returns the bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.put_u128_le(v);
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends an IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends an optional value: absence tag `0`, presence tag `1` + value.
+    pub fn put_opt<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Encoder, &T)) {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                f(self, inner);
+            }
+        }
+    }
+}
+
+/// Streaming decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Creates a decoder over the given bytes.
+    pub fn new(buf: Bytes) -> Decoder {
+        Decoder { buf }
+    }
+
+    /// Bytes remaining to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            Err(CodecError::UnexpectedEof)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        self.need(16)?;
+        Ok(self.buf.get_u128_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a boolean byte (`0` or `1`; anything else is a bad tag).
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(CodecError::VarintOverflow);
+            }
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.get_varint()?;
+        if len > self.buf.remaining() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: len,
+                remaining: self.buf.remaining(),
+            });
+        }
+        Ok(self.buf.copy_to_bytes(len as usize))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Reads an optional value written with [`Encoder::put_opt`].
+    pub fn get_opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Decoder) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            tag => Err(CodecError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Types that can be written to an [`Encoder`].
+pub trait WireEncode {
+    /// Appends this value to the encoder.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: encodes into a fresh byte buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+}
+
+/// Types that can be read back from a [`Decoder`].
+pub trait WireDecode: Sized {
+    /// Decodes one value from the decoder.
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError>;
+
+    /// Convenience: decodes from a byte buffer, requiring full consumption.
+    fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(CodecError::LengthOverrun {
+                declared: 0,
+                remaining: dec.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+impl WireEncode for PropertyValue {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PropertyValue::Str(s) => {
+                enc.put_u8(0);
+                enc.put_str(s);
+            }
+            PropertyValue::I64(v) => {
+                enc.put_u8(1);
+                enc.put_i64(*v);
+            }
+            PropertyValue::F64(v) => {
+                enc.put_u8(2);
+                enc.put_f64(*v);
+            }
+            PropertyValue::Bool(b) => {
+                enc.put_u8(3);
+                enc.put_bool(*b);
+            }
+        }
+    }
+}
+
+impl WireDecode for PropertyValue {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(PropertyValue::Str(dec.get_str()?)),
+            1 => Ok(PropertyValue::I64(dec.get_i64()?)),
+            2 => Ok(PropertyValue::F64(dec.get_f64()?)),
+            3 => Ok(PropertyValue::Bool(dec.get_bool()?)),
+            tag => Err(CodecError::BadTag {
+                what: "PropertyValue",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for QueueAddress {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.manager);
+        enc.put_str(&self.queue);
+    }
+}
+
+impl WireDecode for QueueAddress {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(QueueAddress {
+            manager: dec.get_str()?,
+            queue: dec.get_str()?,
+        })
+    }
+}
+
+impl WireEncode for Message {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(self.id().as_u128());
+        enc.put_bytes(self.payload());
+        let props: Vec<_> = self.properties().collect();
+        enc.put_varint(props.len() as u64);
+        for (k, v) in props {
+            enc.put_str(k);
+            v.encode(enc);
+        }
+        enc.put_u8(self.priority().level());
+        enc.put_bool(self.is_persistent());
+        enc.put_opt(self.ttl().as_ref(), |e, m| e.put_u64(m.as_u64()));
+        enc.put_opt(self.expiry().as_ref(), |e, t| e.put_u64(t.as_millis()));
+        enc.put_opt(self.correlation_id().map(String::from).as_ref(), |e, s| {
+            e.put_str(s)
+        });
+        enc.put_opt(self.reply_to(), |e, a| a.encode(e));
+        enc.put_opt(self.put_time().as_ref(), |e, t| e.put_u64(t.as_millis()));
+        enc.put_u32(self.redelivery_count());
+    }
+}
+
+impl WireDecode for Message {
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let id = MessageId::from_u128(dec.get_u128()?);
+        let payload = dec.get_bytes()?;
+        let n_props = dec.get_varint()?;
+        let mut properties = BTreeMap::new();
+        for _ in 0..n_props {
+            let key = dec.get_str()?;
+            let value = PropertyValue::decode(dec)?;
+            properties.insert(key, value);
+        }
+        let priority = Priority::new(dec.get_u8()?);
+        let persistent = dec.get_bool()?;
+        let ttl = dec.get_opt(|d| d.get_u64().map(Millis))?;
+        let expiry = dec.get_opt(|d| d.get_u64().map(Time))?;
+        let correlation_id = dec.get_opt(|d| d.get_str())?;
+        let reply_to = dec.get_opt(QueueAddress::decode)?;
+        let put_time = dec.get_opt(|d| d.get_u64().map(Time))?;
+        let redelivery_count = dec.get_u32()?;
+        Ok(Message::from_parts(
+            id,
+            payload,
+            properties,
+            priority,
+            persistent,
+            ttl,
+            expiry,
+            correlation_id,
+            reply_to,
+            put_time,
+            redelivery_count,
+        ))
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), used to frame journal records.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    // Table computed once; 256 entries.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_u128(u128::MAX - 1);
+        enc.put_i64(-42);
+        enc.put_f64(2.75);
+        enc.put_bool(true);
+        enc.put_str("héllo");
+        enc.put_bytes(&[1, 2, 3]);
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_u128().unwrap(), u128::MAX - 1);
+        assert_eq!(dec.get_i64().unwrap(), -42);
+        assert_eq!(dec.get_f64().unwrap(), 2.75);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_str().unwrap(), "héllo");
+        assert_eq!(dec.get_bytes().unwrap().as_ref(), &[1, 2, 3]);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            let mut dec = Decoder::new(enc.finish());
+            assert_eq!(dec.get_varint().unwrap(), v);
+            assert!(dec.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes would encode > 64 bits.
+        let bytes = Bytes::from(vec![0xFFu8; 11]);
+        let mut dec = Decoder::new(bytes);
+        assert_eq!(dec.get_varint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut dec = Decoder::new(Bytes::from_static(&[1, 2]));
+        assert_eq!(dec.get_u64(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn length_overrun_detected() {
+        let mut enc = Encoder::new();
+        enc.put_varint(1000); // declared length far beyond actual content
+        enc.put_u8(1);
+        let mut dec = Decoder::new(enc.finish());
+        assert!(matches!(
+            dec.get_bytes(),
+            Err(CodecError::LengthOverrun { declared: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        let mut dec = Decoder::new(Bytes::from_static(&[9]));
+        assert_eq!(
+            dec.get_bool(),
+            Err(CodecError::BadTag {
+                what: "bool",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_opt(None::<&u64>, |e, v| e.put_u64(*v));
+        enc.put_opt(Some(&99u64), |e, v| e.put_u64(*v));
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_opt(|d| d.get_u64()).unwrap(), None);
+        assert_eq!(dec.get_opt(|d| d.get_u64()).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn property_value_roundtrips() {
+        roundtrip(&PropertyValue::Str("abc".into()));
+        roundtrip(&PropertyValue::I64(-5));
+        roundtrip(&PropertyValue::F64(1.25));
+        roundtrip(&PropertyValue::Bool(false));
+    }
+
+    #[test]
+    fn queue_address_roundtrips() {
+        roundtrip(&QueueAddress::new("QM1", "Q.A"));
+    }
+
+    #[test]
+    fn full_message_roundtrips() {
+        let mut msg = Message::text("payload")
+            .property("str", "v")
+            .property("int", -3i64)
+            .property("float", 0.5f64)
+            .property("bool", true)
+            .priority(Priority::new(9))
+            .persistent(true)
+            .ttl(Millis(123))
+            .correlation_id("corr")
+            .reply_to(QueueAddress::new("QM2", "REPLY"))
+            .build();
+        msg.stamp_enqueue(Time(77));
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn minimal_message_roundtrips() {
+        let msg = Message::builder(Bytes::new()).build();
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_by_from_bytes() {
+        let msg = Message::text("x").build();
+        let mut raw = msg.to_bytes().to_vec();
+        raw.push(0xAB);
+        assert!(Message::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn crc32_detects_bitflip() {
+        let msg = Message::text("important").persistent(true).build();
+        let bytes = msg.to_bytes();
+        let good = crc32(&bytes);
+        let mut flipped = bytes.to_vec();
+        flipped[0] ^= 0x01;
+        assert_ne!(crc32(&flipped), good);
+    }
+
+    #[cfg(test)]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_property() -> impl Strategy<Value = PropertyValue> {
+            prop_oneof![
+                any::<String>().prop_map(PropertyValue::Str),
+                any::<i64>().prop_map(PropertyValue::I64),
+                // Avoid NaN: PartialEq-based roundtrip comparison.
+                any::<i64>().prop_map(|v| PropertyValue::F64(v as f64)),
+                any::<bool>().prop_map(PropertyValue::Bool),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn varint_roundtrips(v in any::<u64>()) {
+                let mut enc = Encoder::new();
+                enc.put_varint(v);
+                let mut dec = Decoder::new(enc.finish());
+                prop_assert_eq!(dec.get_varint().unwrap(), v);
+            }
+
+            #[test]
+            fn strings_roundtrip(s in any::<String>()) {
+                let mut enc = Encoder::new();
+                enc.put_str(&s);
+                let mut dec = Decoder::new(enc.finish());
+                prop_assert_eq!(dec.get_str().unwrap(), s);
+            }
+
+            #[test]
+            fn properties_roundtrip(p in arb_property()) {
+                let bytes = p.to_bytes();
+                prop_assert_eq!(PropertyValue::from_bytes(bytes).unwrap(), p);
+            }
+
+            #[test]
+            fn arbitrary_message_roundtrips(
+                payload in proptest::collection::vec(any::<u8>(), 0..256),
+                keys in proptest::collection::btree_set("[a-z]{1,8}", 0..6),
+                prio in 0u8..=9,
+                persistent in any::<bool>(),
+                ttl in proptest::option::of(0u64..10_000),
+            ) {
+                let mut builder = Message::builder(Bytes::from(payload));
+                for (i, k) in keys.into_iter().enumerate() {
+                    builder = builder.property(k, i as i64);
+                }
+                builder = builder.priority(Priority::new(prio)).persistent(persistent);
+                if let Some(t) = ttl {
+                    builder = builder.ttl(Millis(t));
+                }
+                let msg = builder.build();
+                let back = Message::from_bytes(msg.to_bytes()).unwrap();
+                prop_assert_eq!(back, msg);
+            }
+
+            #[test]
+            fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+                // Must return an error or a value, never panic.
+                let _ = Message::from_bytes(Bytes::from(bytes));
+            }
+        }
+    }
+}

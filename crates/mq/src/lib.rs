@@ -1,0 +1,63 @@
+//! `mq` — a from-scratch reliable message-queuing substrate.
+//!
+//! This crate reimplements the slice of MQSeries/JMS semantics that the
+//! conditional-messaging middleware of Tai et al. (ICDCS 2002) is layered
+//! on:
+//!
+//! * **Queue managers** ([`QueueManager`]) owning named, priority-ordered
+//!   [`Queue`]s with expiry, browsing and [selectors](selector).
+//! * **Reliability** via a write-ahead [journal]: persistent messages,
+//!   non-transactional gets and committed transactions are journaled and
+//!   replayed on restart; [`QueueManager::crash`] + rebuild is the
+//!   crash-recovery harness.
+//! * **Messaging transactions** ([`Session`]): staged puts, provisional
+//!   gets, rollback-redelivery with backout counting and a dead-letter
+//!   queue — the semantics behind the paper's "acknowledgment of a
+//!   successful transactional read".
+//! * **Store-and-forward [channel]s** moving messages between managers over
+//!   a simulated [network link](net) with latency, jitter, loss and
+//!   partitions.
+//! * A pluggable [clock](simtime) so every timeout is deterministic under
+//!   test.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mq::{Message, QueueManager, Wait};
+//!
+//! let qm = QueueManager::builder("QM1").build()?;
+//! qm.create_queue("ORDERS")?;
+//! qm.put("ORDERS", Message::text("order #1").persistent(true).build())?;
+//! let order = qm.get("ORDERS", Wait::NoWait)?.expect("delivered");
+//! assert_eq!(order.payload_str(), Some("order #1"));
+//! # Ok::<(), mq::MqError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod codec;
+mod error;
+pub mod journal;
+pub mod listener;
+mod message;
+pub mod net;
+mod qmgr;
+mod queue;
+pub mod selector;
+mod session;
+pub mod stats;
+pub mod topic;
+
+pub use error::{MqError, MqResult};
+pub use message::{Message, MessageBuilder, MessageId, Priority, PropertyValue, QueueAddress};
+pub use qmgr::{
+    ManagerConfig, QueueManager, QueueManagerBuilder, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY,
+    XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY,
+};
+pub use queue::{Queue, QueueConfig, Wait};
+pub use session::Session;
+
+// Re-export the clock abstraction so downstream crates need only `mq`.
+pub use simtime::{Clock, Millis, SharedClock, SimClock, SystemClock, Time};

@@ -1,0 +1,309 @@
+//! Push-based message consumption (the JMS `MessageListener` analog).
+//!
+//! A [`Listener`] runs a background thread that delivers each arriving
+//! message to a callback. Delivery is transactional: the callback runs
+//! inside a messaging transaction holding the consumed message, and its
+//! [`Disposition`] decides between commit (message consumed, staged puts
+//! released) and rollback (message redelivered, counting toward the
+//! backout threshold). A panicking callback rolls back too — a poison
+//! message therefore ends up on the dead-letter queue instead of wedging
+//! the listener.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use simtime::Millis;
+
+use crate::error::MqResult;
+use crate::message::Message;
+use crate::qmgr::QueueManager;
+use crate::queue::Wait;
+use crate::session::Session;
+use crate::stats::Counter;
+
+/// What the listener should do with the delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Commit the delivery transaction (message consumed).
+    Commit,
+    /// Roll back: the message returns to the queue and is redelivered
+    /// (dead-lettered past the backout threshold).
+    Rollback,
+}
+
+/// The delivery callback: receives the message and a session holding the
+/// open delivery transaction (replies/forwards staged on it commit
+/// atomically with the consumption).
+pub type Callback = dyn FnMut(&Message, &mut Session) -> Disposition + Send;
+
+/// Per-listener statistics.
+#[derive(Debug, Default)]
+pub struct ListenerStats {
+    /// Deliveries committed.
+    pub delivered: Counter,
+    /// Deliveries rolled back (by disposition or panic).
+    pub rolled_back: Counter,
+    /// Callback panics caught.
+    pub panics: Counter,
+}
+
+/// A running push consumer; stops (and joins) on drop.
+pub struct Listener {
+    queue: String,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<ListenerStats>,
+}
+
+impl fmt::Debug for Listener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Listener")
+            .field("queue", &self.queue)
+            .field("delivered", &self.stats.delivered.get())
+            .finish()
+    }
+}
+
+impl Listener {
+    /// Spawns a listener on `queue`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MqError::QueueNotFound`] when the queue does not exist.
+    pub fn spawn(
+        qmgr: Arc<QueueManager>,
+        queue: impl Into<String>,
+        mut callback: Box<Callback>,
+    ) -> MqResult<Listener> {
+        let queue = queue.into();
+        qmgr.queue(&queue)?; // validate up front
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ListenerStats::default());
+        let stop2 = stop.clone();
+        let stats2 = stats.clone();
+        let queue2 = queue.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mq-listener-{queue}"))
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    if !qmgr.is_running() {
+                        return;
+                    }
+                    let mut session = qmgr.session();
+                    if session.begin().is_err() {
+                        return;
+                    }
+                    let msg = match session.get(&queue2, Wait::Timeout(Millis(20))) {
+                        Ok(Some(m)) => m,
+                        Ok(None) => {
+                            let _ = session.rollback_for_retry();
+                            continue;
+                        }
+                        Err(_) => return, // manager stopped
+                    };
+                    // Catch panics so a poison message rolls back (and
+                    // eventually dead-letters) instead of killing the
+                    // listener thread.
+                    let disposition =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            callback(&msg, &mut session)
+                        }));
+                    match disposition {
+                        Ok(Disposition::Commit) => {
+                            if session.commit().is_ok() {
+                                stats2.delivered.incr();
+                            }
+                        }
+                        Ok(Disposition::Rollback) => {
+                            let _ = session.rollback();
+                            stats2.rolled_back.incr();
+                        }
+                        Err(_) => {
+                            let _ = session.rollback();
+                            stats2.rolled_back.incr();
+                            stats2.panics.incr();
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn listener thread");
+        Ok(Listener {
+            queue,
+            stop,
+            handle: Some(handle),
+            stats,
+        })
+    }
+
+    /// The queue this listener consumes.
+    pub fn queue(&self) -> &str {
+        &self.queue
+    }
+
+    /// Listener statistics.
+    pub fn stats(&self) -> &ListenerStats {
+        &self.stats
+    }
+
+    /// Stops the listener and waits for its thread to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmgr::{ManagerConfig, DEAD_LETTER_QUEUE};
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    fn wait_for<F: Fn() -> bool>(what: &str, f: F) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !f() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn listener_delivers_messages_in_order() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("IN").unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut listener = Listener::spawn(
+            qmgr.clone(),
+            "IN",
+            Box::new(move |msg, _session| {
+                seen2.lock().push(msg.payload_str().unwrap().to_owned());
+                Disposition::Commit
+            }),
+        )
+        .unwrap();
+        for i in 0..10 {
+            qmgr.put("IN", Message::text(format!("m{i}")).build())
+                .unwrap();
+        }
+        wait_for("10 deliveries", || seen.lock().len() == 10);
+        listener.stop();
+        assert_eq!(
+            *seen.lock(),
+            (0..10).map(|i| format!("m{i}")).collect::<Vec<_>>()
+        );
+        assert_eq!(listener.stats().delivered.get(), 10);
+        assert_eq!(qmgr.queue("IN").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn staged_replies_commit_with_the_delivery() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("IN").unwrap();
+        qmgr.create_queue("OUT").unwrap();
+        let _listener = Listener::spawn(
+            qmgr.clone(),
+            "IN",
+            Box::new(|msg, session| {
+                let reply = Message::text(format!("re: {}", msg.payload_str().unwrap())).build();
+                session.put("OUT", reply).expect("stage reply");
+                Disposition::Commit
+            }),
+        )
+        .unwrap();
+        qmgr.put("IN", Message::text("ping").build()).unwrap();
+        wait_for("reply", || qmgr.queue("OUT").unwrap().depth() == 1);
+        let reply = qmgr.get("OUT", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(reply.payload_str(), Some("re: ping"));
+    }
+
+    #[test]
+    fn rollback_redelivers_until_dead_lettered() {
+        let qmgr = QueueManager::builder("QM1")
+            .config(ManagerConfig {
+                backout_threshold: 2,
+                ..ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qmgr.create_queue("IN").unwrap();
+        let attempts = Arc::new(Counter::default());
+        let attempts2 = attempts.clone();
+        let _listener = Listener::spawn(
+            qmgr.clone(),
+            "IN",
+            Box::new(move |_msg, _session| {
+                attempts2.incr();
+                Disposition::Rollback
+            }),
+        )
+        .unwrap();
+        qmgr.put("IN", Message::text("poison").build()).unwrap();
+        wait_for("dead letter", || {
+            qmgr.queue(DEAD_LETTER_QUEUE).unwrap().depth() == 1
+        });
+        assert!(
+            attempts.get() >= 3,
+            "initial + redeliveries: {}",
+            attempts.get()
+        );
+        assert_eq!(qmgr.queue("IN").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn panicking_callback_rolls_back_and_survives() {
+        let qmgr = QueueManager::builder("QM1")
+            .config(ManagerConfig {
+                backout_threshold: 1,
+                ..ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qmgr.create_queue("IN").unwrap();
+        let listener = Listener::spawn(
+            qmgr.clone(),
+            "IN",
+            Box::new(|msg, _session| {
+                if msg.payload_str() == Some("boom") {
+                    panic!("callback exploded");
+                }
+                Disposition::Commit
+            }),
+        )
+        .unwrap();
+        qmgr.put("IN", Message::text("boom").build()).unwrap();
+        qmgr.put("IN", Message::text("fine").build()).unwrap();
+        wait_for("panic handled + good message delivered", || {
+            listener.stats().panics.get() >= 1 && listener.stats().delivered.get() >= 1
+        });
+        wait_for("poison dead-lettered", || {
+            qmgr.queue(DEAD_LETTER_QUEUE).unwrap().depth() == 1
+        });
+    }
+
+    #[test]
+    fn spawn_on_missing_queue_fails() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        assert!(Listener::spawn(qmgr, "NOPE", Box::new(|_, _| Disposition::Commit)).is_err());
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("IN").unwrap();
+        let mut listener =
+            Listener::spawn(qmgr, "IN", Box::new(|_, _| Disposition::Commit)).unwrap();
+        listener.stop();
+        listener.stop();
+        assert_eq!(listener.queue(), "IN");
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated point-to-point network links.
+//!
+//! A [`Link`] models the wire between two queue managers: configurable base
+//! latency, uniform jitter, message-drop probability, and an up/down switch
+//! for partitions. Channels ([`crate::channel`]) consult the link for every
+//! transfer attempt; because dropped transfers are retried from the
+//! transmission queue, the *end-to-end* delivery guarantee stays intact —
+//! exactly the property the paper's reliable-messaging substrate provides.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtime::Millis;
+
+use crate::stats::Counter;
+
+/// Link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Fixed one-way latency applied to every successful transfer.
+    pub base_latency: Millis,
+    /// Additional uniform random latency in `0..=jitter`.
+    pub jitter: Millis,
+    /// Probability in `[0, 1]` that a transfer attempt is dropped.
+    pub drop_rate: f64,
+    /// RNG seed, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            base_latency: Millis::ZERO,
+            jitter: Millis::ZERO,
+            drop_rate: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Outcome of one transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transfer {
+    /// Deliver after the given latency.
+    Deliver(Millis),
+    /// The attempt was dropped; the sender should retry.
+    Dropped,
+    /// The link is partitioned; the sender should back off.
+    Down,
+}
+
+/// Per-link statistics.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Transfer attempts made.
+    pub attempts: Counter,
+    /// Attempts that were delivered.
+    pub delivered: Counter,
+    /// Attempts dropped by the loss model.
+    pub dropped: Counter,
+    /// Attempts refused because the link was down.
+    pub refused: Counter,
+}
+
+/// A simulated unidirectional network link.
+pub struct Link {
+    config: Mutex<LinkConfig>,
+    rng: Mutex<StdRng>,
+    up: AtomicBool,
+    stats: LinkStats,
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Link")
+            .field("config", &*self.config.lock())
+            .field("up", &self.is_up())
+            .finish()
+    }
+}
+
+impl Link {
+    /// Creates a link with the given parameters, initially up.
+    pub fn new(config: LinkConfig) -> Arc<Link> {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Arc::new(Link {
+            config: Mutex::new(config),
+            rng: Mutex::new(rng),
+            up: AtomicBool::new(true),
+            stats: LinkStats::default(),
+        })
+    }
+
+    /// Creates an ideal link: zero latency, no loss.
+    pub fn ideal() -> Arc<Link> {
+        Link::new(LinkConfig::default())
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Partitions (`false`) or heals (`true`) the link.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// Replaces the link parameters at runtime.
+    pub fn reconfigure(&self, config: LinkConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// Link statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Samples the fate of one transfer attempt.
+    pub fn transfer(&self) -> Transfer {
+        self.stats.attempts.incr();
+        if !self.is_up() {
+            self.stats.refused.incr();
+            return Transfer::Down;
+        }
+        let config = self.config.lock().clone();
+        let mut rng = self.rng.lock();
+        if config.drop_rate > 0.0 && rng.gen::<f64>() < config.drop_rate {
+            self.stats.dropped.incr();
+            return Transfer::Dropped;
+        }
+        let jitter = if config.jitter.as_u64() > 0 {
+            Millis(rng.gen_range(0..=config.jitter.as_u64()))
+        } else {
+            Millis::ZERO
+        };
+        self.stats.delivered.incr();
+        Transfer::Deliver(config.base_latency + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_always_delivers_instantly() {
+        let link = Link::ideal();
+        for _ in 0..100 {
+            assert_eq!(link.transfer(), Transfer::Deliver(Millis::ZERO));
+        }
+        assert_eq!(link.stats().delivered.get(), 100);
+        assert_eq!(link.stats().dropped.get(), 0);
+    }
+
+    #[test]
+    fn latency_stays_within_base_plus_jitter() {
+        let link = Link::new(LinkConfig {
+            base_latency: Millis(10),
+            jitter: Millis(5),
+            drop_rate: 0.0,
+            seed: 42,
+        });
+        for _ in 0..200 {
+            match link.transfer() {
+                Transfer::Deliver(lat) => {
+                    assert!(lat >= Millis(10) && lat <= Millis(15), "latency {lat}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_approximately_respected() {
+        let link = Link::new(LinkConfig {
+            drop_rate: 0.5,
+            seed: 7,
+            ..LinkConfig::default()
+        });
+        for _ in 0..1000 {
+            link.transfer();
+        }
+        let dropped = link.stats().dropped.get();
+        assert!(
+            (350..=650).contains(&dropped),
+            "drop count {dropped} far from 50%"
+        );
+    }
+
+    #[test]
+    fn partition_refuses_and_heals() {
+        let link = Link::ideal();
+        link.set_up(false);
+        assert!(!link.is_up());
+        assert_eq!(link.transfer(), Transfer::Down);
+        assert_eq!(link.stats().refused.get(), 1);
+        link.set_up(true);
+        assert!(matches!(link.transfer(), Transfer::Deliver(_)));
+    }
+
+    #[test]
+    fn same_seed_gives_same_fates() {
+        let mk = || {
+            Link::new(LinkConfig {
+                drop_rate: 0.3,
+                jitter: Millis(20),
+                seed: 99,
+                ..LinkConfig::default()
+            })
+        };
+        let a = mk();
+        let b = mk();
+        for _ in 0..50 {
+            assert_eq!(a.transfer(), b.transfer());
+        }
+    }
+
+    #[test]
+    fn reconfigure_takes_effect() {
+        let link = Link::ideal();
+        link.reconfigure(LinkConfig {
+            base_latency: Millis(7),
+            ..LinkConfig::default()
+        });
+        assert_eq!(link.transfer(), Transfer::Deliver(Millis(7)));
+    }
+}

@@ -1,0 +1,805 @@
+//! The queue manager: the unit of deployment in this substrate, analogous
+//! to an MQSeries queue manager or a JMS provider instance.
+//!
+//! A [`QueueManager`] owns named queues, a journal, routing entries to
+//! remote managers (transmission queues served by [`crate::channel`]), and
+//! a dead-letter queue. Building a manager over a non-empty journal replays
+//! it, restoring all persistent state — `crash()` followed by a rebuild is
+//! the crash-recovery test harness used throughout the repo.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simtime::{SharedClock, SystemClock};
+
+use crate::error::{MqError, MqResult};
+use crate::journal::{Journal, JournalRecord, MemJournal};
+use crate::message::{Message, QueueAddress};
+use crate::queue::{Queue, QueueConfig, Wait};
+use crate::selector::Selector;
+use crate::session::Session;
+use crate::stats::ManagerStats;
+
+/// Name of the dead-letter queue every manager owns.
+pub const DEAD_LETTER_QUEUE: &str = "SYSTEM.DEAD.LETTER.QUEUE";
+
+/// Property stamped on dead-lettered messages explaining why.
+pub const DLQ_REASON_PROPERTY: &str = "sys.dlq.reason";
+
+/// Property carrying the destination queue on transmission-queue envelopes.
+pub const XMIT_DEST_QUEUE_PROPERTY: &str = "sys.xmit.dest.queue";
+
+/// Property carrying the destination manager on transmission-queue envelopes.
+pub const XMIT_DEST_MANAGER_PROPERTY: &str = "sys.xmit.dest.qmgr";
+
+/// Manager-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Rollbacks beyond this count dead-letter the message (MQ "backout
+    /// threshold").
+    pub backout_threshold: u32,
+    /// Maximum message payload size accepted by `put`.
+    pub max_message_size: Option<usize>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            backout_threshold: 5,
+            max_message_size: None,
+        }
+    }
+}
+
+/// Builder for [`QueueManager`].
+pub struct QueueManagerBuilder {
+    name: String,
+    clock: Option<SharedClock>,
+    journal: Option<Arc<dyn Journal>>,
+    config: ManagerConfig,
+}
+
+impl QueueManagerBuilder {
+    /// Sets the clock (defaults to a fresh [`SystemClock`]).
+    pub fn clock(mut self, clock: SharedClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Sets the journal (defaults to a fresh [`MemJournal`]).
+    pub fn journal(mut self, journal: Arc<dyn Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Sets manager-wide configuration.
+    pub fn config(mut self, config: ManagerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the manager, replaying the journal to recover persistent
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal replay failures (unreadable or corrupt storage).
+    pub fn build(self) -> MqResult<Arc<QueueManager>> {
+        let clock = self.clock.unwrap_or_else(|| SystemClock::new());
+        let journal = self.journal.unwrap_or_else(|| MemJournal::new());
+        let manager = Arc::new(QueueManager {
+            name: self.name,
+            clock,
+            journal,
+            config: self.config,
+            queues: RwLock::new(HashMap::new()),
+            routes: RwLock::new(HashMap::new()),
+            stats: ManagerStats::default(),
+            running: AtomicBool::new(true),
+        });
+        manager.recover()?;
+        if !manager.queue_exists(DEAD_LETTER_QUEUE) {
+            manager.create_queue(DEAD_LETTER_QUEUE)?;
+        }
+        Ok(manager)
+    }
+}
+
+/// A queue manager: named queues + journal + routes.
+pub struct QueueManager {
+    name: String,
+    clock: SharedClock,
+    journal: Arc<dyn Journal>,
+    config: ManagerConfig,
+    queues: RwLock<HashMap<String, Arc<Queue>>>,
+    /// remote manager name → local transmission queue name
+    routes: RwLock<HashMap<String, String>>,
+    stats: ManagerStats,
+    running: AtomicBool,
+}
+
+impl fmt::Debug for QueueManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueManager")
+            .field("name", &self.name)
+            .field("queues", &self.queue_names())
+            .field("running", &self.is_running())
+            .finish()
+    }
+}
+
+impl QueueManager {
+    /// Starts building a queue manager with the given name.
+    pub fn builder(name: impl Into<String>) -> QueueManagerBuilder {
+        QueueManagerBuilder {
+            name: name.into(),
+            clock: None,
+            journal: None,
+            config: ManagerConfig::default(),
+        }
+    }
+
+    /// The manager's name (used in [`QueueAddress`]es).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared clock all queues use.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The manager's journal.
+    pub fn journal(&self) -> &Arc<dyn Journal> {
+        &self.journal
+    }
+
+    /// Manager-wide statistics.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// Manager-wide configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// Whether the manager is accepting work.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    fn check_running(&self) -> MqResult<()> {
+        if self.is_running() {
+            Ok(())
+        } else {
+            Err(MqError::ManagerStopped(self.name.clone()))
+        }
+    }
+
+    // ---------------------------------------------------- queue admin --
+
+    /// Creates a queue with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueExists`] if the name is taken; journal failures.
+    pub fn create_queue(&self, name: impl Into<String>) -> MqResult<Arc<Queue>> {
+        self.create_queue_with(name, QueueConfig::default())
+    }
+
+    /// Creates a queue with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueExists`] if the name is taken; journal failures.
+    pub fn create_queue_with(
+        &self,
+        name: impl Into<String>,
+        config: QueueConfig,
+    ) -> MqResult<Arc<Queue>> {
+        self.check_running()?;
+        let name = name.into();
+        let mut queues = self.queues.write();
+        if queues.contains_key(&name) {
+            return Err(MqError::QueueExists(name));
+        }
+        self.journal.append(&JournalRecord::QueueCreated {
+            queue: name.clone(),
+        })?;
+        let queue = Queue::new(
+            name.clone(),
+            self.clock.clone(),
+            self.journal.clone(),
+            config,
+        );
+        queues.insert(name, queue.clone());
+        Ok(queue)
+    }
+
+    /// Returns the queue if it exists, creating it otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Journal failures during creation.
+    pub fn ensure_queue(&self, name: &str) -> MqResult<Arc<Queue>> {
+        if let Ok(q) = self.queue(name) {
+            return Ok(q);
+        }
+        match self.create_queue(name) {
+            Ok(q) => Ok(q),
+            // Raced with another creator: fetch theirs.
+            Err(MqError::QueueExists(_)) => self.queue(name),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Deletes a queue and discards its messages.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`]; journal failures.
+    pub fn delete_queue(&self, name: &str) -> MqResult<()> {
+        self.check_running()?;
+        let mut queues = self.queues.write();
+        let queue = queues
+            .remove(name)
+            .ok_or_else(|| MqError::QueueNotFound(name.to_owned()))?;
+        self.journal.append(&JournalRecord::QueueDeleted {
+            queue: name.to_owned(),
+        })?;
+        queue.close();
+        Ok(())
+    }
+
+    /// Looks up a queue handle.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`].
+    pub fn queue(&self, name: &str) -> MqResult<Arc<Queue>> {
+        self.queues
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MqError::QueueNotFound(name.to_owned()))
+    }
+
+    /// Whether the named queue exists.
+    pub fn queue_exists(&self, name: &str) -> bool {
+        self.queues.read().contains_key(name)
+    }
+
+    /// All queue names, sorted.
+    pub fn queue_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.queues.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------- messaging --
+
+    fn validate(&self, msg: &Message) -> MqResult<()> {
+        if let Some(max) = self.config.max_message_size {
+            if msg.payload().len() > max {
+                return Err(MqError::MessageTooLarge {
+                    size: msg.payload().len(),
+                    max,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueues a message on a local queue, outside any transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`], [`MqError::QueueFull`],
+    /// [`MqError::MessageTooLarge`], or journal failures.
+    pub fn put(&self, queue: &str, msg: Message) -> MqResult<()> {
+        self.check_running()?;
+        self.validate(&msg)?;
+        self.queue(queue)?.put(msg, true)
+    }
+
+    /// Enqueues a message addressed by `manager/queue`, routing to a
+    /// transmission queue when the manager is remote.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoRoute`] when no channel is defined to the remote
+    /// manager, plus the local `put` errors.
+    pub fn put_to(&self, addr: &QueueAddress, msg: Message) -> MqResult<()> {
+        if addr.manager == self.name {
+            return self.put(&addr.queue, msg);
+        }
+        let xmit = self.route_for(&addr.manager)?;
+        let envelope = Self::wrap_for_transmission(addr, msg);
+        self.stats.forwarded.incr();
+        self.put(&xmit, envelope)
+    }
+
+    /// Wraps a message in a transmission envelope bound for `addr`.
+    pub(crate) fn wrap_for_transmission(addr: &QueueAddress, mut msg: Message) -> Message {
+        msg.set_property(XMIT_DEST_QUEUE_PROPERTY, addr.queue.as_str());
+        msg.set_property(XMIT_DEST_MANAGER_PROPERTY, addr.manager.as_str());
+        msg
+    }
+
+    /// Consumes a message from a local queue, outside any transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`]; [`MqError::ManagerStopped`] if the
+    /// manager crashes while waiting.
+    pub fn get(&self, queue: &str, wait: Wait) -> MqResult<Option<Message>> {
+        self.check_running()?;
+        self.queue(queue)?.take_blocking(None, wait, true)
+    }
+
+    /// Consumes the oldest message whose correlation id equals `corr`,
+    /// via the queue's correlation index (O(matches), not a queue scan).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueueManager::get`].
+    pub fn get_by_correlation(
+        &self,
+        queue: &str,
+        corr: &str,
+        wait: Wait,
+    ) -> MqResult<Option<Message>> {
+        self.check_running()?;
+        self.queue(queue)?
+            .take_by_correlation_blocking(corr, wait, true)
+    }
+
+    /// Consumes the first message matching `selector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QueueManager::get`].
+    pub fn get_selected(
+        &self,
+        queue: &str,
+        selector: &Selector,
+        wait: Wait,
+    ) -> MqResult<Option<Message>> {
+        self.check_running()?;
+        self.queue(queue)?.take_blocking(Some(selector), wait, true)
+    }
+
+    /// Opens a session for transactional work against this manager.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(self.clone())
+    }
+
+    // --------------------------------------------------------- routing --
+
+    /// Declares that messages for `remote_manager` should be staged on the
+    /// local transmission queue `xmit_queue` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Journal failures creating the transmission queue.
+    pub fn define_route(&self, remote_manager: &str, xmit_queue: &str) -> MqResult<()> {
+        self.ensure_queue(xmit_queue)?;
+        self.routes
+            .write()
+            .insert(remote_manager.to_owned(), xmit_queue.to_owned());
+        Ok(())
+    }
+
+    /// Resolves the transmission queue for a remote manager.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoRoute`].
+    pub fn route_for(&self, remote_manager: &str) -> MqResult<String> {
+        self.routes
+            .read()
+            .get(remote_manager)
+            .cloned()
+            .ok_or_else(|| MqError::NoRoute(remote_manager.to_owned()))
+    }
+
+    /// Delivers a message arriving from a remote channel. Unknown target
+    /// queues dead-letter the message rather than losing it.
+    ///
+    /// # Errors
+    ///
+    /// Local put failures.
+    pub fn deliver_from_channel(&self, queue: &str, mut msg: Message) -> MqResult<()> {
+        self.check_running()?;
+        self.stats.received_remote.incr();
+        if self.queue_exists(queue) {
+            self.put(queue, msg)
+        } else {
+            msg.set_property(DLQ_REASON_PROPERTY, format!("unknown queue {queue}"));
+            self.put(DEAD_LETTER_QUEUE, msg)
+        }
+    }
+
+    /// Moves a message to the dead-letter queue with a reason, atomically
+    /// with its removal from `from_queue` (single `TxCommit` record).
+    pub(crate) fn dead_letter(
+        &self,
+        from_queue: &str,
+        mut msg: Message,
+        reason: &str,
+    ) -> MqResult<()> {
+        msg.set_property(DLQ_REASON_PROPERTY, reason);
+        let dlq = self.queue(DEAD_LETTER_QUEUE)?;
+        if msg.is_persistent() {
+            self.journal.append(&JournalRecord::TxCommit {
+                puts: vec![(DEAD_LETTER_QUEUE.to_owned(), msg.clone())],
+                gets: vec![(from_queue.to_owned(), msg.id())],
+            })?;
+        }
+        if let Ok(q) = self.queue(from_queue) {
+            q.stats().dead_lettered.incr();
+        }
+        dlq.put_committed(msg)
+    }
+
+    // ------------------------------------------------ crash & recovery --
+
+    /// Simulates a crash: all volatile state is dropped and every blocked
+    /// consumer is woken with [`MqError::ManagerStopped`]. Rebuild a manager
+    /// over the same journal to model restart-with-recovery.
+    pub fn crash(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        let mut queues = self.queues.write();
+        for queue in queues.values() {
+            queue.close();
+        }
+        queues.clear();
+    }
+
+    fn recover(&self) -> MqResult<()> {
+        let records = self.journal.replay()?;
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut queues = self.queues.write();
+        for record in records {
+            match record {
+                JournalRecord::QueueCreated { queue } => {
+                    queues.entry(queue.clone()).or_insert_with(|| {
+                        Queue::new(
+                            queue,
+                            self.clock.clone(),
+                            self.journal.clone(),
+                            QueueConfig::default(),
+                        )
+                    });
+                }
+                JournalRecord::QueueDeleted { queue } => {
+                    queues.remove(&queue);
+                }
+                JournalRecord::Put { queue, message } => {
+                    if let Some(q) = queues.get(&queue) {
+                        q.restore(message);
+                    }
+                }
+                JournalRecord::Get { queue, message_id } => {
+                    if let Some(q) = queues.get(&queue) {
+                        q.remove_by_id(message_id);
+                    }
+                }
+                JournalRecord::TxCommit { puts, gets } => {
+                    for (queue, message_id) in gets {
+                        if let Some(q) = queues.get(&queue) {
+                            q.remove_by_id(message_id);
+                        }
+                    }
+                    for (queue, message) in puts {
+                        if let Some(q) = queues.get(&queue) {
+                            q.restore(message);
+                        }
+                    }
+                }
+                JournalRecord::Expired { queue, message_id } => {
+                    if let Some(q) = queues.get(&queue) {
+                        q.remove_by_id(message_id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites the journal as a snapshot of current persistent state,
+    /// bounding its growth. Concurrent mutation is excluded for the
+    /// duration.
+    ///
+    /// # Errors
+    ///
+    /// Journal failures; on failure the journal may hold a partial snapshot
+    /// and should be considered unusable.
+    pub fn compact(&self) -> MqResult<()> {
+        let queues = self.queues.write();
+        self.journal.reset()?;
+        let mut names: Vec<_> = queues.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            self.journal.append(&JournalRecord::QueueCreated {
+                queue: name.clone(),
+            })?;
+            let queue = &queues[&name];
+            for msg in queue.browse() {
+                if msg.is_persistent() {
+                    self.journal.append(&JournalRecord::Put {
+                        queue: name.clone(),
+                        message: msg,
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemJournal;
+    use simtime::SimClock;
+
+    fn manager() -> (Arc<MemJournal>, Arc<QueueManager>) {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .clock(SimClock::new())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        (journal, qm)
+    }
+
+    #[test]
+    fn create_and_lookup_queues() {
+        let (_j, qm) = manager();
+        qm.create_queue("A").unwrap();
+        assert!(qm.queue_exists("A"));
+        assert!(qm.queue("A").is_ok());
+        assert!(matches!(qm.queue("B"), Err(MqError::QueueNotFound(_))));
+        assert!(matches!(qm.create_queue("A"), Err(MqError::QueueExists(_))));
+        assert_eq!(
+            qm.queue_names(),
+            vec!["A".to_string(), DEAD_LETTER_QUEUE.to_string()]
+        );
+    }
+
+    #[test]
+    fn ensure_queue_is_idempotent() {
+        let (_j, qm) = manager();
+        let a = qm.ensure_queue("X").unwrap();
+        let b = qm.ensure_queue("X").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_j, qm) = manager();
+        qm.create_queue("Q").unwrap();
+        qm.put("Q", Message::text("hi").build()).unwrap();
+        let got = qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("hi"));
+        assert!(got.put_time().is_some());
+    }
+
+    #[test]
+    fn put_to_local_address() {
+        let (_j, qm) = manager();
+        qm.create_queue("Q").unwrap();
+        qm.put_to(&QueueAddress::new("QM1", "Q"), Message::text("x").build())
+            .unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn put_to_remote_without_route_fails() {
+        let (_j, qm) = manager();
+        let err = qm
+            .put_to(&QueueAddress::new("QM9", "Q"), Message::text("x").build())
+            .unwrap_err();
+        assert!(matches!(err, MqError::NoRoute(m) if m == "QM9"));
+    }
+
+    #[test]
+    fn put_to_remote_stages_envelope_on_xmit_queue() {
+        let (_j, qm) = manager();
+        qm.define_route("QM2", "XMIT.QM2").unwrap();
+        qm.put_to(
+            &QueueAddress::new("QM2", "ORDERS"),
+            Message::text("x").build(),
+        )
+        .unwrap();
+        let envelope = qm.get("XMIT.QM2", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(
+            envelope.str_property(XMIT_DEST_QUEUE_PROPERTY),
+            Some("ORDERS")
+        );
+        assert_eq!(
+            envelope.str_property(XMIT_DEST_MANAGER_PROPERTY),
+            Some("QM2")
+        );
+        assert_eq!(qm.stats().forwarded.get(), 1);
+    }
+
+    #[test]
+    fn max_message_size_enforced() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal)
+            .config(ManagerConfig {
+                max_message_size: Some(4),
+                ..ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        assert!(matches!(
+            qm.put("Q", Message::text("too long").build()),
+            Err(MqError::MessageTooLarge { size: 8, max: 4 })
+        ));
+    }
+
+    #[test]
+    fn deliver_from_channel_dead_letters_unknown_queue() {
+        let (_j, qm) = manager();
+        qm.deliver_from_channel("NOPE", Message::text("lost?").build())
+            .unwrap();
+        let dlq = qm.get(DEAD_LETTER_QUEUE, Wait::NoWait).unwrap().unwrap();
+        assert!(dlq
+            .str_property(DLQ_REASON_PROPERTY)
+            .unwrap()
+            .contains("NOPE"));
+        assert_eq!(qm.stats().received_remote.get(), 1);
+    }
+
+    #[test]
+    fn crash_and_recover_persistent_messages_only() {
+        let journal = MemJournal::new();
+        let clock = SimClock::new();
+        let qm = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        qm.put("Q", Message::text("durable").persistent(true).build())
+            .unwrap();
+        qm.put("Q", Message::text("volatile").build()).unwrap();
+        qm.crash();
+        assert!(!qm.is_running());
+        assert!(matches!(
+            qm.put("Q", Message::text("x").build()),
+            Err(MqError::ManagerStopped(_))
+        ));
+
+        let qm2 = QueueManager::builder("QM1")
+            .clock(clock)
+            .journal(journal)
+            .build()
+            .unwrap();
+        let q = qm2.queue("Q").unwrap();
+        assert_eq!(q.depth(), 1);
+        let got = qm2.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("durable"));
+    }
+
+    #[test]
+    fn recovery_applies_gets_and_deletes() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        qm.create_queue("GONE").unwrap();
+        let keep = Message::text("keep").persistent(true).build();
+        let consumed = Message::text("consumed").persistent(true).build();
+        qm.put("Q", keep.clone()).unwrap();
+        qm.put("Q", consumed).unwrap();
+        // Consume the second message (journal Get record references it).
+        qm.get("Q", Wait::NoWait).unwrap().unwrap(); // takes "keep" (FIFO)
+        qm.delete_queue("GONE").unwrap();
+        qm.crash();
+
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert!(!qm2.queue_exists("GONE"));
+        let remaining = qm2.queue("Q").unwrap().browse();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].payload_str(), Some("consumed"));
+    }
+
+    #[test]
+    fn compact_preserves_state_and_shrinks_journal() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        for i in 0..20 {
+            qm.put("Q", Message::text(format!("m{i}")).persistent(true).build())
+                .unwrap();
+        }
+        for _ in 0..15 {
+            qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        }
+        let before = journal.record_count();
+        qm.compact().unwrap();
+        assert!(journal.record_count() < before);
+        qm.crash();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 5);
+        let first = qm2.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(first.payload_str(), Some("m15"));
+    }
+
+    #[test]
+    fn dead_letter_is_atomic_in_journal() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        let msg = Message::text("poison").persistent(true).build();
+        let id = msg.id();
+        qm.put("Q", msg.clone()).unwrap();
+        let taken = qm
+            .queue("Q")
+            .unwrap()
+            .try_take(None, false)
+            .unwrap()
+            .unwrap();
+        qm.dead_letter("Q", taken, "backout threshold exceeded")
+            .unwrap();
+        // Crash & recover: message must be on the DLQ, not on Q, not lost.
+        qm.crash();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 0);
+        let dlq_msgs = qm2.queue(DEAD_LETTER_QUEUE).unwrap().browse();
+        assert_eq!(dlq_msgs.len(), 1);
+        assert_eq!(dlq_msgs[0].id(), id);
+        assert_eq!(
+            dlq_msgs[0].str_property(DLQ_REASON_PROPERTY),
+            Some("backout threshold exceeded")
+        );
+    }
+
+    #[test]
+    fn queue_created_during_recovery_accepts_traffic() {
+        let journal = MemJournal::new();
+        {
+            let qm = QueueManager::builder("QM1")
+                .journal(journal.clone())
+                .build()
+                .unwrap();
+            qm.create_queue("Q").unwrap();
+            qm.crash();
+        }
+        let qm = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        qm.put("Q", Message::text("post-recovery").build()).unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+    }
+}

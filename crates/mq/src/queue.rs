@@ -1,0 +1,892 @@
+//! A single message queue: priority bands, FIFO within priority, expiry,
+//! selectors, browsing, and blocking consumption.
+//!
+//! Internally the queue keeps messages in an id-keyed store with per-
+//! priority FIFO bands of ids plus a correlation-id index, so targeted
+//! consumption by correlation id (`get_by_correlation`) — which the
+//! conditional-messaging layer uses heavily to pick one message's
+//! compensations and log entries out of busy service queues — costs
+//! O(matches) instead of a full queue scan. Band entries whose message was
+//! removed through another path are skipped (and dropped) lazily.
+//!
+//! Queues are owned by a [`crate::QueueManager`]; applications obtain
+//! `Arc<Queue>` handles via [`crate::QueueManager::queue`] for read-only
+//! inspection (depth, browse, stats) and go through sessions for get/put so
+//! that journaling and transactions are handled uniformly.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use simtime::{Millis, SharedClock};
+
+use crate::error::{MqError, MqResult};
+use crate::journal::{Journal, JournalRecord};
+use crate::message::{Message, MessageId};
+use crate::selector::Selector;
+use crate::stats::QueueStats;
+
+/// How long a consumer is willing to wait for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Return immediately if no matching message is available.
+    NoWait,
+    /// Wait up to the given duration of queue-manager clock time.
+    Timeout(Millis),
+    /// Wait until a message arrives or the queue closes.
+    Forever,
+}
+
+/// Per-queue configuration.
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Maximum queue depth; puts beyond it fail with [`MqError::QueueFull`].
+    pub max_depth: Option<usize>,
+}
+
+const PRIORITY_BANDS: usize = 10;
+
+#[derive(Debug)]
+struct Inner {
+    /// One FIFO band of message ids per priority level; may contain stale
+    /// ids (messages already removed), skipped lazily.
+    bands: [VecDeque<MessageId>; PRIORITY_BANDS],
+    /// The actual messages, keyed by id. `store.len()` is the queue depth.
+    store: HashMap<MessageId, Message>,
+    /// Correlation id → enqueued message ids (FIFO; may contain stale ids).
+    by_correlation: HashMap<String, VecDeque<MessageId>>,
+    open: bool,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            bands: Default::default(),
+            store: HashMap::new(),
+            by_correlation: HashMap::new(),
+            open: true,
+        }
+    }
+
+    /// Removes a message from the store and its correlation index (its
+    /// band entry goes stale and is dropped lazily).
+    fn detach(&mut self, id: MessageId) -> Option<Message> {
+        let msg = self.store.remove(&id)?;
+        if let Some(corr) = msg.correlation_id() {
+            if let Some(ids) = self.by_correlation.get_mut(corr) {
+                ids.retain(|x| *x != id);
+                if ids.is_empty() {
+                    self.by_correlation.remove(corr);
+                }
+            }
+        }
+        Some(msg)
+    }
+}
+
+/// A named message queue.
+pub struct Queue {
+    name: String,
+    clock: SharedClock,
+    journal: Arc<dyn Journal>,
+    config: QueueConfig,
+    inner: Mutex<Inner>,
+    available: Condvar,
+    stats: QueueStats,
+}
+
+impl fmt::Debug for Queue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Queue")
+            .field("name", &self.name)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl Queue {
+    pub(crate) fn new(
+        name: String,
+        clock: SharedClock,
+        journal: Arc<dyn Journal>,
+        config: QueueConfig,
+    ) -> Arc<Queue> {
+        Arc::new(Queue {
+            name,
+            clock,
+            journal,
+            config,
+            inner: Mutex::new(Inner::new()),
+            available: Condvar::new(),
+            stats: QueueStats::default(),
+        })
+    }
+
+    /// The queue's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current number of messages on the queue.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().store.len()
+    }
+
+    /// The queue's statistics counters.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Copies all non-expired messages without consuming them, in delivery
+    /// order (priority, then FIFO).
+    pub fn browse(&self) -> Vec<Message> {
+        self.browse_selected(None)
+    }
+
+    /// Copies non-expired messages matching `selector` without consuming.
+    pub fn browse_selected(&self, selector: Option<&Selector>) -> Vec<Message> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.stats.browses.incr();
+        let mut out = Vec::new();
+        for band_idx in (0..PRIORITY_BANDS).rev() {
+            // Drop stale ids while browsing; collect live matches.
+            let ids: Vec<MessageId> = inner.bands[band_idx].iter().copied().collect();
+            let mut live = VecDeque::with_capacity(ids.len());
+            for id in ids {
+                let Some(msg) = inner.store.get(&id) else {
+                    continue;
+                };
+                live.push_back(id);
+                if msg.is_expired(now) {
+                    continue;
+                }
+                if selector.is_none_or(|s| s.matches(msg)) {
+                    out.push(msg.clone());
+                }
+            }
+            inner.bands[band_idx] = live;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ puts --
+
+    /// Enqueues a message. `journal_put` is false when the enqueue is
+    /// already covered by a `TxCommit` journal record.
+    pub(crate) fn put(&self, mut msg: Message, journal_put: bool) -> MqResult<()> {
+        msg.stamp_enqueue(self.clock.now());
+        if journal_put && msg.is_persistent() && self.journal.is_durable() {
+            // WAL discipline: the record must be stable before the message
+            // becomes visible.
+            self.journal.append(&JournalRecord::Put {
+                queue: self.name.clone(),
+                message: msg.clone(),
+            })?;
+        }
+        let mut inner = self.inner.lock();
+        self.check_open(&inner)?;
+        self.check_depth(&inner)?;
+        self.insert(&mut inner, msg, false);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Returns a message to the *front* of its priority band after a
+    /// transaction rollback. Never journaled: the original `Put` record (if
+    /// any) still covers it. `bump` increments the redelivery count — false
+    /// for infrastructure retries (channel movers) that must not consume the
+    /// application's backout budget.
+    pub(crate) fn requeue_front(&self, mut msg: Message, bump: bool) {
+        if bump {
+            msg.bump_redelivery();
+            self.stats.redelivered.incr();
+        }
+        let mut inner = self.inner.lock();
+        self.insert(&mut inner, msg, true);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Re-inserts a message during journal replay (no journaling, no
+    /// re-stamping — the recovered message keeps its original headers).
+    pub(crate) fn restore(&self, msg: Message) {
+        let mut inner = self.inner.lock();
+        self.insert(&mut inner, msg, false);
+    }
+
+    /// Enqueues a message whose durability is already covered by a
+    /// transaction's `TxCommit` record. Bypasses the depth limit: the
+    /// transaction was accepted at stage time and must not fail mid-commit.
+    pub(crate) fn put_committed(&self, mut msg: Message) -> MqResult<()> {
+        msg.stamp_enqueue(self.clock.now());
+        let mut inner = self.inner.lock();
+        self.check_open(&inner)?;
+        self.insert(&mut inner, msg, false);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Removes a specific message by id (journal replay and annihilation).
+    pub(crate) fn remove_by_id(&self, id: MessageId) -> Option<Message> {
+        let mut inner = self.inner.lock();
+        let msg = inner.detach(id)?;
+        self.stats.depth.set(inner.store.len() as u64);
+        Some(msg)
+    }
+
+    fn insert(&self, inner: &mut Inner, msg: Message, front: bool) {
+        let band = usize::from(msg.priority().level()).min(PRIORITY_BANDS - 1);
+        let id = msg.id();
+        if front {
+            inner.bands[band].push_front(id);
+        } else {
+            inner.bands[band].push_back(id);
+        }
+        if let Some(corr) = msg.correlation_id() {
+            let ids = inner.by_correlation.entry(corr.to_owned()).or_default();
+            if front {
+                ids.push_front(id);
+            } else {
+                ids.push_back(id);
+            }
+        }
+        inner.store.insert(id, msg);
+        self.stats.enqueued.incr();
+        self.stats.depth.set(inner.store.len() as u64);
+    }
+
+    fn check_open(&self, inner: &Inner) -> MqResult<()> {
+        if inner.open {
+            Ok(())
+        } else {
+            Err(MqError::ManagerStopped(self.name.clone()))
+        }
+    }
+
+    fn check_depth(&self, inner: &Inner) -> MqResult<()> {
+        match self.config.max_depth {
+            Some(max) if inner.store.len() >= max => Err(MqError::QueueFull(self.name.clone())),
+            _ => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------ gets --
+
+    /// Removes and returns the first matching message, without waiting.
+    ///
+    /// `journal_get` is false for transactional gets (covered later by the
+    /// transaction's `TxCommit` record, or undone by rollback).
+    pub(crate) fn try_take(
+        &self,
+        selector: Option<&Selector>,
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let mut inner = self.inner.lock();
+        self.check_open(&inner)?;
+        self.take_locked(&mut inner, selector, journal_get)
+    }
+
+    /// Removes and returns the oldest message with the given correlation
+    /// id, using the correlation index (O(matches), not O(depth)).
+    pub(crate) fn try_take_by_correlation(
+        &self,
+        correlation: &str,
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        self.check_open(&inner)?;
+        loop {
+            let Some(ids) = inner.by_correlation.get_mut(correlation) else {
+                return Ok(None);
+            };
+            let Some(id) = ids.pop_front() else {
+                inner.by_correlation.remove(correlation);
+                return Ok(None);
+            };
+            let Some(msg) = inner.store.remove(&id) else {
+                continue; // stale
+            };
+            if inner
+                .by_correlation
+                .get(correlation)
+                .is_some_and(VecDeque::is_empty)
+            {
+                inner.by_correlation.remove(correlation);
+            }
+            self.stats.depth.set(inner.store.len() as u64);
+            if msg.is_expired(now) {
+                self.stats.expired.incr();
+                if msg.is_persistent() && self.journal.is_durable() {
+                    self.journal.append(&JournalRecord::Expired {
+                        queue: self.name.clone(),
+                        message_id: msg.id(),
+                    })?;
+                }
+                continue;
+            }
+            self.stats.dequeued.incr();
+            if journal_get && msg.is_persistent() && self.journal.is_durable() {
+                self.journal.append(&JournalRecord::Get {
+                    queue: self.name.clone(),
+                    message_id: msg.id(),
+                })?;
+            }
+            return Ok(Some(msg));
+        }
+    }
+
+    /// Removes and returns the oldest message with the given correlation
+    /// id, waiting per `wait`.
+    pub(crate) fn take_by_correlation_blocking(
+        &self,
+        correlation: &str,
+        wait: Wait,
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let deadline = match wait {
+            Wait::NoWait => return self.try_take_by_correlation(correlation, journal_get),
+            Wait::Timeout(t) => Some(self.clock.now() + t),
+            Wait::Forever => None,
+        };
+        loop {
+            if let Some(msg) = self.try_take_by_correlation(correlation, journal_get)? {
+                return Ok(Some(msg));
+            }
+            let now = self.clock.now();
+            let real_wait = match deadline {
+                Some(d) if now >= d => return Ok(None),
+                Some(d) if !self.clock.is_virtual() => (d - now).to_duration(),
+                _ if self.clock.is_virtual() => Duration::from_millis(2),
+                _ => Duration::from_millis(200),
+            };
+            let mut inner = self.inner.lock();
+            self.check_open(&inner)?;
+            self.available.wait_for(&mut inner, real_wait);
+        }
+    }
+
+    /// Removes and returns the first matching message, waiting per `wait`.
+    pub(crate) fn take_blocking(
+        &self,
+        selector: Option<&Selector>,
+        wait: Wait,
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let deadline = match wait {
+            Wait::NoWait => return self.try_take(selector, journal_get),
+            Wait::Timeout(t) => Some(self.clock.now() + t),
+            Wait::Forever => None,
+        };
+        let mut inner = self.inner.lock();
+        loop {
+            self.check_open(&inner)?;
+            if let Some(msg) = self.take_locked(&mut inner, selector, journal_get)? {
+                return Ok(Some(msg));
+            }
+            let now = self.clock.now();
+            let real_wait = match deadline {
+                Some(d) if now >= d => return Ok(None),
+                Some(d) if !self.clock.is_virtual() => (d - now).to_duration(),
+                // Virtual clock (or no deadline): poll in short real-time
+                // slices so an `advance` on another thread is noticed.
+                _ if self.clock.is_virtual() => Duration::from_millis(2),
+                _ => Duration::from_millis(200),
+            };
+            self.available.wait_for(&mut inner, real_wait);
+        }
+    }
+
+    fn take_locked(
+        &self,
+        inner: &mut Inner,
+        selector: Option<&Selector>,
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let now = self.clock.now();
+        for band_idx in (0..PRIORITY_BANDS).rev() {
+            let mut i = 0;
+            while i < inner.bands[band_idx].len() {
+                let id = inner.bands[band_idx][i];
+                let Some(msg) = inner.store.get(&id) else {
+                    // Stale id: message removed through another path.
+                    inner.bands[band_idx].remove(i);
+                    continue;
+                };
+                if msg.is_expired(now) {
+                    inner.bands[band_idx].remove(i);
+                    let dead = inner.detach(id).expect("message present");
+                    self.stats.expired.incr();
+                    self.stats.depth.set(inner.store.len() as u64);
+                    if dead.is_persistent() && self.journal.is_durable() {
+                        self.journal.append(&JournalRecord::Expired {
+                            queue: self.name.clone(),
+                            message_id: dead.id(),
+                        })?;
+                    }
+                    continue; // same index now holds the next entry
+                }
+                let matches = selector.is_none_or(|s| s.matches(msg));
+                if matches {
+                    inner.bands[band_idx].remove(i);
+                    let msg = inner.detach(id).expect("message present");
+                    self.stats.dequeued.incr();
+                    self.stats.depth.set(inner.store.len() as u64);
+                    if journal_get && msg.is_persistent() && self.journal.is_durable() {
+                        self.journal.append(&JournalRecord::Get {
+                            queue: self.name.clone(),
+                            message_id: msg.id(),
+                        })?;
+                    }
+                    return Ok(Some(msg));
+                }
+                i += 1;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Discards all messages; returns how many were removed. Expired and
+    /// live messages alike are journaled as consumed so recovery agrees.
+    pub fn purge(&self) -> MqResult<usize> {
+        let mut inner = self.inner.lock();
+        let ids: Vec<MessageId> = inner.store.keys().copied().collect();
+        let mut n = 0;
+        for id in ids {
+            let msg = inner.detach(id).expect("key present");
+            if msg.is_persistent() && self.journal.is_durable() {
+                self.journal.append(&JournalRecord::Get {
+                    queue: self.name.clone(),
+                    message_id: msg.id(),
+                })?;
+            }
+            n += 1;
+        }
+        for band in inner.bands.iter_mut() {
+            band.clear();
+        }
+        self.stats.depth.set(0);
+        Ok(n)
+    }
+
+    /// Closes the queue, waking all blocked consumers with an error.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.open = false;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Wakes blocked consumers so they can re-check the (virtual) clock.
+    /// Used by tests that advance a `SimClock` while a consumer waits.
+    pub fn kick(&self) {
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemJournal;
+    use crate::message::Priority;
+    use simtime::{SimClock, SystemClock};
+
+    fn queue_with(clock: SharedClock) -> Arc<Queue> {
+        Queue::new(
+            "TEST.Q".into(),
+            clock,
+            MemJournal::new(),
+            QueueConfig::default(),
+        )
+    }
+
+    fn sim_queue() -> (Arc<SimClock>, Arc<Queue>) {
+        let clock = SimClock::new();
+        let q = queue_with(clock.clone());
+        (clock, q)
+    }
+
+    fn text(s: &str) -> Message {
+        Message::text(s).build()
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let (_c, q) = sim_queue();
+        q.put(text("a"), true).unwrap();
+        q.put(text("b"), true).unwrap();
+        q.put(text("c"), true).unwrap();
+        let order: Vec<_> = (0..3)
+            .map(|_| q.try_take(None, true).unwrap().unwrap())
+            .map(|m| m.payload_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(q.try_take(None, true).unwrap().is_none());
+    }
+
+    #[test]
+    fn higher_priority_first() {
+        let (_c, q) = sim_queue();
+        q.put(
+            Message::text("low").priority(Priority::new(1)).build(),
+            true,
+        )
+        .unwrap();
+        q.put(
+            Message::text("high").priority(Priority::new(8)).build(),
+            true,
+        )
+        .unwrap();
+        q.put(
+            Message::text("mid").priority(Priority::new(4)).build(),
+            true,
+        )
+        .unwrap();
+        let order: Vec<_> = (0..3)
+            .map(|_| q.try_take(None, true).unwrap().unwrap())
+            .map(|m| m.payload_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(order, vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn depth_and_stats_track_operations() {
+        let (_c, q) = sim_queue();
+        q.put(text("a"), true).unwrap();
+        q.put(text("b"), true).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.stats().enqueued.get(), 2);
+        assert_eq!(q.stats().depth.high_water(), 2);
+        q.try_take(None, true).unwrap().unwrap();
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.stats().dequeued.get(), 1);
+    }
+
+    #[test]
+    fn max_depth_rejects_puts() {
+        let clock = SimClock::new();
+        let q = Queue::new(
+            "SMALL.Q".into(),
+            clock,
+            MemJournal::new(),
+            QueueConfig { max_depth: Some(2) },
+        );
+        q.put(text("a"), true).unwrap();
+        q.put(text("b"), true).unwrap();
+        match q.put(text("c"), true) {
+            Err(MqError::QueueFull(name)) => assert_eq!(name, "SMALL.Q"),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_messages_are_skipped_and_counted() {
+        let (clock, q) = sim_queue();
+        q.put(Message::text("short").ttl(Millis(10)).build(), true)
+            .unwrap();
+        q.put(text("long"), true).unwrap();
+        clock.advance(Millis(50));
+        let got = q.try_take(None, true).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("long"));
+        assert_eq!(q.stats().expired.get(), 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn expired_persistent_message_journals_expiry() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let q = Queue::new(
+            "J.Q".into(),
+            clock.clone(),
+            journal.clone(),
+            QueueConfig::default(),
+        );
+        let msg = Message::text("x").persistent(true).ttl(Millis(5)).build();
+        let id = msg.id();
+        q.put(msg, true).unwrap();
+        clock.advance(Millis(10));
+        assert!(q.try_take(None, true).unwrap().is_none());
+        let recs = journal.replay().unwrap();
+        assert!(recs.iter().any(|r| matches!(
+            r,
+            JournalRecord::Expired { message_id, .. } if *message_id == id
+        )));
+    }
+
+    #[test]
+    fn selector_takes_first_match_leaving_others() {
+        let (_c, q) = sim_queue();
+        q.put(Message::text("m1").property("k", 1i64).build(), true)
+            .unwrap();
+        q.put(Message::text("m2").property("k", 2i64).build(), true)
+            .unwrap();
+        q.put(Message::text("m3").property("k", 1i64).build(), true)
+            .unwrap();
+        let sel = Selector::parse("k = 2").unwrap();
+        let got = q.try_take(Some(&sel), true).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("m2"));
+        assert_eq!(q.depth(), 2);
+        // Remaining messages keep FIFO order.
+        assert_eq!(
+            q.try_take(None, true).unwrap().unwrap().payload_str(),
+            Some("m1")
+        );
+    }
+
+    #[test]
+    fn browse_does_not_consume() {
+        let (_c, q) = sim_queue();
+        q.put(text("a"), true).unwrap();
+        q.put(Message::text("b").priority(Priority::new(9)).build(), true)
+            .unwrap();
+        let snapshot = q.browse();
+        assert_eq!(snapshot.len(), 2);
+        // Delivery order: high priority first.
+        assert_eq!(snapshot[0].payload_str(), Some("b"));
+        assert_eq!(q.depth(), 2);
+        let sel = Selector::parse("priority = 9").unwrap();
+        assert_eq!(q.browse_selected(Some(&sel)).len(), 1);
+    }
+
+    #[test]
+    fn requeue_front_preserves_head_position_and_bumps_redelivery() {
+        let (_c, q) = sim_queue();
+        q.put(text("first"), true).unwrap();
+        q.put(text("second"), true).unwrap();
+        let m = q.try_take(None, false).unwrap().unwrap();
+        assert_eq!(m.redelivery_count(), 0);
+        q.requeue_front(m, true);
+        let again = q.try_take(None, false).unwrap().unwrap();
+        assert_eq!(again.payload_str(), Some("first"));
+        assert_eq!(again.redelivery_count(), 1);
+        assert_eq!(q.stats().redelivered.get(), 1);
+    }
+
+    #[test]
+    fn take_by_correlation_uses_index() {
+        let (_c, q) = sim_queue();
+        for i in 0..5 {
+            q.put(
+                Message::text(format!("m{i}"))
+                    .correlation_id(format!("corr-{}", i % 2))
+                    .build(),
+                true,
+            )
+            .unwrap();
+        }
+        q.put(text("no-corr"), true).unwrap();
+        // corr-1 messages are m1, m3 (FIFO).
+        let a = q.try_take_by_correlation("corr-1", true).unwrap().unwrap();
+        assert_eq!(a.payload_str(), Some("m1"));
+        let b = q.try_take_by_correlation("corr-1", true).unwrap().unwrap();
+        assert_eq!(b.payload_str(), Some("m3"));
+        assert!(q.try_take_by_correlation("corr-1", true).unwrap().is_none());
+        assert!(q.try_take_by_correlation("corr-9", true).unwrap().is_none());
+        assert_eq!(q.depth(), 4);
+        // Remaining FIFO order unaffected: m0, m2, m4, no-corr.
+        let rest: Vec<_> = (0..4)
+            .map(|_| q.try_take(None, true).unwrap().unwrap())
+            .map(|m| m.payload_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(rest, vec!["m0", "m2", "m4", "no-corr"]);
+    }
+
+    #[test]
+    fn take_by_correlation_skips_expired() {
+        let (clock, q) = sim_queue();
+        q.put(
+            Message::text("stale")
+                .correlation_id("c")
+                .ttl(Millis(5))
+                .build(),
+            true,
+        )
+        .unwrap();
+        q.put(Message::text("fresh").correlation_id("c").build(), true)
+            .unwrap();
+        clock.advance(Millis(10));
+        let got = q.try_take_by_correlation("c", true).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("fresh"));
+        assert_eq!(q.stats().expired.get(), 1);
+    }
+
+    #[test]
+    fn stale_band_entries_are_skipped_after_corr_take() {
+        let (_c, q) = sim_queue();
+        q.put(Message::text("x").correlation_id("c").build(), true)
+            .unwrap();
+        q.put(text("y"), true).unwrap();
+        q.try_take_by_correlation("c", true).unwrap().unwrap();
+        // The band still holds a stale id for "x"; a normal take must skip
+        // it and return "y".
+        let got = q.try_take(None, true).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("y"));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn remove_by_id_keeps_index_consistent() {
+        let (_c, q) = sim_queue();
+        let msg = Message::text("x").correlation_id("c").build();
+        let id = msg.id();
+        q.put(msg, true).unwrap();
+        assert!(q.remove_by_id(id).is_some());
+        assert!(q.remove_by_id(id).is_none());
+        assert!(q.try_take_by_correlation("c", true).unwrap().is_none());
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_put_system_clock() {
+        let clock: SharedClock = SystemClock::new();
+        let q = queue_with(clock);
+        let q2 = q.clone();
+        let consumer =
+            std::thread::spawn(move || q2.take_blocking(None, Wait::Timeout(Millis(2_000)), true));
+        std::thread::sleep(Duration::from_millis(30));
+        q.put(text("late"), true).unwrap();
+        let got = consumer.join().unwrap().unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("late"));
+    }
+
+    #[test]
+    fn blocking_take_times_out_system_clock() {
+        let clock: SharedClock = SystemClock::new();
+        let q = queue_with(clock);
+        let got = q
+            .take_blocking(None, Wait::Timeout(Millis(30)), true)
+            .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn blocking_take_times_out_sim_clock() {
+        let (clock, q) = sim_queue();
+        let q2 = q.clone();
+        let consumer =
+            std::thread::spawn(move || q2.take_blocking(None, Wait::Timeout(Millis(100)), true));
+        std::thread::sleep(Duration::from_millis(20));
+        clock.advance(Millis(150));
+        q.kick();
+        let got = consumer.join().unwrap().unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn nowait_returns_immediately() {
+        let (_c, q) = sim_queue();
+        assert!(q.take_blocking(None, Wait::NoWait, true).unwrap().is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer_with_error() {
+        let clock: SharedClock = SystemClock::new();
+        let q = queue_with(clock);
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.take_blocking(None, Wait::Forever, true));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        match consumer.join().unwrap() {
+            Err(MqError::ManagerStopped(_)) => {}
+            other => panic!("expected ManagerStopped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn puts_fail_after_close() {
+        let (_c, q) = sim_queue();
+        q.close();
+        assert!(matches!(
+            q.put(text("x"), true),
+            Err(MqError::ManagerStopped(_))
+        ));
+    }
+
+    #[test]
+    fn purge_empties_queue() {
+        let (_c, q) = sim_queue();
+        for i in 0..5 {
+            q.put(text(&format!("m{i}")), true).unwrap();
+        }
+        assert_eq!(q.purge().unwrap(), 5);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn persistent_put_and_get_are_journaled() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let q = Queue::new("P.Q".into(), clock, journal.clone(), QueueConfig::default());
+        let msg = Message::text("x").persistent(true).build();
+        let id = msg.id();
+        q.put(msg, true).unwrap();
+        q.try_take(None, true).unwrap().unwrap();
+        let recs = journal.replay().unwrap();
+        assert!(matches!(&recs[0], JournalRecord::Put { message, .. } if message.id() == id));
+        assert!(matches!(&recs[1], JournalRecord::Get { message_id, .. } if *message_id == id));
+    }
+
+    #[test]
+    fn non_persistent_messages_are_not_journaled() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let q = Queue::new(
+            "NP.Q".into(),
+            clock,
+            journal.clone(),
+            QueueConfig::default(),
+        );
+        q.put(text("volatile"), true).unwrap();
+        q.try_take(None, true).unwrap().unwrap();
+        assert_eq!(journal.record_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_messages() {
+        let clock: SharedClock = SystemClock::new();
+        let q = queue_with(clock);
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        q.put(text(&format!("{t}-{i}")), true).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                let consumed = consumed.clone();
+                std::thread::spawn(move || {
+                    while consumed.load(Ordering::SeqCst) < 1000 {
+                        if q.take_blocking(None, Wait::Timeout(Millis(100)), true)
+                            .unwrap()
+                            .is_some()
+                        {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        use std::sync::atomic::Ordering;
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::SeqCst), 1000);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.stats().dequeued.get(), 1000);
+    }
+}

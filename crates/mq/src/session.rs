@@ -1,0 +1,625 @@
+//! Transacted sessions: all-or-nothing groups of gets and puts.
+//!
+//! These are the "messaging transactions" the paper's receiver side relies
+//! on (§2.4): a receiver reads a message *inside a transaction*, processes
+//! it, and possibly stages reply/acknowledgment puts; if the transaction
+//! rolls back, the consumed message returns to its queue (with a redelivery
+//! count, dead-lettering past the backout threshold) and none of the staged
+//! puts become visible. Commit makes everything visible atomically and
+//! writes a single `TxCommit` journal record so crash recovery agrees.
+
+use std::sync::Arc;
+
+use crate::error::{MqError, MqResult};
+use crate::journal::JournalRecord;
+use crate::message::{Message, QueueAddress};
+use crate::qmgr::QueueManager;
+use crate::queue::{Queue, Wait};
+use crate::selector::Selector;
+
+struct TxState {
+    /// Local-queue puts staged until commit (queue name, message).
+    staged_puts: Vec<(String, Message)>,
+    /// Messages consumed from queues, invisible to other consumers,
+    /// returned on rollback.
+    gets: Vec<(Arc<Queue>, Message)>,
+}
+
+/// A session against one queue manager, optionally transacted.
+///
+/// Outside a transaction, operations behave exactly like the corresponding
+/// [`QueueManager`] methods. Inside one ([`Session::begin`]), puts are
+/// staged and gets are provisional until [`Session::commit`].
+///
+/// Dropping a session with an active transaction rolls it back.
+///
+/// # Examples
+///
+/// ```
+/// use mq::{Message, QueueManager, Wait};
+///
+/// let qm = QueueManager::builder("QM1").build()?;
+/// qm.create_queue("IN")?;
+/// qm.create_queue("OUT")?;
+/// qm.put("IN", Message::text("work").build())?;
+///
+/// let mut session = qm.session();
+/// session.begin()?;
+/// let work = session.get("IN", Wait::NoWait)?.expect("message staged");
+/// session.put("OUT", Message::text("done").build())?;
+/// session.commit()?; // consume + reply atomically
+/// # Ok::<(), mq::MqError>(())
+/// ```
+pub struct Session {
+    manager: Arc<QueueManager>,
+    tx: Option<TxState>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("manager", &self.manager.name())
+            .field("in_tx", &self.in_transaction())
+            .finish()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(manager: Arc<QueueManager>) -> Session {
+        Session { manager, tx: None }
+    }
+
+    /// The owning queue manager.
+    pub fn manager(&self) -> &Arc<QueueManager> {
+        &self.manager
+    }
+
+    /// Whether a transaction is active.
+    pub fn in_transaction(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Starts a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::TransactionActive`] if one is already active.
+    pub fn begin(&mut self) -> MqResult<()> {
+        if self.tx.is_some() {
+            return Err(MqError::TransactionActive);
+        }
+        self.tx = Some(TxState {
+            staged_puts: Vec::new(),
+            gets: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Commits the active transaction: journals one `TxCommit` record, then
+    /// makes all staged puts visible and finalizes all gets.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoTransaction`] without an active transaction; journal
+    /// failures abort the commit (state rolls back).
+    pub fn commit(&mut self) -> MqResult<()> {
+        let tx = self.tx.take().ok_or(MqError::NoTransaction)?;
+        if self.manager.journal().is_durable() {
+            let record = JournalRecord::TxCommit {
+                puts: tx
+                    .staged_puts
+                    .iter()
+                    .filter(|(_, m)| m.is_persistent())
+                    .cloned()
+                    .collect(),
+                gets: tx
+                    .gets
+                    .iter()
+                    .filter(|(_, m)| m.is_persistent())
+                    .map(|(q, m)| (q.name().to_owned(), m.id()))
+                    .collect(),
+            };
+            let durable = match &record {
+                JournalRecord::TxCommit { puts, gets } => !puts.is_empty() || !gets.is_empty(),
+                _ => unreachable!(),
+            };
+            if durable {
+                if let Err(e) = self.manager.journal().append(&record) {
+                    // Commit did not happen: put the transaction back so
+                    // the caller can retry or roll back explicitly.
+                    self.tx = Some(tx);
+                    return Err(e);
+                }
+            }
+        }
+        for (queue_name, msg) in tx.staged_puts {
+            // Queue was validated at stage time; tolerate deletion races by
+            // dead-lettering rather than losing the message.
+            match self.manager.queue(&queue_name) {
+                Ok(q) => q.put_committed(msg)?,
+                Err(_) => self
+                    .manager
+                    .deliver_from_channel(&queue_name, msg)
+                    .unwrap_or(()),
+            }
+        }
+        for (queue, msg) in tx.gets {
+            queue.stats().dequeued.incr();
+            drop(msg);
+        }
+        self.manager.stats().tx_committed.incr();
+        Ok(())
+    }
+
+    /// Rolls back the active transaction: staged puts are discarded and
+    /// consumed messages return to the *front* of their queues with an
+    /// incremented redelivery count. Messages past the manager's backout
+    /// threshold are dead-lettered instead of redelivered.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoTransaction`] without an active transaction.
+    pub fn rollback(&mut self) -> MqResult<()> {
+        self.rollback_inner(true)
+    }
+
+    /// Rolls back like [`Session::rollback`] but *without* incrementing
+    /// redelivery counts or dead-lettering.
+    ///
+    /// For infrastructure consumers (channel movers, the conditional
+    /// messaging system's internal daemons) whose retries are part of normal
+    /// operation and must not consume the application's backout budget.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoTransaction`] without an active transaction.
+    pub fn rollback_for_retry(&mut self) -> MqResult<()> {
+        self.rollback_inner(false)
+    }
+
+    fn rollback_inner(&mut self, bump: bool) -> MqResult<()> {
+        let tx = self.tx.take().ok_or(MqError::NoTransaction)?;
+        let threshold = self.manager.config().backout_threshold;
+        // Requeue in reverse consumption order so front-insertion restores
+        // the original FIFO order.
+        for (queue, msg) in tx.gets.into_iter().rev() {
+            if bump && msg.redelivery_count() + 1 > threshold {
+                // Poison message: route to the DLQ.
+                self.manager
+                    .dead_letter(queue.name(), msg, "backout threshold exceeded")?;
+            } else {
+                queue.requeue_front(msg, bump);
+            }
+        }
+        self.manager.stats().tx_rolled_back.incr();
+        Ok(())
+    }
+
+    /// Enqueues a message on a local queue (staged if a transaction is
+    /// active).
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`], [`MqError::QueueFull`] (checked at stage
+    /// time), [`MqError::MessageTooLarge`], journal failures.
+    pub fn put(&mut self, queue: &str, msg: Message) -> MqResult<()> {
+        match &mut self.tx {
+            None => self.manager.put(queue, msg),
+            Some(tx) => {
+                // Validate destination and limits now so commit cannot fail.
+                let q = self.manager.queue(queue)?;
+                if let Some(max) = self.manager.config().max_message_size {
+                    if msg.payload().len() > max {
+                        return Err(MqError::MessageTooLarge {
+                            size: msg.payload().len(),
+                            max,
+                        });
+                    }
+                }
+                let _ = q;
+                tx.staged_puts.push((queue.to_owned(), msg));
+                Ok(())
+            }
+        }
+    }
+
+    /// Enqueues a message addressed by `manager/queue`; remote addresses are
+    /// staged onto the route's transmission queue, so remote puts are
+    /// transactional locally (standard store-and-forward semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoRoute`] plus local put errors.
+    pub fn put_to(&mut self, addr: &QueueAddress, msg: Message) -> MqResult<()> {
+        if addr.manager == self.manager.name() {
+            return self.put(&addr.queue, msg);
+        }
+        let xmit = self.manager.route_for(&addr.manager)?;
+        let envelope = QueueManager::wrap_for_transmission(addr, msg);
+        self.manager.stats().forwarded.incr();
+        self.put(&xmit, envelope)
+    }
+
+    /// Consumes a message (provisionally, if a transaction is active).
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`]; [`MqError::ManagerStopped`] if the
+    /// manager crashes while waiting.
+    pub fn get(&mut self, queue: &str, wait: Wait) -> MqResult<Option<Message>> {
+        self.get_inner(queue, None, wait)
+    }
+
+    /// Consumes the first message matching `selector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn get_selected(
+        &mut self,
+        queue: &str,
+        selector: &Selector,
+        wait: Wait,
+    ) -> MqResult<Option<Message>> {
+        self.get_inner(queue, Some(selector), wait)
+    }
+
+    /// Consumes the oldest message with the given correlation id
+    /// (provisionally, if a transaction is active), using the queue's
+    /// correlation index.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn get_by_correlation(
+        &mut self,
+        queue: &str,
+        corr: &str,
+        wait: Wait,
+    ) -> MqResult<Option<Message>> {
+        let q = self.manager.queue(queue)?;
+        match &mut self.tx {
+            None => q.take_by_correlation_blocking(corr, wait, true),
+            Some(tx) => {
+                let msg = q.take_by_correlation_blocking(corr, wait, false)?;
+                if let Some(msg) = msg.clone() {
+                    tx.gets.push((q, msg));
+                }
+                Ok(msg)
+            }
+        }
+    }
+
+    fn get_inner(
+        &mut self,
+        queue: &str,
+        selector: Option<&Selector>,
+        wait: Wait,
+    ) -> MqResult<Option<Message>> {
+        let q = self.manager.queue(queue)?;
+        match &mut self.tx {
+            None => q.take_blocking(selector, wait, true),
+            Some(tx) => {
+                // Journal nothing yet: the TxCommit record covers the get.
+                let msg = q.take_blocking(selector, wait, false)?;
+                if let Some(msg) = msg.clone() {
+                    tx.gets.push((q, msg));
+                }
+                Ok(msg)
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.tx.is_some() {
+            // Best-effort rollback; destructors must not fail (C-DTOR-FAIL).
+            let _ = self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemJournal;
+    use crate::qmgr::{ManagerConfig, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY};
+    use simtime::SimClock;
+
+    fn setup() -> (Arc<MemJournal>, Arc<QueueManager>) {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .clock(SimClock::new())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        qm.create_queue("OUT").unwrap();
+        (journal, qm)
+    }
+
+    #[test]
+    fn non_transacted_session_is_passthrough() {
+        let (_j, qm) = setup();
+        let mut s = qm.session();
+        s.put("Q", Message::text("a").build()).unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+        let got = s.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("a"));
+    }
+
+    #[test]
+    fn staged_puts_invisible_until_commit() {
+        let (_j, qm) = setup();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.put("Q", Message::text("staged").build()).unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0, "put staged, not visible");
+        s.commit().unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+        assert_eq!(qm.stats().tx_committed.get(), 1);
+    }
+
+    #[test]
+    fn rollback_discards_staged_puts() {
+        let (_j, qm) = setup();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.put("Q", Message::text("staged").build()).unwrap();
+        s.rollback().unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0);
+        assert_eq!(qm.stats().tx_rolled_back.get(), 1);
+    }
+
+    #[test]
+    fn transactional_get_is_invisible_and_rollback_requeues() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("m").build()).unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        let got = s.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("m"));
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0, "in-flight, not on queue");
+        // Another consumer sees nothing.
+        assert!(qm.get("Q", Wait::NoWait).unwrap().is_none());
+        s.rollback().unwrap();
+        let back = qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(back.payload_str(), Some("m"));
+        assert_eq!(back.redelivery_count(), 1);
+    }
+
+    #[test]
+    fn commit_consumes_get_permanently() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("m").build()).unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.get("Q", Wait::NoWait).unwrap().unwrap();
+        s.commit().unwrap();
+        assert!(qm.get("Q", Wait::NoWait).unwrap().is_none());
+    }
+
+    #[test]
+    fn get_then_put_reply_is_atomic() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("req").build()).unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        let req = s.get("Q", Wait::NoWait).unwrap().unwrap();
+        s.put(
+            "OUT",
+            Message::text(format!("reply-to-{}", req.payload_str().unwrap())).build(),
+        )
+        .unwrap();
+        assert_eq!(qm.queue("OUT").unwrap().depth(), 0);
+        s.commit().unwrap();
+        assert_eq!(qm.queue("OUT").unwrap().depth(), 1);
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn begin_twice_and_commit_without_begin_error() {
+        let (_j, qm) = setup();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        assert!(matches!(s.begin(), Err(MqError::TransactionActive)));
+        s.rollback().unwrap();
+        assert!(matches!(s.commit(), Err(MqError::NoTransaction)));
+        assert!(matches!(s.rollback(), Err(MqError::NoTransaction)));
+    }
+
+    #[test]
+    fn drop_with_active_tx_rolls_back() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("m").build()).unwrap();
+        {
+            let mut s = qm.session();
+            s.begin().unwrap();
+            s.get("Q", Wait::NoWait).unwrap().unwrap();
+            // dropped without commit
+        }
+        assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+        assert_eq!(qm.stats().tx_rolled_back.get(), 1);
+    }
+
+    #[test]
+    fn repeated_rollback_dead_letters_poison_message() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal)
+            .config(ManagerConfig {
+                backout_threshold: 2,
+                ..ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        qm.put("Q", Message::text("poison").persistent(true).build())
+            .unwrap();
+        for _ in 0..3 {
+            let mut s = qm.session();
+            s.begin().unwrap();
+            let got = s.get("Q", Wait::NoWait).unwrap();
+            if got.is_none() {
+                break;
+            }
+            s.rollback().unwrap();
+        }
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0, "message removed from Q");
+        let dlq = qm.get(DEAD_LETTER_QUEUE, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(dlq.payload_str(), Some("poison"));
+        assert!(dlq.str_property(DLQ_REASON_PROPERTY).is_some());
+    }
+
+    #[test]
+    fn committed_transaction_survives_crash() {
+        let (journal, qm) = setup();
+        qm.put("Q", Message::text("in").persistent(true).build())
+            .unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.get("Q", Wait::NoWait).unwrap().unwrap();
+        s.put("OUT", Message::text("out").persistent(true).build())
+            .unwrap();
+        s.commit().unwrap();
+        qm.crash();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 0);
+        assert_eq!(qm2.queue("OUT").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn uncommitted_transaction_rolls_back_across_crash() {
+        let (journal, qm) = setup();
+        qm.put("Q", Message::text("in").persistent(true).build())
+            .unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.get("Q", Wait::NoWait).unwrap().unwrap();
+        s.put("OUT", Message::text("out").persistent(true).build())
+            .unwrap();
+        // Crash before commit: tx must vanish entirely.
+        qm.crash();
+        drop(s); // rollback attempt against crashed manager is harmless
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 1, "get rolled back");
+        assert_eq!(qm2.queue("OUT").unwrap().depth(), 0, "put never happened");
+    }
+
+    #[test]
+    fn transactional_put_to_remote_stages_on_xmit_queue() {
+        let (_j, qm) = setup();
+        qm.define_route("QM2", "XMIT.QM2").unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.put_to(
+            &QueueAddress::new("QM2", "FAR.Q"),
+            Message::text("x").build(),
+        )
+        .unwrap();
+        assert_eq!(qm.queue("XMIT.QM2").unwrap().depth(), 0);
+        s.commit().unwrap();
+        assert_eq!(qm.queue("XMIT.QM2").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn selector_get_in_transaction() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("a").property("k", 1i64).build())
+            .unwrap();
+        qm.put("Q", Message::text("b").property("k", 2i64).build())
+            .unwrap();
+        let sel = Selector::parse("k = 2").unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        let got = s.get_selected("Q", &sel, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("b"));
+        s.rollback().unwrap();
+        assert_eq!(qm.queue("Q").unwrap().depth(), 2);
+    }
+
+    #[test]
+    fn staging_put_to_missing_queue_fails_fast() {
+        let (_j, qm) = setup();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        assert!(matches!(
+            s.put("MISSING", Message::text("x").build()),
+            Err(MqError::QueueNotFound(_))
+        ));
+        s.rollback().unwrap();
+    }
+
+    #[test]
+    fn correlation_get_in_transaction_rolls_back_into_index() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("corr-msg").correlation_id("c-1").build())
+            .unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        let got = s
+            .get_by_correlation("Q", "c-1", Wait::NoWait)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.payload_str(), Some("corr-msg"));
+        assert!(
+            s.get_by_correlation("Q", "c-1", Wait::NoWait)
+                .unwrap()
+                .is_none(),
+            "in-flight: invisible"
+        );
+        s.rollback().unwrap();
+        // The rollback re-inserts the message *and* its index entry.
+        let again = qm
+            .get_by_correlation("Q", "c-1", Wait::NoWait)
+            .unwrap()
+            .unwrap();
+        assert_eq!(again.payload_str(), Some("corr-msg"));
+        assert_eq!(again.redelivery_count(), 1);
+    }
+
+    #[test]
+    fn correlation_get_commit_consumes() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("a").correlation_id("c").build())
+            .unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        s.get_by_correlation("Q", "c", Wait::NoWait)
+            .unwrap()
+            .unwrap();
+        s.commit().unwrap();
+        assert!(qm
+            .get_by_correlation("Q", "c", Wait::NoWait)
+            .unwrap()
+            .is_none());
+        assert_eq!(qm.queue("Q").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn redelivered_message_preserves_payload_and_order() {
+        let (_j, qm) = setup();
+        qm.put("Q", Message::text("first").build()).unwrap();
+        qm.put("Q", Message::text("second").build()).unwrap();
+        let mut s = qm.session();
+        s.begin().unwrap();
+        let a = s.get("Q", Wait::NoWait).unwrap().unwrap();
+        let b = s.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(a.payload_str(), Some("first"));
+        assert_eq!(b.payload_str(), Some("second"));
+        s.rollback().unwrap();
+        // Order restored: first then second (front requeue of b then a
+        // would invert; ensure implementation keeps FIFO).
+        let a2 = qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        let b2 = qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(a2.payload_str(), Some("first"));
+        assert_eq!(b2.payload_str(), Some("second"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Publish/subscribe topics layered on queues.
+//!
+//! The conditional-messaging paper frames message queuing and
+//! publish/subscribe as the two messaging models its concept applies to
+//! (§2: "specific models of conditional messaging can be defined with
+//! respect to … message queuing and publish/subscribe systems"). This
+//! module supplies the pub/sub substrate: a [`Topic`] fans published
+//! messages out to one queue per subscription, optionally filtered by a
+//! [selector](crate::selector). Subscriptions are *durable*: the
+//! registration is journaled (as a persistent message on a registry
+//! queue), so both the subscription and its undelivered messages survive a
+//! queue-manager restart.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{MqError, MqResult};
+use crate::message::{Message, QueueAddress};
+use crate::qmgr::QueueManager;
+use crate::selector::Selector;
+use crate::stats::Counter;
+use crate::Wait;
+
+/// Property on registry records naming the subscription.
+const P_SUB_NAME: &str = "sys.topic.sub.name";
+/// Property on registry records carrying the selector source, if any.
+const P_SUB_SELECTOR: &str = "sys.topic.sub.selector";
+
+#[derive(Debug)]
+struct Subscription {
+    queue: String,
+    selector: Option<Selector>,
+}
+
+/// Per-topic statistics.
+#[derive(Debug, Default)]
+pub struct TopicStats {
+    /// Messages published to the topic.
+    pub published: Counter,
+    /// Message copies delivered to subscription queues.
+    pub delivered: Counter,
+    /// Copies suppressed by subscription selectors.
+    pub filtered: Counter,
+}
+
+/// A publish/subscribe topic on one queue manager.
+pub struct Topic {
+    name: String,
+    qmgr: Arc<QueueManager>,
+    registry_queue: String,
+    subscriptions: RwLock<HashMap<String, Subscription>>,
+    stats: TopicStats,
+}
+
+impl fmt::Debug for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topic")
+            .field("name", &self.name)
+            .field("subscriptions", &self.subscription_count())
+            .finish()
+    }
+}
+
+impl Topic {
+    /// Opens (or re-opens) a topic, recovering durable subscriptions from
+    /// the registry queue.
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation or journal failures; malformed registry records.
+    pub fn open(qmgr: Arc<QueueManager>, name: impl Into<String>) -> MqResult<Arc<Topic>> {
+        let name = name.into();
+        let registry_queue = format!("SYSTEM.TOPIC.{name}.SUBS");
+        qmgr.ensure_queue(&registry_queue)?;
+        let topic = Topic {
+            name,
+            qmgr,
+            registry_queue,
+            subscriptions: RwLock::new(HashMap::new()),
+            stats: TopicStats::default(),
+        };
+        // Recover durable subscriptions.
+        let mut subs = topic.subscriptions.write();
+        for record in topic.qmgr.queue(&topic.registry_queue)?.browse() {
+            let Some(sub_name) = record.str_property(P_SUB_NAME).map(str::to_owned) else {
+                continue;
+            };
+            let selector = match record.str_property(P_SUB_SELECTOR) {
+                Some(src) => Some(Selector::parse(src)?),
+                None => None,
+            };
+            let queue = topic.queue_for(&sub_name);
+            topic.qmgr.ensure_queue(&queue)?;
+            subs.insert(sub_name, Subscription { queue, selector });
+        }
+        drop(subs);
+        Ok(Arc::new(topic))
+    }
+
+    /// The topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Topic statistics.
+    pub fn stats(&self) -> &TopicStats {
+        &self.stats
+    }
+
+    fn queue_for(&self, sub_name: &str) -> String {
+        format!("TOPIC.{}.{}", self.name, sub_name)
+    }
+
+    /// Creates a durable subscription; returns the name of the queue its
+    /// messages are delivered to. Re-subscribing with the same name is
+    /// idempotent (the existing queue is reused).
+    ///
+    /// # Errors
+    ///
+    /// Queue-creation or journal failures.
+    pub fn subscribe(&self, sub_name: &str) -> MqResult<String> {
+        self.subscribe_inner(sub_name, None)
+    }
+
+    /// Creates a durable subscription that only receives messages matching
+    /// `selector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Topic::subscribe`].
+    pub fn subscribe_filtered(&self, sub_name: &str, selector: Selector) -> MqResult<String> {
+        self.subscribe_inner(sub_name, Some(selector))
+    }
+
+    fn subscribe_inner(&self, sub_name: &str, selector: Option<Selector>) -> MqResult<String> {
+        let queue = self.queue_for(sub_name);
+        self.qmgr.ensure_queue(&queue)?;
+        let mut subs = self.subscriptions.write();
+        if !subs.contains_key(sub_name) {
+            let mut record = Message::text("")
+                .property(P_SUB_NAME, sub_name)
+                .persistent(true)
+                .correlation_id(sub_name)
+                .build();
+            if let Some(sel) = &selector {
+                record.set_property(P_SUB_SELECTOR, sel.source());
+            }
+            self.qmgr.put(&self.registry_queue, record)?;
+        }
+        subs.insert(
+            sub_name.to_owned(),
+            Subscription {
+                queue: queue.clone(),
+                selector,
+            },
+        );
+        Ok(queue)
+    }
+
+    /// Removes a subscription and deletes its queue (undelivered messages
+    /// are discarded).
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::QueueNotFound`] when no such subscription exists.
+    pub fn unsubscribe(&self, sub_name: &str) -> MqResult<()> {
+        let mut subs = self.subscriptions.write();
+        let sub = subs
+            .remove(sub_name)
+            .ok_or_else(|| MqError::QueueNotFound(self.queue_for(sub_name)))?;
+        // Remove the durable registration (correlation-indexed).
+        while self
+            .qmgr
+            .get_by_correlation(&self.registry_queue, sub_name, Wait::NoWait)?
+            .is_some()
+        {}
+        self.qmgr.delete_queue(&sub.queue)?;
+        Ok(())
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.read().len()
+    }
+
+    /// The queues of all active subscriptions (sorted by subscription
+    /// name), as fully qualified addresses.
+    pub fn subscriber_queues(&self) -> Vec<(String, QueueAddress)> {
+        let subs = self.subscriptions.read();
+        let mut out: Vec<(String, QueueAddress)> = subs
+            .iter()
+            .map(|(name, sub)| {
+                (
+                    name.clone(),
+                    QueueAddress::new(self.qmgr.name(), sub.queue.clone()),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Publishes a message: one copy per subscription whose selector (if
+    /// any) matches. Returns the number of copies delivered.
+    ///
+    /// # Errors
+    ///
+    /// Put failures.
+    pub fn publish(&self, msg: Message) -> MqResult<usize> {
+        self.stats.published.incr();
+        let subs = self.subscriptions.read();
+        let mut delivered = 0;
+        for sub in subs.values() {
+            if sub.selector.as_ref().is_none_or(|s| s.matches(&msg)) {
+                // Each subscriber gets its own copy with a fresh identity
+                // (pub/sub semantics: independent deliveries).
+                let copy = clone_for_subscriber(&msg);
+                self.qmgr.put(&sub.queue, copy)?;
+                delivered += 1;
+            } else {
+                self.stats.filtered.incr();
+            }
+        }
+        self.stats.delivered.add(delivered as u64);
+        Ok(delivered)
+    }
+}
+
+/// Clones a message with a fresh message id for an independent delivery.
+fn clone_for_subscriber(msg: &Message) -> Message {
+    let mut builder = Message::builder(msg.payload().clone())
+        .priority(msg.priority())
+        .persistent(msg.is_persistent());
+    for (k, v) in msg.properties() {
+        builder = builder.property(k, v.clone());
+    }
+    if let Some(ttl) = msg.ttl() {
+        builder = builder.ttl(ttl);
+    }
+    if let Some(corr) = msg.correlation_id() {
+        builder = builder.correlation_id(corr);
+    }
+    if let Some(reply) = msg.reply_to() {
+        builder = builder.reply_to(reply.clone());
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemJournal;
+    use simtime::SimClock;
+
+    fn manager() -> (Arc<MemJournal>, Arc<QueueManager>) {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .clock(SimClock::new())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        (journal, qm)
+    }
+
+    #[test]
+    fn publish_fans_out_to_all_subscribers() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm.clone(), "news").unwrap();
+        let q1 = topic.subscribe("alice").unwrap();
+        let q2 = topic.subscribe("bob").unwrap();
+        assert_eq!(topic.subscription_count(), 2);
+        let n = topic
+            .publish(Message::text("headline").persistent(true).build())
+            .unwrap();
+        assert_eq!(n, 2);
+        let m1 = qm.get(&q1, Wait::NoWait).unwrap().unwrap();
+        let m2 = qm.get(&q2, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(m1.payload_str(), Some("headline"));
+        assert_eq!(m2.payload_str(), Some("headline"));
+        assert_ne!(m1.id(), m2.id(), "independent deliveries");
+        assert_eq!(topic.stats().published.get(), 1);
+        assert_eq!(topic.stats().delivered.get(), 2);
+    }
+
+    #[test]
+    fn selector_filtered_subscription() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm.clone(), "alerts").unwrap();
+        let all = topic.subscribe("all").unwrap();
+        let urgent_only = topic
+            .subscribe_filtered("urgent", Selector::parse("severity >= 7").unwrap())
+            .unwrap();
+        topic
+            .publish(Message::text("minor").property("severity", 3i64).build())
+            .unwrap();
+        topic
+            .publish(Message::text("major").property("severity", 9i64).build())
+            .unwrap();
+        assert_eq!(qm.queue(&all).unwrap().depth(), 2);
+        assert_eq!(qm.queue(&urgent_only).unwrap().depth(), 1);
+        assert_eq!(topic.stats().filtered.get(), 1);
+    }
+
+    #[test]
+    fn no_subscribers_publishes_to_nobody() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm, "void").unwrap();
+        assert_eq!(topic.publish(Message::text("x").build()).unwrap(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_removes_queue_and_registration() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm.clone(), "news").unwrap();
+        let q = topic.subscribe("alice").unwrap();
+        topic.unsubscribe("alice").unwrap();
+        assert_eq!(topic.subscription_count(), 0);
+        assert!(!qm.queue_exists(&q));
+        assert!(matches!(
+            topic.unsubscribe("alice"),
+            Err(MqError::QueueNotFound(_))
+        ));
+        assert_eq!(topic.publish(Message::text("x").build()).unwrap(), 0);
+    }
+
+    #[test]
+    fn resubscribe_is_idempotent() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm.clone(), "news").unwrap();
+        let q1 = topic.subscribe("alice").unwrap();
+        let q2 = topic.subscribe("alice").unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(topic.subscription_count(), 1);
+        // Only one durable registration exists.
+        assert_eq!(qm.queue("SYSTEM.TOPIC.news.SUBS").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn durable_subscriptions_survive_crash() {
+        let (journal, qm) = manager();
+        {
+            let topic = Topic::open(qm.clone(), "news").unwrap();
+            topic.subscribe("alice").unwrap();
+            topic
+                .subscribe_filtered("urgent", Selector::parse("severity > 5").unwrap())
+                .unwrap();
+            topic
+                .publish(
+                    Message::text("before crash")
+                        .property("severity", 9i64)
+                        .persistent(true)
+                        .build(),
+                )
+                .unwrap();
+            qm.crash();
+        }
+        let qm2 = QueueManager::builder("QM1")
+            .clock(SimClock::new())
+            .journal(journal)
+            .build()
+            .unwrap();
+        let topic = Topic::open(qm2.clone(), "news").unwrap();
+        assert_eq!(topic.subscription_count(), 2, "registrations recovered");
+        // Undelivered persistent copies survived too.
+        assert_eq!(qm2.queue("TOPIC.news.alice").unwrap().depth(), 1);
+        assert_eq!(qm2.queue("TOPIC.news.urgent").unwrap().depth(), 1);
+        // And the selector still filters after recovery.
+        topic
+            .publish(Message::text("calm").property("severity", 1i64).build())
+            .unwrap();
+        assert_eq!(qm2.queue("TOPIC.news.alice").unwrap().depth(), 2);
+        assert_eq!(qm2.queue("TOPIC.news.urgent").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn publish_preserves_message_attributes() {
+        let (_j, qm) = manager();
+        let topic = Topic::open(qm.clone(), "t").unwrap();
+        let q = topic.subscribe("s").unwrap();
+        let original = Message::text("body")
+            .property("k", "v")
+            .priority(crate::Priority::new(8))
+            .persistent(true)
+            .correlation_id("corr-1")
+            .reply_to(QueueAddress::new("QM1", "REPLY"))
+            .build();
+        topic.publish(original).unwrap();
+        let copy = qm.get(&q, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(copy.str_property("k"), Some("v"));
+        assert_eq!(copy.priority().level(), 8);
+        assert!(copy.is_persistent());
+        assert_eq!(copy.correlation_id(), Some("corr-1"));
+        assert_eq!(copy.reply_to().unwrap().queue, "REPLY");
+    }
+}

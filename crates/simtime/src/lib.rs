@@ -1,0 +1,748 @@
+//! Virtual and system clocks for deterministic distributed-systems code.
+//!
+//! The conditional-messaging stack expresses every deadline in *milliseconds
+//! relative to the sender's clock* (paper §2.2). To make those deadlines both
+//! testable (deterministically, without real sleeps) and benchable, all
+//! time-dependent components take a [`SharedClock`] instead of reading the OS
+//! clock directly.
+//!
+//! Two implementations are provided:
+//!
+//! * [`SystemClock`] — real time, backed by [`std::time::Instant`], with a
+//!   lazily spawned timer thread for [`Clock::schedule_at`].
+//! * [`SimClock`] — logical time that only moves when a test calls
+//!   [`SimClock::advance`]; due timers run synchronously on the advancing
+//!   thread, in timestamp order, which makes timeout-driven behaviour fully
+//!   reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use simtime::{Clock, Millis, SimClock};
+//!
+//! let clock = SimClock::new();
+//! let fired = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+//! let f = fired.clone();
+//! clock.schedule_at(clock.now() + Millis(50), Box::new(move || {
+//!     f.store(true, std::sync::atomic::Ordering::SeqCst);
+//! }));
+//! clock.advance(Millis(49));
+//! assert!(!fired.load(std::sync::atomic::Ordering::SeqCst));
+//! clock.advance(Millis(1));
+//! assert!(fired.load(std::sync::atomic::Ordering::SeqCst));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A duration in milliseconds.
+///
+/// The paper specifies all condition attributes (`MsgPickUpTime`,
+/// `MsgProcessingTime`, evaluation timeouts) in milliseconds; this newtype
+/// keeps those values distinct from absolute [`Time`] stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Millis(pub u64);
+
+impl Millis {
+    /// Zero duration.
+    pub const ZERO: Millis = Millis(0);
+
+    /// One second, for readability in tests and examples.
+    pub const SECOND: Millis = Millis(1_000);
+
+    /// Returns the raw millisecond count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to a [`std::time::Duration`].
+    pub fn to_duration(self) -> Duration {
+        Duration::from_millis(self.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Millis) -> Millis {
+        Millis(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, rhs: Millis) -> Millis {
+        Millis(self.0.min(rhs.0))
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for Millis {
+    fn from(v: u64) -> Self {
+        Millis(v)
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Millis {
+    fn add_assign(&mut self, rhs: Millis) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Mul<u64> for Millis {
+    type Output = Millis;
+    fn mul(self, rhs: u64) -> Millis {
+        Millis(self.0.saturating_mul(rhs))
+    }
+}
+
+/// An absolute timestamp in milliseconds since the owning clock's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The clock epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// A timestamp far in the future, usable as "no deadline".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Returns the raw millisecond count since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed duration since `earlier` (saturating at zero).
+    pub fn since(self, earlier: Time) -> Millis {
+        Millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Millis) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl Add<Millis> for Time {
+    type Output = Time;
+    fn add(self, rhs: Millis) -> Time {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Millis;
+    fn sub(self, rhs: Time) -> Millis {
+        self.since(rhs)
+    }
+}
+
+/// Identifier of a timer registered with [`Clock::schedule_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+/// Callback type run when a timer fires.
+pub type TimerCallback = Box<dyn FnOnce() + Send + 'static>;
+
+/// A source of time plus one-shot timers.
+///
+/// All blocking operations in the `mq`/`condmsg` stack compute deadlines via
+/// `clock.now()` so that a [`SimClock`] can drive them deterministically.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Returns the current time on this clock.
+    fn now(&self) -> Time;
+
+    /// Blocks the calling thread for (at least) `d` of *this clock's* time.
+    ///
+    /// On a [`SimClock`] this parks the thread until another thread advances
+    /// logical time past the deadline.
+    fn sleep(&self, d: Millis);
+
+    /// Schedules `f` to run once the clock reaches `at`.
+    ///
+    /// Timers scheduled in the past fire as soon as possible. Callbacks run
+    /// on the timer thread ([`SystemClock`]) or on the thread calling
+    /// [`SimClock::advance`]; they must not block for long.
+    fn schedule_at(&self, at: Time, f: TimerCallback) -> TimerId;
+
+    /// Cancels a pending timer. Returns `true` if the timer had not yet fired.
+    fn cancel(&self, id: TimerId) -> bool;
+
+    /// Whether this clock's time is decoupled from real time.
+    ///
+    /// Blocking primitives use this to decide between waiting out the exact
+    /// real-time remainder (system clock) and polling in short slices while
+    /// another thread advances logical time (sim clock).
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// A shared, dynamically dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+struct TimerEntry {
+    at: Time,
+    seq: u64,
+    id: TimerId,
+    callback: Option<TimerCallback>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    cancelled: std::collections::HashSet<TimerId>,
+}
+
+impl TimerState {
+    fn pop_due(&mut self, now: Time) -> Option<TimerEntry> {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > now {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry present").0;
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some(entry);
+        }
+        None
+    }
+
+    fn next_deadline(&mut self, now: Time) -> Option<Time> {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.cancelled.contains(&top.id) {
+                let id = top.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            let _ = now;
+            return Some(top.at);
+        }
+        None
+    }
+}
+
+/// Deterministic logical clock for tests and reproducible experiments.
+///
+/// Time starts at [`Time::ZERO`] and only moves when [`SimClock::advance`]
+/// (or [`SimClock::advance_to`]) is called. Due timers run synchronously, in
+/// `(deadline, registration)` order, on the advancing thread, *before*
+/// `advance` returns — so after `clock.advance(d)` every timeout up to
+/// `now + d` has fully taken effect.
+#[derive(Default)]
+pub struct SimClock {
+    now_ms: AtomicU64,
+    timers: Mutex<TimerState>,
+    next_seq: AtomicU64,
+    /// Notified whenever logical time moves, to wake `sleep`ers.
+    tick: Condvar,
+    tick_lock: Mutex<()>,
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimClock")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl SimClock {
+    /// Creates a clock at logical time zero.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock::default())
+    }
+
+    /// Advances logical time by `d`, firing all timers due on the way.
+    pub fn advance(&self, d: Millis) {
+        self.advance_to(self.now() + d);
+    }
+
+    /// Advances logical time to `target`, firing all timers due on the way.
+    ///
+    /// Advancing to a time in the past is a no-op. Callbacks may schedule
+    /// further timers; any that fall within the advanced range fire during
+    /// the same call.
+    pub fn advance_to(&self, target: Time) {
+        loop {
+            let entry = {
+                let mut timers = self.timers.lock();
+                timers.pop_due(target)
+            };
+            match entry {
+                Some(mut e) => {
+                    // Move time to the timer's deadline so callbacks observe
+                    // a monotone clock.
+                    self.bump_now(e.at);
+                    if let Some(cb) = e.callback.take() {
+                        cb();
+                    }
+                }
+                None => break,
+            }
+        }
+        self.bump_now(target);
+    }
+
+    fn bump_now(&self, t: Time) {
+        let mut cur = self.now_ms.load(Ordering::SeqCst);
+        while t.0 > cur {
+            match self
+                .now_ms
+                .compare_exchange(cur, t.0, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let _guard = self.tick_lock.lock();
+        self.tick.notify_all();
+    }
+
+    /// Number of timers currently pending (for test assertions).
+    pub fn pending_timers(&self) -> usize {
+        let mut timers = self.timers.lock();
+        // Compact cancelled entries so the count is exact.
+        let mut live = 0;
+        let entries: Vec<_> = std::mem::take(&mut timers.heap).into_vec();
+        let mut heap = BinaryHeap::new();
+        for e in entries {
+            if timers.cancelled.contains(&e.0.id) {
+                continue;
+            }
+            live += 1;
+            heap.push(e);
+        }
+        timers.cancelled.clear();
+        timers.heap = heap;
+        live
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Time {
+        Time(self.now_ms.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Millis) {
+        let deadline = self.now() + d;
+        let mut guard = self.tick_lock.lock();
+        while self.now() < deadline {
+            // Bounded wait so a forgotten `advance` surfaces as slow tests
+            // rather than a hard deadlock.
+            self.tick.wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+
+    fn schedule_at(&self, at: Time, f: TimerCallback) -> TimerId {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let id = TimerId(seq);
+        let mut timers = self.timers.lock();
+        timers.heap.push(Reverse(TimerEntry {
+            at,
+            seq,
+            id,
+            callback: Some(f),
+        }));
+        id
+    }
+
+    fn cancel(&self, id: TimerId) -> bool {
+        let mut timers = self.timers.lock();
+        let pending = timers
+            .heap
+            .iter()
+            .any(|Reverse(e)| e.id == id && !timers.cancelled.contains(&id));
+        if pending {
+            timers.cancelled.insert(id);
+        }
+        pending
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+struct SystemTimerShared {
+    state: Mutex<TimerState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Real-time clock backed by [`std::time::Instant`].
+///
+/// `now()` reports milliseconds elapsed since the clock was created, so
+/// timestamps from different `SystemClock` instances are not comparable —
+/// share one clock per process (as one would share a queue manager).
+pub struct SystemClock {
+    origin: std::time::Instant,
+    shared: Arc<SystemTimerShared>,
+    next_seq: AtomicU64,
+    timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for SystemClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemClock")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            origin: std::time::Instant::now(),
+            shared: Arc::new(SystemTimerShared {
+                state: Mutex::new(TimerState::default()),
+                wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            next_seq: AtomicU64::new(0),
+            timer_thread: Mutex::new(None),
+        }
+    }
+}
+
+impl SystemClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Arc<SystemClock> {
+        Arc::new(SystemClock::default())
+    }
+
+    fn ensure_timer_thread(&self) {
+        let mut guard = self.timer_thread.lock();
+        if guard.is_some() {
+            return;
+        }
+        let shared = self.shared.clone();
+        let origin = self.origin;
+        let handle = std::thread::Builder::new()
+            .name("simtime-timer".into())
+            .spawn(move || {
+                let mut state = shared.state.lock();
+                loop {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let now = Time(origin.elapsed().as_millis() as u64);
+                    if let Some(mut entry) = state.pop_due(now) {
+                        drop(state);
+                        if let Some(cb) = entry.callback.take() {
+                            cb();
+                        }
+                        state = shared.state.lock();
+                        continue;
+                    }
+                    match state.next_deadline(now) {
+                        Some(deadline) => {
+                            let wait = deadline.since(now).to_duration();
+                            shared.wake.wait_for(&mut state, wait);
+                        }
+                        None => {
+                            shared.wake.wait_for(&mut state, Duration::from_millis(200));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn timer thread");
+        *guard = Some(handle);
+    }
+}
+
+impl Drop for SystemClock {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.timer_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Time {
+        Time(self.origin.elapsed().as_millis() as u64)
+    }
+
+    fn sleep(&self, d: Millis) {
+        std::thread::sleep(d.to_duration());
+    }
+
+    fn schedule_at(&self, at: Time, f: TimerCallback) -> TimerId {
+        self.ensure_timer_thread();
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let id = TimerId(seq);
+        let mut state = self.shared.state.lock();
+        state.heap.push(Reverse(TimerEntry {
+            at,
+            seq,
+            id,
+            callback: Some(f),
+        }));
+        drop(state);
+        self.shared.wake.notify_all();
+        id
+    }
+
+    fn cancel(&self, id: TimerId) -> bool {
+        let mut state = self.shared.state.lock();
+        let pending = state
+            .heap
+            .iter()
+            .any(|Reverse(e)| e.id == id && !state.cancelled.contains(&id));
+        if pending {
+            state.cancelled.insert(id);
+        }
+        pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counter() -> (Arc<AtomicUsize>, impl Fn() -> TimerCallback) {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        (c, move || {
+            let c = c2.clone();
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }) as TimerCallback
+        })
+    }
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Time::ZERO);
+        clock.advance(Millis(100));
+        assert_eq!(clock.now(), Time(100));
+        clock.advance_to(Time(50)); // past: no-op
+        assert_eq!(clock.now(), Time(100));
+    }
+
+    #[test]
+    fn sim_timers_fire_in_order_during_advance() {
+        let clock = SimClock::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (at, label) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let order = order.clone();
+            clock.schedule_at(Time(at), Box::new(move || order.lock().push(label)));
+        }
+        clock.advance(Millis(25));
+        assert_eq!(*order.lock(), vec!["a", "b"]);
+        clock.advance(Millis(25));
+        assert_eq!(*order.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn sim_timer_sees_monotone_now() {
+        let clock = SimClock::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let c2 = clock.clone();
+        let s2 = seen.clone();
+        clock.schedule_at(Time(40), Box::new(move || s2.lock().push(c2.now())));
+        clock.advance(Millis(100));
+        assert_eq!(*seen.lock(), vec![Time(40)]);
+        assert_eq!(clock.now(), Time(100));
+    }
+
+    #[test]
+    fn sim_timer_callbacks_can_reschedule() {
+        let clock = SimClock::new();
+        let (count, mk) = counter();
+        let c2 = clock.clone();
+        let cb = mk();
+        clock.schedule_at(
+            Time(10),
+            Box::new(move || {
+                cb();
+                c2.schedule_at(Time(20), mk());
+            }),
+        );
+        clock.advance(Millis(30));
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn sim_cancel_prevents_firing() {
+        let clock = SimClock::new();
+        let (count, mk) = counter();
+        let id = clock.schedule_at(Time(10), mk());
+        assert!(clock.cancel(id));
+        assert!(!clock.cancel(id), "double-cancel reports not pending");
+        clock.advance(Millis(100));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(clock.pending_timers(), 0);
+    }
+
+    #[test]
+    fn sim_past_timer_fires_on_next_advance() {
+        let clock = SimClock::new();
+        clock.advance(Millis(100));
+        let (count, mk) = counter();
+        clock.schedule_at(Time(10), mk());
+        clock.advance(Millis(0));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sim_sleep_wakes_when_advanced() {
+        let clock = SimClock::new();
+        let c2 = clock.clone();
+        let t = std::thread::spawn(move || {
+            c2.sleep(Millis(500));
+            c2.now()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        clock.advance(Millis(500));
+        let woke_at = t.join().unwrap();
+        assert!(woke_at >= Time(500));
+    }
+
+    #[test]
+    fn system_clock_now_is_monotone() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_timer_fires() {
+        let clock = SystemClock::new();
+        let (count, mk) = counter();
+        clock.schedule_at(clock.now() + Millis(10), mk());
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while count.load(Ordering::SeqCst) == 0 {
+            assert!(std::time::Instant::now() < deadline, "timer never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn system_timer_cancel() {
+        let clock = SystemClock::new();
+        let (count, mk) = counter();
+        let id = clock.schedule_at(clock.now() + Millis(100), mk());
+        assert!(clock.cancel(id));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn millis_and_time_arithmetic() {
+        assert_eq!(Time(100) + Millis(50), Time(150));
+        assert_eq!(Time(100) - Time(40), Millis(60));
+        assert_eq!(Time(40) - Time(100), Millis(0), "saturating");
+        assert_eq!(Millis(10) + Millis(5), Millis(15));
+        assert_eq!(Millis(10).saturating_sub(Millis(15)), Millis::ZERO);
+        assert_eq!(Millis(10) * 3, Millis(30));
+        assert_eq!(Time::MAX.saturating_add(Millis(1)), Time::MAX);
+        assert_eq!(format!("{}", Millis(5)), "5ms");
+        assert_eq!(format!("{}", Time(5)), "t+5ms");
+    }
+
+    #[test]
+    fn clock_trait_objects_are_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+        assert_send_sync::<SystemClock>();
+        let _clock: SharedClock = SimClock::new();
+    }
+
+    /// Property: however timers are registered, SimClock::advance fires
+    /// them in (deadline, registration) order, and never before their time.
+    #[test]
+    fn timers_fire_in_deadline_order_property() {
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let clock = SimClock::new();
+            let fired: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut deadlines: Vec<u64> = (0..12).map(|_| rng.gen_range(0..200)).collect();
+            let mut order: Vec<usize> = (0..deadlines.len()).collect();
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let fired = fired.clone();
+                let at = deadlines[i];
+                let c = clock.clone();
+                clock.schedule_at(
+                    Time(at),
+                    Box::new(move || {
+                        assert!(c.now() >= Time(at), "fired early");
+                        fired.lock().push((at, i));
+                    }),
+                );
+            }
+            // Advance in random increments to past every deadline.
+            while clock.now() < Time(250) {
+                clock.advance(Millis(rng.gen_range(1..60)));
+            }
+            let observed = fired.lock().clone();
+            assert_eq!(observed.len(), deadlines.len(), "all fired");
+            let mut sorted_deadlines: Vec<u64> = observed.iter().map(|(at, _)| *at).collect();
+            deadlines.sort_unstable();
+            sorted_deadlines.sort_unstable();
+            assert_eq!(sorted_deadlines, deadlines);
+            // Firing order is sorted by deadline (ties in any registration
+            // order are acceptable for distinct seq — we assert non-
+            // decreasing deadlines).
+            assert!(
+                observed.windows(2).all(|w| w[0].0 <= w[1].0),
+                "non-decreasing deadlines: {observed:?}"
+            );
+        }
+    }
+}

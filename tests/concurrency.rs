@@ -1,0 +1,229 @@
+//! Concurrency stress tests: many producers, consumers, spheres and the
+//! evaluation daemon all running against real threads and a system clock.
+//!
+//! These check conservation (nothing lost, nothing duplicated) rather than
+//! timing specifics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use condmsg::{
+    Condition, ConditionalMessenger, ConditionalReceiver, Destination, MessageKind, MessageOutcome,
+};
+use dsphere::{DSphereService, KvStore};
+use mq::{QueueManager, Wait};
+use simtime::Millis;
+
+#[test]
+fn many_conditional_messages_under_daemon() {
+    const MESSAGES: usize = 60;
+    let qmgr = QueueManager::builder("QM1").build().unwrap();
+    qmgr.create_queue("Q.WORK").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(1));
+
+    // Three competing consumers.
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let qmgr = qmgr.clone();
+            let consumed = consumed.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut receiver = ConditionalReceiver::new(qmgr).unwrap();
+                while stop.load(Ordering::SeqCst) == 0 {
+                    if let Ok(Some(m)) = receiver.read_message("Q.WORK", Wait::Timeout(Millis(20)))
+                    {
+                        if m.kind() == MessageKind::Original {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let condition: Condition = Destination::queue("QM1", "Q.WORK")
+        .pickup_within(Millis(5_000))
+        .into();
+    let ids: Vec<_> = (0..MESSAGES)
+        .map(|i| {
+            messenger
+                .send_message(format!("job {i}"), &condition)
+                .unwrap()
+        })
+        .collect();
+
+    let mut successes = 0;
+    for id in ids {
+        let outcome = messenger
+            .take_outcome(id, Wait::Timeout(Millis(10_000)))
+            .unwrap()
+            .expect("every message decided");
+        if outcome.outcome == MessageOutcome::Success {
+            successes += 1;
+        }
+    }
+    stop.store(1, Ordering::SeqCst);
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(successes, MESSAGES, "all jobs picked up in time");
+    assert_eq!(consumed.load(Ordering::SeqCst), MESSAGES, "no duplicates");
+    assert_eq!(
+        qmgr.queue("DS.ACK.Q").unwrap().depth(),
+        0,
+        "all acks consumed"
+    );
+    assert_eq!(
+        qmgr.queue("DS.COMP.Q").unwrap().depth(),
+        0,
+        "all comps cleared"
+    );
+}
+
+#[test]
+fn concurrent_senders_share_one_messenger() {
+    const SENDERS: usize = 4;
+    const PER_SENDER: usize = 15;
+    let qmgr = QueueManager::builder("QM1").build().unwrap();
+    qmgr.create_queue("Q.IN").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(1));
+
+    let qmgr_consumer = qmgr.clone();
+    let drain = std::thread::spawn(move || {
+        let mut receiver = ConditionalReceiver::new(qmgr_consumer).unwrap();
+        let mut n = 0;
+        while n < SENDERS * PER_SENDER {
+            if let Ok(Some(m)) = receiver.read_message("Q.IN", Wait::Timeout(Millis(50))) {
+                if m.kind() == MessageKind::Original {
+                    n += 1;
+                }
+            }
+        }
+    });
+
+    let handles: Vec<_> = (0..SENDERS)
+        .map(|s| {
+            let messenger = messenger.clone();
+            std::thread::spawn(move || {
+                let condition: Condition = Destination::queue("QM1", "Q.IN")
+                    .pickup_within(Millis(5_000))
+                    .into();
+                (0..PER_SENDER)
+                    .map(|i| {
+                        messenger
+                            .send_message(format!("s{s}-m{i}"), &condition)
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let all_ids: Vec<_> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert_eq!(all_ids.len(), SENDERS * PER_SENDER);
+    drain.join().unwrap();
+
+    for id in all_ids {
+        let outcome = messenger
+            .take_outcome(id, Wait::Timeout(Millis(10_000)))
+            .unwrap()
+            .expect("decided");
+        assert_eq!(outcome.outcome, MessageOutcome::Success);
+    }
+    assert_eq!(messenger.pending_count(), 0);
+}
+
+#[test]
+fn parallel_spheres_with_shared_kv() {
+    const SPHERES: usize = 6;
+    let qmgr = QueueManager::builder("QM1").build().unwrap();
+    for i in 0..SPHERES {
+        qmgr.create_queue(format!("Q.S{i}")).unwrap();
+    }
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let service = DSphereService::new(messenger);
+    let kv = KvStore::new("shared");
+
+    // One consumer drains every sphere queue.
+    let qmgr_consumer = qmgr.clone();
+    let consumer = std::thread::spawn(move || {
+        let mut receiver = ConditionalReceiver::new(qmgr_consumer).unwrap();
+        let mut n = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while n < SPHERES && std::time::Instant::now() < deadline {
+            for i in 0..SPHERES {
+                if let Ok(Some(m)) = receiver.read_message(&format!("Q.S{i}"), Wait::NoWait) {
+                    if m.kind() == MessageKind::Original {
+                        n += 1;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let handles: Vec<_> = (0..SPHERES)
+        .map(|i| {
+            let service = service.clone();
+            let kv = kv.clone();
+            std::thread::spawn(move || {
+                let mut sphere = service.begin_with_timeout(Millis(8_000));
+                sphere.enlist(kv.clone()).unwrap();
+                // Disjoint keys: no write conflicts.
+                kv.put(sphere.xid(), format!("sphere-{i}"), "done");
+                sphere
+                    .send_message(
+                        format!("notice {i}"),
+                        &Destination::queue("QM1", format!("Q.S{i}"))
+                            .pickup_within(Millis(5_000))
+                            .into(),
+                    )
+                    .unwrap();
+                sphere.commit_blocking(Duration::from_millis(3)).unwrap()
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    consumer.join().unwrap();
+    assert!(outcomes.iter().all(|o| o.is_committed()), "{outcomes:?}");
+    for i in 0..SPHERES {
+        assert_eq!(kv.get(&format!("sphere-{i}")), Some("done".into()));
+    }
+}
+
+#[test]
+fn pump_and_daemon_do_not_double_decide() {
+    // Explicit pump calls racing the daemon must not produce duplicate
+    // outcome notifications.
+    let qmgr = QueueManager::builder("QM1").build().unwrap();
+    qmgr.create_queue("Q.A").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(1));
+    let condition: Condition = Destination::queue("QM1", "Q.A")
+        .pickup_within(Millis(30))
+        .into();
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        ids.push(messenger.send_message(format!("m{i}"), &condition).unwrap());
+        // Race explicit pumps against the daemon.
+        let _ = messenger.pump();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let _ = messenger.pump();
+    for id in ids {
+        let first = messenger
+            .take_outcome(id, Wait::Timeout(Millis(5_000)))
+            .unwrap();
+        assert!(first.is_some(), "exactly one notification exists");
+        let second = messenger.take_outcome(id, Wait::NoWait).unwrap();
+        assert!(second.is_none(), "no duplicate notification");
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based end-to-end tests: random scenarios driven through the
+//! full public API under a deterministic clock, checked against a direct
+//! oracle implementation of the paper's condition semantics.
+
+use std::sync::Arc;
+
+use condmsg::{
+    Condition, ConditionalMessenger, ConditionalReceiver, Destination, DestinationSet,
+    MessageOutcome,
+};
+use mq::{QueueManager, Wait};
+use proptest::prelude::*;
+use simtime::{Clock, Millis, SimClock};
+
+#[derive(Debug, Clone)]
+struct DestPlan {
+    /// When (ms after send) the destination reads; `None` = never.
+    read_at: Option<u64>,
+    /// Whether the read is transactional (commits immediately after).
+    transactional: bool,
+}
+
+fn arb_dest_plan(max_delay: u64) -> impl Strategy<Value = DestPlan> {
+    (proptest::option::weighted(0.8, 1..max_delay), any::<bool>()).prop_map(
+        |(read_at, transactional)| DestPlan {
+            read_at,
+            transactional,
+        },
+    )
+}
+
+struct World {
+    clock: Arc<SimClock>,
+    qmgr: Arc<QueueManager>,
+    messenger: Arc<ConditionalMessenger>,
+}
+
+fn world(n: usize) -> World {
+    let clock = SimClock::new();
+    let qmgr = QueueManager::builder("QM1")
+        .clock(clock.clone())
+        .build()
+        .unwrap();
+    for i in 0..n {
+        qmgr.create_queue(format!("Q{i}")).unwrap();
+    }
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    World {
+        clock,
+        qmgr,
+        messenger,
+    }
+}
+
+/// Executes the plans: advances the clock step by step, performing each
+/// read at its planned moment, then runs past `horizon` and pumps.
+fn run_plans(w: &World, plans: &[DestPlan], horizon: u64) -> MessageOutcome {
+    let mut events: Vec<(u64, usize)> = plans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.read_at.map(|t| (t, i)))
+        .collect();
+    events.sort();
+    for (at, idx) in events {
+        let now = w.clock.now().as_millis();
+        if at > now {
+            w.clock.advance(Millis(at - now));
+        }
+        let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+        let queue = format!("Q{idx}");
+        if plans[idx].transactional {
+            receiver.begin_tx().unwrap();
+            let got = receiver.read_message(&queue, Wait::NoWait).unwrap();
+            assert!(got.is_some(), "planned read found its message");
+            receiver.commit_tx().unwrap();
+        } else {
+            let got = receiver.read_message(&queue, Wait::NoWait).unwrap();
+            assert!(got.is_some(), "planned read found its message");
+        }
+    }
+    let now = w.clock.now().as_millis();
+    if horizon > now {
+        w.clock.advance(Millis(horizon - now));
+    }
+    let outcomes = w.messenger.pump().unwrap();
+    assert_eq!(outcomes.len(), 1, "exactly one decision");
+    outcomes[0].outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All-destinations pick-up: success iff every destination reads
+    /// within the window.
+    #[test]
+    fn pickup_all_matches_oracle(
+        plans in proptest::collection::vec(arb_dest_plan(200), 1..5),
+        window in 50u64..150,
+    ) {
+        let w = world(plans.len());
+        let condition: Condition = DestinationSet::of(
+            (0..plans.len())
+                .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                .collect(),
+        )
+        .pickup_within(Millis(window))
+        .into();
+        w.messenger.send_message("payload", &condition).unwrap();
+
+        let outcome = run_plans(&w, &plans, 400);
+        let oracle = plans.iter().all(|p| matches!(p.read_at, Some(t) if t <= window));
+        prop_assert_eq!(
+            outcome == MessageOutcome::Success,
+            oracle,
+            "plans {:?} window {}",
+            plans,
+            window
+        );
+    }
+
+    /// Min-k pick-up: success iff at least k destinations read in time.
+    #[test]
+    fn pickup_min_k_matches_oracle(
+        plans in proptest::collection::vec(arb_dest_plan(200), 2..6),
+        window in 50u64..150,
+        k_seed in any::<u32>(),
+    ) {
+        let n = plans.len() as u32;
+        let k = 1 + k_seed % n;
+        let w = world(plans.len());
+        let condition: Condition = DestinationSet::of(
+            (0..plans.len())
+                .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                .collect(),
+        )
+        .pickup_within(Millis(window))
+        .min_pickup(k)
+        .into();
+        w.messenger.send_message("payload", &condition).unwrap();
+
+        let outcome = run_plans(&w, &plans, 400);
+        let timely = plans
+            .iter()
+            .filter(|p| matches!(p.read_at, Some(t) if t <= window))
+            .count() as u32;
+        prop_assert_eq!(
+            outcome == MessageOutcome::Success,
+            timely >= k,
+            "plans {:?} window {} k {}",
+            plans,
+            window,
+            k
+        );
+    }
+
+    /// Processing windows: success iff every destination *transactionally*
+    /// consumes within the window (non-transactional reads never satisfy a
+    /// processing condition).
+    #[test]
+    fn processing_all_matches_oracle(
+        plans in proptest::collection::vec(arb_dest_plan(200), 1..4),
+        window in 50u64..150,
+    ) {
+        let w = world(plans.len());
+        let condition: Condition = DestinationSet::of(
+            (0..plans.len())
+                .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                .collect(),
+        )
+        .process_within(Millis(window))
+        .into();
+        w.messenger.send_message("payload", &condition).unwrap();
+
+        let outcome = run_plans(&w, &plans, 400);
+        let oracle = plans
+            .iter()
+            .all(|p| p.transactional && matches!(p.read_at, Some(t) if t <= window));
+        prop_assert_eq!(
+            outcome == MessageOutcome::Success,
+            oracle,
+            "plans {:?} window {}",
+            plans,
+            window
+        );
+    }
+
+    /// Exactly-one-acknowledgment invariant: however the receivers behave,
+    /// the number of acknowledgments on DS.ACK.Q equals the number of
+    /// consumed originals, and never exceeds the number of destinations.
+    #[test]
+    fn one_ack_per_consumption(
+        plans in proptest::collection::vec(arb_dest_plan(80), 1..5),
+    ) {
+        let w = world(plans.len());
+        let condition: Condition = DestinationSet::of(
+            (0..plans.len())
+                .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                .collect(),
+        )
+        .pickup_within(Millis(100))
+        .into();
+        w.messenger.send_message("payload", &condition).unwrap();
+
+        let mut consumed = 0;
+        for (i, plan) in plans.iter().enumerate() {
+            if plan.read_at.is_none() {
+                continue;
+            }
+            w.clock.advance(Millis(1));
+            let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+            let queue = format!("Q{i}");
+            if plan.transactional {
+                receiver.begin_tx().unwrap();
+                receiver.read_message(&queue, Wait::NoWait).unwrap().unwrap();
+                receiver.commit_tx().unwrap();
+            } else {
+                receiver.read_message(&queue, Wait::NoWait).unwrap().unwrap();
+            }
+            consumed += 1;
+        }
+        let acks = w.qmgr.queue("DS.ACK.Q").unwrap().depth();
+        prop_assert_eq!(acks, consumed);
+        prop_assert!(acks <= plans.len());
+    }
+
+    /// Compensation conservation: after a failure, every destination ends
+    /// in exactly one of two states — annihilated (nothing deliverable,
+    /// empty queue) if it never consumed, or exactly one delivered
+    /// compensation if it did.
+    #[test]
+    fn compensation_conservation(
+        reads in proptest::collection::vec(any::<bool>(), 1..5),
+    ) {
+        // Pickup window 10; readers read at t=20 (too late) or never.
+        let n = reads.len();
+        let w = world(n);
+        let condition: Condition = DestinationSet::of(
+            (0..n)
+                .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                .collect(),
+        )
+        .pickup_within(Millis(10))
+        .into();
+        w.messenger
+            .send_message_with_compensation("orig", "undo", &condition)
+            .unwrap();
+        w.clock.advance(Millis(20));
+        for (i, read) in reads.iter().enumerate() {
+            if *read {
+                let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+                receiver
+                    .read_message(&format!("Q{i}"), Wait::NoWait)
+                    .unwrap()
+                    .unwrap();
+            }
+        }
+        let outcomes = w.messenger.pump().unwrap();
+        prop_assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+
+        for (i, read) in reads.iter().enumerate() {
+            let queue = format!("Q{i}");
+            let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+            let delivered = receiver.read_message(&queue, Wait::NoWait).unwrap();
+            if *read {
+                // Consumed the (late) original → compensation delivered once.
+                let comp = delivered.expect("compensation for consumer");
+                prop_assert_eq!(comp.kind(), condmsg::MessageKind::Compensation);
+                prop_assert_eq!(comp.payload_str(), Some("undo"));
+                prop_assert!(receiver.read_message(&queue, Wait::NoWait).unwrap().is_none());
+            } else {
+                // Original + compensation annihilate.
+                prop_assert!(delivered.is_none(), "annihilation leaves nothing");
+                prop_assert_eq!(w.qmgr.queue(&queue).unwrap().depth(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Crash-recovery integration tests: the "reliable" in reliable messaging.
+//!
+//! Every test crashes a queue manager at an inconvenient point, rebuilds it
+//! over the same journal, reattaches the conditional messaging service, and
+//! asserts that the protocol converges to the same outcome it would have
+//! reached without the crash (paper §2.3/§2.6: log entries are stored
+//! persistently precisely so this works).
+
+use std::sync::Arc;
+
+use condmsg::{
+    CondMessageId, Condition, ConditionalMessenger, ConditionalReceiver, Destination,
+    DestinationSet, MessageKind, MessageOutcome, MessageStatus,
+};
+use mq::journal::{FileJournal, MemJournal};
+use mq::{QueueManager, Wait};
+use simtime::{Millis, SharedClock, SimClock};
+
+fn build_qm(clock: SharedClock, journal: Arc<MemJournal>) -> Arc<QueueManager> {
+    QueueManager::builder("QM1")
+        .clock(clock)
+        .journal(journal)
+        .build()
+        .unwrap()
+}
+
+fn two_dest_condition(window: Millis) -> Condition {
+    DestinationSet::of(vec![
+        Destination::queue("QM1", "Q.A").into(),
+        Destination::queue("QM1", "Q.B").into(),
+    ])
+    .pickup_within(window)
+    .into()
+}
+
+#[test]
+fn sender_crash_before_any_ack_recovers_and_fails_by_deadline() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    qmgr.create_queue("Q.B").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let id = messenger
+        .send_message_with_compensation("orig", "undo", &two_dest_condition(Millis(100)))
+        .unwrap();
+    qmgr.crash();
+
+    // Restart; evaluation state is rebuilt from DS.SLOG.Q.
+    let qmgr2 = build_qm(clock.clone(), journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    assert_eq!(messenger2.status(id), MessageStatus::Pending);
+    clock.advance(Millis(200));
+    let outcomes = messenger2.pump().unwrap();
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    // Compensations (pre-generated before the crash, recovered from the
+    // persistent DS.COMP.Q) are delivered to both destinations.
+    for q in ["Q.A", "Q.B"] {
+        let msgs = qmgr2.queue(q).unwrap().browse();
+        assert_eq!(msgs.len(), 2, "{q}: original + compensation survive");
+    }
+}
+
+#[test]
+fn acks_logged_before_crash_are_not_lost() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    qmgr.create_queue("Q.B").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let id = messenger
+        .send_message("x", &two_dest_condition(Millis(1_000)))
+        .unwrap();
+
+    clock.advance(Millis(10));
+    let mut r = ConditionalReceiver::new(qmgr.clone()).unwrap();
+    r.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+    messenger.pump().unwrap(); // consumes the ack, logs AckSeen
+    qmgr.crash();
+
+    let qmgr2 = build_qm(clock.clone(), journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    // Only the second ack is needed now.
+    let mut r2 = ConditionalReceiver::new(qmgr2.clone()).unwrap();
+    r2.read_message("Q.B", Wait::NoWait).unwrap().unwrap();
+    let outcomes = messenger2.pump().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].cond_id, id);
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+}
+
+#[test]
+fn ack_in_queue_but_unprocessed_at_crash_is_replayed() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    qmgr.create_queue("Q.B").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let id = messenger
+        .send_message("x", &two_dest_condition(Millis(1_000)))
+        .unwrap();
+    clock.advance(Millis(10));
+    let mut r = ConditionalReceiver::new(qmgr.clone()).unwrap();
+    r.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+    r.read_message("Q.B", Wait::NoWait).unwrap().unwrap();
+    // Crash *before* the evaluation manager ever ran: both acks sit on the
+    // persistent DS.ACK.Q.
+    qmgr.crash();
+
+    let qmgr2 = build_qm(clock, journal);
+    assert_eq!(qmgr2.queue("DS.ACK.Q").unwrap().depth(), 2);
+    let messenger2 = ConditionalMessenger::new(qmgr2).unwrap();
+    let outcomes = messenger2.pump().unwrap();
+    assert_eq!(outcomes[0].cond_id, id);
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+}
+
+#[test]
+fn receiver_crash_between_tx_read_and_commit_redelivers() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let condition: Condition = Destination::queue("QM1", "Q.A")
+        .process_within(Millis(1_000))
+        .into();
+    let id = messenger.send_message("work", &condition).unwrap();
+
+    clock.advance(Millis(10));
+    {
+        let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        receiver.begin_tx().unwrap();
+        receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        // Receiver's process crashes: the whole manager goes down with the
+        // transaction uncommitted.
+        qmgr.crash();
+    }
+
+    let qmgr2 = build_qm(clock.clone(), journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    assert_eq!(
+        qmgr2.queue("Q.A").unwrap().depth(),
+        1,
+        "uncommitted read rolled back by recovery"
+    );
+    assert_eq!(qmgr2.queue("DS.ACK.Q").unwrap().depth(), 0, "no ack leaked");
+    // A second receiver finishes the job.
+    let mut receiver = ConditionalReceiver::new(qmgr2.clone()).unwrap();
+    receiver.begin_tx().unwrap();
+    receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+    clock.advance(Millis(10));
+    receiver.commit_tx().unwrap();
+    let outcomes = messenger2.pump().unwrap();
+    assert_eq!(outcomes[0].cond_id, id);
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+}
+
+#[test]
+fn guaranteed_compensation_across_receiver_crash() {
+    // Paper §2.6: "the process of compensation must be guaranteed for an
+    // application even in the presence of system failures". The receiver
+    // consumes the original (logged in DS.RLOG.Q), the manager crashes,
+    // the compensation arrives after restart — and is still delivered,
+    // because the consumption log is persistent.
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let condition: Condition = Destination::queue("QM1", "Q.A")
+        .process_within(Millis(100))
+        .into();
+    let id = messenger
+        .send_message_with_compensation("orig", "undo it", &condition)
+        .unwrap();
+
+    clock.advance(Millis(10));
+    let mut receiver = ConditionalReceiver::new(qmgr.clone()).unwrap();
+    // Non-transactional read: consumption logged, processing never acked →
+    // the message will fail.
+    receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+    qmgr.crash();
+
+    let qmgr2 = build_qm(clock.clone(), journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    assert_eq!(messenger2.status(id), MessageStatus::Pending);
+    clock.advance(Millis(200));
+    let outcomes = messenger2.pump().unwrap();
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    // The compensation is deliverable because DS.RLOG.Q shows consumption.
+    let mut receiver2 = ConditionalReceiver::new(qmgr2.clone()).unwrap();
+    let comp = receiver2
+        .read_message("Q.A", Wait::NoWait)
+        .unwrap()
+        .expect("compensation delivered after crash");
+    assert_eq!(comp.kind(), MessageKind::Compensation);
+    assert_eq!(comp.payload_str(), Some("undo it"));
+}
+
+#[test]
+fn double_crash_still_converges() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let mut qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    qmgr.create_queue("Q.B").unwrap();
+    let id: CondMessageId;
+    {
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        id = messenger
+            .send_message("x", &two_dest_condition(Millis(1_000)))
+            .unwrap();
+        qmgr.crash();
+    }
+    // Crash #1 → restart, one ack, crash #2 → restart, second ack.
+    qmgr = build_qm(clock.clone(), journal.clone());
+    {
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        clock.advance(Millis(10));
+        let mut r = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        r.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        messenger.pump().unwrap();
+        qmgr.crash();
+    }
+    qmgr = build_qm(clock.clone(), journal);
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    assert_eq!(messenger.status(id), MessageStatus::Pending);
+    let mut r = ConditionalReceiver::new(qmgr.clone()).unwrap();
+    r.read_message("Q.B", Wait::NoWait).unwrap().unwrap();
+    let outcomes = messenger.pump().unwrap();
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+}
+
+#[test]
+fn decided_outcome_survives_crash_without_reacting() {
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    qmgr.create_queue("Q.B").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let id = messenger
+        .send_message_with_compensation("x", "undo", &two_dest_condition(Millis(50)))
+        .unwrap();
+    clock.advance(Millis(100));
+    messenger.pump().unwrap(); // failure; compensations released
+    let comp_depth_before: usize = ["Q.A", "Q.B"]
+        .iter()
+        .map(|q| qmgr.queue(q).unwrap().depth())
+        .sum();
+    qmgr.crash();
+
+    let qmgr2 = build_qm(clock, journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    assert!(matches!(
+        messenger2.status(id),
+        MessageStatus::Decided(n) if n.outcome == MessageOutcome::Failure
+    ));
+    messenger2.pump().unwrap();
+    // No duplicate compensations after recovery.
+    let comp_depth_after: usize = ["Q.A", "Q.B"]
+        .iter()
+        .map(|q| qmgr2.queue(q).unwrap().depth())
+        .sum();
+    assert_eq!(comp_depth_after, comp_depth_before);
+    assert_eq!(qmgr2.queue("DS.COMP.Q").unwrap().depth(), 0);
+}
+
+#[test]
+fn deferred_outcome_actions_survive_crash() {
+    // A Dependency-Sphere defers outcome actions; the member message is
+    // decided, then the manager crashes before the sphere releases the
+    // actions. After restart the recovered messenger still owes (and can
+    // perform) the deferred release — the parked compensations and the
+    // send record survived.
+    use condmsg::SendOptions;
+    let clock = SimClock::new();
+    let journal = MemJournal::new();
+    let qmgr = build_qm(clock.clone(), journal.clone());
+    qmgr.create_queue("Q.A").unwrap();
+    let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+    let condition: Condition = Destination::queue("QM1", "Q.A")
+        .pickup_within(Millis(50))
+        .into();
+    let id = messenger
+        .send_with(
+            "sphere member",
+            Some("undo member".into()),
+            &condition,
+            SendOptions {
+                defer_outcome_actions: true,
+                ..SendOptions::default()
+            },
+        )
+        .unwrap();
+    clock.advance(Millis(100));
+    let outcomes = messenger.pump().unwrap();
+    assert_eq!(outcomes[0].outcome, MessageOutcome::Failure);
+    // Actions deferred: compensation still parked, nothing delivered.
+    assert_eq!(qmgr.queue("DS.COMP.Q").unwrap().depth(), 1);
+    assert_eq!(qmgr.queue("Q.A").unwrap().depth(), 1, "only the original");
+    qmgr.crash();
+
+    let qmgr2 = build_qm(clock, journal);
+    let messenger2 = ConditionalMessenger::new(qmgr2.clone()).unwrap();
+    assert!(matches!(
+        messenger2.status(id),
+        MessageStatus::Decided(n) if n.outcome == MessageOutcome::Failure
+    ));
+    // The sphere (re-created by the application) releases with the group
+    // outcome; the compensation finally flows.
+    messenger2
+        .release_outcome_actions(id, MessageOutcome::Failure)
+        .unwrap();
+    assert_eq!(qmgr2.queue("DS.COMP.Q").unwrap().depth(), 0);
+    let mut receiver = ConditionalReceiver::new(qmgr2.clone()).unwrap();
+    // Original + compensation annihilate (never consumed).
+    assert!(receiver
+        .read_message("Q.A", Wait::NoWait)
+        .unwrap()
+        .is_none());
+    assert_eq!(qmgr2.queue("Q.A").unwrap().depth(), 0);
+    // Releasing twice is rejected.
+    assert!(messenger2
+        .release_outcome_actions(id, MessageOutcome::Failure)
+        .is_err());
+}
+
+#[test]
+fn file_journal_full_stack_recovery() {
+    // Same protocol over a real file journal, exercising framing and
+    // replay from disk.
+    let path = std::env::temp_dir().join(format!(
+        "condmsg-recovery-{}-{}.log",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    let clock = SimClock::new();
+    let id;
+    {
+        let journal = FileJournal::open(&path, true).unwrap();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal)
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        let condition: Condition = Destination::queue("QM1", "Q.A")
+            .pickup_within(Millis(1_000))
+            .into();
+        id = messenger.send_message("durable", &condition).unwrap();
+        qmgr.crash();
+    }
+    {
+        let journal = FileJournal::open(&path, true).unwrap();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .journal(journal)
+            .build()
+            .unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        assert_eq!(messenger.status(id), MessageStatus::Pending);
+        clock.advance(Millis(10));
+        let mut r = ConditionalReceiver::new(qmgr.clone()).unwrap();
+        r.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+        let outcomes = messenger.pump().unwrap();
+        assert_eq!(outcomes[0].outcome, MessageOutcome::Success);
+    }
+    std::fs::remove_file(&path).ok();
+}
