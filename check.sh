@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Full local gate: release build, test suite, lint-clean.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cond_bench::{header, queue_names, row, workload};
+use cond_bench::{emit_metrics, header, queue_names, row, workload};
 use condmsg::{
     AckKind, Acknowledgment, CondConfig, ConditionalMessenger, ConditionalReceiver, MessageOutcome,
 };
@@ -26,6 +26,7 @@ use simtime::{Millis, SimClock, Time};
 fn throughput_with(journal: Arc<dyn Journal>, label: &str) -> (String, f64) {
     const CYCLES: usize = 400;
     let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .journal(journal)
         .build()
         .unwrap();
@@ -93,6 +94,7 @@ fn journal_ablation() {
 fn grace_scenario(transit: u64, grace: u64) -> MessageOutcome {
     let clock = SimClock::new();
     let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .clock(clock.clone())
         .build()
         .unwrap();
@@ -151,4 +153,5 @@ fn main() {
     println!("# EA — design-choice ablations\n");
     journal_ablation();
     grace_ablation();
+    emit_metrics();
 }

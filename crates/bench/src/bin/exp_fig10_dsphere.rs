@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use cond_bench::{header, queue_names, row, sim_world, system_world, workload};
+use cond_bench::{emit_metrics, header, queue_names, row, sim_world, system_world, workload};
 use condmsg::ConditionalReceiver;
 use dsphere::{DSphereService, KvStore, ProbeResource, SphereOutcome};
 use mq::Wait;
@@ -174,4 +174,5 @@ fn main() {
         "expected shape: both grow linearly in the member count (per-member evaluation, \
          deferred-action release and compensation traffic dominate)."
     );
+    emit_metrics();
 }

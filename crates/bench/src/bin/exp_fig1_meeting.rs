@@ -12,7 +12,7 @@
 //! transaction later, like a real application would. Deterministic
 //! (SimClock); one "day" is scaled to 1000 logical ms.
 
-use cond_bench::{header, row, sim_world, workload};
+use cond_bench::{emit_metrics, header, row, sim_world, workload};
 use condmsg::{ConditionalReceiver, MessageOutcome};
 use mq::Wait;
 use simtime::{Clock, Millis, SimClock};
@@ -215,4 +215,5 @@ fn main() {
         cases.len()
     );
     assert!(all_agree, "verdict mismatch against the oracle");
+    emit_metrics();
 }

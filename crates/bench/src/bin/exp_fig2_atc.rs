@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cond_bench::{header, row, system_world};
+use cond_bench::{emit_metrics, header, row, system_world};
 use condmsg::{Condition, Destination};
 use condmsg::{ConditionalReceiver, MessageKind, MessageOutcome, SendOptions};
 use mq::Wait;
@@ -29,7 +29,7 @@ struct RunResult {
 
 fn run(controllers: usize, interarrival_ms: u64, service_ms: u64) -> RunResult {
     let world = system_world(&["Q.CENTRAL".to_string()]);
-    let _daemon = world.messenger.spawn_daemon(Duration::from_millis(1));
+    let _daemon = world.messenger.spawn_daemon(Duration::from_millis(1)).expect("spawn daemon");
     let stop = Arc::new(AtomicBool::new(false));
     let pickup_delays = Arc::new(Mutex::new(Vec::<u64>::new()));
 
@@ -145,4 +145,5 @@ fn main() {
          fewer timeouts; a single overloaded controller saturates and flights start missing \
          the window."
     );
+    emit_metrics();
 }

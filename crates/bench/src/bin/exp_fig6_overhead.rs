@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use cond_bench::{header, queue_names, row, system_world, workload};
+use cond_bench::{emit_metrics, header, queue_names, row, system_world, workload};
 use mq::Message;
 use simtime::Millis;
 
@@ -102,4 +102,5 @@ fn main() {
          plus one send-log record), and the factor shrinks as N grows because the log \
          record amortizes."
     );
+    emit_metrics();
 }

@@ -10,7 +10,7 @@
 //! D. compensation with no matching original and no consumption record →
 //!    deferred, not delivered, and it does not block other traffic.
 
-use cond_bench::{header, row};
+use cond_bench::{emit_metrics, header, row};
 use condmsg::{
     Condition, ConditionalMessenger, ConditionalReceiver, Destination, MessageKind, MessageOutcome,
 };
@@ -25,6 +25,7 @@ fn check(name: &str, condition: bool, results: &mut Vec<(String, bool)>) {
 fn case_a(results: &mut Vec<(String, bool)>) {
     let clock = SimClock::new();
     let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .clock(clock.clone())
         .build()
         .unwrap();
@@ -61,6 +62,7 @@ fn case_a(results: &mut Vec<(String, bool)>) {
 fn case_b(results: &mut Vec<(String, bool)>) {
     let clock = SimClock::new();
     let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .clock(clock.clone())
         .build()
         .unwrap();
@@ -102,6 +104,7 @@ fn case_c(results: &mut Vec<(String, bool)>) {
     let clock = SimClock::new();
     let journal = MemJournal::new();
     let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .clock(clock.clone())
         .journal(journal.clone())
         .build()
@@ -120,6 +123,7 @@ fn case_c(results: &mut Vec<(String, bool)>) {
     qmgr.crash();
     // Restart: the consumption record in DS.RLOG.Q survives.
     let qmgr2 = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
         .clock(clock.clone())
         .journal(journal)
         .build()
@@ -143,7 +147,10 @@ fn case_c(results: &mut Vec<(String, bool)>) {
 
 fn case_d(results: &mut Vec<(String, bool)>) {
     let clock = SimClock::new();
-    let qmgr = QueueManager::builder("QM1").clock(clock).build().unwrap();
+    let qmgr = QueueManager::builder("QM1")
+        .obs(cond_bench::shared_obs())
+        .clock(clock)
+        .build().unwrap();
     qmgr.create_queue("Q").unwrap();
     let _messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
     let stray = condmsg::wire::make_compensation(
@@ -195,4 +202,5 @@ fn main() {
         results.len()
     );
     assert!(all);
+    emit_metrics();
 }

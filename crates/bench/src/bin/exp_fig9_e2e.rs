@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use cond_bench::baseline::{baseline_receive, BaselineSender};
-use cond_bench::{header, queue_names, row, system_world, workload};
+use cond_bench::{emit_metrics, header, queue_names, row, system_world, workload};
 use condmsg::{ConditionalReceiver, MessageOutcome};
 use mq::Wait;
 use simtime::Millis;
@@ -80,4 +80,5 @@ fn main() {
          and logs every receipt — the work the paper argues applications would otherwise \
          hand-write); both scale linearly in the fan-out."
     );
+    emit_metrics();
 }

@@ -11,12 +11,21 @@
 pub mod baseline;
 pub mod workload;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use condmsg::ConditionalMessenger;
 use mq::journal::NullJournal;
-use mq::{QueueManager, SharedClock};
+use mq::{Obs, QueueManager, SharedClock};
 use simtime::{SimClock, SystemClock};
+
+static SHARED_OBS: OnceLock<Arc<Obs>> = OnceLock::new();
+
+/// The experiment-wide observability hub. Every world built by this
+/// harness reports into it, so metrics aggregate across all runs of a
+/// binary and a single [`emit_metrics`] at the end covers them all.
+pub fn shared_obs() -> Arc<Obs> {
+    SHARED_OBS.get_or_init(Obs::new).clone()
+}
 
 /// A ready-to-use single-manager world for experiments.
 pub struct World {
@@ -42,6 +51,7 @@ fn build_world(clock: SharedClock, queues: &[String]) -> World {
     let qmgr = QueueManager::builder("QM1")
         .clock(clock)
         .journal(NullJournal::new())
+        .obs(shared_obs())
         .build()
         .expect("queue manager");
     for q in queues {
@@ -54,6 +64,20 @@ fn build_world(clock: SharedClock, queues: &[String]) -> World {
 /// Names `n` destination queues `Q.D0..Q.Dn`.
 pub fn queue_names(n: usize) -> Vec<String> {
     (0..n).map(|i| format!("Q.D{i}")).collect()
+}
+
+/// Prints the experiment-wide metrics snapshot at the tail of an
+/// experiment binary: every `mq.*` / `cond.*` / `dsphere.*` metric
+/// registered by any world this binary built, as `name value` lines.
+pub fn emit_metrics() {
+    let snapshot = shared_obs().snapshot();
+    println!();
+    println!(
+        "### metrics ({} of {} populated)",
+        snapshot.populated(),
+        snapshot.len()
+    );
+    print!("{}", snapshot.render());
 }
 
 /// Prints a markdown-style table row.

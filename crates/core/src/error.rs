@@ -20,6 +20,8 @@ pub enum CondError {
     NoTransaction,
     /// `begin_tx` was called while a transaction was already active.
     TransactionActive,
+    /// A background worker thread could not be spawned.
+    Daemon(String),
 }
 
 impl fmt::Display for CondError {
@@ -33,6 +35,7 @@ impl fmt::Display for CondError {
             CondError::TransactionActive => {
                 write!(f, "a receiver transaction is already active")
             }
+            CondError::Daemon(reason) => write!(f, "daemon spawn failed: {reason}"),
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod eval;
 mod ids;
 pub mod listener;
 mod messenger;
+mod metrics;
 pub mod pubsub;
 mod receiver;
 pub mod wire;

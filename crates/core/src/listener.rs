@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn committed_processing_satisfies_processing_condition() {
         let (qmgr, messenger) = setup();
-        let _daemon = messenger.spawn_daemon(Duration::from_millis(2));
+        let _daemon = messenger.spawn_daemon(Duration::from_millis(2)).unwrap();
         let listener = ConditionalListener::spawn(
             qmgr.clone(),
             "Q.WORK",
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn rollbacks_then_commit_retry_path() {
         let (qmgr, messenger) = setup();
-        let _daemon = messenger.spawn_daemon(Duration::from_millis(2));
+        let _daemon = messenger.spawn_daemon(Duration::from_millis(2)).unwrap();
         let failures_left = Arc::new(std::sync::atomic::AtomicUsize::new(2));
         let fl = failures_left.clone();
         let listener = ConditionalListener::spawn(

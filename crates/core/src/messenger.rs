@@ -35,7 +35,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use mq::selector::Selector;
-use mq::{MqError, QueueAddress, QueueManager, Wait};
+use mq::{MetricsSnapshot, MqError, QueueAddress, QueueManager, TraceStage, Wait};
 use parking_lot::Mutex;
 use simtime::Time;
 
@@ -44,6 +44,7 @@ use crate::config::CondConfig;
 use crate::error::{CondError, CondResult};
 use crate::eval::{AckState, CompiledCondition, Verdict};
 use crate::ids::CondMessageId;
+use crate::metrics::MessengerMetrics;
 use crate::wire::{
     self, AckKind, Acknowledgment, MessageOutcome, OutcomeNotification, SendOptions, SendRecord,
     SlogEntry,
@@ -80,6 +81,9 @@ pub struct ConditionalMessenger {
     deferred: Mutex<HashMap<CondMessageId, bool>>,
     /// Serializes pump() invocations (daemon + explicit callers).
     pump_lock: Mutex<()>,
+    /// Pre-registered `cond.*` metric cells (hot paths never touch the
+    /// registry).
+    metrics: MessengerMetrics,
 }
 
 impl fmt::Debug for ConditionalMessenger {
@@ -121,6 +125,7 @@ impl ConditionalMessenger {
         ] {
             qmgr.ensure_queue(queue)?;
         }
+        let metrics = MessengerMetrics::registered(qmgr.obs().metrics());
         let messenger = Arc::new(ConditionalMessenger {
             qmgr,
             config,
@@ -128,6 +133,7 @@ impl ConditionalMessenger {
             decided: Mutex::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
             pump_lock: Mutex::new(()),
+            metrics,
         });
         messenger.recover()?;
         Ok(messenger)
@@ -141,6 +147,18 @@ impl ConditionalMessenger {
     /// The service configuration.
     pub fn config(&self) -> &CondConfig {
         &self.config
+    }
+
+    /// A point-in-time snapshot of every metric registered against the
+    /// underlying manager's observability hub (including this service's
+    /// `cond.*` metrics).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.qmgr.metrics_snapshot()
+    }
+
+    /// The shared message-lifecycle trace log.
+    pub fn trace(&self) -> &mq::TraceLog {
+        self.qmgr.trace()
     }
 
     // ------------------------------------------------------------ send --
@@ -224,6 +242,7 @@ impl ConditionalMessenger {
                 wire::make_compensation(cond_id, leaf.index, &leaf.queue, compensation.as_ref());
             session.put(&self.config.comp_queue, comp)?;
         }
+        let mut leaf_dests: Vec<(u32, String)> = Vec::with_capacity(compiled.leaves().len());
         for leaf in compiled.leaves() {
             let msg = wire::make_original(
                 &payload,
@@ -233,6 +252,7 @@ impl ConditionalMessenger {
                 &self.config.ack_queue,
             );
             session.put_to(&leaf.queue, msg)?;
+            leaf_dests.push((leaf.index, leaf.queue.to_string()));
         }
         // Register the evaluation *before* the fan-out commit: the moment
         // the commit makes the messages visible, a fast receiver's ack can
@@ -260,6 +280,28 @@ impl ConditionalMessenger {
             self.pending.lock().remove(&cond_id);
             return Err(e.into());
         }
+        self.metrics.sent.incr();
+        self.metrics.fanout.add(leaf_dests.len() as u64);
+        self.metrics
+            .pending_depth
+            .set(self.pending.lock().len() as u64);
+        let trace = self.qmgr.trace();
+        trace.record(
+            send_time,
+            TraceStage::Send,
+            Some(cond_id.as_u128()),
+            None,
+            format!("{} leaves", leaf_dests.len()),
+        );
+        for (leaf, dest) in &leaf_dests {
+            trace.record(
+                send_time,
+                TraceStage::FanOut,
+                Some(cond_id.as_u128()),
+                Some(*leaf),
+                dest.clone(),
+            );
+        }
         Ok(cond_id)
     }
 
@@ -279,6 +321,7 @@ impl ConditionalMessenger {
     /// skipped rather than wedging the queue.
     pub fn pump(&self) -> CondResult<Vec<OutcomeNotification>> {
         let _serial = self.pump_lock.lock();
+        self.metrics.pump_iterations.incr();
         self.drain_acks()?;
         let now = self.qmgr.clock().now();
 
@@ -288,7 +331,9 @@ impl ConditionalMessenger {
             let mut pending = self.pending.lock();
             let ids: Vec<CondMessageId> = pending.keys().copied().collect();
             for id in ids {
-                let eval = pending.get(&id).expect("key present");
+                let Some(eval) = pending.get(&id) else {
+                    continue;
+                };
                 let verdict = eval.compiled.evaluate_with_grace(
                     &eval.acks,
                     eval.send_time,
@@ -299,18 +344,24 @@ impl ConditionalMessenger {
                     Verdict::Satisfied => Some((MessageOutcome::Success, None)),
                     Verdict::Violated(reason) => Some((MessageOutcome::Failure, Some(reason))),
                     Verdict::Pending => match eval.timeout_at {
-                        Some(t) if now >= t => Some((
-                            MessageOutcome::Failure,
-                            Some("evaluation timeout expired".to_owned()),
-                        )),
+                        Some(t) if now >= t => {
+                            self.metrics.verdict_timeout.incr();
+                            Some((
+                                MessageOutcome::Failure,
+                                Some("evaluation timeout expired".to_owned()),
+                            ))
+                        }
                         _ => None,
                     },
                 };
                 if let Some((outcome, reason)) = outcome {
-                    let eval = pending.remove(&id).expect("key present");
+                    let Some(eval) = pending.remove(&id) else {
+                        continue;
+                    };
                     decided.push((id, eval, outcome, reason));
                 }
             }
+            self.metrics.pending_depth.set(pending.len() as u64);
         }
 
         // Finalize outside the pending lock (messaging I/O).
@@ -356,22 +407,39 @@ impl ConditionalMessenger {
     }
 
     fn apply_ack(&self, ack: &Acknowledgment) {
+        let now = self.qmgr.clock().now();
         let mut pending = self.pending.lock();
         if let Some(eval) = pending.get_mut(&ack.cond_id) {
-            match ack.kind {
+            let (stage, stamped_at) = match ack.kind {
                 AckKind::Read => {
                     eval.acks
                         .record_read(ack.leaf, ack.read_at, ack.recipient.clone());
+                    self.metrics.acks_read.incr();
+                    (TraceStage::ReadAck, ack.read_at)
                 }
                 AckKind::Processed => {
+                    let processed_at = ack.processed_at.unwrap_or(ack.read_at);
                     eval.acks.record_processed(
                         ack.leaf,
                         ack.read_at,
-                        ack.processed_at.unwrap_or(ack.read_at),
+                        processed_at,
                         ack.recipient.clone(),
                     );
+                    self.metrics.acks_processed.incr();
+                    (TraceStage::ProcessAck, processed_at)
                 }
-            }
+            };
+            drop(pending);
+            // Ack-queue lag: simtime between the receiver stamping the ack
+            // and the evaluation manager applying it.
+            self.metrics.ack_lag_ms.record(now.since(stamped_at).as_u64());
+            self.qmgr.trace().record(
+                now,
+                stage,
+                Some(ack.cond_id.as_u128()),
+                Some(ack.leaf),
+                ack.recipient.clone().unwrap_or_default(),
+            );
         }
     }
 
@@ -404,18 +472,42 @@ impl ConditionalMessenger {
             }
             .to_message(),
         )?;
+        let mut staged = Vec::new();
         if !eval.defer_outcome_actions {
-            self.stage_outcome_actions(&mut session, cond_id, outcome, eval.success_notifications)?;
+            self.stage_outcome_actions(
+                &mut session,
+                cond_id,
+                outcome,
+                eval.success_notifications,
+                &mut staged,
+            )?;
         }
         session.put(&self.config.outcome_queue, notification.to_message())?;
         session.commit()?;
 
+        match outcome {
+            MessageOutcome::Success => self.metrics.verdict_success.incr(),
+            MessageOutcome::Failure => self.metrics.verdict_failure.incr(),
+        }
+        self.qmgr.trace().record(
+            now,
+            TraceStage::Verdict,
+            Some(cond_id.as_u128()),
+            None,
+            match (&outcome, &notification.reason) {
+                (MessageOutcome::Success, _) => "success".to_owned(),
+                (MessageOutcome::Failure, Some(reason)) => format!("failure: {reason}"),
+                (MessageOutcome::Failure, None) => "failure".to_owned(),
+            },
+        );
+        self.record_outcome_actions(cond_id, staged);
+
         if eval.defer_outcome_actions {
             // Keep the send record (for recovery) and the parked
             // compensations until the sphere releases the actions.
-            self.deferred
-                .lock()
-                .insert(cond_id, eval.success_notifications);
+            let mut deferred = self.deferred.lock();
+            deferred.insert(cond_id, eval.success_notifications);
+            self.metrics.deferred_depth.set(deferred.len() as u64);
         } else {
             // Cleanup pass: drop the send/ack log entries; the outcome
             // entry on the history queue marks the message decided for any
@@ -435,6 +527,7 @@ impl ConditionalMessenger {
         cond_id: CondMessageId,
         outcome: MessageOutcome,
         success_notifications: bool,
+        staged: &mut Vec<(TraceStage, u32, String)>,
     ) -> CondResult<()> {
         // Parked compensations carry the conditional message id as their
         // correlation id; the indexed get avoids scanning a busy DS.COMP.Q.
@@ -445,18 +538,47 @@ impl ConditionalMessenger {
                 .str_property(wire::P_COMP_DEST)
                 .and_then(QueueAddress::parse)
                 .ok_or_else(|| CondError::Malformed("compensation missing destination".into()))?;
+            let leaf = wire::leaf_of(&comp)?;
             match outcome {
-                MessageOutcome::Failure => session.put_to(&dest, comp)?,
+                MessageOutcome::Failure => {
+                    session.put_to(&dest, comp)?;
+                    staged.push((TraceStage::CompensationReleased, leaf, dest.to_string()));
+                }
                 MessageOutcome::Success => {
                     if success_notifications {
-                        let leaf = wire::leaf_of(&comp)?;
                         session.put_to(&dest, wire::make_success_notification(cond_id, leaf))?;
+                        staged.push((TraceStage::SuccessNotify, leaf, dest.to_string()));
                     }
                     // The parked compensation is simply consumed.
+                    staged.push((TraceStage::CompensationConsumed, leaf, String::new()));
                 }
             }
         }
         Ok(())
+    }
+
+    /// Counts and traces the outcome actions staged by
+    /// [`stage_outcome_actions`](Self::stage_outcome_actions). Called only
+    /// after the surrounding transaction commits, so the trace never shows
+    /// an action that was rolled back and the verdict event always precedes
+    /// its actions.
+    fn record_outcome_actions(
+        &self,
+        cond_id: CondMessageId,
+        staged: Vec<(TraceStage, u32, String)>,
+    ) {
+        let now = self.qmgr.clock().now();
+        for (stage, leaf, detail) in staged {
+            match stage {
+                TraceStage::CompensationReleased => self.metrics.comp_released.incr(),
+                TraceStage::SuccessNotify => self.metrics.notify_success.incr(),
+                TraceStage::CompensationConsumed => self.metrics.comp_consumed.incr(),
+                _ => {}
+            }
+            self.qmgr
+                .trace()
+                .record(now, stage, Some(cond_id.as_u128()), Some(leaf), detail);
+        }
     }
 
     /// Performs the deferred outcome actions of a decided conditional
@@ -475,15 +597,26 @@ impl ConditionalMessenger {
         cond_id: CondMessageId,
         group_outcome: MessageOutcome,
     ) -> CondResult<()> {
-        let success_notifications = self
-            .deferred
-            .lock()
-            .remove(&cond_id)
-            .ok_or(CondError::UnknownMessage(cond_id))?;
+        let success_notifications = {
+            let mut deferred = self.deferred.lock();
+            let sn = deferred
+                .remove(&cond_id)
+                .ok_or(CondError::UnknownMessage(cond_id))?;
+            self.metrics.deferred_depth.set(deferred.len() as u64);
+            sn
+        };
         let mut session = self.qmgr.session();
         session.begin()?;
-        self.stage_outcome_actions(&mut session, cond_id, group_outcome, success_notifications)?;
+        let mut staged = Vec::new();
+        self.stage_outcome_actions(
+            &mut session,
+            cond_id,
+            group_outcome,
+            success_notifications,
+            &mut staged,
+        )?;
         session.commit()?;
+        self.record_outcome_actions(cond_id, staged);
         self.purge_slog(cond_id)?;
         Ok(())
     }
@@ -727,7 +860,11 @@ impl ConditionalMessenger {
     /// Spawns a background thread that pumps the evaluation manager every
     /// `poll` of real time. Intended for system-clock deployments; tests
     /// with a `SimClock` should pump manually instead.
-    pub fn spawn_daemon(self: &Arc<Self>, poll: Duration) -> EvaluationDaemon {
+    ///
+    /// # Errors
+    ///
+    /// [`CondError::Daemon`] when the OS refuses to spawn the thread.
+    pub fn spawn_daemon(self: &Arc<Self>, poll: Duration) -> CondResult<EvaluationDaemon> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let messenger = self.clone();
@@ -741,11 +878,11 @@ impl ConditionalMessenger {
                     std::thread::sleep(poll);
                 }
             })
-            .expect("failed to spawn evaluation daemon");
-        EvaluationDaemon {
+            .map_err(|e| CondError::Daemon(e.to_string()))?;
+        Ok(EvaluationDaemon {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 }
 
@@ -1163,7 +1300,7 @@ mod tests {
         qmgr.create_queue("Q.A").unwrap();
         qmgr.create_queue("Q.B").unwrap();
         let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
-        let mut daemon = messenger.spawn_daemon(Duration::from_millis(2));
+        let mut daemon = messenger.spawn_daemon(Duration::from_millis(2)).unwrap();
         let id = messenger
             .send_message("x", &two_dest_condition(Millis(40)))
             .unwrap();

@@ -1,0 +1,102 @@
+//! Pre-registered metric handles for the conditional-messaging layer.
+//!
+//! Both services resolve their cells once, at construction, against the
+//! owning queue manager's [`mq::Obs`] registry (naming scheme
+//! `cond.<area>.<metric>`); hot paths then only touch the atomic cells.
+
+use std::sync::Arc;
+
+use mq::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Sender-side (evaluation manager) metrics.
+#[derive(Debug)]
+pub(crate) struct MessengerMetrics {
+    /// Conditional messages sent (`cond.sent`).
+    pub sent: Arc<Counter>,
+    /// Fan-out copies staged across all sends (`cond.fanout`).
+    pub fanout: Arc<Counter>,
+    /// Evaluation-manager pump cycles (`cond.pump.iterations`).
+    pub pump_iterations: Arc<Counter>,
+    /// Read acknowledgments applied (`cond.ack.read`).
+    pub acks_read: Arc<Counter>,
+    /// Processed acknowledgments applied (`cond.ack.processed`).
+    pub acks_processed: Arc<Counter>,
+    /// Lag between an ack's receiver-side timestamp and the pump applying
+    /// it, in simtime milliseconds (`cond.ack.lag_ms`).
+    pub ack_lag_ms: Arc<Histogram>,
+    /// Evaluations decided successful (`cond.verdict.success`).
+    pub verdict_success: Arc<Counter>,
+    /// Evaluations decided failed, timeouts included
+    /// (`cond.verdict.failure`).
+    pub verdict_failure: Arc<Counter>,
+    /// The failures caused by evaluation-timeout expiry
+    /// (`cond.verdict.timeout`).
+    pub verdict_timeout: Arc<Counter>,
+    /// Parked compensations released to destinations
+    /// (`cond.comp.released`).
+    pub comp_released: Arc<Counter>,
+    /// Parked compensations consumed on success (`cond.comp.consumed`).
+    pub comp_consumed: Arc<Counter>,
+    /// Success notifications staged (`cond.notify.success`).
+    pub notify_success: Arc<Counter>,
+    /// Conditional messages still under evaluation
+    /// (`cond.pending.depth`, with high-water mark).
+    pub pending_depth: Arc<Gauge>,
+    /// Decided messages whose outcome actions are deferred to a D-Sphere
+    /// (`cond.deferred.depth`).
+    pub deferred_depth: Arc<Gauge>,
+}
+
+impl MessengerMetrics {
+    pub fn registered(registry: &MetricsRegistry) -> MessengerMetrics {
+        MessengerMetrics {
+            sent: registry.counter("cond.sent"),
+            fanout: registry.counter("cond.fanout"),
+            pump_iterations: registry.counter("cond.pump.iterations"),
+            acks_read: registry.counter("cond.ack.read"),
+            acks_processed: registry.counter("cond.ack.processed"),
+            ack_lag_ms: registry.histogram("cond.ack.lag_ms"),
+            verdict_success: registry.counter("cond.verdict.success"),
+            verdict_failure: registry.counter("cond.verdict.failure"),
+            verdict_timeout: registry.counter("cond.verdict.timeout"),
+            comp_released: registry.counter("cond.comp.released"),
+            comp_consumed: registry.counter("cond.comp.consumed"),
+            notify_success: registry.counter("cond.notify.success"),
+            pending_depth: registry.gauge("cond.pending.depth"),
+            deferred_depth: registry.gauge("cond.deferred.depth"),
+        }
+    }
+}
+
+/// Receiver-side metrics.
+#[derive(Debug)]
+pub(crate) struct ReceiverMetrics {
+    /// Original conditional messages delivered to the application
+    /// (`cond.recv.originals`).
+    pub originals: Arc<Counter>,
+    /// Read acknowledgments sent back (`cond.recv.read_acks`).
+    pub read_acks: Arc<Counter>,
+    /// Processed acknowledgments sent back (`cond.recv.processed_acks`).
+    pub processed_acks: Arc<Counter>,
+    /// Compensations delivered to the application (`cond.recv.comp_delivered`).
+    pub comp_delivered: Arc<Counter>,
+    /// Compensations requeued because their original's fate is not yet
+    /// known (`cond.recv.comp_deferred`).
+    pub comp_deferred: Arc<Counter>,
+    /// Original/compensation pairs annihilated before application
+    /// delivery (`cond.recv.annihilated`).
+    pub annihilated: Arc<Counter>,
+}
+
+impl ReceiverMetrics {
+    pub fn registered(registry: &MetricsRegistry) -> ReceiverMetrics {
+        ReceiverMetrics {
+            originals: registry.counter("cond.recv.originals"),
+            read_acks: registry.counter("cond.recv.read_acks"),
+            processed_acks: registry.counter("cond.recv.processed_acks"),
+            comp_delivered: registry.counter("cond.recv.comp_delivered"),
+            comp_deferred: registry.counter("cond.recv.comp_deferred"),
+            annihilated: registry.counter("cond.recv.annihilated"),
+        }
+    }
+}

@@ -23,12 +23,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use mq::selector::Selector;
-use mq::{Message, MessageId, MqError, QueueAddress, QueueManager, Wait};
+use mq::{Message, MessageId, MqError, QueueAddress, QueueManager, TraceStage, Wait};
 use simtime::Time;
 
 use crate::config::CondConfig;
 use crate::error::{CondError, CondResult};
 use crate::ids::CondMessageId;
+use crate::metrics::ReceiverMetrics;
 use crate::wire::{self, AckKind, Acknowledgment, MessageKind};
 
 /// A message delivered through the conditional-messaging read API.
@@ -111,6 +112,8 @@ pub struct ConditionalReceiver {
     /// new arrived since, the scan is skipped (keeps reads O(1) on busy
     /// queues).
     scanned_at: HashMap<String, u64>,
+    /// Pre-registered `cond.recv.*` metric cells.
+    metrics: ReceiverMetrics,
 }
 
 impl fmt::Debug for ConditionalReceiver {
@@ -160,6 +163,7 @@ impl ConditionalReceiver {
     ) -> CondResult<ConditionalReceiver> {
         qmgr.ensure_queue(&config.rlog_queue)?;
         let session = qmgr.session();
+        let metrics = ReceiverMetrics::registered(qmgr.obs().metrics());
         Ok(ConditionalReceiver {
             qmgr,
             config,
@@ -167,6 +171,7 @@ impl ConditionalReceiver {
             session,
             pending_acks: Vec::new(),
             scanned_at: HashMap::new(),
+            metrics,
         })
     }
 
@@ -213,6 +218,7 @@ impl ConditionalReceiver {
                 MessageKind::Original => {
                     let received = ReceivedMessage::classify(msg);
                     self.acknowledge_original(&received)?;
+                    self.metrics.originals.incr();
                     return Ok(Some(received));
                 }
                 MessageKind::Compensation => {
@@ -222,6 +228,14 @@ impl ConditionalReceiver {
                         // Original was consumed: deliver the compensation
                         // (exactly once — log the delivery).
                         self.log_rlog_entry(cond_id, leaf, "comp-delivered")?;
+                        self.metrics.comp_delivered.incr();
+                        self.qmgr.trace().record(
+                            self.qmgr.clock().now(),
+                            TraceStage::CompensationDelivered,
+                            Some(cond_id.as_u128()),
+                            Some(leaf),
+                            queue,
+                        );
                         return Ok(Some(ReceivedMessage::classify(msg)));
                     }
                     // Encounter-time annihilation: the original may still
@@ -241,6 +255,14 @@ impl ConditionalReceiver {
                             rlog_entry(cond_id, leaf, "annihilated", self.qmgr.clock().now()),
                         )?;
                         session.commit()?;
+                        self.metrics.annihilated.incr();
+                        self.qmgr.trace().record(
+                            self.qmgr.clock().now(),
+                            TraceStage::Annihilated,
+                            Some(cond_id.as_u128()),
+                            Some(leaf),
+                            queue,
+                        );
                         continue;
                     }
                     session.rollback_for_retry()?;
@@ -248,6 +270,14 @@ impl ConditionalReceiver {
                     // defer the compensation.
                     let msg_id = msg.id();
                     self.requeue(queue, msg)?;
+                    self.metrics.comp_deferred.incr();
+                    self.qmgr.trace().record(
+                        self.qmgr.clock().now(),
+                        TraceStage::CompensationDeferred,
+                        Some(cond_id.as_u128()),
+                        Some(leaf),
+                        queue,
+                    );
                     if !seen_comps.insert(msg_id) {
                         // Every remaining message is an undeliverable
                         // compensation; report "nothing deliverable".
@@ -319,6 +349,14 @@ impl ConditionalReceiver {
                 rlog_entry(cond_id, leaf, "annihilated", self.qmgr.clock().now()),
             )?;
             session.commit()?;
+            self.metrics.annihilated.incr();
+            self.qmgr.trace().record(
+                self.qmgr.clock().now(),
+                TraceStage::Annihilated,
+                Some(cond_id.as_u128()),
+                Some(leaf),
+                queue,
+            );
         }
         Ok(())
     }
@@ -361,6 +399,7 @@ impl ConditionalReceiver {
         )?;
         session.put_to(&ack_to, ack.to_message())?;
         session.commit()?;
+        self.metrics.read_acks.incr();
         Ok(())
     }
 
@@ -438,6 +477,9 @@ impl ConditionalReceiver {
             self.session.put_to(&pa.ack_to, ack.to_message())?;
         }
         self.session.commit()?;
+        self.metrics
+            .processed_acks
+            .add(self.pending_acks.len() as u64);
         self.pending_acks.clear();
         Ok(())
     }

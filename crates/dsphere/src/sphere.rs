@@ -26,9 +26,39 @@ use condmsg::{
     CondError, CondMessageId, Condition, ConditionalMessenger, MessageOutcome, MessageStatus,
     SendOptions,
 };
+use mq::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, TraceStage};
 use simtime::{Millis, Time};
 
 use crate::otx::{Transaction, TransactionManager, TransactionalResource};
+
+/// Pre-registered `dsphere.*` metric cells.
+#[derive(Debug)]
+struct SphereMetrics {
+    /// Spheres begun (`dsphere.begun`).
+    begun: Arc<Counter>,
+    /// Spheres terminated committed (`dsphere.committed`).
+    committed: Arc<Counter>,
+    /// Spheres terminated aborted (`dsphere.aborted`).
+    aborted: Arc<Counter>,
+    /// Spheres currently open (`dsphere.active`, with high-water mark).
+    active: Arc<Gauge>,
+}
+
+impl SphereMetrics {
+    fn registered(registry: &MetricsRegistry) -> SphereMetrics {
+        SphereMetrics {
+            begun: registry.counter("dsphere.begun"),
+            committed: registry.counter("dsphere.committed"),
+            aborted: registry.counter("dsphere.aborted"),
+            active: registry.gauge("dsphere.active"),
+        }
+    }
+
+    fn update_active(&self) {
+        let terminated = self.committed.get() + self.aborted.get();
+        self.active.set(self.begun.get().saturating_sub(terminated));
+    }
+}
 
 /// Errors reported by the D-Sphere service.
 #[derive(Debug)]
@@ -102,6 +132,7 @@ impl fmt::Display for SphereOutcome {
 pub struct DSphereService {
     messenger: Arc<ConditionalMessenger>,
     txm: Arc<TransactionManager>,
+    metrics: SphereMetrics,
 }
 
 impl fmt::Debug for DSphereService {
@@ -123,7 +154,12 @@ impl DSphereService {
         messenger: Arc<ConditionalMessenger>,
         txm: Arc<TransactionManager>,
     ) -> Arc<DSphereService> {
-        Arc::new(DSphereService { messenger, txm })
+        let metrics = SphereMetrics::registered(messenger.manager().obs().metrics());
+        Arc::new(DSphereService {
+            messenger,
+            txm,
+            metrics,
+        })
     }
 
     /// The conditional messenger spheres send through.
@@ -134,6 +170,13 @@ impl DSphereService {
     /// The transaction manager resources enlist with.
     pub fn tx_manager(&self) -> &Arc<TransactionManager> {
         &self.txm
+    }
+
+    /// A point-in-time snapshot of every metric registered against the
+    /// underlying manager's observability hub (including the `dsphere.*`
+    /// metrics).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.messenger.manager().metrics_snapshot()
     }
 
     /// Begins a sphere with no timeout (`begin_DS`).
@@ -148,6 +191,18 @@ impl DSphereService {
 
     fn begin_sphere(self: &Arc<Self>, timeout: Option<Millis>) -> DSphere {
         let now = self.messenger.manager().clock().now();
+        self.metrics.begun.incr();
+        self.metrics.update_active();
+        self.messenger.manager().trace().record(
+            now,
+            TraceStage::SphereBegin,
+            None,
+            None,
+            match timeout {
+                Some(t) => format!("timeout {t}"),
+                None => String::new(),
+            },
+        );
         DSphere {
             service: self.clone(),
             messages: Vec::new(),
@@ -208,6 +263,34 @@ impl DSphere {
     /// The outcome, once terminated.
     pub fn outcome(&self) -> Option<&SphereOutcome> {
         self.terminated.as_ref()
+    }
+
+    /// A point-in-time snapshot of every metric registered against the
+    /// underlying manager's observability hub.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.service.metrics_snapshot()
+    }
+
+    /// Records a sphere termination in metrics and the lifecycle trace.
+    fn record_termination(&self, outcome: &SphereOutcome) {
+        let metrics = &self.service.metrics;
+        let now = self.service.messenger.manager().clock().now();
+        let (stage, detail) = match outcome {
+            SphereOutcome::Committed => {
+                metrics.committed.incr();
+                (TraceStage::SphereCommit, String::new())
+            }
+            SphereOutcome::Aborted { reason } => {
+                metrics.aborted.incr();
+                (TraceStage::SphereAbort, reason.clone())
+            }
+        };
+        metrics.update_active();
+        self.service
+            .messenger
+            .manager()
+            .trace()
+            .record(now, stage, None, None, detail);
     }
 
     fn check_active(&self) -> SphereResult<()> {
@@ -360,6 +443,7 @@ impl DSphere {
                 SphereOutcome::Aborted { reason }
             }
         };
+        self.record_termination(&outcome);
         self.terminated = Some(outcome.clone());
         Ok(Some(outcome))
     }
@@ -406,6 +490,7 @@ impl DSphere {
         }
         self.release_all(MessageOutcome::Failure)?;
         let outcome = SphereOutcome::Aborted { reason };
+        self.record_termination(&outcome);
         self.terminated = Some(outcome.clone());
         Ok(outcome)
     }

@@ -43,14 +43,17 @@ pub mod journal;
 pub mod listener;
 mod message;
 pub mod net;
+pub mod obs;
 mod qmgr;
 mod queue;
 pub mod selector;
 mod session;
 pub mod stats;
 pub mod topic;
+pub mod trace;
 
 pub use error::{MqError, MqResult};
+pub use obs::Obs;
 pub use message::{Message, MessageBuilder, MessageId, Priority, PropertyValue, QueueAddress};
 pub use qmgr::{
     ManagerConfig, QueueManager, QueueManagerBuilder, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY,
@@ -58,6 +61,10 @@ pub use qmgr::{
 };
 pub use queue::{Queue, QueueConfig, Wait};
 pub use session::Session;
+pub use stats::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{TraceEvent, TraceLog, TraceStage};
 
 // Re-export the clock abstraction so downstream crates need only `mq`.
 pub use simtime::{Clock, Millis, SharedClock, SimClock, SystemClock, Time};

@@ -1,0 +1,89 @@
+//! The observability subsystem: one [`Obs`] handle bundling the metrics
+//! registry and the message-lifecycle trace log.
+//!
+//! Every [`crate::QueueManager`] owns an `Obs` (or shares one supplied via
+//! [`crate::QueueManagerBuilder::obs`], so several managers in a simulated
+//! distributed deployment report into a single registry and timeline). The
+//! layers above reach it through `manager.obs()`:
+//!
+//! * `mq` registers queue and transaction counters, queue-depth gauges and
+//!   journal-append latency at construction time;
+//! * `condmsg` adds send/fan-out/ack/verdict/compensation metrics and
+//!   records the per-message lifecycle trace;
+//! * `dsphere` adds sphere outcome metrics and sphere demarcation events.
+//!
+//! Hot paths only touch pre-registered atomic cells ([`crate::Counter`],
+//! [`crate::Gauge`], [`crate::Histogram`]) — registration, with its map
+//! inserts and allocation, happens once per component.
+
+use std::sync::Arc;
+
+use crate::stats::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::TraceLog;
+
+/// Shared observability state: named metrics + lifecycle trace.
+#[derive(Debug, Default)]
+pub struct Obs {
+    metrics: MetricsRegistry,
+    trace: TraceLog,
+}
+
+impl Obs {
+    /// Creates a fresh observability hub with an empty registry and an
+    /// enabled trace log of default capacity.
+    pub fn new() -> Arc<Obs> {
+        Arc::new(Obs::default())
+    }
+
+    /// Creates a hub whose trace ring retains at most `trace_capacity`
+    /// events.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            metrics: MetricsRegistry::new(),
+            trace: TraceLog::with_capacity(trace_capacity),
+        })
+    }
+
+    /// The named-metric registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The lifecycle trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Convenience: a point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceStage;
+    use simtime::Time;
+
+    #[test]
+    fn obs_bundles_metrics_and_trace() {
+        let obs = Obs::new();
+        obs.metrics().counter("x").incr();
+        obs.trace()
+            .record(Time(1), TraceStage::Send, Some(1), None, "");
+        assert_eq!(obs.snapshot().counter("x"), 1);
+        assert_eq!(obs.trace().len(), 1);
+    }
+
+    #[test]
+    fn custom_trace_capacity() {
+        let obs = Obs::with_trace_capacity(2);
+        for i in 0..3 {
+            obs.trace()
+                .record(Time(i), TraceStage::Send, None, None, "");
+        }
+        assert_eq!(obs.trace().len(), 2);
+        assert_eq!(obs.trace().dropped(), 1);
+    }
+}

@@ -18,10 +18,12 @@ use simtime::{SharedClock, SystemClock};
 use crate::error::{MqError, MqResult};
 use crate::journal::{Journal, JournalRecord, MemJournal};
 use crate::message::{Message, QueueAddress};
+use crate::obs::Obs;
 use crate::queue::{Queue, QueueConfig, Wait};
 use crate::selector::Selector;
 use crate::session::Session;
-use crate::stats::ManagerStats;
+use crate::stats::{ManagerStats, MetricsSnapshot, QueueStats};
+use crate::trace::TraceLog;
 
 /// Name of the dead-letter queue every manager owns.
 pub const DEAD_LETTER_QUEUE: &str = "SYSTEM.DEAD.LETTER.QUEUE";
@@ -60,12 +62,21 @@ pub struct QueueManagerBuilder {
     clock: Option<SharedClock>,
     journal: Option<Arc<dyn Journal>>,
     config: ManagerConfig,
+    obs: Option<Arc<Obs>>,
 }
 
 impl QueueManagerBuilder {
     /// Sets the clock (defaults to a fresh [`SystemClock`]).
     pub fn clock(mut self, clock: SharedClock) -> Self {
         self.clock = Some(clock);
+        self
+    }
+
+    /// Sets the observability hub (defaults to a fresh [`Obs`]). Pass the
+    /// same hub to several managers so a simulated distributed deployment
+    /// reports into one registry and one lifecycle timeline.
+    pub fn obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -90,6 +101,8 @@ impl QueueManagerBuilder {
     pub fn build(self) -> MqResult<Arc<QueueManager>> {
         let clock = self.clock.unwrap_or_else(|| SystemClock::new());
         let journal = self.journal.unwrap_or_else(|| MemJournal::new());
+        let obs = self.obs.unwrap_or_default();
+        let stats = ManagerStats::registered(obs.metrics());
         let manager = Arc::new(QueueManager {
             name: self.name,
             clock,
@@ -97,7 +110,8 @@ impl QueueManagerBuilder {
             config: self.config,
             queues: RwLock::new(HashMap::new()),
             routes: RwLock::new(HashMap::new()),
-            stats: ManagerStats::default(),
+            stats,
+            obs,
             running: AtomicBool::new(true),
         });
         manager.recover()?;
@@ -118,6 +132,7 @@ pub struct QueueManager {
     /// remote manager name → local transmission queue name
     routes: RwLock<HashMap<String, String>>,
     stats: ManagerStats,
+    obs: Arc<Obs>,
     running: AtomicBool,
 }
 
@@ -139,6 +154,7 @@ impl QueueManager {
             clock: None,
             journal: None,
             config: ManagerConfig::default(),
+            obs: None,
         }
     }
 
@@ -162,6 +178,24 @@ impl QueueManager {
         &self.stats
     }
 
+    /// The manager's observability hub (metrics registry + lifecycle
+    /// trace). Shared with other managers when built via
+    /// [`QueueManagerBuilder::obs`].
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The message-lifecycle trace log.
+    pub fn trace(&self) -> &TraceLog {
+        self.obs.trace()
+    }
+
+    /// A point-in-time snapshot of every metric registered against this
+    /// manager's observability hub.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
     /// Manager-wide configuration.
     pub fn config(&self) -> &ManagerConfig {
         &self.config
@@ -181,6 +215,21 @@ impl QueueManager {
     }
 
     // ---------------------------------------------------- queue admin --
+
+    /// Builds a queue whose stats cells are registered under
+    /// `mq.queue.<name>.*` and whose journal appends feed the shared
+    /// `mq.journal.append_micros` histogram.
+    fn make_queue(&self, name: String, config: QueueConfig) -> Arc<Queue> {
+        let stats = QueueStats::registered(self.obs.metrics(), &name);
+        Queue::new_instrumented(
+            name,
+            self.clock.clone(),
+            self.journal.clone(),
+            config,
+            stats,
+            self.stats.journal_append_micros.clone(),
+        )
+    }
 
     /// Creates a queue with default configuration.
     ///
@@ -210,12 +259,7 @@ impl QueueManager {
         self.journal.append(&JournalRecord::QueueCreated {
             queue: name.clone(),
         })?;
-        let queue = Queue::new(
-            name.clone(),
-            self.clock.clone(),
-            self.journal.clone(),
-            config,
-        );
+        let queue = self.make_queue(name.clone(), config);
         queues.insert(name, queue.clone());
         Ok(queue)
     }
@@ -469,14 +513,9 @@ impl QueueManager {
         for record in records {
             match record {
                 JournalRecord::QueueCreated { queue } => {
-                    queues.entry(queue.clone()).or_insert_with(|| {
-                        Queue::new(
-                            queue,
-                            self.clock.clone(),
-                            self.journal.clone(),
-                            QueueConfig::default(),
-                        )
-                    });
+                    queues
+                        .entry(queue.clone())
+                        .or_insert_with(|| self.make_queue(queue, QueueConfig::default()));
                 }
                 JournalRecord::QueueDeleted { queue } => {
                     queues.remove(&queue);

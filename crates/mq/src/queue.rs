@@ -26,7 +26,7 @@ use crate::error::{MqError, MqResult};
 use crate::journal::{Journal, JournalRecord};
 use crate::message::{Message, MessageId};
 use crate::selector::Selector;
-use crate::stats::QueueStats;
+use crate::stats::{Histogram, QueueStats};
 
 /// How long a consumer is willing to wait for a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +95,9 @@ pub struct Queue {
     inner: Mutex<Inner>,
     available: Condvar,
     stats: QueueStats,
+    /// Journal-append latency (micros), shared with the owning manager's
+    /// `mq.journal.append_micros` histogram when built via the manager.
+    journal_append_micros: Arc<Histogram>,
 }
 
 impl fmt::Debug for Queue {
@@ -107,11 +110,34 @@ impl fmt::Debug for Queue {
 }
 
 impl Queue {
+    /// Builds a standalone queue with unregistered stats (tests only; the
+    /// manager path goes through [`Queue::new_instrumented`]).
+    #[cfg(test)]
     pub(crate) fn new(
         name: String,
         clock: SharedClock,
         journal: Arc<dyn Journal>,
         config: QueueConfig,
+    ) -> Arc<Queue> {
+        Queue::new_instrumented(
+            name,
+            clock,
+            journal,
+            config,
+            QueueStats::default(),
+            Arc::new(Histogram::default()),
+        )
+    }
+
+    /// Builds a queue whose stats cells (and journal-append histogram) are
+    /// already registered in a metrics registry by the owning manager.
+    pub(crate) fn new_instrumented(
+        name: String,
+        clock: SharedClock,
+        journal: Arc<dyn Journal>,
+        config: QueueConfig,
+        stats: QueueStats,
+        journal_append_micros: Arc<Histogram>,
     ) -> Arc<Queue> {
         Arc::new(Queue {
             name,
@@ -120,7 +146,8 @@ impl Queue {
             config,
             inner: Mutex::new(Inner::new()),
             available: Condvar::new(),
-            stats: QueueStats::default(),
+            stats,
+            journal_append_micros,
         })
     }
 
@@ -172,6 +199,15 @@ impl Queue {
         out
     }
 
+    /// Appends a journal record, recording its wall-clock latency (which
+    /// includes the fsync for durable file journals).
+    fn append_timed(&self, record: &JournalRecord) -> MqResult<()> {
+        let started = std::time::Instant::now();
+        let result = self.journal.append(record);
+        self.journal_append_micros.record_duration(started.elapsed());
+        result
+    }
+
     // ------------------------------------------------------------ puts --
 
     /// Enqueues a message. `journal_put` is false when the enqueue is
@@ -181,7 +217,7 @@ impl Queue {
         if journal_put && msg.is_persistent() && self.journal.is_durable() {
             // WAL discipline: the record must be stable before the message
             // becomes visible.
-            self.journal.append(&JournalRecord::Put {
+            self.append_timed(&JournalRecord::Put {
                 queue: self.name.clone(),
                 message: msg.clone(),
             })?;
@@ -323,7 +359,7 @@ impl Queue {
             if msg.is_expired(now) {
                 self.stats.expired.incr();
                 if msg.is_persistent() && self.journal.is_durable() {
-                    self.journal.append(&JournalRecord::Expired {
+                    self.append_timed(&JournalRecord::Expired {
                         queue: self.name.clone(),
                         message_id: msg.id(),
                     })?;
@@ -332,7 +368,7 @@ impl Queue {
             }
             self.stats.dequeued.incr();
             if journal_get && msg.is_persistent() && self.journal.is_durable() {
-                self.journal.append(&JournalRecord::Get {
+                self.append_timed(&JournalRecord::Get {
                     queue: self.name.clone(),
                     message_id: msg.id(),
                 })?;
@@ -424,7 +460,7 @@ impl Queue {
                     self.stats.expired.incr();
                     self.stats.depth.set(inner.store.len() as u64);
                     if dead.is_persistent() && self.journal.is_durable() {
-                        self.journal.append(&JournalRecord::Expired {
+                        self.append_timed(&JournalRecord::Expired {
                             queue: self.name.clone(),
                             message_id: dead.id(),
                         })?;
@@ -438,7 +474,7 @@ impl Queue {
                     self.stats.dequeued.incr();
                     self.stats.depth.set(inner.store.len() as u64);
                     if journal_get && msg.is_persistent() && self.journal.is_durable() {
-                        self.journal.append(&JournalRecord::Get {
+                        self.append_timed(&JournalRecord::Get {
                             queue: self.name.clone(),
                             message_id: msg.id(),
                         })?;
@@ -460,7 +496,7 @@ impl Queue {
         for id in ids {
             let msg = inner.detach(id).expect("key present");
             if msg.is_persistent() && self.journal.is_durable() {
-                self.journal.append(&JournalRecord::Get {
+                self.append_timed(&JournalRecord::Get {
                     queue: self.name.clone(),
                     message_id: msg.id(),
                 })?;

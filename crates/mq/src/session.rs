@@ -124,7 +124,13 @@ impl Session {
                 _ => unreachable!(),
             };
             if durable {
-                if let Err(e) = self.manager.journal().append(&record) {
+                let started = std::time::Instant::now();
+                let appended = self.manager.journal().append(&record);
+                self.manager
+                    .stats()
+                    .journal_append_micros
+                    .record_duration(started.elapsed());
+                if let Err(e) = appended {
                     // Commit did not happen: put the transaction back so
                     // the caller can retry or roll back explicitly.
                     self.tx = Some(tx);

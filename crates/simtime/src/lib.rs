@@ -51,7 +51,6 @@ use parking_lot::{Condvar, Mutex};
 /// `MsgProcessingTime`, evaluation timeouts) in milliseconds; this newtype
 /// keeps those values distinct from absolute [`Time`] stamps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Millis(pub u64);
 
 impl Millis {
@@ -116,7 +115,6 @@ impl std::ops::Mul<u64> for Millis {
 
 /// An absolute timestamp in milliseconds since the owning clock's epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(pub u64);
 
 impl Time {

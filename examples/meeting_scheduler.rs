@@ -105,7 +105,7 @@ fn run_scenario(label: &str, cooperative_r3: bool) -> Result<(), Box<dyn std::er
         qmgr.create_queue(queue_for(r))?;
     }
     let messenger = ConditionalMessenger::new(qmgr.clone())?;
-    let _daemon = messenger.spawn_daemon(Duration::from_millis(2));
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(2))?;
 
     let participants: Vec<_> = RECIPIENTS
         .iter()

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    DS.ACK.Q, DS.COMP.Q, DS.OUTCOME.Q) and run its evaluation manager
     //    in the background.
     let messenger = ConditionalMessenger::new(qmgr.clone())?;
-    let _daemon = messenger.spawn_daemon(Duration::from_millis(2));
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(2))?;
 
     // 3. Send a message that must be picked up within one second.
     let condition: Condition = Destination::queue("QM1", "ORDERS")
