@@ -5,3 +5,4 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+cargo run --release -p cond-bench --bin exp_fig6_overhead -- --quick

@@ -1,23 +1,42 @@
 //! E4 — paper Fig. 6: the two message levels and the cost of the
 //! conditional-messaging indirection.
 //!
-//! For N destinations, measures wall-clock per operation for raw puts vs a
-//! conditional send, and counts the standard messages the middleware
-//! generates per conditional message (originals + parked compensations +
-//! the send-log record — the paper's point that "if no conditional
-//! messaging system were available, the application would have to create
-//! similar messages").
+//! Part A (the paper's figure): for N destinations, wall-clock per
+//! operation for raw puts vs a conditional send, and the standard messages
+//! the middleware generates per conditional message (originals + parked
+//! compensations + the send-log record — the paper's point that "if no
+//! conditional messaging system were available, the application would have
+//! to create similar messages").
+//!
+//! Part B (evaluation-core comparison): the polled single-ack pump
+//! ("before") against the event-driven batched core ("after") — p50/p95
+//! verdict latency, acknowledgment throughput, and the number of ack-drain
+//! transactions (one journal `TxCommit` each) for a fixed ack backlog.
+//! Results are written to `BENCH_fig6.json`.
+//!
+//! `--quick` shrinks the iteration counts so the binary can run inside the
+//! repository gate (`check.sh`).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cond_bench::{emit_metrics, header, queue_names, row, system_world, workload};
-use mq::Message;
-use simtime::Millis;
+use cond_bench::{
+    emit_metrics, header, queue_names, row, shared_obs, sim_world_cfg, system_world,
+    system_world_cfg, workload,
+};
+use condmsg::{CondConfig, ConditionalReceiver};
+use mq::{Message, Wait};
+use simtime::{Millis, SimClock};
 
-const ITERS: usize = 2_000;
 const PAYLOAD: &str = "group meeting notification payload";
+/// Poll interval of the "before" evaluation daemon.
+const POLL: Duration = Duration::from_millis(2);
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: usize = if quick { 200 } else { 2_000 };
+    let latency_msgs: usize = if quick { 64 } else { 512 };
+    let drain_msgs: usize = if quick { 128 } else { 512 };
+
     println!("# E4 — Fig. 6: send-path overhead (conditional vs raw JMS-style put)\n");
     header(&[
         "destinations",
@@ -30,7 +49,7 @@ fn main() {
         // Raw path.
         let world = system_world(&queue_names(n));
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             for i in 0..n {
                 world
                     .qmgr
@@ -41,7 +60,7 @@ fn main() {
                     .unwrap();
             }
         }
-        let raw = start.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+        let raw = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
 
         // Conditional path.
         let world = system_world(&queue_names(n));
@@ -61,10 +80,10 @@ fn main() {
             .enqueued
             .get();
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             world.messenger.send_message(PAYLOAD, &condition).unwrap();
         }
-        let cond = start.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+        let cond = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
         let slog = world
             .qmgr
             .queue("DS.SLOG.Q")
@@ -81,7 +100,7 @@ fn main() {
             .enqueued
             .get()
             - comp_before;
-        let generated = n as f64 + (slog as f64 + comp as f64) / ITERS as f64;
+        let generated = n as f64 + (slog as f64 + comp as f64) / iters as f64;
 
         row(&[
             n.to_string(),
@@ -90,8 +109,8 @@ fn main() {
             format!("{:.2}x", cond / raw),
             format!(
                 "{generated:.0} ({n} originals + {} comp + {} log)",
-                comp / ITERS as u64,
-                slog / ITERS as u64
+                comp / iters as u64,
+                slog / iters as u64
             ),
         ]);
     }
@@ -102,5 +121,135 @@ fn main() {
          plus one send-log record), and the factor shrinks as N grows because the log \
          record amortizes."
     );
+
+    // ── Part B: polled pump vs event-driven core ─────────────────────────
+    println!();
+    println!("## evaluation core: polled pump (before) vs event-driven (after)\n");
+    let (before_lat, before_rate) = verdict_latency_run(false, latency_msgs);
+    let (after_lat, after_rate) = verdict_latency_run(true, latency_msgs);
+    let batch = CondConfig::default().ack_batch;
+    let (before_txs, acks) = drain_tx_run(1, drain_msgs);
+    let (after_txs, _) = drain_tx_run(batch, drain_msgs);
+    let reduction = before_txs as f64 / after_txs as f64;
+
+    header(&[
+        "core",
+        "verdict p50 (µs)",
+        "verdict p95 (µs)",
+        "acks/sec",
+        &format!("drain txs for {acks} acks"),
+    ]);
+    row(&[
+        format!("polled ({}ms pump)", POLL.as_millis()),
+        percentile(&before_lat, 0.50).to_string(),
+        percentile(&before_lat, 0.95).to_string(),
+        format!("{before_rate:.0}"),
+        before_txs.to_string(),
+    ]);
+    row(&[
+        format!("event-driven (batch {batch})"),
+        percentile(&after_lat, 0.50).to_string(),
+        percentile(&after_lat, 0.95).to_string(),
+        format!("{after_rate:.0}"),
+        after_txs.to_string(),
+    ]);
+    println!();
+    println!(
+        "ack-drain transactions reduced {reduction:.1}x (batch factor {batch}); each drain \
+         transaction is one grouped journal TxCommit instead of one per acknowledgment."
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fig6_overhead\",\n  \"quick\": {quick},\n  \
+         \"verdict_latency_us\": {{\n    \
+         \"polled\": {{ \"p50\": {}, \"p95\": {} }},\n    \
+         \"event_driven\": {{ \"p50\": {}, \"p95\": {} }}\n  }},\n  \
+         \"acks_per_sec\": {{ \"polled\": {before_rate:.1}, \"event_driven\": {after_rate:.1} }},\n  \
+         \"ack_drain_txs\": {{ \"acks\": {acks}, \"before_batch_1\": {before_txs}, \
+         \"after_batch_{batch}\": {after_txs}, \"reduction_factor\": {reduction:.1} }}\n}}\n",
+        percentile(&before_lat, 0.50),
+        percentile(&before_lat, 0.95),
+        percentile(&after_lat, 0.50),
+        percentile(&after_lat, 0.95),
+    );
+    std::fs::write("BENCH_fig6.json", &json).expect("write BENCH_fig6.json");
+    println!("\nwrote BENCH_fig6.json");
+
+    assert!(
+        reduction >= batch as f64,
+        "ack-drain transactions must shrink by at least the batch factor \
+         ({before_txs} -> {after_txs}, batch {batch})"
+    );
+
     emit_metrics();
+}
+
+/// Sends `msgs` single-destination conditional messages one at a time; a
+/// consumer picks each up immediately and the run measures the wall-clock
+/// from condition satisfaction (the read) to the outcome notification.
+/// "Before" runs the polled daemon; "after" runs the event-driven core
+/// with no daemon at all.
+fn verdict_latency_run(event_driven: bool, msgs: usize) -> (Vec<u64>, f64) {
+    let config = CondConfig {
+        event_driven,
+        ..CondConfig::default()
+    };
+    let world = system_world_cfg(&queue_names(1), config);
+    let _daemon = (!event_driven).then(|| world.messenger.spawn_daemon(POLL).unwrap());
+    let condition = workload::fan_out(1, Millis(600_000));
+    let mut receiver = ConditionalReceiver::new(world.qmgr.clone()).unwrap();
+    let mut latencies = Vec::with_capacity(msgs);
+    let phase = Instant::now();
+    for _ in 0..msgs {
+        let id = world.messenger.send_message(PAYLOAD, &condition).unwrap();
+        receiver
+            .read_message("Q.D0", Wait::NoWait)
+            .unwrap()
+            .expect("original delivered");
+        let satisfied = Instant::now();
+        world
+            .messenger
+            .take_outcome(id, Wait::Timeout(Millis(10_000)))
+            .unwrap()
+            .expect("verdict reached");
+        latencies.push(satisfied.elapsed().as_micros() as u64);
+    }
+    let rate = msgs as f64 / phase.elapsed().as_secs_f64();
+    (latencies, rate)
+}
+
+/// Builds an ack backlog of `msgs` acknowledgments (two-destination
+/// condition, only one destination reads, so draining decides nothing and
+/// the transaction delta is purely ack draining), then counts the
+/// committed transactions one pump needs to drain it.
+fn drain_tx_run(ack_batch: usize, msgs: usize) -> (u64, u64) {
+    let config = CondConfig {
+        ack_batch,
+        ..CondConfig::default()
+    };
+    let clock = SimClock::new();
+    let world = sim_world_cfg(clock, &queue_names(2), config);
+    let condition = workload::fan_out(2, Millis(600_000));
+    for _ in 0..msgs {
+        world.messenger.send_message(PAYLOAD, &condition).unwrap();
+    }
+    let mut receiver = ConditionalReceiver::new(world.qmgr.clone()).unwrap();
+    for _ in 0..msgs {
+        receiver
+            .read_message("Q.D0", Wait::NoWait)
+            .unwrap()
+            .expect("original delivered");
+    }
+    let acks = world.qmgr.queue("DS.ACK.Q").unwrap().depth() as u64;
+    let before = shared_obs().snapshot().counter("mq.tx.committed");
+    world.messenger.pump().unwrap();
+    let txs = shared_obs().snapshot().counter("mq.tx.committed") - before;
+    (txs, acks)
+}
+
+fn percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }

@@ -55,6 +55,17 @@ pub struct CondConfig {
     /// condition with a 21 s evaluation timeout — i.e. one second of
     /// grace. Default: zero (decide eagerly at the deadline).
     pub ack_grace: Millis,
+    /// Maximum acknowledgments drained from the ack queue under a single
+    /// messaging transaction (one journal commit per batch instead of one
+    /// per ack). Default: 64.
+    pub ack_batch: usize,
+    /// Run the evaluation manager event-driven: acks are drained and
+    /// evaluated the moment they land on the ack queue (put-watcher under
+    /// a virtual clock, condvar-parked daemon under a system clock) and
+    /// deadline verdicts fire from armed timers, instead of waiting for
+    /// the next `pump()`/poll tick. Default: off, preserving the
+    /// deterministic drain-on-pump semantics tests rely on.
+    pub event_driven: bool,
 }
 
 impl Default for CondConfig {
@@ -69,6 +80,8 @@ impl Default for CondConfig {
             success_notifications: false,
             default_evaluation_timeout: None,
             ack_grace: Millis::ZERO,
+            ack_batch: 64,
+            event_driven: false,
         }
     }
 }
@@ -89,5 +102,7 @@ mod tests {
         assert!(!c.success_notifications);
         assert!(c.default_evaluation_timeout.is_none());
         assert_eq!(c.ack_grace, Millis::ZERO);
+        assert_eq!(c.ack_batch, 64);
+        assert!(!c.event_driven);
     }
 }

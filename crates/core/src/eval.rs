@@ -392,6 +392,267 @@ impl CompiledCondition {
     }
 }
 
+/// Status of one `(constraint, member)` evaluation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    Pending,
+    Satisfied,
+    Violated,
+}
+
+/// One constraint membership of one leaf, with its absolute deadline.
+#[derive(Debug, Clone)]
+struct Cell {
+    dim: Dimension,
+    deadline: Time,
+    state: CellState,
+}
+
+/// Counter block for one compiled [`CountConstraint`].
+#[derive(Debug, Clone)]
+struct CountState {
+    min: u32,
+    satisfied: u32,
+    violated: u32,
+    cells: Vec<Cell>,
+}
+
+/// Back-edge from a leaf to one of its cells.
+#[derive(Debug, Clone, Copy)]
+enum CellRef {
+    Leaf(usize),
+    Count { constraint: usize, member: usize },
+}
+
+/// Event-driven evaluation state for one pending message.
+///
+/// [`CompiledCondition::evaluate_with_grace`] re-walks every constraint
+/// against the clock on each call — O(tree) per pump tick. `IncrementalEval`
+/// lowers the same constraints once into per-`(constraint, member)` status
+/// cells with per-constraint satisfied/violated counters and per-leaf
+/// back-edges, so applying one acknowledgment touches only the cells of
+/// that leaf (O(depth), i.e. the leaf's constraint memberships) and
+/// decidability falls out of the counters immediately.
+///
+/// The struct tracks *decidability* only. Once [`IncrementalEval::decided`]
+/// reports `true`, the caller renders the canonical verdict with a single
+/// `evaluate_with_grace` call at that instant, so verdict strings (and the
+/// paper's early-failure semantics) stay byte-identical to the full
+/// re-evaluation oracle.
+#[derive(Debug, Clone)]
+pub struct IncrementalEval {
+    grace: Millis,
+    leaf_cells: Vec<Cell>,
+    leaf_satisfied: u32,
+    leaf_violated: u32,
+    counts: Vec<CountState>,
+    by_leaf: Vec<Vec<CellRef>>,
+}
+
+impl IncrementalEval {
+    /// Lowers a compiled condition into incremental form. `grace` mirrors
+    /// the messenger's ack grace: a *missing* acknowledgment only violates
+    /// once `deadline + grace` has strictly passed, while acknowledgment
+    /// stamps are compared against the true deadline — the same rules as
+    /// [`leaf_status`].
+    pub fn new(compiled: &CompiledCondition, send_time: Time, grace: Millis) -> IncrementalEval {
+        let mut by_leaf: Vec<Vec<CellRef>> = vec![Vec::new(); compiled.leaves().len()];
+        let mut leaf_cells = Vec::new();
+        for c in compiled.leaf_constraints() {
+            by_leaf[c.leaf as usize].push(CellRef::Leaf(leaf_cells.len()));
+            leaf_cells.push(Cell {
+                dim: c.dim,
+                deadline: send_time + c.window,
+                state: CellState::Pending,
+            });
+        }
+        let mut counts = Vec::new();
+        for c in compiled.count_constraints() {
+            let constraint = counts.len();
+            let mut cells = Vec::new();
+            for (member, (leaf, window)) in c.members.iter().enumerate() {
+                by_leaf[*leaf as usize].push(CellRef::Count { constraint, member });
+                cells.push(Cell {
+                    dim: c.dim,
+                    deadline: send_time + *window,
+                    state: CellState::Pending,
+                });
+            }
+            counts.push(CountState {
+                min: c.min,
+                satisfied: 0,
+                violated: 0,
+                cells,
+            });
+        }
+        IncrementalEval {
+            grace,
+            leaf_cells,
+            leaf_satisfied: 0,
+            leaf_violated: 0,
+            counts,
+            by_leaf,
+        }
+    }
+
+    /// Folds the current acknowledgment stamps for `leaf` into that leaf's
+    /// cells. Returns the number of cell transitions performed (the
+    /// `cond.eval.incremental_updates` unit).
+    ///
+    /// Transitions are monotone except `Violated → Satisfied`: earlier-
+    /// stamped redeliveries can improve a stamp (see
+    /// [`AckState::record_read`]), and the oracle checks stamps before
+    /// deadlines, so a timely stamp wins over an earlier time-based
+    /// violation of the same cell.
+    pub fn apply_ack(&mut self, leaf: u32, acks: &AckState) -> u64 {
+        let Some(refs) = self.by_leaf.get(leaf as usize) else {
+            return 0;
+        };
+        let Some(ack) = acks.leaf(leaf) else {
+            return 0;
+        };
+        let (read_at, processed_at) = (ack.read_at, ack.processed_at);
+        let mut updates = 0;
+        for r in refs.clone() {
+            let cell = self.cell(r);
+            let stamp = match cell.dim {
+                Dimension::Pickup => read_at,
+                Dimension::Process => processed_at,
+            };
+            let target = match stamp {
+                None => continue,
+                Some(t) if t <= cell.deadline => CellState::Satisfied,
+                Some(_) => CellState::Violated,
+            };
+            if self.set_cell(r, target) {
+                updates += 1;
+            }
+        }
+        updates
+    }
+
+    /// Flips cells whose deadline (plus grace) has strictly passed without
+    /// an acknowledgment. Returns the number of transitions.
+    pub fn on_time(&mut self, now: Time) -> u64 {
+        let mut updates = 0;
+        for i in 0..self.leaf_cells.len() {
+            let c = &self.leaf_cells[i];
+            if c.state == CellState::Pending && now > c.deadline + self.grace {
+                self.set_cell(CellRef::Leaf(i), CellState::Violated);
+                updates += 1;
+            }
+        }
+        for constraint in 0..self.counts.len() {
+            for member in 0..self.counts[constraint].cells.len() {
+                let c = &self.counts[constraint].cells[member];
+                if c.state == CellState::Pending && now > c.deadline + self.grace {
+                    self.set_cell(CellRef::Count { constraint, member }, CellState::Violated);
+                    updates += 1;
+                }
+            }
+        }
+        updates
+    }
+
+    /// Whether the verdict is decided, by the same rules as
+    /// [`CompiledCondition::evaluate_with_grace`]: any violated required
+    /// destination, any count constraint that can no longer reach its
+    /// minimum, or everything satisfied.
+    pub fn decided(&self) -> bool {
+        if self.leaf_violated > 0 {
+            return true;
+        }
+        for cs in &self.counts {
+            let pending = cs.cells.len() as u32 - cs.satisfied - cs.violated;
+            if cs.satisfied + pending < cs.min {
+                return true;
+            }
+        }
+        self.leaf_satisfied as usize == self.leaf_cells.len()
+            && self.counts.iter().all(|cs| cs.satisfied >= cs.min)
+    }
+
+    /// The next instant at which the passage of time alone can change
+    /// decidability: one millisecond past the earliest `deadline + grace`
+    /// among cells that are still pending and still matter (members of
+    /// count constraints that already met their minimum are skipped).
+    /// `None` when no timer needs to be armed.
+    pub fn next_deadline(&self) -> Option<Time> {
+        let mut earliest: Option<Time> = None;
+        let grace = self.grace;
+        let mut consider = |deadline: Time| {
+            let trigger = deadline + grace + Millis(1);
+            earliest = Some(match earliest {
+                Some(t) if t <= trigger => t,
+                _ => trigger,
+            });
+        };
+        for c in &self.leaf_cells {
+            if c.state == CellState::Pending {
+                consider(c.deadline);
+            }
+        }
+        for cs in &self.counts {
+            if cs.satisfied >= cs.min {
+                continue;
+            }
+            for c in &cs.cells {
+                if c.state == CellState::Pending {
+                    consider(c.deadline);
+                }
+            }
+        }
+        earliest
+    }
+
+    fn cell(&self, r: CellRef) -> &Cell {
+        match r {
+            CellRef::Leaf(i) => &self.leaf_cells[i],
+            CellRef::Count { constraint, member } => &self.counts[constraint].cells[member],
+        }
+    }
+
+    /// Transitions a cell, maintaining the counters. `Satisfied` is final
+    /// (stamps only ever get earlier); `Violated → Satisfied` is allowed.
+    fn set_cell(&mut self, r: CellRef, target: CellState) -> bool {
+        match r {
+            CellRef::Leaf(i) => {
+                let cur = self.leaf_cells[i].state;
+                if cur == target || cur == CellState::Satisfied {
+                    return false;
+                }
+                if cur == CellState::Violated {
+                    self.leaf_violated -= 1;
+                }
+                match target {
+                    CellState::Satisfied => self.leaf_satisfied += 1,
+                    CellState::Violated => self.leaf_violated += 1,
+                    CellState::Pending => unreachable!("cells never return to pending"),
+                }
+                self.leaf_cells[i].state = target;
+                true
+            }
+            CellRef::Count { constraint, member } => {
+                let cs = &mut self.counts[constraint];
+                let cur = cs.cells[member].state;
+                if cur == target || cur == CellState::Satisfied {
+                    return false;
+                }
+                if cur == CellState::Violated {
+                    cs.violated -= 1;
+                }
+                match target {
+                    CellState::Satisfied => cs.satisfied += 1,
+                    CellState::Violated => cs.violated += 1,
+                    CellState::Pending => unreachable!("cells never return to pending"),
+                }
+                cs.cells[member].state = target;
+                true
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct InheritedAttrs {
     expiry: Option<Millis>,
@@ -812,6 +1073,82 @@ mod tests {
         assert!(!Verdict::Pending.is_decided());
     }
 
+    #[test]
+    fn incremental_example1_tracks_oracle() {
+        let c = CompiledCondition::compile(&example1()).unwrap();
+        let send = Time(0);
+        let mut acks = AckState::new(4);
+        let mut inc = IncrementalEval::new(&c, send, Millis::ZERO);
+        assert!(!inc.decided());
+        // The earliest pending deadline is the 2-day pickup; strict
+        // comparison means the trigger is one tick past it.
+        assert_eq!(inc.next_deadline(), Some(Time(2 * DAY + 1)));
+        for leaf in 0..4 {
+            acks.record_read(leaf, Time(DAY), None);
+            inc.apply_ack(leaf, &acks);
+        }
+        assert!(!inc.decided(), "processing still missing");
+        // Pickup counts are met, so only processing deadlines remain armed.
+        assert_eq!(inc.next_deadline(), Some(Time(7 * DAY + 1)));
+        acks.record_processed(0, Time(DAY), Time(6 * DAY), None);
+        inc.apply_ack(0, &acks);
+        acks.record_processed(1, Time(DAY), Time(10 * DAY), None);
+        inc.apply_ack(1, &acks);
+        assert!(!inc.decided(), "one more processing needed");
+        acks.record_processed(3, Time(DAY), Time(10 * DAY), None);
+        inc.apply_ack(3, &acks);
+        assert!(inc.decided());
+        assert_eq!(
+            c.evaluate(&acks, send, Time(10 * DAY)),
+            Verdict::Satisfied,
+            "canonical verdict at the decision instant"
+        );
+        assert_eq!(inc.next_deadline(), None, "nothing left to arm");
+    }
+
+    #[test]
+    fn incremental_time_violation_decides_at_trigger() {
+        let c = CompiledCondition::compile(&example2()).unwrap();
+        let mut inc = IncrementalEval::new(&c, Time(1_000), Millis::ZERO);
+        let trigger = inc.next_deadline().unwrap();
+        assert_eq!(trigger, Time(21_001), "one past send + 20s window");
+        assert_eq!(inc.on_time(Time(21_000)), 0, "deadline tick itself: strict");
+        assert!(!inc.decided());
+        assert_eq!(inc.on_time(trigger), 1);
+        assert!(inc.decided());
+        assert!(c
+            .evaluate(&AckState::new(1), Time(1_000), trigger)
+            .is_violated());
+    }
+
+    #[test]
+    fn incremental_timely_stamp_overrides_time_violation() {
+        // The oracle checks stamps before deadlines, so an ack arriving
+        // after deadline+grace with a timely stamp still satisfies.
+        let c = CompiledCondition::compile(&example2()).unwrap();
+        let mut acks = AckState::new(1);
+        let mut inc = IncrementalEval::new(&c, Time(0), Millis::ZERO);
+        inc.on_time(Time(25_000));
+        assert!(inc.decided(), "time-violated");
+        acks.record_read(0, Time(10_000), None);
+        assert_eq!(inc.apply_ack(0, &acks), 1, "violated cell flips");
+        assert!(inc.decided());
+        assert_eq!(c.evaluate(&acks, Time(0), Time(25_000)), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn incremental_vacuous_condition_is_decided_immediately() {
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("M", "A").into(),
+            Destination::queue("M", "B").into(),
+        ])
+        .into();
+        let c = CompiledCondition::compile(&cond).unwrap();
+        let inc = IncrementalEval::new(&c, Time(0), Millis::ZERO);
+        assert!(inc.decided());
+        assert_eq!(inc.next_deadline(), None);
+    }
+
     #[cfg(test)]
     mod proptests {
         use super::*;
@@ -882,6 +1219,50 @@ mod tests {
                 }
                 if !before.is_violated() {
                     prop_assert!(!after.is_violated());
+                }
+            }
+
+            /// The incremental evaluator agrees with the full re-evaluation
+            /// oracle on decidability at every step of a random ack/advance
+            /// schedule, and its `next_deadline` is exactly the first tick
+            /// at which the oracle's pending verdict would flip by time.
+            #[test]
+            fn incremental_matches_oracle_stepwise(
+                (cond, _min, w) in arb_flat_condition(),
+                events in proptest::collection::vec((0u32..8, 0u64..2000, any::<bool>()), 0..20),
+                grace in 0u64..5,
+            ) {
+                let grace = Millis(grace);
+                let c = CompiledCondition::compile(&cond).unwrap();
+                let n = c.leaves().len() as u32;
+                let mut acks = AckState::new(n as usize);
+                let mut inc = IncrementalEval::new(&c, Time(0), grace);
+                let mut now = Time(0);
+                for (leaf, stamp_or_step, is_ack) in events {
+                    if is_ack {
+                        let leaf = leaf % n;
+                        acks.record_read(leaf, Time(stamp_or_step), None);
+                        inc.apply_ack(leaf, &acks);
+                    } else {
+                        now = now + Millis(stamp_or_step % (w * 2).max(1));
+                        inc.on_time(now);
+                    }
+                    let oracle = c.evaluate_with_grace(&acks, Time(0), now, grace);
+                    prop_assert_eq!(
+                        inc.decided(),
+                        oracle.is_decided(),
+                        "decidability diverged at {} (oracle {})", now, oracle
+                    );
+                    if let (false, Some(trigger)) = (inc.decided(), inc.next_deadline()) {
+                        // One tick before the trigger the oracle is still
+                        // pending; at the trigger it may decide (it always
+                        // does when the flipped cells were load-bearing).
+                        let before = c.evaluate_with_grace(&acks, Time(0), Time(trigger.0 - 1), grace);
+                        prop_assert!(
+                            !before.is_decided() || before == oracle,
+                            "oracle decided before the armed trigger {}", trigger
+                        );
+                    }
                 }
             }
         }

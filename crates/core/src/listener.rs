@@ -11,9 +11,11 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mq::stats::Counter;
 use mq::{QueueManager, Wait};
+use parking_lot::{Condvar, Mutex};
 use simtime::Millis;
 
 use crate::config::CondConfig;
@@ -43,6 +45,31 @@ pub struct ConditionalListenerStats {
     pub rolled_back: Counter,
     /// Callback panics caught.
     pub panics: Counter,
+    /// Signalled after every disposition so waiters can park instead of
+    /// sleep-polling.
+    changed: Condvar,
+    changed_lock: Mutex<()>,
+}
+
+impl ConditionalListenerStats {
+    /// Blocks until `pred` holds, woken by the listener after each
+    /// disposition (commit, rollback or caught panic) instead of
+    /// sleep-polling. Panics with `what` after 5 s — this is a test/await
+    /// helper, not a production synchronization primitive.
+    pub fn wait_until<F: Fn() -> bool>(&self, what: &str, pred: F) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut guard = self.changed_lock.lock();
+        while !pred() {
+            let now = Instant::now();
+            assert!(now < deadline, "timed out waiting for: {what}");
+            self.changed.wait_for(&mut guard, deadline - now);
+        }
+    }
+
+    fn note_disposition(&self) {
+        let _guard = self.changed_lock.lock();
+        self.changed.notify_all();
+    }
 }
 
 /// A running conditional push consumer; stops (and joins) on drop.
@@ -76,6 +103,10 @@ impl ConditionalListener {
         mut callback: Box<ProcessingCallback>,
     ) -> CondResult<ConditionalListener> {
         let queue = queue.into();
+        // The queue's condvar handle lets the idle loop park without
+        // opening a transaction; tolerate a not-yet-created queue by
+        // falling back to a plain timed read.
+        let watched = qmgr.queue(&queue).ok();
         // Construct the receiver up front so setup errors surface here.
         let mut receiver =
             ConditionalReceiver::with_config(qmgr, recipient, CondConfig::default())?;
@@ -88,9 +119,21 @@ impl ConditionalListener {
             .name(format!("condmsg-listener-{queue}"))
             .spawn(move || {
                 while !stop2.load(Ordering::SeqCst) {
+                    if let Some(q) = &watched {
+                        // Park on the queue's condvar while idle: no
+                        // receiver transaction until a message is there.
+                        match q.wait_nonempty(Wait::Timeout(Millis(50))) {
+                            Ok(true) => {}
+                            Ok(false) => continue, // recheck the stop flag
+                            Err(_) => return,      // manager stopped
+                        }
+                    }
                     if receiver.begin_tx().is_err() {
                         return;
                     }
+                    // Short timed read (not NoWait): a queue that is
+                    // non-empty but holds nothing deliverable yet (e.g. a
+                    // deferred compensation) must not busy-spin.
                     let msg = match receiver.read_message(&queue2, Wait::Timeout(Millis(20))) {
                         Ok(Some(m)) => m,
                         Ok(None) => {
@@ -117,6 +160,7 @@ impl ConditionalListener {
                             stats2.panics.incr();
                         }
                     }
+                    stats2.note_disposition();
                 }
             })
             .expect("failed to spawn conditional listener");
@@ -159,15 +203,6 @@ mod tests {
     use crate::condition::{Condition, Destination};
     use crate::messenger::ConditionalMessenger;
     use crate::wire::{MessageKind, MessageOutcome};
-    use std::time::Duration;
-
-    fn wait_for<F: Fn() -> bool>(what: &str, f: F) {
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while !f() {
-            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
-            std::thread::sleep(Duration::from_millis(2));
-        }
-    }
 
     fn setup() -> (Arc<QueueManager>, Arc<ConditionalMessenger>) {
         let qmgr = QueueManager::builder("QM1").build().unwrap();
@@ -263,7 +298,9 @@ mod tests {
         messenger
             .send_message("boom", &processing_condition())
             .unwrap();
-        wait_for("panic caught", || listener.stats().panics.get() >= 1);
+        listener
+            .stats()
+            .wait_until("panic caught", || listener.stats().panics.get() >= 1);
         // No acknowledgment was produced by the failed attempts so far.
         // (The message keeps being redelivered until backout; we only
         // assert the no-ack-on-rollback property here.)

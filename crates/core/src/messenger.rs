@@ -30,19 +30,19 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
 use mq::selector::Selector;
 use mq::{MetricsSnapshot, MqError, QueueAddress, QueueManager, TraceStage, Wait};
-use parking_lot::Mutex;
-use simtime::Time;
+use parking_lot::{Condvar, Mutex};
+use simtime::{Time, TimerId};
 
 use crate::condition::Condition;
 use crate::config::CondConfig;
 use crate::error::{CondError, CondResult};
-use crate::eval::{AckState, CompiledCondition, Verdict};
+use crate::eval::{AckState, CompiledCondition, IncrementalEval, Verdict};
 use crate::ids::CondMessageId;
 use crate::metrics::MessengerMetrics;
 use crate::wire::{
@@ -68,6 +68,30 @@ struct PendingEval {
     acks: AckState,
     success_notifications: bool,
     defer_outcome_actions: bool,
+    /// Incremental mirror of the condition: per-cell satisfied/violated
+    /// state updated in O(depth) per ack, so decidability is known without
+    /// re-walking the tree.
+    inc: IncrementalEval,
+    /// The one armed deadline/timeout timer for this message (event-driven
+    /// mode): id and the trigger time it is armed for.
+    timer: Option<(TimerId, Time)>,
+    /// Bumped every time the timer is (re)armed or cancelled; a firing
+    /// callback carrying a stale generation is ignored.
+    timer_gen: u64,
+}
+
+impl PendingEval {
+    /// The earliest future instant at which this evaluation could be
+    /// decided by time alone: the incremental structure's next deadline
+    /// trigger or the evaluation timeout, whichever comes first.
+    fn next_trigger(&self) -> Option<Time> {
+        match (self.inc.next_deadline(), self.timeout_at) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (Some(d), None) => Some(d),
+            (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
 }
 
 /// The sender-side conditional messaging service.
@@ -84,6 +108,19 @@ pub struct ConditionalMessenger {
     /// Pre-registered `cond.*` metric cells (hot paths never touch the
     /// registry).
     metrics: MessengerMetrics,
+    /// Event-driven mode: acks are evaluated on arrival (ack-queue put
+    /// watcher) and deadline verdicts fire from armed timers.
+    event_driven: AtomicBool,
+    /// Outcomes finalized outside an explicit `pump()` (timer fires,
+    /// ack-arrival evaluation); the next `pump()` drains and returns them.
+    recent_outcomes: Mutex<Vec<OutcomeNotification>>,
+    /// Decided-outcome sequence number + condvar: bumped on every
+    /// finalization so subscribers (D-Sphere termination) can park instead
+    /// of poll-sleeping.
+    outcome_seq: Mutex<u64>,
+    outcome_cv: Condvar,
+    /// Back-reference for timer callbacks and queue watchers.
+    self_weak: Weak<ConditionalMessenger>,
 }
 
 impl fmt::Debug for ConditionalMessenger {
@@ -126,7 +163,7 @@ impl ConditionalMessenger {
             qmgr.ensure_queue(queue)?;
         }
         let metrics = MessengerMetrics::registered(qmgr.obs().metrics());
-        let messenger = Arc::new(ConditionalMessenger {
+        let messenger = Arc::new_cyclic(|weak| ConditionalMessenger {
             qmgr,
             config,
             pending: Mutex::new(HashMap::new()),
@@ -134,8 +171,16 @@ impl ConditionalMessenger {
             deferred: Mutex::new(HashMap::new()),
             pump_lock: Mutex::new(()),
             metrics,
+            event_driven: AtomicBool::new(false),
+            recent_outcomes: Mutex::new(Vec::new()),
+            outcome_seq: Mutex::new(0),
+            outcome_cv: Condvar::new(),
+            self_weak: weak.clone(),
         });
         messenger.recover()?;
+        if messenger.config.event_driven {
+            messenger.enable_event_driven()?;
+        }
         Ok(messenger)
     }
 
@@ -265,6 +310,7 @@ impl ConditionalMessenger {
         let success_notifications = options
             .success_notifications
             .unwrap_or(self.config.success_notifications);
+        let inc = IncrementalEval::new(&compiled, send_time, self.config.ack_grace);
         self.pending.lock().insert(
             cond_id,
             PendingEval {
@@ -274,6 +320,9 @@ impl ConditionalMessenger {
                 acks: AckState::new(condition.leaf_count()),
                 success_notifications,
                 defer_outcome_actions: options.defer_outcome_actions,
+                inc,
+                timer: None,
+                timer_gen: 0,
             },
         );
         if let Err(e) = session.commit() {
@@ -302,6 +351,15 @@ impl ConditionalMessenger {
                 dest.clone(),
             );
         }
+        if self.is_event_driven() {
+            // Arm the new message's deadline timer (and decide vacuous
+            // conditions) right away; no pump will come along to do it.
+            let _serial = self.pump_lock.lock();
+            if let Ok(outs) = self.run_cycle() {
+                self.buffer_outcomes(outs);
+            }
+            self.rearm_all();
+        }
         Ok(cond_id)
     }
 
@@ -322,42 +380,71 @@ impl ConditionalMessenger {
     pub fn pump(&self) -> CondResult<Vec<OutcomeNotification>> {
         let _serial = self.pump_lock.lock();
         self.metrics.pump_iterations.incr();
+        // Outcomes already finalized by timer fires / ack-arrival
+        // evaluation since the last pump come first (they decided earlier).
+        let mut out = std::mem::take(&mut *self.recent_outcomes.lock());
+        out.extend(self.run_cycle()?);
+        if self.is_event_driven() {
+            self.rearm_all();
+        }
+        Ok(out)
+    }
+
+    /// One evaluation cycle under the pump lock: drain the ack queue in
+    /// batches, expire cells against the clock, finalize every decided
+    /// message and return the new outcomes.
+    fn run_cycle(&self) -> CondResult<Vec<OutcomeNotification>> {
         self.drain_acks()?;
         let now = self.qmgr.clock().now();
 
-        // Decide.
+        // Decide. Decidability comes from the O(depth)-maintained
+        // incremental structure; the canonical verdict (and its reason
+        // string) is rendered by one full evaluation at the decision
+        // instant only.
         let mut decided = Vec::new();
         {
             let mut pending = self.pending.lock();
             let ids: Vec<CondMessageId> = pending.keys().copied().collect();
             for id in ids {
-                let Some(eval) = pending.get(&id) else {
+                let Some(eval) = pending.get_mut(&id) else {
                     continue;
                 };
-                let verdict = eval.compiled.evaluate_with_grace(
-                    &eval.acks,
-                    eval.send_time,
-                    now,
-                    self.config.ack_grace,
-                );
-                let outcome = match verdict {
-                    Verdict::Satisfied => Some((MessageOutcome::Success, None)),
-                    Verdict::Violated(reason) => Some((MessageOutcome::Failure, Some(reason))),
-                    Verdict::Pending => match eval.timeout_at {
-                        Some(t) if now >= t => {
+                let expired = eval.inc.on_time(now);
+                if expired > 0 {
+                    self.metrics.eval_incremental_updates.add(expired);
+                }
+                let mut outcome = if eval.inc.decided() {
+                    match eval.compiled.evaluate_with_grace(
+                        &eval.acks,
+                        eval.send_time,
+                        now,
+                        self.config.ack_grace,
+                    ) {
+                        Verdict::Satisfied => Some((MessageOutcome::Success, None)),
+                        Verdict::Violated(reason) => Some((MessageOutcome::Failure, Some(reason))),
+                        Verdict::Pending => None,
+                    }
+                } else {
+                    None
+                };
+                if outcome.is_none() {
+                    if let Some(t) = eval.timeout_at {
+                        if now >= t {
                             self.metrics.verdict_timeout.incr();
-                            Some((
+                            outcome = Some((
                                 MessageOutcome::Failure,
                                 Some("evaluation timeout expired".to_owned()),
-                            ))
+                            ));
                         }
-                        _ => None,
-                    },
-                };
+                    }
+                }
                 if let Some((outcome, reason)) = outcome {
-                    let Some(eval) = pending.remove(&id) else {
+                    let Some(mut eval) = pending.remove(&id) else {
                         continue;
                     };
+                    if let Some((timer, _)) = eval.timer.take() {
+                        self.qmgr.clock().cancel(timer);
+                    }
                     decided.push((id, eval, outcome, reason));
                 }
             }
@@ -375,33 +462,48 @@ impl ConditionalMessenger {
     }
 
     fn drain_acks(&self) -> CondResult<()> {
+        let ack_queue = self.qmgr.queue(&self.config.ack_queue)?;
+        let batch_cap = self.config.ack_batch.max(1) as u64;
         loop {
+            // Fast path: an idle wakeup must not open a session (or touch
+            // the journal) just to learn there is nothing to drain.
+            if ack_queue.is_empty() {
+                return Ok(());
+            }
+            // One messaging transaction per batch: up to `ack_batch` gets
+            // plus their AckSeen WAL entries commit as a single grouped
+            // journal record instead of one append per ack.
             let mut session = self.qmgr.session();
             session.begin()?;
-            let Some(msg) = session.get(&self.config.ack_queue, Wait::NoWait)? else {
-                session.rollback()?;
-                return Ok(());
-            };
-            match Acknowledgment::from_message(&msg) {
-                Ok(ack) => {
-                    // Log the ack before applying it (WAL): recovery replays
-                    // AckSeen entries to rebuild the in-memory state.
-                    let relevant = self.pending.lock().contains_key(&ack.cond_id);
-                    if relevant {
+            let mut consumed = 0u64;
+            let mut batch: Vec<Acknowledgment> = Vec::new();
+            while consumed < batch_cap {
+                let Some(msg) = session.get(&self.config.ack_queue, Wait::NoWait)? else {
+                    break;
+                };
+                consumed += 1;
+                // Malformed acks and acks for unknown messages are consumed
+                // with the batch rather than wedging the queue.
+                if let Ok(ack) = Acknowledgment::from_message(&msg) {
+                    // Log the ack before applying it (WAL): recovery
+                    // replays AckSeen entries to rebuild in-memory state.
+                    if self.pending.lock().contains_key(&ack.cond_id) {
                         session.put(
                             &self.config.slog_queue,
                             SlogEntry::AckSeen(ack.clone()).to_message(),
                         )?;
-                    }
-                    session.commit()?;
-                    if relevant {
-                        self.apply_ack(&ack);
+                        batch.push(ack);
                     }
                 }
-                Err(_) => {
-                    // Malformed ack: consume and drop rather than wedge.
-                    session.commit()?;
-                }
+            }
+            if consumed == 0 {
+                session.rollback()?;
+                return Ok(());
+            }
+            session.commit()?;
+            self.metrics.ack_batch_size.record(consumed);
+            for ack in &batch {
+                self.apply_ack(ack);
             }
         }
     }
@@ -429,6 +531,10 @@ impl ConditionalMessenger {
                     (TraceStage::ProcessAck, processed_at)
                 }
             };
+            let updates = eval.inc.apply_ack(ack.leaf, &eval.acks);
+            if updates > 0 {
+                self.metrics.eval_incremental_updates.add(updates);
+            }
             drop(pending);
             // Ack-queue lag: simtime between the receiver stamping the ack
             // and the evaluation manager applying it.
@@ -441,6 +547,146 @@ impl ConditionalMessenger {
                 ack.recipient.clone().unwrap_or_default(),
             );
         }
+    }
+
+    // ------------------------------------------------- event-driven mode --
+
+    /// Whether the evaluation manager is running event-driven (acks
+    /// evaluated on arrival, deadline verdicts from armed timers).
+    pub fn is_event_driven(&self) -> bool {
+        self.event_driven.load(Ordering::SeqCst)
+    }
+
+    /// Switches the evaluation manager to event-driven operation:
+    ///
+    /// * every put on the ack queue triggers an immediate drain+evaluate on
+    ///   the putting thread (synchronous under a [`simtime::SimClock`], so
+    ///   the ack that satisfies the last undecided leaf produces its
+    ///   outcome notification with no intervening `advance` or `pump`);
+    /// * each pending message keeps exactly one armed timer at its next
+    ///   decision-relevant instant (earliest undecided cell's
+    ///   deadline-plus-grace trigger, or the evaluation timeout), fired by
+    ///   the clock — on `advance` for a sim clock, from the parked waiter
+    ///   thread for a system clock.
+    ///
+    /// `pump()` keeps working as the deterministic thin wrapper (drain +
+    /// fire-due evaluation) and additionally returns outcomes the event
+    /// path finalized since the last call. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Messaging failures while catching up on already-queued acks.
+    pub fn enable_event_driven(&self) -> CondResult<()> {
+        if self.event_driven.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let weak = self.self_weak.clone();
+        self.qmgr
+            .queue(&self.config.ack_queue)?
+            .add_put_watcher(Arc::new(move || {
+                if let Some(messenger) = weak.upgrade() {
+                    messenger.on_ack_arrival();
+                }
+            }));
+        // Catch up: drain anything already queued, then arm timers for
+        // every pending message.
+        let _serial = self.pump_lock.lock();
+        let outs = self.run_cycle()?;
+        self.buffer_outcomes(outs);
+        self.rearm_all();
+        Ok(())
+    }
+
+    fn buffer_outcomes(&self, outs: Vec<OutcomeNotification>) {
+        if !outs.is_empty() {
+            self.recent_outcomes.lock().extend(outs);
+        }
+    }
+
+    /// Ack-queue put watcher: evaluate the moment an ack lands.
+    fn on_ack_arrival(&self) {
+        if !self.is_event_driven() {
+            return;
+        }
+        let _serial = self.pump_lock.lock();
+        // Errors mean the manager is shutting down; the queue close path
+        // handles cleanup.
+        if let Ok(outs) = self.run_cycle() {
+            self.buffer_outcomes(outs);
+        }
+        self.rearm_all();
+    }
+
+    /// Deadline/timeout timer callback for one pending message.
+    fn on_timer(&self, id: CondMessageId, gen: u64) {
+        let _serial = self.pump_lock.lock();
+        {
+            let mut pending = self.pending.lock();
+            match pending.get_mut(&id) {
+                // The armed timer for this message really is the one that
+                // fired; it is no longer scheduled.
+                Some(eval) if eval.timer_gen == gen => eval.timer = None,
+                // Stale fire (rearmed since) or already decided.
+                _ => return,
+            }
+        }
+        self.metrics.eval_timer_fires.incr();
+        if let Ok(outs) = self.run_cycle() {
+            self.buffer_outcomes(outs);
+        }
+        self.rearm_all();
+    }
+
+    /// Ensures every pending message has exactly one armed timer at its
+    /// next trigger instant (and none when no future instant can decide
+    /// it). Caller holds the pump lock.
+    fn rearm_all(&self) {
+        let clock = self.qmgr.clock();
+        let mut pending = self.pending.lock();
+        for (id, eval) in pending.iter_mut() {
+            match (eval.next_trigger(), eval.timer) {
+                (Some(at), Some((_, armed))) if armed == at => {}
+                (Some(at), previous) => {
+                    if let Some((timer, _)) = previous {
+                        clock.cancel(timer);
+                    }
+                    eval.timer_gen += 1;
+                    let gen = eval.timer_gen;
+                    let weak = self.self_weak.clone();
+                    let id = *id;
+                    let timer = clock.schedule_at(
+                        at,
+                        Box::new(move || {
+                            if let Some(messenger) = weak.upgrade() {
+                                messenger.on_timer(id, gen);
+                            }
+                        }),
+                    );
+                    eval.timer = Some((timer, at));
+                }
+                (None, Some((timer, _))) => {
+                    clock.cancel(timer);
+                    eval.timer_gen += 1;
+                    eval.timer = None;
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    /// Blocks (real time) until any conditional message is decided or
+    /// `timeout` elapses; returns whether a decision happened. D-Sphere
+    /// termination parks here instead of sleep-polling.
+    pub fn wait_outcome_event(&self, timeout: Duration) -> bool {
+        let mut seq = self.outcome_seq.lock();
+        let start = *seq;
+        self.outcome_cv.wait_for(&mut seq, timeout);
+        *seq != start
+    }
+
+    fn note_outcome(&self) {
+        *self.outcome_seq.lock() += 1;
+        self.outcome_cv.notify_all();
     }
 
     fn finalize(
@@ -514,6 +760,7 @@ impl ConditionalMessenger {
             // future recovery.
             self.purge_slog(cond_id)?;
         }
+        self.note_outcome();
         Ok(notification)
     }
 
@@ -636,7 +883,10 @@ impl ConditionalMessenger {
         let _serial = self.pump_lock.lock();
         let eval = self.pending.lock().remove(&cond_id);
         match eval {
-            Some(eval) => {
+            Some(mut eval) => {
+                if let Some((timer, _)) = eval.timer.take() {
+                    self.qmgr.clock().cancel(timer);
+                }
                 let now = self.qmgr.clock().now();
                 let notification = self.finalize(
                     cond_id,
@@ -815,8 +1065,10 @@ impl ConditionalMessenger {
                 continue;
             }
             let compiled = CompiledCondition::compile(&record.condition)?;
+            let leaf_count = compiled.leaves().len();
+            let inc = IncrementalEval::new(&compiled, record.send_time, self.config.ack_grace);
             let mut eval = PendingEval {
-                acks: AckState::new(compiled.leaves().len()),
+                acks: AckState::new(leaf_count),
                 compiled,
                 send_time: record.send_time,
                 timeout_at: record
@@ -829,6 +1081,9 @@ impl ConditionalMessenger {
                     .success_notifications
                     .unwrap_or(self.config.success_notifications),
                 defer_outcome_actions: record.options.defer_outcome_actions,
+                inc,
+                timer: None,
+                timer_gen: 0,
             };
             for ack in acks.iter().filter(|a| a.cond_id == cond_id) {
                 match ack.kind {
@@ -844,6 +1099,10 @@ impl ConditionalMessenger {
                     ),
                 }
             }
+            // Replay the rebuilt ack state into the incremental structure.
+            for leaf in 0..leaf_count as u32 {
+                eval.inc.apply_ack(leaf, &eval.acks);
+            }
             pending.insert(cond_id, eval);
         }
         drop(pending);
@@ -857,9 +1116,13 @@ impl ConditionalMessenger {
 
     // ---------------------------------------------------------- daemon --
 
-    /// Spawns a background thread that pumps the evaluation manager every
-    /// `poll` of real time. Intended for system-clock deployments; tests
-    /// with a `SimClock` should pump manually instead.
+    /// Spawns a background thread that pumps the evaluation manager.
+    /// Polling mode sleeps `poll` of real time between cycles; in
+    /// [event-driven](Self::enable_event_driven) mode the thread instead
+    /// parks on the ack queue's condvar (acks wake it immediately,
+    /// deadline verdicts come from the armed timers) and the daemon is
+    /// only a drain-backstop. Tests with a `SimClock` should pump
+    /// manually instead.
     ///
     /// # Errors
     ///
@@ -868,6 +1131,7 @@ impl ConditionalMessenger {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let messenger = self.clone();
+        let ack_queue = self.qmgr.queue(&self.config.ack_queue)?;
         let handle = std::thread::Builder::new()
             .name(format!("condmsg-eval-{}", self.qmgr.name()))
             .spawn(move || {
@@ -875,7 +1139,19 @@ impl ConditionalMessenger {
                     if messenger.pump().is_err() && !messenger.qmgr.is_running() {
                         return;
                     }
-                    std::thread::sleep(poll);
+                    if messenger.is_event_driven() {
+                        // Park until an ack lands (bounded so the stop flag
+                        // stays responsive).
+                        if ack_queue
+                            .wait_nonempty(Wait::Timeout(simtime::Millis(200)))
+                            .is_err()
+                            && !messenger.qmgr.is_running()
+                        {
+                            return;
+                        }
+                    } else {
+                        std::thread::sleep(poll);
+                    }
                 }
             })
             .map_err(|e| CondError::Daemon(e.to_string()))?;
@@ -1292,6 +1568,156 @@ mod tests {
         assert_eq!(messenger.status(early), MessageStatus::Unknown, "forgotten");
         assert!(matches!(messenger.status(late), MessageStatus::Decided(_)));
         assert_eq!(messenger.prune_decided_before(Time(100)).unwrap(), 0);
+    }
+
+    #[test]
+    fn event_driven_ack_decides_without_pump_or_advance() {
+        let (clock, qmgr, messenger) = setup();
+        messenger.enable_event_driven().unwrap();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        clock.advance(Millis(10));
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 0, Time(10)))
+            .unwrap();
+        assert_eq!(messenger.status(id), MessageStatus::Pending);
+        // The second ack satisfies the last undecided leaf: the outcome
+        // notification appears with no intervening advance or pump.
+        qmgr.put("DS.ACK.Q", fake_read_ack(id, 1, Time(10)))
+            .unwrap();
+        let n = messenger.take_outcome(id, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(n.outcome, MessageOutcome::Success);
+        assert_eq!(n.decided_at, Time(10));
+        assert!(matches!(messenger.status(id), MessageStatus::Decided(_)));
+        // The ack queue was drained eagerly and the message's timer torn
+        // down with the decision.
+        assert_eq!(qmgr.queue("DS.ACK.Q").unwrap().depth(), 0);
+        assert_eq!(clock.pending_timers(), 0);
+        // A later pump returns the buffered outcome exactly once.
+        assert_eq!(messenger.pump().unwrap().len(), 1);
+        assert!(messenger.pump().unwrap().is_empty());
+    }
+
+    #[test]
+    fn event_driven_deadline_failure_fires_at_exact_tick() {
+        let (clock, qmgr, messenger) = setup();
+        messenger.enable_event_driven().unwrap();
+        let id = messenger
+            .send_message("hello", &two_dest_condition(Millis(100)))
+            .unwrap();
+        // One big advance, no pump: the armed timer fires at the first
+        // violating tick (deadline 100, grace 0 → tick 101).
+        clock.advance(Millis(500));
+        let n = messenger.take_outcome(id, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(n.outcome, MessageOutcome::Failure);
+        assert_eq!(n.decided_at, Time(101));
+        // Outcome actions ran: compensations released to destinations.
+        for queue in ["Q.A", "Q.B"] {
+            assert!(qmgr
+                .queue(queue)
+                .unwrap()
+                .browse()
+                .iter()
+                .any(|m| wire::kind_of(m) == wire::MessageKind::Compensation));
+        }
+        assert_eq!(clock.pending_timers(), 0);
+    }
+
+    #[test]
+    fn event_driven_arms_exactly_one_timer_per_pending_message() {
+        let (clock, qmgr, messenger) = setup();
+        messenger.enable_event_driven().unwrap();
+        let a = messenger
+            .send_message("a", &two_dest_condition(Millis(100)))
+            .unwrap();
+        let _b = messenger
+            .send_message("b", &two_dest_condition(Millis(200)))
+            .unwrap();
+        assert_eq!(messenger.pending_count(), 2);
+        assert_eq!(clock.pending_timers(), 2, "one armed timer per pending");
+        // An ack on one leaf of `a` changes nothing about the count.
+        qmgr.put("DS.ACK.Q", fake_read_ack(a, 0, Time(0))).unwrap();
+        assert_eq!(clock.pending_timers(), 2);
+        // Deciding `a` (second ack) cancels its timer.
+        qmgr.put("DS.ACK.Q", fake_read_ack(a, 1, Time(0))).unwrap();
+        assert_eq!(messenger.pending_count(), 1);
+        assert_eq!(clock.pending_timers(), 1);
+        clock.advance(Millis(300));
+        assert_eq!(messenger.pending_count(), 0);
+        assert_eq!(clock.pending_timers(), 0);
+    }
+
+    #[test]
+    fn event_driven_evaluation_timeout_fires_from_timer() {
+        let (clock, _qmgr, messenger) = setup();
+        messenger.enable_event_driven().unwrap();
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A").into(),
+            Destination::queue("QM1", "Q.B").into(),
+        ])
+        .process_within(Millis(10_000))
+        .into();
+        let id = messenger
+            .send_with(
+                "x",
+                None,
+                &cond,
+                SendOptions {
+                    evaluation_timeout: Some(Millis(500)),
+                    ..SendOptions::default()
+                },
+            )
+            .unwrap();
+        clock.advance(Millis(499));
+        assert_eq!(messenger.status(id), MessageStatus::Pending);
+        clock.advance(Millis(1));
+        let n = messenger.take_outcome(id, Wait::NoWait).unwrap().unwrap();
+        assert_eq!(n.outcome, MessageOutcome::Failure);
+        assert!(n.reason.as_deref().unwrap().contains("timeout"));
+        assert_eq!(n.decided_at, Time(500));
+    }
+
+    #[test]
+    fn event_driven_config_flag_enables_at_construction() {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::with_config(
+            qmgr,
+            CondConfig {
+                event_driven: true,
+                ..CondConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(messenger.is_event_driven());
+        messenger
+            .send_message("x", &two_dest_condition(Millis(50)))
+            .unwrap();
+        assert_eq!(clock.pending_timers(), 1);
+    }
+
+    #[test]
+    fn event_driven_system_clock_decides_with_no_daemon() {
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        qmgr.create_queue("Q.B").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr.clone()).unwrap();
+        messenger.enable_event_driven().unwrap();
+        let id = messenger
+            .send_message("x", &two_dest_condition(Millis(40)))
+            .unwrap();
+        // No daemon, no pump: the system clock's waiter thread fires the
+        // armed deadline timer and finalizes the failure.
+        let n = messenger
+            .take_outcome(id, Wait::Timeout(Millis(3_000)))
+            .unwrap()
+            .expect("outcome from timer thread");
+        assert_eq!(n.outcome, MessageOutcome::Failure);
     }
 
     #[test]

@@ -45,6 +45,14 @@ pub(crate) struct MessengerMetrics {
     /// Decided messages whose outcome actions are deferred to a D-Sphere
     /// (`cond.deferred.depth`).
     pub deferred_depth: Arc<Gauge>,
+    /// O(depth) incremental condition-cell updates applied by acks and
+    /// timer fires (`cond.eval.incremental_updates`).
+    pub eval_incremental_updates: Arc<Counter>,
+    /// Armed deadline/timeout timers that fired for a pending message
+    /// (`cond.eval.timer_fires`).
+    pub eval_timer_fires: Arc<Counter>,
+    /// Acks drained per ack-queue transaction (`cond.ack.batch_size`).
+    pub ack_batch_size: Arc<Histogram>,
 }
 
 impl MessengerMetrics {
@@ -64,6 +72,9 @@ impl MessengerMetrics {
             notify_success: registry.counter("cond.notify.success"),
             pending_depth: registry.gauge("cond.pending.depth"),
             deferred_depth: registry.gauge("cond.deferred.depth"),
+            eval_incremental_updates: registry.counter("cond.eval.incremental_updates"),
+            eval_timer_fires: registry.counter("cond.eval.timer_fires"),
+            ack_batch_size: registry.histogram("cond.ack.batch_size"),
         }
     }
 }

@@ -448,10 +448,13 @@ impl DSphere {
         Ok(Some(outcome))
     }
 
-    /// Blocking `commit_DS`: polls [`DSphere::try_commit`] every `poll` of
-    /// *real* time until the sphere terminates. Use with a system clock
-    /// (and ideally a sphere timeout or per-message evaluation timeouts so
-    /// termination is guaranteed).
+    /// Blocking `commit_DS`: re-attempts [`DSphere::try_commit`] until the
+    /// sphere terminates, parking on the messenger's decided-outcome
+    /// notification between attempts — a member decision wakes it
+    /// immediately, while `poll` of *real* time bounds the wait so sphere
+    /// timeouts are still noticed. Use with a system clock (and ideally a
+    /// sphere timeout or per-message evaluation timeouts so termination is
+    /// guaranteed).
     ///
     /// # Errors
     ///
@@ -461,7 +464,9 @@ impl DSphere {
             if let Some(outcome) = self.try_commit()? {
                 return Ok(outcome);
             }
-            std::thread::sleep(poll);
+            // Subscribes to decided-outcome events instead of sleep-polling;
+            // a timeout just re-checks the sphere deadline.
+            self.service.messenger.wait_outcome_event(poll);
         }
     }
 
@@ -611,6 +616,24 @@ mod tests {
         read_all(&f.qmgr, "Q.A");
         let outcome = sphere.try_commit().unwrap().unwrap();
         assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn commit_blocking_wakes_on_event_driven_decision() {
+        // System clock, event-driven messenger, no daemon: the member's
+        // deadline timer decides the failure and the decided-outcome event
+        // wakes commit_blocking well before its (long) poll bound.
+        let qmgr = QueueManager::builder("QM1").build().unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        let messenger = ConditionalMessenger::new(qmgr).unwrap();
+        messenger.enable_event_driven().unwrap();
+        let service = DSphereService::new(messenger);
+        let mut sphere = service.begin();
+        sphere.send_message("a", &dest("Q.A", Millis(40))).unwrap();
+        let outcome = sphere
+            .commit_blocking(Duration::from_millis(2_000))
+            .unwrap();
+        assert!(!outcome.is_committed(), "unread member fails the sphere");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use qmgr::{
     ManagerConfig, QueueManager, QueueManagerBuilder, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY,
     XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY,
 };
-pub use queue::{Queue, QueueConfig, Wait};
+pub use queue::{PutWatcher, Queue, QueueConfig, Wait};
 pub use session::Session;
 pub use stats::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
@@ -67,4 +67,7 @@ pub use stats::{
 pub use trace::{TraceEvent, TraceLog, TraceStage};
 
 // Re-export the clock abstraction so downstream crates need only `mq`.
-pub use simtime::{Clock, Millis, SharedClock, SimClock, SystemClock, Time};
+pub use simtime::{
+    Clock, DeadlineScheduler, Millis, SharedClock, SimClock, SystemClock, Time, TimerCallback,
+    TimerId,
+};

@@ -12,7 +12,9 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use parking_lot::{Condvar, Mutex};
 use simtime::Millis;
 
 use crate::error::MqResult;
@@ -46,6 +48,31 @@ pub struct ListenerStats {
     pub rolled_back: Counter,
     /// Callback panics caught.
     pub panics: Counter,
+    /// Signalled after every disposition so waiters can park instead of
+    /// sleep-polling.
+    changed: Condvar,
+    changed_lock: Mutex<()>,
+}
+
+impl ListenerStats {
+    /// Blocks until `pred` holds, woken by the listener after each
+    /// disposition (commit, rollback or caught panic) instead of
+    /// sleep-polling. Panics with `what` after 5 s — this is a test/await
+    /// helper, not a production synchronization primitive.
+    pub fn wait_until<F: Fn() -> bool>(&self, what: &str, pred: F) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut guard = self.changed_lock.lock();
+        while !pred() {
+            let now = Instant::now();
+            assert!(now < deadline, "timed out waiting for: {what}");
+            self.changed.wait_for(&mut guard, deadline - now);
+        }
+    }
+
+    fn note_disposition(&self) {
+        let _guard = self.changed_lock.lock();
+        self.changed.notify_all();
+    }
 }
 
 /// A running push consumer; stops (and joins) on drop.
@@ -77,7 +104,7 @@ impl Listener {
         mut callback: Box<Callback>,
     ) -> MqResult<Listener> {
         let queue = queue.into();
-        qmgr.queue(&queue)?; // validate up front
+        let watched = qmgr.queue(&queue)?; // validate up front
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ListenerStats::default());
         let stop2 = stop.clone();
@@ -90,13 +117,21 @@ impl Listener {
                     if !qmgr.is_running() {
                         return;
                     }
+                    // Park on the queue's condvar while idle: no session
+                    // (or transaction churn) until a message is available.
+                    match watched.wait_nonempty(Wait::Timeout(Millis(50))) {
+                        Ok(true) => {}
+                        Ok(false) => continue, // recheck the stop flag
+                        Err(_) => return,      // manager stopped
+                    }
                     let mut session = qmgr.session();
                     if session.begin().is_err() {
                         return;
                     }
-                    let msg = match session.get(&queue2, Wait::Timeout(Millis(20))) {
+                    let msg = match session.get(&queue2, Wait::NoWait) {
                         Ok(Some(m)) => m,
                         Ok(None) => {
+                            // Raced with another consumer.
                             let _ = session.rollback_for_retry();
                             continue;
                         }
@@ -125,6 +160,7 @@ impl Listener {
                             stats2.panics.incr();
                         }
                     }
+                    stats2.note_disposition();
                 }
             })
             .expect("failed to spawn listener thread");
@@ -166,15 +202,6 @@ mod tests {
     use super::*;
     use crate::qmgr::{ManagerConfig, DEAD_LETTER_QUEUE};
     use parking_lot::Mutex;
-    use std::time::Duration;
-
-    fn wait_for<F: Fn() -> bool>(what: &str, f: F) {
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while !f() {
-            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
-            std::thread::sleep(Duration::from_millis(2));
-        }
-    }
 
     #[test]
     fn listener_delivers_messages_in_order() {
@@ -195,7 +222,9 @@ mod tests {
             qmgr.put("IN", Message::text(format!("m{i}")).build())
                 .unwrap();
         }
-        wait_for("10 deliveries", || seen.lock().len() == 10);
+        listener
+            .stats()
+            .wait_until("10 deliveries", || seen.lock().len() == 10);
         listener.stop();
         assert_eq!(
             *seen.lock(),
@@ -221,7 +250,9 @@ mod tests {
         )
         .unwrap();
         qmgr.put("IN", Message::text("ping").build()).unwrap();
-        wait_for("reply", || qmgr.queue("OUT").unwrap().depth() == 1);
+        _listener
+            .stats()
+            .wait_until("reply", || qmgr.queue("OUT").unwrap().depth() == 1);
         let reply = qmgr.get("OUT", Wait::NoWait).unwrap().unwrap();
         assert_eq!(reply.payload_str(), Some("re: ping"));
     }
@@ -248,7 +279,7 @@ mod tests {
         )
         .unwrap();
         qmgr.put("IN", Message::text("poison").build()).unwrap();
-        wait_for("dead letter", || {
+        _listener.stats().wait_until("dead letter", || {
             qmgr.queue(DEAD_LETTER_QUEUE).unwrap().depth() == 1
         });
         assert!(
@@ -282,10 +313,12 @@ mod tests {
         .unwrap();
         qmgr.put("IN", Message::text("boom").build()).unwrap();
         qmgr.put("IN", Message::text("fine").build()).unwrap();
-        wait_for("panic handled + good message delivered", || {
-            listener.stats().panics.get() >= 1 && listener.stats().delivered.get() >= 1
-        });
-        wait_for("poison dead-lettered", || {
+        listener
+            .stats()
+            .wait_until("panic handled + good message delivered", || {
+                listener.stats().panics.get() >= 1 && listener.stats().delivered.get() >= 1
+            });
+        listener.stats().wait_until("poison dead-lettered", || {
             qmgr.queue(DEAD_LETTER_QUEUE).unwrap().depth() == 1
         });
     }

@@ -86,6 +86,11 @@ impl Inner {
     }
 }
 
+/// Callback invoked (outside the queue lock) after a message becomes
+/// visible on the queue. The event-driven evaluation manager registers one
+/// on `DS.ACK.Q` so acknowledgment arrival wakes it instead of a poll.
+pub type PutWatcher = Arc<dyn Fn() + Send + Sync>;
+
 /// A named message queue.
 pub struct Queue {
     name: String,
@@ -98,6 +103,8 @@ pub struct Queue {
     /// Journal-append latency (micros), shared with the owning manager's
     /// `mq.journal.append_micros` histogram when built via the manager.
     journal_append_micros: Arc<Histogram>,
+    /// Observers notified after each put; see [`Queue::add_put_watcher`].
+    put_watchers: Mutex<Vec<PutWatcher>>,
 }
 
 impl fmt::Debug for Queue {
@@ -148,6 +155,7 @@ impl Queue {
             available: Condvar::new(),
             stats,
             journal_append_micros,
+            put_watchers: Mutex::new(Vec::new()),
         })
     }
 
@@ -159,6 +167,60 @@ impl Queue {
     /// Current number of messages on the queue.
     pub fn depth(&self) -> usize {
         self.inner.lock().store.len()
+    }
+
+    /// Whether the queue currently holds no messages. A cheap peek so idle
+    /// wakeups (e.g. the ack drain) can skip opening a session — and its
+    /// journal bookkeeping — entirely.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().store.is_empty()
+    }
+
+    /// Registers a callback to run after every put (visible enqueue),
+    /// outside the queue lock and on the putting thread. Watchers must not
+    /// put to this same queue (that would recurse).
+    pub fn add_put_watcher(&self, watcher: PutWatcher) {
+        self.put_watchers.lock().push(watcher);
+    }
+
+    fn notify_put_watchers(&self) {
+        let watchers: Vec<PutWatcher> = self.put_watchers.lock().clone();
+        for w in watchers {
+            w();
+        }
+    }
+
+    /// Blocks until the queue is non-empty, per `wait`, without consuming.
+    /// Returns `true` when a message is available at return. The
+    /// event-driven evaluation daemon parks here (on the queue's condvar)
+    /// instead of sleeping a fixed poll interval.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::ManagerStopped`] if the queue closes while waiting.
+    pub fn wait_nonempty(&self, wait: Wait) -> MqResult<bool> {
+        let deadline = match wait {
+            Wait::NoWait => return Ok(!self.is_empty()),
+            Wait::Timeout(t) => Some(self.clock.now() + t),
+            Wait::Forever => None,
+        };
+        let mut inner = self.inner.lock();
+        loop {
+            self.check_open(&inner)?;
+            if !inner.store.is_empty() {
+                return Ok(true);
+            }
+            let now = self.clock.now();
+            let real_wait = match deadline {
+                Some(d) if now >= d => return Ok(false),
+                Some(d) if !self.clock.is_virtual() => (d - now).to_duration(),
+                // Virtual clock (or no deadline): poll in short real-time
+                // slices so an `advance` on another thread is noticed.
+                _ if self.clock.is_virtual() => Duration::from_millis(2),
+                _ => Duration::from_millis(200),
+            };
+            self.available.wait_for(&mut inner, real_wait);
+        }
     }
 
     /// The queue's statistics counters.
@@ -228,6 +290,7 @@ impl Queue {
         self.insert(&mut inner, msg, false);
         drop(inner);
         self.available.notify_one();
+        self.notify_put_watchers();
         Ok(())
     }
 
@@ -264,6 +327,7 @@ impl Queue {
         self.insert(&mut inner, msg, false);
         drop(inner);
         self.available.notify_one();
+        self.notify_put_watchers();
         Ok(())
     }
 
@@ -601,6 +665,39 @@ mod tests {
         q.try_take(None, true).unwrap().unwrap();
         assert_eq!(q.depth(), 1);
         assert_eq!(q.stats().dequeued.get(), 1);
+    }
+
+    #[test]
+    fn is_empty_and_put_watchers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (_c, q) = sim_queue();
+        assert!(q.is_empty());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        q.add_put_watcher(Arc::new(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.put(text("a"), true).unwrap();
+        assert!(!q.is_empty());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        q.try_take(None, true).unwrap().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_nonempty_wakes_on_put_and_times_out() {
+        let q = queue_with(SystemClock::new());
+        assert!(!q.wait_nonempty(Wait::NoWait).unwrap());
+        assert!(!q.wait_nonempty(Wait::Timeout(Millis(10))).unwrap());
+        let q2 = q.clone();
+        let putter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.put(text("a"), true).unwrap();
+        });
+        assert!(q.wait_nonempty(Wait::Timeout(Millis(5_000))).unwrap());
+        putter.join().unwrap();
+        assert!(q.wait_nonempty(Wait::NoWait).unwrap());
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! time-dependent components take a [`SharedClock`] instead of reading the OS
 //! clock directly.
 //!
-//! Two implementations are provided:
+//! Two implementations are provided, both driving the same
+//! [`DeadlineScheduler`]:
 //!
 //! * [`SystemClock`] — real time, backed by [`std::time::Instant`], with a
-//!   lazily spawned timer thread for [`Clock::schedule_at`].
+//!   lazily spawned parked waiter thread that sleeps until the earliest
+//!   pending deadline.
 //! * [`SimClock`] — logical time that only moves when a test calls
 //!   [`SimClock::advance`]; due timers run synchronously on the advancing
 //!   thread, in timestamp order, which makes timeout-driven behaviour fully
@@ -191,6 +193,17 @@ pub trait Clock: Send + Sync + fmt::Debug {
     /// Cancels a pending timer. Returns `true` if the timer had not yet fired.
     fn cancel(&self, id: TimerId) -> bool;
 
+    /// Replaces a pending timer: cancels `id` (if still pending) and arms
+    /// `f` at `at`, returning the replacement timer's id.
+    ///
+    /// Cancel-then-schedule is not atomic with respect to a concurrently
+    /// firing `id`; callers following the "move my deadline" pattern must
+    /// re-check their own state inside the callback.
+    fn reschedule(&self, id: TimerId, at: Time, f: TimerCallback) -> TimerId {
+        self.cancel(id);
+        self.schedule_at(at, f)
+    }
+
     /// Whether this clock's time is decoupled from real time.
     ///
     /// Blocking primitives use this to decide between waiting out the exact
@@ -229,38 +242,117 @@ impl Ord for TimerEntry {
 }
 
 #[derive(Default)]
-struct TimerState {
+struct SchedulerState {
     heap: BinaryHeap<Reverse<TimerEntry>>,
     cancelled: std::collections::HashSet<TimerId>,
 }
 
-impl TimerState {
-    fn pop_due(&mut self, now: Time) -> Option<TimerEntry> {
-        while let Some(Reverse(top)) = self.heap.peek() {
+/// The shared deadline facility behind both clock implementations.
+///
+/// A min-heap of entries ordered by `(deadline, registration)` with lazy
+/// cancellation: [`DeadlineScheduler::cancel`] tombstones the id and the
+/// entry is discarded when it surfaces. [`SimClock`] drains due entries
+/// synchronously during `advance`; [`SystemClock`]'s parked waiter thread
+/// drains them as real time passes. The scheduler's lock is never held
+/// while a callback runs, so callbacks may freely schedule, cancel, or
+/// reschedule further timers.
+#[derive(Default)]
+pub struct DeadlineScheduler {
+    state: Mutex<SchedulerState>,
+    next_seq: AtomicU64,
+}
+
+impl fmt::Debug for DeadlineScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeadlineScheduler")
+            .field("next_deadline", &self.next_deadline())
+            .finish()
+    }
+}
+
+impl DeadlineScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> DeadlineScheduler {
+        DeadlineScheduler::default()
+    }
+
+    /// Registers `f` to run once the driving clock reaches `at`.
+    pub fn schedule(&self, at: Time, f: TimerCallback) -> TimerId {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let id = TimerId(seq);
+        self.state.lock().heap.push(Reverse(TimerEntry {
+            at,
+            seq,
+            id,
+            callback: Some(f),
+        }));
+        id
+    }
+
+    /// Cancels a pending entry. Returns `true` if it had not yet fired.
+    pub fn cancel(&self, id: TimerId) -> bool {
+        let mut state = self.state.lock();
+        let pending = state
+            .heap
+            .iter()
+            .any(|Reverse(e)| e.id == id && !state.cancelled.contains(&id));
+        if pending {
+            state.cancelled.insert(id);
+        }
+        pending
+    }
+
+    /// Removes and returns the earliest live entry due at or before `now`
+    /// as `(deadline, callback)`. The caller runs the callback with no
+    /// scheduler lock held.
+    pub fn pop_due(&self, now: Time) -> Option<(Time, TimerCallback)> {
+        let mut state = self.state.lock();
+        while let Some(Reverse(top)) = state.heap.peek() {
             if top.at > now {
                 return None;
             }
-            let entry = self.heap.pop().expect("peeked entry present").0;
-            if self.cancelled.remove(&entry.id) {
+            let mut entry = state.heap.pop().expect("peeked entry present").0;
+            if state.cancelled.remove(&entry.id) {
                 continue;
             }
-            return Some(entry);
+            let cb = entry.callback.take().expect("unfired entry has callback");
+            return Some((entry.at, cb));
         }
         None
     }
 
-    fn next_deadline(&mut self, now: Time) -> Option<Time> {
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if self.cancelled.contains(&top.id) {
+    /// The earliest live deadline, if any entries are pending.
+    pub fn next_deadline(&self) -> Option<Time> {
+        let mut state = self.state.lock();
+        while let Some(Reverse(top)) = state.heap.peek() {
+            if state.cancelled.contains(&top.id) {
                 let id = top.id;
-                self.heap.pop();
-                self.cancelled.remove(&id);
+                state.heap.pop();
+                state.cancelled.remove(&id);
                 continue;
             }
-            let _ = now;
             return Some(top.at);
         }
         None
+    }
+
+    /// Number of live (uncancelled, unfired) entries; compacts tombstones
+    /// so the count is exact.
+    pub fn live_count(&self) -> usize {
+        let mut state = self.state.lock();
+        let mut live = 0;
+        let entries: Vec<_> = std::mem::take(&mut state.heap).into_vec();
+        let mut heap = BinaryHeap::new();
+        for e in entries {
+            if state.cancelled.contains(&e.0.id) {
+                continue;
+            }
+            live += 1;
+            heap.push(e);
+        }
+        state.cancelled.clear();
+        state.heap = heap;
+        live
     }
 }
 
@@ -274,8 +366,7 @@ impl TimerState {
 #[derive(Default)]
 pub struct SimClock {
     now_ms: AtomicU64,
-    timers: Mutex<TimerState>,
-    next_seq: AtomicU64,
+    scheduler: DeadlineScheduler,
     /// Notified whenever logical time moves, to wake `sleep`ers.
     tick: Condvar,
     tick_lock: Mutex<()>,
@@ -306,22 +397,11 @@ impl SimClock {
     /// further timers; any that fall within the advanced range fire during
     /// the same call.
     pub fn advance_to(&self, target: Time) {
-        loop {
-            let entry = {
-                let mut timers = self.timers.lock();
-                timers.pop_due(target)
-            };
-            match entry {
-                Some(mut e) => {
-                    // Move time to the timer's deadline so callbacks observe
-                    // a monotone clock.
-                    self.bump_now(e.at);
-                    if let Some(cb) = e.callback.take() {
-                        cb();
-                    }
-                }
-                None => break,
-            }
+        while let Some((at, cb)) = self.scheduler.pop_due(target) {
+            // Move time to the timer's deadline so callbacks observe a
+            // monotone clock.
+            self.bump_now(at);
+            cb();
         }
         self.bump_now(target);
     }
@@ -343,21 +423,7 @@ impl SimClock {
 
     /// Number of timers currently pending (for test assertions).
     pub fn pending_timers(&self) -> usize {
-        let mut timers = self.timers.lock();
-        // Compact cancelled entries so the count is exact.
-        let mut live = 0;
-        let entries: Vec<_> = std::mem::take(&mut timers.heap).into_vec();
-        let mut heap = BinaryHeap::new();
-        for e in entries {
-            if timers.cancelled.contains(&e.0.id) {
-                continue;
-            }
-            live += 1;
-            heap.push(e);
-        }
-        timers.cancelled.clear();
-        timers.heap = heap;
-        live
+        self.scheduler.live_count()
     }
 }
 
@@ -377,28 +443,11 @@ impl Clock for SimClock {
     }
 
     fn schedule_at(&self, at: Time, f: TimerCallback) -> TimerId {
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let id = TimerId(seq);
-        let mut timers = self.timers.lock();
-        timers.heap.push(Reverse(TimerEntry {
-            at,
-            seq,
-            id,
-            callback: Some(f),
-        }));
-        id
+        self.scheduler.schedule(at, f)
     }
 
     fn cancel(&self, id: TimerId) -> bool {
-        let mut timers = self.timers.lock();
-        let pending = timers
-            .heap
-            .iter()
-            .any(|Reverse(e)| e.id == id && !timers.cancelled.contains(&id));
-        if pending {
-            timers.cancelled.insert(id);
-        }
-        pending
+        self.scheduler.cancel(id)
     }
 
     fn is_virtual(&self) -> bool {
@@ -407,8 +456,9 @@ impl Clock for SimClock {
 }
 
 struct SystemTimerShared {
-    state: Mutex<TimerState>,
+    scheduler: DeadlineScheduler,
     wake: Condvar,
+    wake_lock: Mutex<()>,
     shutdown: AtomicBool,
 }
 
@@ -420,7 +470,6 @@ struct SystemTimerShared {
 pub struct SystemClock {
     origin: std::time::Instant,
     shared: Arc<SystemTimerShared>,
-    next_seq: AtomicU64,
     timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -437,11 +486,11 @@ impl Default for SystemClock {
         SystemClock {
             origin: std::time::Instant::now(),
             shared: Arc::new(SystemTimerShared {
-                state: Mutex::new(TimerState::default()),
+                scheduler: DeadlineScheduler::new(),
                 wake: Condvar::new(),
+                wake_lock: Mutex::new(()),
                 shutdown: AtomicBool::new(false),
             }),
-            next_seq: AtomicU64::new(0),
             timer_thread: Mutex::new(None),
         }
     }
@@ -453,6 +502,11 @@ impl SystemClock {
         Arc::new(SystemClock::default())
     }
 
+    /// Number of timers currently pending (for test assertions).
+    pub fn pending_timers(&self) -> usize {
+        self.shared.scheduler.live_count()
+    }
+
     fn ensure_timer_thread(&self) {
         let mut guard = self.timer_thread.lock();
         if guard.is_some() {
@@ -462,31 +516,25 @@ impl SystemClock {
         let origin = self.origin;
         let handle = std::thread::Builder::new()
             .name("simtime-timer".into())
-            .spawn(move || {
-                let mut state = shared.state.lock();
-                loop {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let now = Time(origin.elapsed().as_millis() as u64);
-                    if let Some(mut entry) = state.pop_due(now) {
-                        drop(state);
-                        if let Some(cb) = entry.callback.take() {
-                            cb();
-                        }
-                        state = shared.state.lock();
-                        continue;
-                    }
-                    match state.next_deadline(now) {
-                        Some(deadline) => {
-                            let wait = deadline.since(now).to_duration();
-                            shared.wake.wait_for(&mut state, wait);
-                        }
-                        None => {
-                            shared.wake.wait_for(&mut state, Duration::from_millis(200));
-                        }
-                    }
+            .spawn(move || loop {
+                // Hold the wake lock from the due-check through the wait so
+                // a schedule_at between them cannot lose its notification
+                // (the notifier serializes on the same lock).
+                let mut guard = shared.wake_lock.lock();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
                 }
+                let now = Time(origin.elapsed().as_millis() as u64);
+                if let Some((_, cb)) = shared.scheduler.pop_due(now) {
+                    drop(guard);
+                    cb();
+                    continue;
+                }
+                let wait = match shared.scheduler.next_deadline() {
+                    Some(deadline) => deadline.since(now).to_duration(),
+                    None => Duration::from_millis(200),
+                };
+                shared.wake.wait_for(&mut guard, wait);
             })
             .expect("failed to spawn timer thread");
         *guard = Some(handle);
@@ -496,7 +544,10 @@ impl SystemClock {
 impl Drop for SystemClock {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.wake.notify_all();
+        {
+            let _guard = self.shared.wake_lock.lock();
+            self.shared.wake.notify_all();
+        }
         if let Some(handle) = self.timer_thread.lock().take() {
             let _ = handle.join();
         }
@@ -514,30 +565,14 @@ impl Clock for SystemClock {
 
     fn schedule_at(&self, at: Time, f: TimerCallback) -> TimerId {
         self.ensure_timer_thread();
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let id = TimerId(seq);
-        let mut state = self.shared.state.lock();
-        state.heap.push(Reverse(TimerEntry {
-            at,
-            seq,
-            id,
-            callback: Some(f),
-        }));
-        drop(state);
+        let id = self.shared.scheduler.schedule(at, f);
+        let _guard = self.shared.wake_lock.lock();
         self.shared.wake.notify_all();
         id
     }
 
     fn cancel(&self, id: TimerId) -> bool {
-        let mut state = self.shared.state.lock();
-        let pending = state
-            .heap
-            .iter()
-            .any(|Reverse(e)| e.id == id && !state.cancelled.contains(&id));
-        if pending {
-            state.cancelled.insert(id);
-        }
-        pending
+        self.shared.scheduler.cancel(id)
     }
 }
 
@@ -623,6 +658,21 @@ mod tests {
     }
 
     #[test]
+    fn sim_reschedule_moves_deadline() {
+        let clock = SimClock::new();
+        let (count, mk) = counter();
+        let id = clock.schedule_at(Time(10), mk());
+        let id2 = clock.reschedule(id, Time(50), mk());
+        assert_ne!(id, id2);
+        assert_eq!(clock.pending_timers(), 1, "old timer replaced, not added");
+        clock.advance(Millis(20));
+        assert_eq!(count.load(Ordering::SeqCst), 0, "old deadline cancelled");
+        clock.advance(Millis(40));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(clock.pending_timers(), 0);
+    }
+
+    #[test]
     fn sim_past_timer_fires_on_next_advance() {
         let clock = SimClock::new();
         clock.advance(Millis(100));
@@ -644,6 +694,24 @@ mod tests {
         clock.advance(Millis(500));
         let woke_at = t.join().unwrap();
         assert!(woke_at >= Time(500));
+    }
+
+    #[test]
+    fn scheduler_orders_cancels_and_counts() {
+        let sched = DeadlineScheduler::new();
+        let a = sched.schedule(Time(30), Box::new(|| {}));
+        let _b = sched.schedule(Time(10), Box::new(|| {}));
+        assert_eq!(sched.next_deadline(), Some(Time(10)));
+        assert_eq!(sched.live_count(), 2);
+        assert!(sched.cancel(a));
+        assert!(!sched.cancel(a), "tombstoned entry no longer pending");
+        assert_eq!(sched.live_count(), 1);
+        assert!(sched.pop_due(Time(5)).is_none(), "nothing due yet");
+        let (at, _cb) = sched.pop_due(Time(100)).expect("b is due");
+        assert_eq!(at, Time(10));
+        assert!(sched.pop_due(Time(100)).is_none(), "a was cancelled");
+        assert_eq!(sched.next_deadline(), None);
+        assert_eq!(sched.live_count(), 0);
     }
 
     #[test]
@@ -676,6 +744,7 @@ mod tests {
         assert!(clock.cancel(id));
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert_eq!(clock.pending_timers(), 0);
     }
 
     #[test]
@@ -696,6 +765,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimClock>();
         assert_send_sync::<SystemClock>();
+        assert_send_sync::<DeadlineScheduler>();
         let _clock: SharedClock = SimClock::new();
     }
 

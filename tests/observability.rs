@@ -273,4 +273,66 @@ fn end_to_end_run_populates_registry_across_layers() {
     assert!(snapshot.counter("mq.tx.committed") >= 2);
     let lag = snapshot.histograms.get("cond.ack.lag_ms").unwrap();
     assert!(lag.count >= 2, "ack lag histogram saw {} samples", lag.count);
+    // Even the polled pump evaluates through the incremental core.
+    assert!(
+        snapshot.counter("cond.eval.incremental_updates") > 0,
+        "pump-driven evaluation still counts incremental updates"
+    );
+    let batch = snapshot.histograms.get("cond.ack.batch_size").unwrap();
+    assert!(
+        batch.count >= 1,
+        "ack draining records batch sizes, saw {} samples",
+        batch.count
+    );
+}
+
+#[test]
+fn event_driven_core_reports_metrics() {
+    // The event-driven path populates its own instruments: incremental
+    // leaf updates on ack arrival, deadline-timer fires, and the size of
+    // each drained ack batch.
+    let w = world(&["Q.A"]);
+    w.messenger.enable_event_driven().unwrap();
+    let condition: Condition = Destination::queue("QM1", "Q.A")
+        .pickup_within(Millis(100))
+        .into();
+
+    // Ack-driven decision: the read's acknowledgment is drained and
+    // applied incrementally, no pump involved.
+    let id = w.messenger.send_message("picked up", &condition).unwrap();
+    w.clock.advance(Millis(5));
+    let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+    receiver.read_message("Q.A", Wait::NoWait).unwrap().unwrap();
+    let success = w
+        .messenger
+        .take_outcome(id, Wait::NoWait)
+        .unwrap()
+        .expect("decided on ack arrival");
+    assert_eq!(success.outcome, MessageOutcome::Success);
+
+    // Deadline-driven decision: the armed timer fires during the advance.
+    let id = w.messenger.send_message("never read", &condition).unwrap();
+    w.clock.advance(Millis(500));
+    let failure = w
+        .messenger
+        .take_outcome(id, Wait::NoWait)
+        .unwrap()
+        .expect("decided by the deadline timer");
+    assert_eq!(failure.outcome, MessageOutcome::Failure);
+
+    let snapshot = w.messenger.metrics_snapshot();
+    assert!(
+        snapshot.counter("cond.eval.incremental_updates") > 0,
+        "ack arrival applied incremental updates"
+    );
+    assert!(
+        snapshot.counter("cond.eval.timer_fires") >= 1,
+        "deadline decision came from a timer fire"
+    );
+    let batch = snapshot.histograms.get("cond.ack.batch_size").unwrap();
+    assert!(
+        batch.count >= 1,
+        "ack draining recorded a batch, saw {} samples",
+        batch.count
+    );
 }

@@ -223,6 +223,92 @@ proptest! {
         prop_assert!(acks <= plans.len());
     }
 
+    /// Event-driven evaluation (ack-arrival evaluation plus armed deadline
+    /// timers, no `pump()` anywhere) decides the message with the same
+    /// verdict at the same simtime as a reference full-re-evaluation
+    /// oracle pumped at every millisecond tick.
+    #[test]
+    fn event_driven_matches_tick_pumped_oracle(
+        plans in proptest::collection::vec(arb_dest_plan(200), 1..4),
+        window in 50u64..150,
+    ) {
+        let condition = |n: usize| -> Condition {
+            DestinationSet::of(
+                (0..n)
+                    .map(|i| Destination::queue("QM1", format!("Q{i}")).into())
+                    .collect(),
+            )
+            .pickup_within(Millis(window))
+            .into()
+        };
+        let mut events: Vec<(u64, usize)> = plans
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.read_at.map(|t| (t, i)))
+            .collect();
+        events.sort_unstable();
+        // Tolerates an empty queue: in the event-driven world a deadline
+        // decision can fire *before* a late planned read, and finalization
+        // may already have removed the original.
+        let read = |w: &World, idx: usize| {
+            let mut receiver = ConditionalReceiver::new(w.qmgr.clone()).unwrap();
+            let queue = format!("Q{idx}");
+            if plans[idx].transactional {
+                receiver.begin_tx().unwrap();
+                if receiver.read_message(&queue, Wait::NoWait).unwrap().is_some() {
+                    receiver.commit_tx().unwrap();
+                } else {
+                    receiver.rollback_tx().unwrap();
+                }
+            } else {
+                let _ = receiver.read_message(&queue, Wait::NoWait).unwrap();
+            }
+        };
+
+        // Event-driven world: reads at their planned moments, one final
+        // big advance — and not a single pump.
+        let ev = world(plans.len());
+        ev.messenger.enable_event_driven().unwrap();
+        let id = ev.messenger.send_message("payload", &condition(plans.len())).unwrap();
+        for (at, idx) in &events {
+            let now = ev.clock.now().as_millis();
+            if *at > now {
+                ev.clock.advance(Millis(at - now));
+            }
+            read(&ev, *idx);
+        }
+        let now = ev.clock.now().as_millis();
+        ev.clock.advance(Millis(400 - now));
+        let got = ev
+            .messenger
+            .take_outcome(id, Wait::NoWait)
+            .unwrap()
+            .expect("event-driven path decided without a pump");
+        prop_assert_eq!(ev.clock.pending_timers(), 0, "timer torn down with decision");
+
+        // Oracle world: identical schedule in default polled mode, pumped
+        // at every tick so the decision instant is exact.
+        let or = world(plans.len());
+        or.messenger.send_message("payload", &condition(plans.len())).unwrap();
+        let mut upcoming = events.clone();
+        let mut oracle = None;
+        for t in 1..=400u64 {
+            or.clock.advance(Millis(1));
+            while upcoming.first().is_some_and(|(at, _)| *at == t) {
+                let (_, idx) = upcoming.remove(0);
+                read(&or, idx);
+            }
+            let outs = or.messenger.pump().unwrap();
+            if let Some(n) = outs.first() {
+                oracle = Some((n.outcome, n.decided_at));
+                break;
+            }
+        }
+        let (oracle_outcome, oracle_at) = oracle.expect("oracle decided within horizon");
+        prop_assert_eq!(got.outcome, oracle_outcome, "same verdict");
+        prop_assert_eq!(got.decided_at, oracle_at, "same decision simtime");
+    }
+
     /// Compensation conservation: after a failure, every destination ends
     /// in exactly one of two states — annihilated (nothing deliverable,
     /// empty queue) if it never consumed, or exactly one delivered
