@@ -1,8 +1,15 @@
 #!/usr/bin/env sh
-# Full local gate: release build, test suite, lint-clean.
+# Full local gate: release build, test suite (plain and with lock-order
+# deadlock detection), lint-clean (clippy + cond-lint), smoke bench.
 set -eux
 
 cargo build --release
 cargo test -q
-cargo clippy -- -D warnings
+# Re-run the whole suite with the parking_lot shim's lock-acquisition-order
+# checker: an ABBA hazard panics with both acquisition sites.
+cargo test -q --workspace --features parking_lot/deadlock_detection
+cargo clippy --workspace --all-targets -- -D warnings
+# Project-specific source lints (sleep-polls, std::sync locks, wall-clock
+# reads, unwraps); lint.allow documents the accepted exceptions.
+cargo run --release -p cond-lint -- --deny
 cargo run --release -p cond-bench --bin exp_fig6_overhead -- --quick

@@ -66,6 +66,12 @@ pub struct CondConfig {
     /// the next `pump()`/poll tick. Default: off, preserving the
     /// deterministic drain-on-pump semantics tests rely on.
     pub event_driven: bool,
+    /// Run the [static condition analyzer](crate::analyze) on every send:
+    /// error-severity findings (statically unsatisfiable trees) reject the
+    /// send with [`CondError::Analysis`](crate::CondError) before any
+    /// destination put; warnings are counted in the `cond.analyze.*`
+    /// metrics. Default: on.
+    pub analyze_sends: bool,
 }
 
 impl Default for CondConfig {
@@ -82,6 +88,7 @@ impl Default for CondConfig {
             ack_grace: Millis::ZERO,
             ack_batch: 64,
             event_driven: false,
+            analyze_sends: true,
         }
     }
 }
@@ -104,5 +111,6 @@ mod tests {
         assert_eq!(c.ack_grace, Millis::ZERO);
         assert_eq!(c.ack_batch, 64);
         assert!(!c.event_driven);
+        assert!(c.analyze_sends);
     }
 }

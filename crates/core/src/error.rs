@@ -12,6 +12,9 @@ pub enum CondError {
     Mq(mq::MqError),
     /// The condition tree is structurally invalid.
     InvalidCondition(String),
+    /// The condition tree was rejected by static analysis
+    /// ([`crate::analyze`]) as statically unsatisfiable.
+    Analysis(crate::analyze::AnalyzeError),
     /// No pending conditional message with this id is known.
     UnknownMessage(CondMessageId),
     /// An internal (ack / log / outcome) message failed to decode.
@@ -29,6 +32,7 @@ impl fmt::Display for CondError {
         match self {
             CondError::Mq(e) => write!(f, "messaging error: {e}"),
             CondError::InvalidCondition(reason) => write!(f, "invalid condition: {reason}"),
+            CondError::Analysis(e) => write!(f, "{e}"),
             CondError::UnknownMessage(id) => write!(f, "unknown conditional message {id}"),
             CondError::Malformed(what) => write!(f, "malformed internal message: {what}"),
             CondError::NoTransaction => write!(f, "no receiver transaction is active"),
@@ -44,6 +48,7 @@ impl std::error::Error for CondError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CondError::Mq(e) => Some(e),
+            CondError::Analysis(e) => Some(e),
             _ => None,
         }
     }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod condition;
 pub mod config;
 mod error;
@@ -60,6 +61,7 @@ pub mod pubsub;
 mod receiver;
 pub mod wire;
 
+pub use analyze::{analyze, analyze_with, AnalyzeContext, AnalyzeError, Diagnostic, Severity};
 pub use condition::{Condition, Destination, DestinationSet};
 pub use config::CondConfig;
 pub use error::{CondError, CondResult};

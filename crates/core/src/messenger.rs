@@ -258,6 +258,24 @@ impl ConditionalMessenger {
     ) -> CondResult<CondMessageId> {
         let payload = payload.into();
         let compiled = CompiledCondition::compile(condition)?;
+        if self.config.analyze_sends {
+            let ctx = crate::analyze::AnalyzeContext {
+                evaluation_timeout: options
+                    .evaluation_timeout
+                    .or(self.config.default_evaluation_timeout),
+                ack_grace: self.config.ack_grace,
+                has_compensation: Some(compensation.is_some()),
+            };
+            let report = crate::analyze::analyze_with(condition, &ctx);
+            self.metrics.analyze_runs.incr();
+            self.metrics
+                .analyze_warnings
+                .add(report.warnings().count() as u64);
+            if let Ok(err) = report.into_error() {
+                self.metrics.analyze_rejected.incr();
+                return Err(CondError::Analysis(err));
+            }
+        }
         let cond_id = CondMessageId::generate();
         let send_time = self.qmgr.clock().now();
         let record = SendRecord {
@@ -1132,6 +1150,7 @@ impl ConditionalMessenger {
         let stop2 = stop.clone();
         let messenger = self.clone();
         let ack_queue = self.qmgr.queue(&self.config.ack_queue)?;
+        let poll_ms = simtime::Millis((poll.as_millis() as u64).max(1));
         let handle = std::thread::Builder::new()
             .name(format!("condmsg-eval-{}", self.qmgr.name()))
             .spawn(move || {
@@ -1150,7 +1169,15 @@ impl ConditionalMessenger {
                             return;
                         }
                     } else {
-                        std::thread::sleep(poll);
+                        // Bounded park on the ack queue's condvar: an
+                        // arriving ack wakes the pump immediately, and the
+                        // timeout keeps the poll cadence for deadline and
+                        // timeout evaluation.
+                        if ack_queue.wait_nonempty(Wait::Timeout(poll_ms)).is_err()
+                            && !messenger.qmgr.is_running()
+                        {
+                            return;
+                        }
                     }
                 }
             })
@@ -1196,6 +1223,7 @@ impl Drop for EvaluationDaemon {
 mod tests {
     use super::*;
     use crate::condition::{Destination, DestinationSet};
+    use crate::config::{DEFAULT_COMP_QUEUE, DEFAULT_SLOG_QUEUE};
     use mq::journal::MemJournal;
     use mq::Message;
     use simtime::{Millis, SimClock};
@@ -1231,6 +1259,74 @@ mod tests {
             recipient: None,
         }
         .to_message()
+    }
+
+    #[test]
+    fn unsatisfiable_condition_rejected_before_any_put() {
+        let (_clock, qmgr, messenger) = setup();
+        // Both members carry 0 ms windows: zero-window errors plus an
+        // unsatisfiable implicit min count — rejected by the analyzer.
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A")
+                .pickup_within(Millis::ZERO)
+                .into(),
+            Destination::queue("QM1", "Q.B")
+                .pickup_within(Millis::ZERO)
+                .into(),
+        ])
+        .into();
+        let err = messenger.send_message("doomed", &cond).unwrap_err();
+        match &err {
+            CondError::Analysis(e) => {
+                assert!(!e.diagnostics().is_empty());
+                assert!(err.to_string().contains("zero-window"), "{err}");
+            }
+            other => panic!("expected analysis rejection, got {other:?}"),
+        }
+        // Nothing was staged or registered: no destination put, no send
+        // record, no parked compensation, no pending evaluation.
+        for queue in ["Q.A", "Q.B", DEFAULT_SLOG_QUEUE, DEFAULT_COMP_QUEUE] {
+            assert!(qmgr.get(queue, Wait::NoWait).unwrap().is_none(), "{queue}");
+        }
+        assert!(messenger.pending.lock().is_empty());
+        assert_eq!(messenger.metrics.analyze_rejected.get(), 1);
+        assert_eq!(messenger.metrics.sent.get(), 0);
+    }
+
+    #[test]
+    fn analyzer_warnings_counted_but_send_proceeds() {
+        let (_clock, qmgr, messenger) = setup();
+        // Duplicate destination is warning-severity: counted, not rejected.
+        let cond: Condition = DestinationSet::of(vec![
+            Destination::queue("QM1", "Q.A").into(),
+            Destination::queue("QM1", "Q.A").into(),
+        ])
+        .pickup_within(Millis(100))
+        .into();
+        messenger.send_message("dup", &cond).unwrap();
+        assert!(messenger.metrics.analyze_warnings.get() >= 1);
+        assert_eq!(messenger.metrics.analyze_rejected.get(), 0);
+        assert!(qmgr.get("Q.A", Wait::NoWait).unwrap().is_some());
+    }
+
+    #[test]
+    fn analyze_sends_off_bypasses_rejection() {
+        let clock = SimClock::new();
+        let qmgr = QueueManager::builder("QM1")
+            .clock(clock.clone())
+            .build()
+            .unwrap();
+        qmgr.create_queue("Q.A").unwrap();
+        let config = CondConfig {
+            analyze_sends: false,
+            ..CondConfig::default()
+        };
+        let messenger = ConditionalMessenger::with_config(qmgr.clone(), config).unwrap();
+        let cond: Condition = Destination::queue("QM1", "Q.A")
+            .pickup_within(Millis::ZERO)
+            .into();
+        messenger.send_message("legacy", &cond).unwrap();
+        assert!(qmgr.get("Q.A", Wait::NoWait).unwrap().is_some());
     }
 
     #[test]

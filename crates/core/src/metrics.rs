@@ -53,6 +53,15 @@ pub(crate) struct MessengerMetrics {
     pub eval_timer_fires: Arc<Counter>,
     /// Acks drained per ack-queue transaction (`cond.ack.batch_size`).
     pub ack_batch_size: Arc<Histogram>,
+    /// Condition trees run through the static analyzer at send time
+    /// (`cond.analyze.runs`).
+    pub analyze_runs: Arc<Counter>,
+    /// Warning-severity analyzer diagnostics across all sends
+    /// (`cond.analyze.warnings`).
+    pub analyze_warnings: Arc<Counter>,
+    /// Sends rejected by error-severity analyzer diagnostics
+    /// (`cond.analyze.rejected`).
+    pub analyze_rejected: Arc<Counter>,
 }
 
 impl MessengerMetrics {
@@ -75,6 +84,9 @@ impl MessengerMetrics {
             eval_incremental_updates: registry.counter("cond.eval.incremental_updates"),
             eval_timer_fires: registry.counter("cond.eval.timer_fires"),
             ack_batch_size: registry.histogram("cond.ack.batch_size"),
+            analyze_runs: registry.counter("cond.analyze.runs"),
+            analyze_warnings: registry.counter("cond.analyze.warnings"),
+            analyze_rejected: registry.counter("cond.analyze.rejected"),
         }
     }
 }

@@ -22,10 +22,13 @@ use crate::qmgr::{QueueManager, XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROP
 use crate::queue::Wait;
 use crate::stats::Counter;
 
-/// How often the mover thread polls the transmission queue (real time).
-const POLL_INTERVAL: Duration = Duration::from_millis(1);
+/// Upper bound on one condvar park awaiting transmission-queue work: a put
+/// wakes the mover immediately, the bound keeps the stop flag responsive.
+const IDLE_PARK: Millis = Millis(20);
 
-/// Backoff applied after a refused (link-down) attempt (real time).
+/// Backoff applied after a refused (link-down or remote-crashed) attempt.
+/// The mover parks on the link's state condvar, so a heal cuts the backoff
+/// short (real time).
 const PARTITION_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Per-channel statistics.
@@ -87,7 +90,7 @@ impl Channel {
         let handle = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || mover_loop(from2, to2, link, stop2, stats2, xmit2))
-            .expect("failed to spawn channel thread");
+            .map_err(crate::error::MqError::Io)?;
 
         Ok(Channel {
             name,
@@ -154,11 +157,22 @@ fn mover_loop(
     stats: Arc<ChannelStats>,
     xmit_queue: String,
 ) {
+    let Ok(xmit) = from.queue(&xmit_queue) else {
+        return;
+    };
     while !stop.load(Ordering::SeqCst) {
         if !from.is_running() {
             // Sender crashed; wait for a restart signal (a fresh channel is
             // normally created against the rebuilt manager, so just exit).
             return;
+        }
+        // Park on the transmission queue's condvar until an envelope is
+        // put (bounded, so the stop flag stays responsive) before opening
+        // a session: idle channels cost no transactions.
+        match xmit.wait_nonempty(Wait::Timeout(IDLE_PARK)) {
+            Ok(true) => {}
+            Ok(false) => continue,
+            Err(_) => return, // manager stopped
         }
         let mut session = from.session();
         if session.begin().is_err() {
@@ -167,8 +181,8 @@ fn mover_loop(
         let envelope = match session.get(&xmit_queue, Wait::NoWait) {
             Ok(Some(m)) => m,
             Ok(None) => {
+                // Raced with another consumer; re-park.
                 let _ = session.rollback_for_retry();
-                std::thread::sleep(POLL_INTERVAL);
                 continue;
             }
             Err(_) => return, // manager stopped
@@ -191,9 +205,11 @@ fn mover_loop(
                         }
                     }
                     Err(_) => {
-                        // Remote refused (e.g. crashed): keep the envelope.
+                        // Remote refused (e.g. crashed): keep the envelope
+                        // and back off (a link transition ends the backoff
+                        // early).
                         let _ = session.rollback_for_retry();
-                        std::thread::sleep(PARTITION_BACKOFF);
+                        link.wait_state_change(PARTITION_BACKOFF);
                     }
                 }
             }
@@ -202,8 +218,10 @@ fn mover_loop(
                 let _ = session.rollback_for_retry();
             }
             Transfer::Down => {
+                // Partitioned: park on the link's state condvar; the heal
+                // wakes the mover immediately instead of after a poll tick.
                 let _ = session.rollback_for_retry();
-                std::thread::sleep(PARTITION_BACKOFF);
+                link.wait_state_change(PARTITION_BACKOFF);
             }
         }
     }

@@ -11,7 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simtime::Millis;
@@ -71,6 +71,10 @@ pub struct Link {
     config: Mutex<LinkConfig>,
     rng: Mutex<StdRng>,
     up: AtomicBool,
+    /// Bumped on every up/down transition; [`Link::wait_state_change`]
+    /// parks on the paired condvar instead of sleep-polling.
+    state_seq: Mutex<u64>,
+    state_changed: Condvar,
     stats: LinkStats,
 }
 
@@ -91,6 +95,8 @@ impl Link {
             config: Mutex::new(config),
             rng: Mutex::new(rng),
             up: AtomicBool::new(true),
+            state_seq: Mutex::new(0),
+            state_changed: Condvar::new(),
             stats: LinkStats::default(),
         })
     }
@@ -105,9 +111,25 @@ impl Link {
         self.up.load(Ordering::SeqCst)
     }
 
-    /// Partitions (`false`) or heals (`true`) the link.
+    /// Partitions (`false`) or heals (`true`) the link, waking any thread
+    /// parked in [`Link::wait_state_change`] on an actual transition.
     pub fn set_up(&self, up: bool) {
-        self.up.store(up, Ordering::SeqCst);
+        let prev = self.up.swap(up, Ordering::SeqCst);
+        if prev != up {
+            *self.state_seq.lock() += 1;
+            self.state_changed.notify_all();
+        }
+    }
+
+    /// Parks the caller until the link's up/down state changes or `timeout`
+    /// elapses, whichever comes first; returns whether a transition was
+    /// observed. Channels use this to back off from a partition without
+    /// sleep-polling — a heal wakes them immediately.
+    pub fn wait_state_change(&self, timeout: std::time::Duration) -> bool {
+        let mut seq = self.state_seq.lock();
+        let start = *seq;
+        self.state_changed.wait_for(&mut seq, timeout);
+        *seq != start
     }
 
     /// Replaces the link parameters at runtime.
@@ -218,6 +240,31 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.transfer(), b.transfer());
         }
+    }
+
+    #[test]
+    fn wait_state_change_wakes_on_heal() {
+        let link = Link::ideal();
+        link.set_up(false);
+        let waiter = {
+            let link = link.clone();
+            std::thread::spawn(move || {
+                link.wait_state_change(std::time::Duration::from_secs(5))
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        link.set_up(true);
+        assert!(waiter.join().unwrap(), "state change observed");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "woken by the notify, not the timeout"
+        );
+        // No transition: times out and reports none.
+        assert!(!link.wait_state_change(std::time::Duration::from_millis(5)));
+        // Redundant set_up (already up) is not a transition.
+        link.set_up(true);
+        assert!(!link.wait_state_change(std::time::Duration::from_millis(5)));
     }
 
     #[test]

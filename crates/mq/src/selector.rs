@@ -1070,6 +1070,93 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn empty_and_blank_selectors_are_parse_errors() {
+        for input in ["", "   ", "\t\r\n", "()"] {
+            let err = Selector::parse(input).expect_err(input);
+            assert!(
+                err.reason.contains("expected value"),
+                "input {input:?}: reason {:?}",
+                err.reason
+            );
+        }
+        // A bare parenthesized value is fine, though.
+        assert!(matches("(urgent)"));
+    }
+
+    #[test]
+    fn precedence_not_binds_tighter_than_and() {
+        // NOT (kind = 'train') AND urgent — not NOT(... AND ...).
+        assert!(matches("NOT kind = 'train' AND urgent"));
+        // If NOT had scoped over the conjunction this would be true.
+        assert!(!matches("NOT kind = 'flight' AND urgent"));
+        assert!(matches("NOT (kind = 'flight' AND urgent) OR persistent"));
+        assert!(matches("NOT NOT urgent"));
+    }
+
+    #[test]
+    fn precedence_parens_override_or_and() {
+        // Without parens: OR(train, AND(flight, neg)) → false OR false.
+        assert!(!matches("kind = 'train' OR kind = 'flight' AND altitude < 0"));
+        // With parens the OR settles first and the AND sees true.
+        assert!(matches(
+            "(kind = 'train' OR kind = 'flight') AND altitude > 0"
+        ));
+    }
+
+    #[test]
+    fn arithmetic_associativity_and_unary() {
+        // Left-assoc: (31000 - 1000) - 30000 = 0, not 31000 - (1000 - 30000).
+        assert!(matches("altitude - 1000 - 30000 = 0"));
+        assert!(matches("altitude / 2 / 2 = 7750"));
+        // Unary minus binds tighter than the product.
+        assert!(matches("-altitude * 2 = -62000"));
+        assert!(matches("+altitude = 31000"));
+        // Sum of products, not product of sums.
+        assert!(matches("altitude + 1000 * 2 = 33000"));
+        assert!(matches("(altitude + 1000) * 2 = 64000"));
+    }
+
+    #[test]
+    fn type_mismatch_ordering_and_predicates_are_unknown() {
+        // Ordering on booleans is not defined, even though equality is.
+        assert!(!matches("urgent > FALSE"));
+        assert!(matches("urgent = TRUE"));
+        // BETWEEN inherits string-ordering undefinedness.
+        assert!(!matches("kind BETWEEN 'a' AND 'z'"));
+        // IN and LIKE apply to strings only; numeric values are unknown.
+        assert!(!matches("altitude IN ('31000')"));
+        assert!(!matches("altitude LIKE '3%'"));
+        assert!(!matches("urgent LIKE 't%'"));
+        // Arithmetic on non-numbers is unknown, and stays unknown upward.
+        assert!(!matches("kind + 1 = 2"));
+        assert!(!matches("NOT kind + 1 = 2"));
+        // Negating a string or bool is unknown.
+        assert!(!matches("-kind = 0"));
+        assert!(!matches("-urgent = 0"));
+    }
+
+    #[test]
+    fn numeric_literal_lexer_edge_cases() {
+        // A lone dot fails to lex as a number.
+        let err = Selector::parse("a = .").expect_err("lone dot");
+        assert!(err.reason.contains("invalid numeric literal"));
+        // A second dot ends the literal; "1.2.3" lexes as 1.2 then .3,
+        // which then fails as a trailing token.
+        let err = Selector::parse("a = 1.2.3").expect_err("double dot");
+        assert!(err.reason.contains("trailing token"));
+        // Trailing-dot floats are accepted ("1." = 1.0).
+        let m = Message::text("x").property("v", 1.0f64).build();
+        assert!(Selector::parse("v = 1.").unwrap().matches(&m));
+    }
+
+    #[test]
+    fn not_before_is_null_is_rejected() {
+        // SQL spells it "x IS NOT NULL"; "x NOT IS NULL" is a parse error.
+        let err = Selector::parse("a NOT IS NULL").expect_err("NOT IS");
+        assert!(err.reason.contains("expected BETWEEN, IN or LIKE"));
+    }
+
     #[cfg(test)]
     mod proptests {
         use super::*;

@@ -1,0 +1,337 @@
+//! Property-based round-trip fuzzing for the wire codec: arbitrary
+//! condition trees, sender-log entries, and control headers must survive
+//! encode→decode→encode **byte-identically** (the binary format has a
+//! single canonical encoding), and the message-property encodings
+//! (`to_message`/`from_message`) must round-trip value-identically.
+
+use bytes::Bytes;
+use condmsg::wire::{
+    AckKind, Acknowledgment, MessageOutcome, OutcomeNotification, SendOptions, SendRecord,
+    SlogEntry,
+};
+use condmsg::{CondMessageId, Condition, Destination, DestinationSet};
+use mq::codec::{WireDecode, WireEncode};
+use mq::{Priority, QueueAddress};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+use simtime::{Millis, Time};
+
+// ------------------------------------------------------------ strategies --
+
+/// Millisecond values spanning zero, small, and huge (but `as i64`-safe,
+/// since the message-property encodings store timestamps as `i64`).
+fn arb_millis() -> impl Strategy<Value = Millis> {
+    prop_oneof![
+        5 => (0u64..10_000).prop_map(Millis),
+        1 => Just(Millis(0)),
+        1 => Just(Millis(i64::MAX as u64)),
+    ]
+}
+
+fn arb_opt_millis() -> impl Strategy<Value = Option<Millis>> {
+    proptest::option::weighted(0.5, arb_millis())
+}
+
+fn arb_time() -> impl Strategy<Value = Time> {
+    (0u64..=i64::MAX as u64).prop_map(Time)
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.]{1,12}".to_owned()
+}
+
+fn arb_cond_id() -> impl Strategy<Value = CondMessageId> {
+    any::<u128>().prop_map(CondMessageId::from_u128)
+}
+
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    (0u8..=9).prop_map(Priority::new)
+}
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(Bytes::from)
+}
+
+fn arb_destination() -> impl Strategy<Value = Destination> {
+    (
+        ((arb_name(), arb_name()), proptest::option::weighted(0.4, arb_name())),
+        (arb_opt_millis(), arb_opt_millis(), arb_opt_millis()),
+        (
+            proptest::option::weighted(0.3, any::<bool>()),
+            proptest::option::weighted(0.3, arb_priority()),
+        ),
+    )
+        .prop_map(
+            |(((mgr, queue), recipient), (pickup, process, expiry), (persistent, priority))| {
+                let mut d = Destination::addressed(QueueAddress::new(mgr, queue));
+                if let Some(r) = recipient {
+                    d = d.recipient(r);
+                }
+                if let Some(w) = pickup {
+                    d = d.pickup_within(w);
+                }
+                if let Some(w) = process {
+                    d = d.process_within(w);
+                }
+                if let Some(ttl) = expiry {
+                    d = d.expiry(ttl);
+                }
+                if let Some(p) = persistent {
+                    d = d.persistent(p);
+                }
+                if let Some(p) = priority {
+                    d = d.priority(p);
+                }
+                d
+            },
+        )
+}
+
+fn arb_opt_count() -> impl Strategy<Value = Option<u32>> {
+    proptest::option::weighted(0.4, 0u32..6)
+}
+
+/// The codec imposes no semantic validity, so the strategy deliberately
+/// produces trees `validate()` would reject (empty sets, zero counts,
+/// counts without windows): the wire format must round-trip them all.
+fn arb_condition(depth: u32) -> proptest::strategy::BoxedStrategy<Condition> {
+    let leaf = arb_destination().prop_map(Condition::from).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let set = (
+        proptest::collection::vec(arb_condition(depth - 1), 0..4),
+        (arb_opt_millis(), arb_opt_millis()),
+        (arb_opt_count(), arb_opt_count(), arb_opt_count(), arb_opt_count()),
+        (
+            arb_opt_millis(),
+            proptest::option::weighted(0.3, any::<bool>()),
+            proptest::option::weighted(0.3, arb_priority()),
+        ),
+    )
+        .prop_map(
+            |(
+                members,
+                (pickup, process),
+                (min_p, max_p, min_x, max_x),
+                (expiry, persistent, priority),
+            )| {
+                let mut s = DestinationSet::of(members);
+                if let Some(w) = pickup {
+                    s = s.pickup_within(w);
+                }
+                if let Some(w) = process {
+                    s = s.process_within(w);
+                }
+                if let Some(n) = min_p {
+                    s = s.min_pickup(n);
+                }
+                if let Some(n) = max_p {
+                    s = s.max_pickup(n);
+                }
+                if let Some(n) = min_x {
+                    s = s.min_process(n);
+                }
+                if let Some(n) = max_x {
+                    s = s.max_process(n);
+                }
+                if let Some(ttl) = expiry {
+                    s = s.expiry(ttl);
+                }
+                if let Some(p) = persistent {
+                    s = s.persistent(p);
+                }
+                if let Some(p) = priority {
+                    s = s.priority(p);
+                }
+                Condition::from(s)
+            },
+        )
+        .boxed();
+    Union::new_weighted(vec![(2, leaf), (3, set)]).boxed()
+}
+
+fn arb_send_options() -> impl Strategy<Value = SendOptions> {
+    (
+        arb_opt_millis(),
+        proptest::option::weighted(0.4, any::<bool>()),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(evaluation_timeout, success_notifications, defer_outcome_actions)| SendOptions {
+                evaluation_timeout,
+                success_notifications,
+                defer_outcome_actions,
+            },
+        )
+}
+
+/// Respects the decoder invariant that a `Processed` ack carries a
+/// processing timestamp (`from_message` rejects it otherwise).
+fn arb_ack() -> impl Strategy<Value = Acknowledgment> {
+    (
+        (arb_cond_id(), 0u32..8, any::<bool>()),
+        (arb_time(), arb_time(), any::<bool>()),
+        proptest::option::weighted(0.4, arb_name()),
+    )
+        .prop_map(
+            |((cond_id, leaf, processed), (read_at, t_proc, have_proc_ts), recipient)| {
+                let kind = if processed {
+                    AckKind::Processed
+                } else {
+                    AckKind::Read
+                };
+                Acknowledgment {
+                    cond_id,
+                    leaf,
+                    kind,
+                    read_at,
+                    processed_at: (processed || have_proc_ts).then_some(t_proc),
+                    recipient,
+                }
+            },
+        )
+}
+
+fn arb_outcome() -> impl Strategy<Value = OutcomeNotification> {
+    (
+        arb_cond_id(),
+        any::<bool>(),
+        proptest::option::weighted(0.4, arb_name()),
+        arb_time(),
+    )
+        .prop_map(|(cond_id, success, reason, decided_at)| OutcomeNotification {
+            cond_id,
+            outcome: if success {
+                MessageOutcome::Success
+            } else {
+                MessageOutcome::Failure
+            },
+            reason,
+            decided_at,
+        })
+}
+
+fn arb_send_record() -> impl Strategy<Value = SendRecord> {
+    (
+        (arb_cond_id(), arb_time(), arb_condition(2)),
+        (
+            arb_payload(),
+            proptest::option::weighted(0.4, arb_payload()),
+            arb_send_options(),
+        ),
+    )
+        .prop_map(
+            |((cond_id, send_time, condition), (payload, compensation, options))| SendRecord {
+                cond_id,
+                send_time,
+                condition,
+                payload,
+                compensation,
+                options,
+            },
+        )
+}
+
+fn arb_slog_entry() -> impl Strategy<Value = SlogEntry> {
+    prop_oneof![
+        2 => arb_send_record().prop_map(SlogEntry::Send),
+        2 => arb_ack().prop_map(SlogEntry::AckSeen),
+        1 => (arb_cond_id(), any::<bool>(), arb_time()).prop_map(
+            |(cond_id, success, decided_at)| SlogEntry::Outcome {
+                cond_id,
+                outcome: if success {
+                    MessageOutcome::Success
+                } else {
+                    MessageOutcome::Failure
+                },
+                decided_at,
+            }
+        ),
+    ]
+}
+
+/// Asserts the canonical-encoding round trip for a [`WireEncode`] value:
+/// decode recovers the value, and re-encoding reproduces the exact bytes.
+fn assert_bytes_roundtrip<T>(value: &T) -> Result<(), proptest::test_runner::TestCaseError>
+where
+    T: WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+{
+    let bytes = value.to_bytes();
+    let decoded = match T::from_bytes(bytes.clone()) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "decode failed: {e:?} for {value:?}"
+            )))
+        }
+    };
+    prop_assert_eq!(&decoded, value, "decode must recover the value");
+    prop_assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "re-encode must be byte-identical"
+    );
+    Ok(())
+}
+
+// ------------------------------------------------------------ properties --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Condition trees (the paper's Fig. 3 composite) have one canonical
+    /// byte encoding: encode→decode→encode is the identity on bytes.
+    #[test]
+    fn condition_roundtrip_byte_identical(cond in arb_condition(3)) {
+        assert_bytes_roundtrip(&cond)?;
+    }
+
+    /// Per-send options survive the codec byte-identically.
+    #[test]
+    fn send_options_roundtrip_byte_identical(opts in arb_send_options()) {
+        assert_bytes_roundtrip(&opts)?;
+    }
+
+    /// Durable sender-log send records (condition + payload + options)
+    /// survive the codec byte-identically.
+    #[test]
+    fn send_record_roundtrip_byte_identical(record in arb_send_record()) {
+        assert_bytes_roundtrip(&record)?;
+    }
+
+    /// All three sender-log entry variants survive the codec
+    /// byte-identically.
+    #[test]
+    fn slog_entry_roundtrip_byte_identical(entry in arb_slog_entry()) {
+        assert_bytes_roundtrip(&entry)?;
+    }
+
+    /// Sender-log entries carried as queue messages round-trip through the
+    /// message-property encoding (`to_message`/`from_message`).
+    #[test]
+    fn slog_entry_message_roundtrip(entry in arb_slog_entry()) {
+        let msg = entry.to_message();
+        let back = SlogEntry::from_message(&msg).expect("slog decodes");
+        prop_assert_eq!(back, entry);
+    }
+
+    /// Acknowledgment headers round-trip through the message-property
+    /// encoding, including the `Processed ⇒ processing timestamp`
+    /// invariant.
+    #[test]
+    fn ack_message_roundtrip(ack in arb_ack()) {
+        let msg = ack.to_message();
+        let back = Acknowledgment::from_message(&msg).expect("ack decodes");
+        prop_assert_eq!(back, ack);
+    }
+
+    /// Outcome notifications round-trip through the message-property
+    /// encoding.
+    #[test]
+    fn outcome_message_roundtrip(outcome in arb_outcome()) {
+        let msg = outcome.to_message();
+        let back = OutcomeNotification::from_message(&msg).expect("outcome decodes");
+        prop_assert_eq!(back, outcome);
+    }
+}

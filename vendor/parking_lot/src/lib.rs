@@ -5,14 +5,34 @@
 //! the standard library. Semantics follow `parking_lot`: locks do not
 //! poison — a panic while holding a guard leaves the lock usable, so
 //! `lock()`/`read()`/`write()` are infallible.
+//!
+//! # `deadlock_detection`
+//!
+//! With the `deadlock_detection` feature enabled (`cargo test --workspace
+//! --features parking_lot/deadlock_detection`), every blocking acquisition
+//! is recorded in a global lock-acquisition-order graph (see
+//! [`order`](self)): holding lock `A` while acquiring lock `B` establishes
+//! the order `A → B`, and an acquisition that would close a cycle panics
+//! deterministically with both acquisition sites instead of deadlocking
+//! some unlucky future run. The real `parking_lot` offers a background
+//! wait-for-graph checker behind the same feature name; this shim trades
+//! that for eager order checking, which also catches *potential* deadlocks
+//! that did not happen to interleave fatally in this run.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
 
+#[cfg(feature = "deadlock_detection")]
+mod order;
+#[cfg(feature = "deadlock_detection")]
+use std::sync::atomic::AtomicU64;
+
 /// A mutex that ignores poisoning, mirroring `parking_lot::Mutex`.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    order_id: AtomicU64,
     inner: std::sync::Mutex<T>,
 }
 
@@ -22,12 +42,16 @@ pub struct Mutex<T: ?Sized> {
 /// ownership during a wait (std's condvar consumes the guard; parking_lot's
 /// borrows it).
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: u64,
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "deadlock_detection")]
+            order_id: AtomicU64::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -38,20 +62,42 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            // Check and record the order BEFORE blocking: an inversion
+            // panics here instead of deadlocking.
+            order::on_acquire(id, std::panic::Location::caller());
+            id
+        };
         MutexGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            // Non-blocking: track for release, but no order edges.
+            order::on_acquire_nonblocking(id, std::panic::Location::caller());
+            id
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
+            inner: Some(inner),
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -96,22 +142,37 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.lock_id);
+    }
+}
+
 /// A reader-writer lock that ignores poisoning, mirroring `parking_lot::RwLock`.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    order_id: AtomicU64,
     inner: std::sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: u64,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: u64,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "deadlock_detection")]
+            order_id: AtomicU64::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -122,36 +183,74 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            order::on_acquire(id, std::panic::Location::caller());
+            id
+        };
         RwLockReadGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            order::on_acquire(id, std::panic::Location::caller());
+            id
+        };
         RwLockWriteGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
-                inner: e.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            order::on_acquire_nonblocking(id, std::panic::Location::caller());
+            id
+        };
+        Some(RwLockReadGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
+            inner,
+        })
     }
 
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
-                inner: e.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detection")]
+        let lock_id = {
+            let id = order::id_of(&self.order_id);
+            order::on_acquire_nonblocking(id, std::panic::Location::caller());
+            id
+        };
+        Some(RwLockWriteGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id,
+            inner,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -178,6 +277,13 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.lock_id);
+    }
+}
+
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -188,6 +294,13 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.lock_id);
     }
 }
 
@@ -216,26 +329,42 @@ impl Condvar {
         }
     }
 
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // A wait releases the mutex and re-acquires it on wake; mirror
+        // that in the order tracking so held-stacks stay accurate.
+        #[cfg(feature = "deadlock_detection")]
+        let (lock_id, site) = (guard.lock_id, std::panic::Location::caller());
+        #[cfg(feature = "deadlock_detection")]
+        order::on_release(lock_id);
         let inner = guard.inner.take().expect("guard present before wait");
         let inner = self
             .inner
             .wait(inner)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
+        #[cfg(feature = "deadlock_detection")]
+        order::on_acquire(lock_id, site);
     }
 
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "deadlock_detection")]
+        let (lock_id, site) = (guard.lock_id, std::panic::Location::caller());
+        #[cfg(feature = "deadlock_detection")]
+        order::on_release(lock_id);
         let inner = guard.inner.take().expect("guard present before wait");
         let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
             Ok((g, r)) => (g, r),
             Err(e) => e.into_inner(),
         };
         guard.inner = Some(inner);
+        #[cfg(feature = "deadlock_detection")]
+        order::on_acquire(lock_id, site);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }
@@ -308,5 +437,116 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[cfg(feature = "deadlock_detection")]
+    mod deadlock {
+        use super::*;
+
+        #[test]
+        fn consistent_nesting_is_accepted() {
+            let a = Mutex::new(0);
+            let b = Mutex::new(0);
+            for _ in 0..3 {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // Releasing and re-taking in the same order never cycles.
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order cycle detected")]
+        fn direct_inversion_panics() {
+            let a = Mutex::new(0);
+            let b = Mutex::new(0);
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // establishes a -> b
+            }
+            let _gb = b.lock();
+            let _ga = a.lock(); // b -> a closes the cycle
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order cycle detected")]
+        fn transitive_inversion_panics() {
+            let a = Mutex::new(0);
+            let b = Mutex::new(0);
+            let c = RwLock::new(0);
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // a -> b
+            }
+            {
+                let _gb = b.lock();
+                let _gc = c.write(); // b -> c
+            }
+            let _gc = c.read();
+            let _ga = a.lock(); // c -> a closes a -> b -> c -> a
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order cycle detected")]
+        fn cross_thread_inversion_panics() {
+            let a = Arc::new(Mutex::new(0));
+            let b = Arc::new(Mutex::new(0));
+            {
+                // Order a -> b is established on another thread …
+                let (a, b) = (a.clone(), b.clone());
+                thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+                .join()
+                .unwrap();
+            }
+            // … so the reverse on this thread is an ABBA hazard even
+            // though the threads never actually collided.
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+
+        #[test]
+        fn try_lock_adds_no_order_edges() {
+            let a = Mutex::new(0);
+            let b = Mutex::new(0);
+            {
+                let _ga = a.lock();
+                let _gb = b.try_lock().unwrap(); // non-blocking: no a -> b
+            }
+            let _gb = b.lock();
+            let _ga = a.lock(); // would cycle if try_lock had recorded
+        }
+
+        #[test]
+        fn condvar_wait_releases_the_held_lock() {
+            let a = Arc::new(Mutex::new(0));
+            let b = Arc::new((Mutex::new(false), Condvar::new()));
+            {
+                let _ga = a.lock();
+                let _gb = b.0.lock(); // a -> b.0
+            }
+            // Waiting on b.0 releases it; taking `a` inside the wait loop
+            // on another thread must NOT see b.0 as still held here.
+            let waiter = {
+                let b = b.clone();
+                thread::spawn(move || {
+                    let (lock, cv) = &*b;
+                    let mut done = lock.lock();
+                    while !*done {
+                        cv.wait(&mut done);
+                    }
+                })
+            };
+            thread::sleep(Duration::from_millis(10));
+            {
+                let _ga = a.lock();
+            }
+            *b.0.lock() = true;
+            b.1.notify_all();
+            waiter.join().unwrap();
+        }
     }
 }

@@ -1,0 +1,141 @@
+//! Lock-acquisition-order tracking for the `deadlock_detection` feature.
+//!
+//! Every lock in the process gets a unique id on first acquisition. A
+//! global directed graph records, for each thread, the order in which it
+//! nests acquisitions: holding `A` while acquiring `B` adds the edge
+//! `A → B`, stamped with both acquisition sites (`#[track_caller]`). An
+//! acquisition that would close a cycle — some other code path already
+//! established the reverse order — panics immediately with the conflicting
+//! sites, turning a timing-dependent deadlock into a deterministic,
+//! debuggable failure at the first inverted acquisition.
+//!
+//! Ids are never reused (unlike addresses), so a dropped lock's node going
+//! stale cannot implicate an unrelated new lock. Non-blocking acquisitions
+//! (`try_lock` and friends) are pushed on the held stack but add no edges:
+//! they cannot block, so they cannot participate in a deadlock.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A source location pair: where the `from` end of an edge was being held,
+/// and where the `to` end was acquired.
+type EdgeSites = (&'static Location<'static>, &'static Location<'static>);
+
+#[derive(Default)]
+struct Graph {
+    /// First-seen sites for each established order `from → to`.
+    edges: HashMap<(u64, u64), EdgeSites>,
+    /// Adjacency: `from → {to, …}`.
+    succ: HashMap<u64, Vec<u64>>,
+}
+
+impl Graph {
+    fn has_edge(&self, from: u64, to: u64) -> bool {
+        self.edges.contains_key(&(from, to))
+    }
+
+    fn add_edge(&mut self, from: u64, to: u64, sites: EdgeSites) {
+        if self.edges.insert((from, to), sites).is_none() {
+            self.succ.entry(from).or_default().push(to);
+        }
+    }
+
+    /// Depth-first search for a path `from →* to`, returning the first hop
+    /// of one such path (for the panic message) if it exists.
+    fn path(&self, from: u64, to: u64) -> Option<u64> {
+        let mut stack: Vec<(u64, u64)> = self
+            .succ
+            .get(&from)
+            .into_iter()
+            .flatten()
+            .map(|&next| (next, next))
+            .collect();
+        let mut visited = std::collections::HashSet::new();
+        while let Some((node, first_hop)) = stack.pop() {
+            if node == to {
+                return Some(first_hop);
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            for &next in self.succ.get(&node).into_iter().flatten() {
+                stack.push((next, first_hop));
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(Mutex::default)
+}
+
+thread_local! {
+    /// The ids and acquisition sites of locks this thread currently holds,
+    /// in acquisition order (duplicates possible for re-entrant reads).
+    static HELD: RefCell<Vec<(u64, &'static Location<'static>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Resolves a lock's unique id, assigning one on first use. `0` in the
+/// cell means "unassigned"; assigned ids start at 1 and are never reused.
+pub(crate) fn id_of(cell: &AtomicU64) -> u64 {
+    let id = cell.load(Ordering::Acquire);
+    if id != 0 {
+        return id;
+    }
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+    match cell.compare_exchange(0, fresh, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => fresh,
+        Err(existing) => existing,
+    }
+}
+
+/// Records a blocking acquisition of `id` at `site`: adds order edges from
+/// every currently held lock and panics if any edge closes a cycle.
+pub(crate) fn on_acquire(id: u64, site: &'static Location<'static>) {
+    HELD.with(|held| {
+        let snapshot: Vec<(u64, &'static Location<'static>)> = held.borrow().clone();
+        if !snapshot.is_empty() {
+            let mut graph = graph().lock().unwrap_or_else(|e| e.into_inner());
+            for &(held_id, held_site) in &snapshot {
+                if held_id == id || graph.has_edge(held_id, id) {
+                    continue;
+                }
+                if let Some(first_hop) = graph.path(id, held_id) {
+                    let (rev_from_site, rev_to_site) = graph.edges[&(id, first_hop)];
+                    panic!(
+                        "lock-order cycle detected: acquiring lock #{id} at \
+                         {site} while holding lock #{held_id} (acquired at \
+                         {held_site}) would invert the established order \
+                         #{id} -> #{first_hop} (held at {rev_from_site}, \
+                         acquired at {rev_to_site})"
+                    );
+                }
+                graph.add_edge(held_id, id, (held_site, site));
+            }
+        }
+        held.borrow_mut().push((id, site));
+    });
+}
+
+/// Records a successful non-blocking acquisition: held for release
+/// bookkeeping, but no edges — a `try_` acquisition cannot deadlock.
+pub(crate) fn on_acquire_nonblocking(id: u64, site: &'static Location<'static>) {
+    HELD.with(|held| held.borrow_mut().push((id, site)));
+}
+
+/// Records a release (guard drop, or the lock handoff inside a condvar
+/// wait). Pops the most recent matching entry.
+pub(crate) fn on_release(id: u64) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(h, _)| h == id) {
+            held.remove(pos);
+        }
+    });
+}
