@@ -13,3 +13,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 # reads, unwraps); lint.allow documents the accepted exceptions.
 cargo run --release -p cond-lint -- --deny
 cargo run --release -p cond-bench --bin exp_fig6_overhead -- --quick
+# Journal throughput regression gate: group commit must beat fsync-per-append
+# by >= 5x at 8 writers (asserted inside the binary).
+cargo run --release -p cond-bench --bin exp_journal -- --quick

@@ -592,6 +592,30 @@ mod tests {
     }
 
     #[test]
+    fn journal_module_is_fully_linted() {
+        // The group-commit flusher must park on a condvar, never poll: the
+        // sleep rule (and every other library rule) has to cover the
+        // journal module's files, while the throughput bench stays App.
+        for p in [
+            "crates/mq/src/journal/mod.rs",
+            "crates/mq/src/journal/file.rs",
+            "crates/mq/src/journal/group.rs",
+            "crates/mq/src/shard.rs",
+        ] {
+            assert_eq!(classify(p), FileClass::Library, "{p}");
+            for rule in [
+                LintRule::Sleep,
+                LintRule::StdSync,
+                LintRule::WallClock,
+                LintRule::Unwrap,
+            ] {
+                assert!(rule_applies(rule, classify(p), p), "{rule:?} must cover {p}");
+            }
+        }
+        assert_eq!(classify("crates/bench/src/bin/exp_journal.rs"), FileClass::App);
+    }
+
+    #[test]
     fn simtime_exempt_from_time_rules_only() {
         let p = "crates/simtime/src/lib.rs";
         assert!(!rule_applies(LintRule::Sleep, classify(p), p));

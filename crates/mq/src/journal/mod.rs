@@ -8,27 +8,37 @@
 //! and non-persistent messages vanish — the same guarantees MQSeries gives
 //! the conditional-messaging layer.
 //!
-//! Three backends:
+//! Four backends:
 //! * [`MemJournal`] — encoded records in memory; survives a *simulated*
 //!   crash (the journal object outlives the manager) and exercises the full
 //!   codec path.
 //! * [`FileJournal`] — length + CRC-32 framed records in an append-only
 //!   file; torn tail records are tolerated, mid-file corruption is reported.
+//! * [`GroupCommitJournal`] — a group-commit wrapper over batched storage
+//!   (typically a [`FileJournal`]): a dedicated flusher thread coalesces
+//!   concurrent appends into one write + one fsync, parking each caller
+//!   until the batch covering its record is durable. Same "returns ⇒
+//!   durable" contract as a sync-every-append [`FileJournal`], a fraction
+//!   of the fsyncs.
 //! * [`NullJournal`] — discards everything, for benchmarks isolating
 //!   in-memory throughput.
 
+mod file;
+mod group;
+
+pub use file::FileJournal;
+pub use group::{GroupCommitConfig, GroupCommitJournal, GroupCommitMetrics, GroupStorage};
+
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::{crc32, CodecError, Decoder, Encoder, WireDecode, WireEncode};
 use crate::error::{MqError, MqResult};
 use crate::message::{Message, MessageId};
+use crate::stats::MetricsRegistry;
 
 /// A single journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +172,67 @@ impl WireDecode for JournalRecord {
     }
 }
 
+// ---------------------------------------------------------------- framing --
+
+/// Encodes a record as the on-storage frame shared by [`FileJournal`] and
+/// [`GroupCommitJournal`]: `[len:u32][crc:u32][record bytes]`.
+pub(crate) fn encode_frame(record: &JournalRecord) -> Vec<u8> {
+    let body = record.to_bytes();
+    let mut frame = Vec::with_capacity(body.len() + 8);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Decodes a byte run of frames back into records.
+///
+/// A torn record at the very end (short header, short body, or a CRC
+/// mismatch on the final record — an interrupted last write) ends the
+/// replay silently; corruption anywhere earlier is an error.
+pub(crate) fn decode_frames(raw: &[u8]) -> MqResult<Vec<JournalRecord>> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < raw.len() {
+        if raw.len() - offset < 8 {
+            // Torn header at the tail: interrupted final write.
+            break;
+        }
+        let len = u32::from_le_bytes(raw[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc =
+            u32::from_le_bytes(raw[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let body_start = offset + 8;
+        if raw.len() - body_start < len {
+            // Torn body at the tail.
+            break;
+        }
+        let body = &raw[body_start..body_start + len];
+        if crc32(body) != stored_crc {
+            let is_tail = body_start + len == raw.len();
+            if is_tail {
+                break; // torn final record
+            }
+            return Err(MqError::JournalCorrupt {
+                offset: offset as u64,
+                reason: "crc mismatch".into(),
+            });
+        }
+        match JournalRecord::from_bytes(Bytes::copy_from_slice(body)) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                return Err(MqError::JournalCorrupt {
+                    offset: offset as u64,
+                    reason: format!("undecodable record: {e}"),
+                })
+            }
+        }
+        offset = body_start + len;
+    }
+    Ok(records)
+}
+
+// ------------------------------------------------------------------ trait --
+
 /// Abstract append-only journal.
 pub trait Journal: Send + Sync + fmt::Debug {
     /// Appends one record durably (returns once the record is stable).
@@ -195,6 +266,16 @@ pub trait Journal: Send + Sync + fmt::Debug {
     /// returns `false`, letting hot paths skip building records at all.
     fn is_durable(&self) -> bool {
         true
+    }
+
+    /// Registers any journal-owned metric cells into `registry`.
+    ///
+    /// [`crate::QueueManagerBuilder::build`] calls this with the manager's
+    /// observability hub so backend-internal counters (the group-commit
+    /// fsync/batch cells) surface in `mq.*` snapshots. Backends without
+    /// internal metrics — the default — register nothing.
+    fn register_metrics(&self, registry: &MetricsRegistry) {
+        let _ = registry;
     }
 }
 
@@ -278,143 +359,12 @@ impl Journal for NullJournal {
     }
 }
 
-/// File-backed journal with `[len:u32][crc:u32][record bytes]` framing.
-pub struct FileJournal {
-    path: PathBuf,
-    file: Mutex<File>,
-    bytes: AtomicU64,
-    sync_every_append: bool,
-}
-
-impl fmt::Debug for FileJournal {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FileJournal")
-            .field("path", &self.path)
-            .field("bytes", &self.len_bytes())
-            .finish()
-    }
-}
-
-impl FileJournal {
-    /// Opens (or creates) a journal file at `path`.
-    ///
-    /// With `sync_every_append` the file is fsynced after every record
-    /// (durable but slow); without it, durability relies on OS buffering,
-    /// which is adequate for experiments.
-    ///
-    /// # Errors
-    ///
-    /// Propagates file-open failures.
-    pub fn open(
-        path: impl AsRef<Path>,
-        sync_every_append: bool,
-    ) -> MqResult<std::sync::Arc<FileJournal>> {
-        let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)?;
-        let len = file.metadata()?.len();
-        Ok(std::sync::Arc::new(FileJournal {
-            path,
-            file: Mutex::new(file),
-            bytes: AtomicU64::new(len),
-            sync_every_append,
-        }))
-    }
-
-    /// The journal's file path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-}
-
-impl Journal for FileJournal {
-    fn append(&self, record: &JournalRecord) -> MqResult<()> {
-        let body = record.to_bytes();
-        let mut frame = Vec::with_capacity(body.len() + 8);
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&body).to_le_bytes());
-        frame.extend_from_slice(&body);
-        let mut file = self.file.lock();
-        file.write_all(&frame)?;
-        if self.sync_every_append {
-            file.sync_data()?;
-        }
-        self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        Ok(())
-    }
-
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(0))?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
-        // Leave the cursor back at the end for subsequent appends.
-        file.seek(SeekFrom::End(0))?;
-        drop(file);
-
-        let mut records = Vec::new();
-        let mut offset = 0usize;
-        while offset < raw.len() {
-            if raw.len() - offset < 8 {
-                // Torn header at the tail: interrupted final write.
-                break;
-            }
-            let len =
-                u32::from_le_bytes(raw[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-            let stored_crc =
-                u32::from_le_bytes(raw[offset + 4..offset + 8].try_into().expect("4 bytes"));
-            let body_start = offset + 8;
-            if raw.len() - body_start < len {
-                // Torn body at the tail.
-                break;
-            }
-            let body = &raw[body_start..body_start + len];
-            if crc32(body) != stored_crc {
-                let is_tail = body_start + len == raw.len();
-                if is_tail {
-                    break; // torn final record
-                }
-                return Err(MqError::JournalCorrupt {
-                    offset: offset as u64,
-                    reason: "crc mismatch".into(),
-                });
-            }
-            match JournalRecord::from_bytes(Bytes::copy_from_slice(body)) {
-                Ok(rec) => records.push(rec),
-                Err(e) => {
-                    return Err(MqError::JournalCorrupt {
-                        offset: offset as u64,
-                        reason: format!("undecodable record: {e}"),
-                    })
-                }
-            }
-            offset = body_start + len;
-        }
-        Ok(records)
-    }
-
-    fn reset(&self) -> MqResult<()> {
-        let mut file = self.file.lock();
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        self.bytes.store(0, Ordering::Relaxed);
-        Ok(())
-    }
-
-    fn len_bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
-    }
-}
-
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn sample_records() -> Vec<JournalRecord> {
+    pub(crate) fn sample_records() -> Vec<JournalRecord> {
         let m1 = Message::text("one").persistent(true).build();
         let m2 = Message::text("two")
             .persistent(true)
@@ -442,13 +392,23 @@ mod tests {
         ]
     }
 
-    fn check_roundtrip(journal: &dyn Journal) {
+    pub(crate) fn check_roundtrip(journal: &dyn Journal) {
         let records = sample_records();
         for r in &records {
             journal.append(r).unwrap();
         }
         let replayed = journal.replay().unwrap();
         assert_eq!(replayed, records);
+    }
+
+    pub(crate) fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "mq-journal-test-{}-{}-{name}.log",
+            std::process::id(),
+            MessageId::generate()
+        ));
+        p
     }
 
     #[test]
@@ -471,100 +431,20 @@ mod tests {
         assert_eq!(j.len_bytes(), 0);
     }
 
-    fn temp_path(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!(
-            "mq-journal-test-{}-{}-{name}.log",
-            std::process::id(),
-            MessageId::generate()
-        ));
-        p
-    }
-
     #[test]
-    fn file_journal_roundtrip_and_reopen() {
-        let path = temp_path("roundtrip");
+    fn frame_roundtrip_and_torn_tail() {
         let records = sample_records();
-        {
-            let j = FileJournal::open(&path, true).unwrap();
-            for r in &records {
-                j.append(r).unwrap();
-            }
-            assert_eq!(j.replay().unwrap(), records);
+        let mut raw = Vec::new();
+        for r in &records {
+            raw.extend_from_slice(&encode_frame(r));
         }
-        // Reopen: records persist across process-style restarts.
-        let j = FileJournal::open(&path, false).unwrap();
-        assert_eq!(j.replay().unwrap(), records);
-        // Appends after replay land after existing records.
-        j.append(&JournalRecord::QueueCreated { queue: "Q9".into() })
-            .unwrap();
-        let all = j.replay().unwrap();
-        assert_eq!(all.len(), records.len() + 1);
-        assert_eq!(
-            all.last().unwrap(),
-            &JournalRecord::QueueCreated { queue: "Q9".into() }
-        );
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn file_journal_tolerates_torn_tail() {
-        let path = temp_path("torn");
-        let j = FileJournal::open(&path, true).unwrap();
-        j.append(&JournalRecord::QueueCreated { queue: "A".into() })
-            .unwrap();
-        j.append(&JournalRecord::QueueCreated { queue: "B".into() })
-            .unwrap();
-        drop(j);
-        // Truncate mid-record to simulate a torn final write.
-        let len = std::fs::metadata(&path).unwrap().len();
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
-        f.set_len(len - 3).unwrap();
-        drop(f);
-        let j = FileJournal::open(&path, true).unwrap();
-        let recs = j.replay().unwrap();
-        assert_eq!(
-            recs,
-            vec![JournalRecord::QueueCreated { queue: "A".into() }]
-        );
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn file_journal_detects_midfile_corruption() {
-        let path = temp_path("corrupt");
-        let j = FileJournal::open(&path, true).unwrap();
-        j.append(&JournalRecord::QueueCreated { queue: "A".into() })
-            .unwrap();
-        j.append(&JournalRecord::QueueCreated { queue: "B".into() })
-            .unwrap();
-        drop(j);
-        // Flip a byte inside the *first* record's body.
-        let mut raw = std::fs::read(&path).unwrap();
-        raw[10] ^= 0xFF;
-        std::fs::write(&path, &raw).unwrap();
-        let j = FileJournal::open(&path, true).unwrap();
-        match j.replay() {
-            Err(MqError::JournalCorrupt { offset: 0, .. }) => {}
-            other => panic!("expected corruption at offset 0, got {other:?}"),
+        assert_eq!(decode_frames(&raw).unwrap(), records);
+        // Any prefix cut decodes to a prefix of the records.
+        for cut in 0..raw.len() {
+            let decoded = decode_frames(&raw[..cut]).unwrap();
+            assert!(decoded.len() <= records.len());
+            assert_eq!(decoded[..], records[..decoded.len()]);
         }
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn file_journal_reset_truncates() {
-        let path = temp_path("reset");
-        let j = FileJournal::open(&path, false).unwrap();
-        j.append(&JournalRecord::QueueCreated { queue: "A".into() })
-            .unwrap();
-        assert!(j.len_bytes() > 0);
-        j.reset().unwrap();
-        assert_eq!(j.len_bytes(), 0);
-        assert!(j.replay().unwrap().is_empty());
-        j.append(&JournalRecord::QueueCreated { queue: "B".into() })
-            .unwrap();
-        assert_eq!(j.replay().unwrap().len(), 1);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -572,6 +452,7 @@ mod tests {
         fn assert_bounds<T: Send + Sync>() {}
         assert_bounds::<MemJournal>();
         assert_bounds::<FileJournal>();
+        assert_bounds::<GroupCommitJournal>();
         assert_bounds::<NullJournal>();
         let _boxed: Arc<dyn Journal> = MemJournal::new();
     }

@@ -48,6 +48,7 @@ mod qmgr;
 mod queue;
 pub mod selector;
 mod session;
+pub mod shard;
 pub mod stats;
 pub mod topic;
 pub mod trace;

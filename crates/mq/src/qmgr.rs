@@ -7,12 +7,10 @@
 //! it, restoring all persistent state — `crash()` followed by a rebuild is
 //! the crash-recovery test harness used throughout the repo.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use simtime::{SharedClock, SystemClock};
 
 use crate::error::{MqError, MqResult};
@@ -22,6 +20,7 @@ use crate::obs::Obs;
 use crate::queue::{Queue, QueueConfig, Wait};
 use crate::selector::Selector;
 use crate::session::Session;
+use crate::shard::StripedMap;
 use crate::stats::{ManagerStats, MetricsSnapshot, QueueStats};
 use crate::trace::TraceLog;
 
@@ -103,13 +102,16 @@ impl QueueManagerBuilder {
         let journal = self.journal.unwrap_or_else(|| MemJournal::new());
         let obs = self.obs.unwrap_or_default();
         let stats = ManagerStats::registered(obs.metrics());
+        // Journals that own metric cells (e.g. GroupCommitJournal's fsync
+        // and batch-size metrics) surface them through this manager's hub.
+        journal.register_metrics(obs.metrics());
         let manager = Arc::new(QueueManager {
             name: self.name,
             clock,
             journal,
             config: self.config,
-            queues: RwLock::new(HashMap::new()),
-            routes: RwLock::new(HashMap::new()),
+            queues: StripedMap::default(),
+            routes: StripedMap::default(),
             stats,
             obs,
             running: AtomicBool::new(true),
@@ -128,9 +130,11 @@ pub struct QueueManager {
     clock: SharedClock,
     journal: Arc<dyn Journal>,
     config: ManagerConfig,
-    queues: RwLock<HashMap<String, Arc<Queue>>>,
+    /// Queue table, lock-striped so traffic to distinct queues does not
+    /// contend on one global lock (see [`crate::shard`]).
+    queues: StripedMap<Arc<Queue>>,
     /// remote manager name → local transmission queue name
-    routes: RwLock<HashMap<String, String>>,
+    routes: StripedMap<String>,
     stats: ManagerStats,
     obs: Arc<Obs>,
     running: AtomicBool,
@@ -252,15 +256,18 @@ impl QueueManager {
     ) -> MqResult<Arc<Queue>> {
         self.check_running()?;
         let name = name.into();
-        let mut queues = self.queues.write();
-        if queues.contains_key(&name) {
+        // Check + journal + insert must be atomic per name; the stripe lock
+        // serializes exactly the names sharing this stripe, leaving traffic
+        // on other stripes untouched.
+        let mut stripe = self.queues.lock_key(&name);
+        if stripe.contains_key(&name) {
             return Err(MqError::QueueExists(name));
         }
         self.journal.append(&JournalRecord::QueueCreated {
             queue: name.clone(),
         })?;
         let queue = self.make_queue(name.clone(), config);
-        queues.insert(name, queue.clone());
+        stripe.insert(name, queue.clone());
         Ok(queue)
     }
 
@@ -288,13 +295,14 @@ impl QueueManager {
     /// [`MqError::QueueNotFound`]; journal failures.
     pub fn delete_queue(&self, name: &str) -> MqResult<()> {
         self.check_running()?;
-        let mut queues = self.queues.write();
-        let queue = queues
+        let mut stripe = self.queues.lock_key(name);
+        let queue = stripe
             .remove(name)
             .ok_or_else(|| MqError::QueueNotFound(name.to_owned()))?;
         self.journal.append(&JournalRecord::QueueDeleted {
             queue: name.to_owned(),
         })?;
+        drop(stripe);
         queue.close();
         Ok(())
     }
@@ -306,22 +314,18 @@ impl QueueManager {
     /// [`MqError::QueueNotFound`].
     pub fn queue(&self, name: &str) -> MqResult<Arc<Queue>> {
         self.queues
-            .read()
             .get(name)
-            .cloned()
             .ok_or_else(|| MqError::QueueNotFound(name.to_owned()))
     }
 
     /// Whether the named queue exists.
     pub fn queue_exists(&self, name: &str) -> bool {
-        self.queues.read().contains_key(name)
+        self.queues.contains_key(name)
     }
 
     /// All queue names, sorted.
     pub fn queue_names(&self) -> Vec<String> {
-        let mut names: Vec<_> = self.queues.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.queues.sorted_keys()
     }
 
     // ------------------------------------------------------- messaging --
@@ -433,7 +437,6 @@ impl QueueManager {
     pub fn define_route(&self, remote_manager: &str, xmit_queue: &str) -> MqResult<()> {
         self.ensure_queue(xmit_queue)?;
         self.routes
-            .write()
             .insert(remote_manager.to_owned(), xmit_queue.to_owned());
         Ok(())
     }
@@ -445,9 +448,7 @@ impl QueueManager {
     /// [`MqError::NoRoute`].
     pub fn route_for(&self, remote_manager: &str) -> MqResult<String> {
         self.routes
-            .read()
             .get(remote_manager)
-            .cloned()
             .ok_or_else(|| MqError::NoRoute(remote_manager.to_owned()))
     }
 
@@ -497,7 +498,7 @@ impl QueueManager {
     /// over the same journal to model restart-with-recovery.
     pub fn crash(&self) {
         self.running.store(false, Ordering::SeqCst);
-        let mut queues = self.queues.write();
+        let mut queues = self.queues.write_all();
         for queue in queues.values() {
             queue.close();
         }
@@ -509,13 +510,14 @@ impl QueueManager {
         if records.is_empty() {
             return Ok(());
         }
-        let mut queues = self.queues.write();
+        let mut queues = self.queues.write_all();
         for record in records {
             match record {
                 JournalRecord::QueueCreated { queue } => {
-                    queues
-                        .entry(queue.clone())
-                        .or_insert_with(|| self.make_queue(queue, QueueConfig::default()));
+                    if !queues.contains_key(&queue) {
+                        let q = self.make_queue(queue.clone(), QueueConfig::default());
+                        queues.insert(queue, q);
+                    }
                 }
                 JournalRecord::QueueDeleted { queue } => {
                     queues.remove(&queue);
@@ -561,20 +563,20 @@ impl QueueManager {
     /// Journal failures; on failure the journal may hold a partial snapshot
     /// and should be considered unusable.
     pub fn compact(&self) -> MqResult<()> {
-        let queues = self.queues.write();
+        let queues = self.queues.write_all();
         self.journal.reset()?;
-        let mut names: Vec<_> = queues.keys().cloned().collect();
-        names.sort();
-        for name in names {
+        for name in queues.sorted_keys() {
             self.journal.append(&JournalRecord::QueueCreated {
                 queue: name.clone(),
             })?;
-            let queue = &queues[&name];
+            let Some(queue) = queues.get(&name) else {
+                continue;
+            };
             for msg in queue.browse() {
                 if msg.is_persistent() {
                     self.journal.append(&JournalRecord::Put {
                         queue: name.clone(),
-                        message: msg,
+                        message: (*msg).clone(),
                     })?;
                 }
             }

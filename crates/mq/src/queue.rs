@@ -54,7 +54,10 @@ struct Inner {
     /// ids (messages already removed), skipped lazily.
     bands: [VecDeque<MessageId>; PRIORITY_BANDS],
     /// The actual messages, keyed by id. `store.len()` is the queue depth.
-    store: HashMap<MessageId, Message>,
+    /// `Arc`-wrapped so browse hands out shared handles instead of deep-
+    /// copying every payload; consumption unwraps (or clones only when a
+    /// browse snapshot still holds the message).
+    store: HashMap<MessageId, Arc<Message>>,
     /// Correlation id → enqueued message ids (FIFO; may contain stale ids).
     by_correlation: HashMap<String, VecDeque<MessageId>>,
     open: bool,
@@ -82,8 +85,14 @@ impl Inner {
                 }
             }
         }
-        Some(msg)
+        Some(unshare(msg))
     }
+}
+
+/// Takes the `Message` out of a store handle: free when no browse snapshot
+/// shares it, a deep clone only when one does.
+fn unshare(msg: Arc<Message>) -> Message {
+    Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Callback invoked (outside the queue lock) after a message becomes
@@ -228,14 +237,16 @@ impl Queue {
         &self.stats
     }
 
-    /// Copies all non-expired messages without consuming them, in delivery
-    /// order (priority, then FIFO).
-    pub fn browse(&self) -> Vec<Message> {
+    /// Snapshots all non-expired messages without consuming them, in
+    /// delivery order (priority, then FIFO). The returned handles share the
+    /// queue's storage — browsing never deep-copies payloads.
+    pub fn browse(&self) -> Vec<Arc<Message>> {
         self.browse_selected(None)
     }
 
-    /// Copies non-expired messages matching `selector` without consuming.
-    pub fn browse_selected(&self, selector: Option<&Selector>) -> Vec<Message> {
+    /// Snapshots non-expired messages matching `selector` without
+    /// consuming; cheap `Arc` handles, as with [`Queue::browse`].
+    pub fn browse_selected(&self, selector: Option<&Selector>) -> Vec<Arc<Message>> {
         let now = self.clock.now();
         let mut inner = self.inner.lock();
         self.stats.browses.incr();
@@ -253,7 +264,7 @@ impl Queue {
                     continue;
                 }
                 if selector.is_none_or(|s| s.matches(msg)) {
-                    out.push(msg.clone());
+                    out.push(Arc::clone(msg));
                 }
             }
             inner.bands[band_idx] = live;
@@ -355,7 +366,7 @@ impl Queue {
                 ids.push_back(id);
             }
         }
-        inner.store.insert(id, msg);
+        inner.store.insert(id, Arc::new(msg));
         self.stats.enqueued.incr();
         self.stats.depth.set(inner.store.len() as u64);
     }
@@ -409,7 +420,7 @@ impl Queue {
                 inner.by_correlation.remove(correlation);
                 return Ok(None);
             };
-            let Some(msg) = inner.store.remove(&id) else {
+            let Some(msg) = inner.store.remove(&id).map(unshare) else {
                 continue; // stale
             };
             if inner

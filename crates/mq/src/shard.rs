@@ -1,0 +1,294 @@
+//! Fixed-stripe concurrent maps for the queue manager's hot lookups.
+//!
+//! The manager's queue and route tables used to be one global
+//! `RwLock<HashMap>` each: every `open`/`put`/`get` on *any* queue took the
+//! same lock word, so unrelated queues contended on lookup and a
+//! `create_queue` on one name briefly stalled traffic to every other name.
+//! [`StripedMap`] splits the table into a fixed power-of-two number of
+//! stripes, each its own `RwLock<HashMap>`, selected by an FNV-1a hash of
+//! the key — operations on keys in different stripes never touch the same
+//! lock.
+//!
+//! Whole-map operations (recovery, crash, compaction) take every stripe in
+//! ascending index order via [`StripedMap::write_all`]; single-key
+//! operations hold exactly one stripe. Ascending acquisition keeps the
+//! vendored deadlock detector's order graph acyclic: the only stripe→stripe
+//! edges ever created run from lower to higher indices.
+
+use std::collections::HashMap;
+
+use parking_lot::{RwLock, RwLockWriteGuard};
+
+/// Default stripe count: plenty of spread for tens of queues while keeping
+/// whole-map locking (recovery, compaction) cheap.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// A string-keyed concurrent map split over fixed lock stripes.
+#[derive(Debug)]
+pub struct StripedMap<V> {
+    stripes: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V> Default for StripedMap<V> {
+    fn default() -> StripedMap<V> {
+        StripedMap::new(DEFAULT_STRIPES)
+    }
+}
+
+/// FNV-1a: cheap, deterministic (no per-process hasher seed), and good
+/// enough spread over short queue names.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl<V> StripedMap<V> {
+    /// Creates a map with `stripes` lock stripes (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(stripes: usize) -> StripedMap<V> {
+        let n = stripes.max(1).next_power_of_two();
+        StripedMap {
+            stripes: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe_of(&self, key: &str) -> usize {
+        (fnv1a(key) as usize) & (self.stripes.len() - 1)
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Looks up `key`, cloning the value out.
+    pub fn get(&self, key: &str) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.stripes[self.stripe_of(key)].read().get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.stripes[self.stripe_of(key)].read().contains_key(key)
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&self, key: String, value: V) -> Option<V> {
+        let stripe = self.stripe_of(&key);
+        self.stripes[stripe].write().insert(key, value)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &str) -> Option<V> {
+        self.stripes[self.stripe_of(key)].write().remove(key)
+    }
+
+    /// Total entries across all stripes (each stripe read-locked briefly in
+    /// turn; concurrent mutation may skew the sum, like any lock-free size).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.read().is_empty())
+    }
+
+    /// All keys, sorted (per-stripe read locks taken in turn).
+    pub fn sorted_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Write-locks the stripe owning `key` for a multi-step atomic
+    /// operation (check–journal–insert). Only keys hashing to the same
+    /// stripe are serialized; the other stripes stay free.
+    pub fn lock_key(&self, key: &str) -> StripeGuard<'_, V> {
+        StripeGuard {
+            guard: self.stripes[self.stripe_of(key)].write(),
+        }
+    }
+
+    /// Write-locks **every** stripe, in ascending index order, for
+    /// whole-map operations (recovery, crash teardown, compaction). All
+    /// concurrent single-key operations are excluded for the guard's
+    /// lifetime.
+    pub fn write_all(&self) -> AllGuard<'_, V> {
+        AllGuard {
+            guards: self.stripes.iter().map(|s| s.write()).collect(),
+            map: self,
+        }
+    }
+}
+
+/// Write guard over the single stripe owning one key; dereferences to that
+/// stripe's `HashMap`.
+pub struct StripeGuard<'a, V> {
+    guard: RwLockWriteGuard<'a, HashMap<String, V>>,
+}
+
+impl<V> std::ops::Deref for StripeGuard<'_, V> {
+    type Target = HashMap<String, V>;
+
+    fn deref(&self) -> &HashMap<String, V> {
+        &self.guard
+    }
+}
+
+impl<V> std::ops::DerefMut for StripeGuard<'_, V> {
+    fn deref_mut(&mut self) -> &mut HashMap<String, V> {
+        &mut self.guard
+    }
+}
+
+/// Write guard over **all** stripes, exposing whole-map views keyed by the
+/// same stripe routing as the parent map.
+pub struct AllGuard<'a, V> {
+    guards: Vec<RwLockWriteGuard<'a, HashMap<String, V>>>,
+    map: &'a StripedMap<V>,
+}
+
+impl<V> AllGuard<'_, V> {
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.guards[self.map.stripe_of(key)].get(key)
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: V) -> Option<V> {
+        let stripe = self.map.stripe_of(&key);
+        self.guards[stripe].insert(key, value)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        self.guards[self.map.stripe_of(key)].remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.guards[self.map.stripe_of(key)].contains_key(key)
+    }
+
+    /// Iterates over every value.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.guards.iter().flat_map(|g| g.values())
+    }
+
+    /// All keys, sorted.
+    pub fn sorted_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .guards
+            .iter()
+            .flat_map(|g| g.keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for g in &mut self.guards {
+            g.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_map_operations() {
+        let m: StripedMap<u32> = StripedMap::default();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a".into(), 1), None);
+        assert_eq!(m.insert("a".into(), 2), Some(1));
+        m.insert("b".into(), 3);
+        assert_eq!(m.get("a"), Some(2));
+        assert!(m.contains_key("b"));
+        assert!(!m.contains_key("c"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.sorted_keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.remove("a"), Some(2));
+        assert_eq!(m.get("a"), None);
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(StripedMap::<u8>::new(0).stripe_count(), 1);
+        assert_eq!(StripedMap::<u8>::new(5).stripe_count(), 8);
+        assert_eq!(StripedMap::<u8>::new(16).stripe_count(), 16);
+    }
+
+    #[test]
+    fn lock_key_serializes_one_stripe_only() {
+        let m: StripedMap<u32> = StripedMap::new(16);
+        let mut guard = m.lock_key("held");
+        guard.insert("held".into(), 1);
+        // A key on a *different* stripe is still freely accessible while
+        // "held"'s stripe is write-locked.
+        let other = (0..1000)
+            .map(|i| format!("k{i}"))
+            .find(|k| m.stripe_of(k) != m.stripe_of("held"))
+            .unwrap();
+        m.insert(other.clone(), 7);
+        assert_eq!(m.get(&other), Some(7));
+        drop(guard);
+        assert_eq!(m.get("held"), Some(1));
+    }
+
+    #[test]
+    fn write_all_sees_and_mutates_everything() {
+        let m: StripedMap<u32> = StripedMap::default();
+        for i in 0..50 {
+            m.insert(format!("k{i}"), i);
+        }
+        let mut all = m.write_all();
+        assert_eq!(all.sorted_keys().len(), 50);
+        assert_eq!(all.values().count(), 50);
+        assert_eq!(all.get("k7"), Some(&7));
+        all.remove("k7");
+        all.insert("extra".into(), 99);
+        assert!(all.contains_key("extra"));
+        all.clear();
+        drop(all);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_do_not_lose_updates() {
+        let m: Arc<StripedMap<u64>> = Arc::new(StripedMap::default());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        m.insert(format!("t{t}-k{i}"), t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 1600);
+        for t in 0..8u64 {
+            for i in 0..200u64 {
+                assert_eq!(m.get(&format!("t{t}-k{i}")), Some(t * 1000 + i));
+            }
+        }
+    }
+}

@@ -380,6 +380,36 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Registers an externally-owned counter cell under `name` so it shows
+    /// up in [`MetricsRegistry::snapshot`]. If the name is already taken
+    /// the existing cell wins (first registration sticks) — components that
+    /// own their cells (e.g. a journal created before the registry) call
+    /// this once when attached to a manager.
+    pub fn register_counter(&self, name: &str, cell: &Arc<Counter>) {
+        self.counters
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| cell.clone());
+    }
+
+    /// Registers an externally-owned gauge cell under `name`; first
+    /// registration sticks (see [`MetricsRegistry::register_counter`]).
+    pub fn register_gauge(&self, name: &str, cell: &Arc<Gauge>) {
+        self.gauges
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| cell.clone());
+    }
+
+    /// Registers an externally-owned histogram cell under `name`; first
+    /// registration sticks (see [`MetricsRegistry::register_counter`]).
+    pub fn register_histogram(&self, name: &str, cell: &Arc<Histogram>) {
+        self.histograms
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| cell.clone());
+    }
+
     /// Takes a point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self

@@ -227,3 +227,63 @@ fn pump_and_daemon_do_not_double_decide() {
         assert!(second.is_none(), "no duplicate notification");
     }
 }
+
+#[test]
+fn concurrent_persistent_puts_share_group_commit_fsyncs() {
+    // 8 producer threads push persistent messages through a manager whose
+    // journal is a file-backed GroupCommitJournal. Every put that returned
+    // must survive a crash (the durability contract), and concurrent
+    // appenders must have shared fsyncs rather than paying one each.
+    use mq::journal::{GroupCommitConfig, GroupCommitJournal};
+    use mq::Message;
+
+    const THREADS: u64 = 8;
+    const PUTS: u64 = 100;
+    let path = std::env::temp_dir().join(format!(
+        "condmsg-gc-concurrency-{}-{}.log",
+        std::process::id(),
+        rand::random::<u64>()
+    ));
+    let journal = GroupCommitJournal::open_file(&path, GroupCommitConfig::default()).unwrap();
+    let qmgr = QueueManager::builder("QM1")
+        .journal(journal.clone())
+        .build()
+        .unwrap();
+    qmgr.create_queue("Q.LOAD").unwrap();
+
+    let producers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let qmgr = qmgr.clone();
+            std::thread::spawn(move || {
+                for i in 0..PUTS {
+                    qmgr.put(
+                        "Q.LOAD",
+                        Message::text(format!("p{t}-{i}")).persistent(true).build(),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+
+    let appends = journal.metrics().appends.get();
+    let fsyncs = journal.metrics().fsyncs.get();
+    assert!(appends >= THREADS * PUTS);
+    assert!(
+        fsyncs < appends,
+        "concurrent appenders should share fsyncs: {fsyncs} fsyncs for {appends} appends"
+    );
+    // The manager's metrics hub sees the same cells.
+    assert_eq!(qmgr.metrics_snapshot().counter("mq.journal.fsyncs"), fsyncs);
+
+    // Crash and rebuild over the same file: all acked puts are there.
+    qmgr.crash();
+    drop(journal);
+    let journal2 = GroupCommitJournal::open_file(&path, GroupCommitConfig::default()).unwrap();
+    let qmgr2 = QueueManager::builder("QM1").journal(journal2).build().unwrap();
+    assert_eq!(qmgr2.queue("Q.LOAD").unwrap().depth(), (THREADS * PUTS) as usize);
+    std::fs::remove_file(&path).ok();
+}
