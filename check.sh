@@ -16,3 +16,6 @@ cargo run --release -p cond-bench --bin exp_fig6_overhead -- --quick
 # Journal throughput regression gate: group commit must beat fsync-per-append
 # by >= 5x at 8 writers (asserted inside the binary).
 cargo run --release -p cond-bench --bin exp_journal -- --quick
+# Transport smoke: in-proc link vs loopback TCP, asserts batches moved and
+# writes BENCH_tcp.json.
+cargo run --release -p cond-bench --bin exp_tcp -- --quick

@@ -1,0 +1,229 @@
+//! ET — transport comparison: in-process `Link` vs. loopback TCP.
+//!
+//! For each transport mode and channel-pair count (1 and 8), the
+//! experiment stands up `pairs` independent sender→receiver manager
+//! pairs, connects each with a one-way channel over the mode's transport,
+//! floods N messages per pair from concurrent producer threads, and waits
+//! for every message to land on the remote queue. Reported: end-to-end
+//! msgs/sec (wall clock from first put to last delivery) and the p50/p95
+//! of the transport's own per-batch send→ack latency histogram
+//! (`mq.transport.batch_micros`, shared per mode run via one observability
+//! hub).
+//!
+//! The point of the experiment is to price the real wire: loopback TCP
+//! pays framing, CRC, kernel round trips and an ack per batch, where the
+//! in-process link is a function call. Batching (up to
+//! `mq::channel::MAX_BATCH` envelopes per frame) is what keeps the socket
+//! path within an order of magnitude of in-proc throughput.
+//!
+//! Writes `BENCH_tcp.json`; `--quick` shrinks the message count for the
+//! `check.sh` smoke run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cond_bench::{emit_metrics, header, row};
+use mq::channel::Channel;
+use mq::net::Link;
+use mq::transport::tcp::{TcpAcceptor, TcpConfig};
+use mq::{Message, Obs, QueueAddress, QueueManager, SystemClock};
+
+const PAIR_COUNTS: [usize; 2] = [1, 8];
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Link,
+    Tcp,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Link => "in-proc-link",
+            Mode::Tcp => "loopback-tcp",
+        }
+    }
+}
+
+struct RunStats {
+    msgs_per_sec: f64,
+    batch_p50_us: u64,
+    batch_p95_us: u64,
+    batches: u64,
+    reconnects: u64,
+}
+
+/// One sender→receiver pair and the channel between them. Acceptors and
+/// channels register with their managers, so shutdown is one call per
+/// manager.
+struct Pair {
+    sender: Arc<QueueManager>,
+    receiver: Arc<QueueManager>,
+    _channel: Channel,
+    _acceptor: Option<Arc<TcpAcceptor>>,
+}
+
+fn build_pair(mode: Mode, idx: usize, obs: &Arc<Obs>) -> Pair {
+    let clock = SystemClock::new();
+    let sender = QueueManager::builder(format!("QM.S{idx}"))
+        .clock(clock.clone())
+        .obs(obs.clone())
+        .build()
+        .unwrap();
+    let receiver = QueueManager::builder(format!("QM.R{idx}"))
+        .clock(clock)
+        .obs(obs.clone())
+        .build()
+        .unwrap();
+    receiver.create_queue("Q.IN").unwrap();
+    let (channel, acceptor) = match mode {
+        Mode::Link => (
+            Channel::connect(&sender, &receiver, Link::ideal()).unwrap(),
+            None,
+        ),
+        Mode::Tcp => {
+            let acceptor = TcpAcceptor::bind(&receiver, "127.0.0.1:0").unwrap();
+            let channel = Channel::connect_tcp(
+                &sender,
+                receiver.name(),
+                acceptor.local_addr(),
+                TcpConfig::default(),
+            )
+            .unwrap();
+            (channel, Some(acceptor))
+        }
+    };
+    Pair {
+        sender,
+        receiver,
+        _channel: channel,
+        _acceptor: acceptor,
+    }
+}
+
+fn run(mode: Mode, pairs: usize, msgs_per_pair: usize) -> RunStats {
+    // One hub per run: every pair's transport accumulates into the same
+    // mq.transport.* cells, so the histogram covers the whole fleet.
+    let obs = Obs::new();
+    let fleet: Vec<Pair> = (0..pairs).map(|i| build_pair(mode, i, &obs)).collect();
+    // Give TCP supervisors time to finish their handshakes so the clock
+    // measures steady-state moving, not connection establishment.
+    for pair in &fleet {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pair.sender.metrics_snapshot().counter("mq.transport.connects") == 0
+            && matches!(mode, Mode::Tcp)
+        {
+            assert!(Instant::now() < deadline, "transport failed to connect");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let start = Instant::now();
+    let producers: Vec<_> = fleet
+        .iter()
+        .map(|pair| {
+            let sender = pair.sender.clone();
+            let dest = QueueAddress::new(pair.receiver.name(), "Q.IN");
+            std::thread::spawn(move || {
+                for i in 0..msgs_per_pair {
+                    sender
+                        .put_to(&dest, Message::text(format!("m{i}")).build())
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for pair in &fleet {
+        let q = pair.receiver.queue("Q.IN").unwrap();
+        while q.depth() < msgs_per_pair {
+            assert!(
+                Instant::now() < deadline,
+                "{}: delivery stalled at {}/{msgs_per_pair}",
+                mode.name(),
+                q.depth()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let hist = obs.metrics().histogram("mq.transport.batch_micros");
+    let snap = obs.metrics().snapshot();
+    let stats = RunStats {
+        msgs_per_sec: (pairs * msgs_per_pair) as f64 / wall,
+        batch_p50_us: hist.quantile(0.50),
+        batch_p95_us: hist.quantile(0.95),
+        batches: snap.counter("mq.transport.batches_sent"),
+        reconnects: snap.counter("mq.transport.reconnects"),
+    };
+    assert!(stats.batches > 0, "transport must have moved batches");
+    for pair in fleet {
+        pair.sender.shutdown();
+        pair.receiver.shutdown();
+    }
+    stats
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let msgs_per_pair = if quick { 500 } else { 5_000 };
+
+    println!(
+        "# ET — transport: in-proc link vs loopback TCP ({msgs_per_pair} msgs/pair{})\n",
+        if quick { ", --quick" } else { "" }
+    );
+    header(&[
+        "mode", "pairs", "msgs/s", "batch p50 us", "batch p95 us", "batches", "reconnects",
+    ]);
+
+    let mut results: Vec<(Mode, usize, RunStats)> = Vec::new();
+    for &mode in &[Mode::Link, Mode::Tcp] {
+        for &pairs in &PAIR_COUNTS {
+            let stats = run(mode, pairs, msgs_per_pair);
+            row(&[
+                mode.name().to_owned(),
+                pairs.to_string(),
+                format!("{:.0}", stats.msgs_per_sec),
+                stats.batch_p50_us.to_string(),
+                stats.batch_p95_us.to_string(),
+                stats.batches.to_string(),
+                stats.reconnects.to_string(),
+            ]);
+            results.push((mode, pairs, stats));
+        }
+    }
+
+    let runs_json: Vec<String> = results
+        .iter()
+        .map(|(mode, pairs, s)| {
+            format!(
+                concat!(
+                    "    {{\"mode\": \"{}\", \"pairs\": {}, \"msgs_per_sec\": {:.1}, ",
+                    "\"batch_p50_us\": {}, \"batch_p95_us\": {}, \"batches\": {}, ",
+                    "\"reconnects\": {}}}"
+                ),
+                mode.name(),
+                pairs,
+                s.msgs_per_sec,
+                s.batch_p50_us,
+                s.batch_p95_us,
+                s.batches,
+                s.reconnects,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"ET transport link vs tcp\",\n  \"quick\": {},\n  \"msgs_per_pair\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        quick,
+        msgs_per_pair,
+        runs_json.join(",\n"),
+    );
+    std::fs::write("BENCH_tcp.json", json).unwrap();
+    println!("\nwrote BENCH_tcp.json");
+
+    emit_metrics();
+}

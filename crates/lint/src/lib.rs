@@ -616,6 +616,31 @@ mod tests {
     }
 
     #[test]
+    fn transport_module_is_fully_linted() {
+        // The TCP supervisor/acceptor must park on condvars and socket
+        // read-timeouts, never thread::sleep, and stay panic-free: every
+        // library rule has to cover the transport module's files, while
+        // its bench stays App. (The accepted wall-clock exception — the
+        // per-batch latency histogram — is documented in lint.allow.)
+        for p in [
+            "crates/mq/src/transport/mod.rs",
+            "crates/mq/src/transport/frame.rs",
+            "crates/mq/src/transport/tcp.rs",
+        ] {
+            assert_eq!(classify(p), FileClass::Library, "{p}");
+            for rule in [
+                LintRule::Sleep,
+                LintRule::StdSync,
+                LintRule::WallClock,
+                LintRule::Unwrap,
+            ] {
+                assert!(rule_applies(rule, classify(p), p), "{rule:?} must cover {p}");
+            }
+        }
+        assert_eq!(classify("crates/bench/src/bin/exp_tcp.rs"), FileClass::App);
+    }
+
+    #[test]
     fn simtime_exempt_from_time_rules_only() {
         let p = "crates/simtime/src/lib.rs";
         assert!(!rule_applies(LintRule::Sleep, classify(p), p));

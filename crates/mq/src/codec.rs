@@ -679,6 +679,58 @@ mod tests {
                 // Must return an error or a value, never panic.
                 let _ = Message::from_bytes(Bytes::from(bytes));
             }
+
+            // The safety argument for feeding *socket* bytes into the
+            // decoder (transport acceptor): any strict prefix of a valid
+            // Message encoding must error. This is provable because
+            // decoding is a deterministic left-to-right read whose final
+            // field is fixed-width, and from_bytes demands exhaustion —
+            // so a truncation either starves a read (UnexpectedEof) or
+            // leaves the final fixed-width field short.
+            #[test]
+            fn truncated_message_encoding_always_errors(
+                payload in proptest::collection::vec(any::<u8>(), 0..64),
+                keys in proptest::collection::btree_set("[a-z]{1,8}", 0..4),
+                cut_seed in any::<u64>(),
+            ) {
+                let mut builder = Message::builder(Bytes::from(payload));
+                for (i, k) in keys.into_iter().enumerate() {
+                    builder = builder.property(k, i as i64);
+                }
+                let full = builder.build().to_bytes();
+                // Never empty: the message id alone is 16 bytes.
+                let cut = (cut_seed % full.len() as u64) as usize;
+                let truncated = full.slice(0..cut);
+                prop_assert!(
+                    Message::from_bytes(truncated).is_err(),
+                    "prefix of length {} of a {}-byte encoding decoded",
+                    cut,
+                    full.len()
+                );
+            }
+
+            // A single flipped byte anywhere in the encoding must never
+            // panic or over-read; it may legitimately decode (e.g. a flip
+            // inside the payload body), but the decoder has to stay
+            // total. (On the wire the frame CRC rejects such flips before
+            // this decoder ever runs; this is defense in depth.)
+            #[test]
+            fn corrupted_message_encoding_never_panics(
+                payload in proptest::collection::vec(any::<u8>(), 0..64),
+                keys in proptest::collection::btree_set("[a-z]{1,8}", 0..4),
+                pos_seed in any::<u64>(),
+                flip in 1u8..=255,
+            ) {
+                let mut builder = Message::builder(Bytes::from(payload));
+                for (i, k) in keys.into_iter().enumerate() {
+                    builder = builder.property(k, i as i64);
+                }
+                let full = builder.build().to_bytes().to_vec();
+                let pos = (pos_seed % full.len() as u64) as usize;
+                let mut corrupt = full;
+                corrupt[pos] ^= flip;
+                let _ = Message::from_bytes(Bytes::from(corrupt));
+            }
         }
     }
 }

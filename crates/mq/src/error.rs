@@ -33,6 +33,13 @@ pub enum MqError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A channel transport failed (socket setup, handshake, or framing).
+    Transport {
+        /// The peer's name or socket address.
+        peer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The message exceeds the queue manager's maximum message length.
     MessageTooLarge {
         /// Size of the offending message payload in bytes.
@@ -57,6 +64,9 @@ impl fmt::Display for MqError {
             MqError::Io(e) => write!(f, "journal i/o error: {e}"),
             MqError::JournalCorrupt { offset, reason } => {
                 write!(f, "journal corrupt at offset {offset}: {reason}")
+            }
+            MqError::Transport { peer, reason } => {
+                write!(f, "transport error ({peer}): {reason}")
             }
             MqError::MessageTooLarge { size, max } => {
                 write!(f, "message of {size} bytes exceeds maximum {max}")
@@ -119,6 +129,13 @@ mod tests {
             (
                 MqError::MessageTooLarge { size: 10, max: 5 },
                 "message of 10 bytes exceeds maximum 5",
+            ),
+            (
+                MqError::Transport {
+                    peer: "QM.B".into(),
+                    reason: "handshake refused".into(),
+                },
+                "transport error (QM.B): handshake refused",
             ),
         ];
         for (err, expected) in cases {

@@ -14,9 +14,11 @@
 //!   gets, rollback-redelivery with backout counting and a dead-letter
 //!   queue — the semantics behind the paper's "acknowledgment of a
 //!   successful transactional read".
-//! * **Store-and-forward [channel]s** moving messages between managers over
-//!   a simulated [network link](net) with latency, jitter, loss and
-//!   partitions.
+//! * **Store-and-forward [channel]s** moving messages between managers
+//!   through a pluggable [transport]: either a simulated
+//!   [network link](net) with latency, jitter, loss and partitions, or
+//!   real TCP sockets ([`transport::tcp`]) with CRC-framed batches,
+//!   heartbeats, reconnect and receiver-side dedup.
 //! * A pluggable [clock](simtime) so every timeout is deterministic under
 //!   test.
 //!
@@ -52,13 +54,14 @@ pub mod shard;
 pub mod stats;
 pub mod topic;
 pub mod trace;
+pub mod transport;
 
 pub use error::{MqError, MqResult};
 pub use obs::Obs;
 pub use message::{Message, MessageBuilder, MessageId, Priority, PropertyValue, QueueAddress};
 pub use qmgr::{
-    ManagerConfig, QueueManager, QueueManagerBuilder, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY,
-    XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY,
+    ManagedTask, ManagerConfig, QueueManager, QueueManagerBuilder, DEAD_LETTER_QUEUE,
+    DLQ_REASON_PROPERTY, XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY,
 };
 pub use queue::{PutWatcher, Queue, QueueConfig, Wait};
 pub use session::Session;
@@ -66,6 +69,7 @@ pub use stats::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use trace::{TraceEvent, TraceLog, TraceStage};
+pub use transport::{BatchOutcome, LinkTransport, Transport, TransportMetrics};
 
 // Re-export the clock abstraction so downstream crates need only `mq`.
 pub use simtime::{

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simtime::Millis;
 
-use crate::stats::Counter;
+use crate::stats::{Counter, MetricsRegistry};
 
 /// Link parameters.
 #[derive(Debug, Clone)]
@@ -54,16 +54,19 @@ pub enum Transfer {
 }
 
 /// Per-link statistics.
+///
+/// The cells are `Arc`s so they can double as registry-visible metrics:
+/// [`Link::register_metrics`] exposes them as `mq.net.*`.
 #[derive(Debug, Default)]
 pub struct LinkStats {
     /// Transfer attempts made.
-    pub attempts: Counter,
+    pub attempts: Arc<Counter>,
     /// Attempts that were delivered.
-    pub delivered: Counter,
+    pub delivered: Arc<Counter>,
     /// Attempts dropped by the loss model.
-    pub dropped: Counter,
+    pub dropped: Arc<Counter>,
     /// Attempts refused because the link was down.
-    pub refused: Counter,
+    pub refused: Arc<Counter>,
 }
 
 /// A simulated unidirectional network link.
@@ -140,6 +143,18 @@ impl Link {
     /// Link statistics.
     pub fn stats(&self) -> &LinkStats {
         &self.stats
+    }
+
+    /// Exposes this link's counters in `registry` under `mq.net.*`
+    /// (attempts / delivered / dropped / refused). Registration follows the
+    /// registry's first-registration-sticks rule, so on an observability hub
+    /// shared by several links the first registered link's cells stay
+    /// visible; per-link numbers remain available via [`Link::stats`].
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter("mq.net.attempts", &self.stats.attempts);
+        registry.register_counter("mq.net.delivered", &self.stats.delivered);
+        registry.register_counter("mq.net.dropped", &self.stats.dropped);
+        registry.register_counter("mq.net.refused", &self.stats.refused);
     }
 
     /// Samples the fate of one transfer attempt.
@@ -265,6 +280,21 @@ mod tests {
         // Redundant set_up (already up) is not a transition.
         link.set_up(true);
         assert!(!link.wait_state_change(std::time::Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn stats_register_as_mq_net_metrics() {
+        let registry = MetricsRegistry::new();
+        let link = Link::ideal();
+        link.register_metrics(&registry);
+        link.transfer();
+        link.set_up(false);
+        link.transfer();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mq.net.attempts"), 2);
+        assert_eq!(snap.counter("mq.net.delivered"), 1);
+        assert_eq!(snap.counter("mq.net.refused"), 1);
+        assert_eq!(snap.counter("mq.net.dropped"), 0);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!
 //! * `mq` registers queue and transaction counters, queue-depth gauges and
 //!   journal-append latency at construction time;
+//! * the [`crate::transport`] layer reports wire traffic as
+//!   `mq.transport.*` (bytes, batches, reconnects, heartbeat misses,
+//!   handshake failures, dedup drops, per-batch latency) and the simulated
+//!   link's transfer fates as `mq.net.*`;
 //! * `condmsg` adds send/fan-out/ack/verdict/compensation metrics and
 //!   records the per-message lifecycle trace;
 //! * `dsphere` adds sphere outcome metrics and sphere demarcation events.

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use simtime::{SharedClock, SystemClock};
 
 use crate::error::{MqError, MqResult};
@@ -35,6 +36,18 @@ pub const XMIT_DEST_QUEUE_PROPERTY: &str = "sys.xmit.dest.queue";
 
 /// Property carrying the destination manager on transmission-queue envelopes.
 pub const XMIT_DEST_MANAGER_PROPERTY: &str = "sys.xmit.dest.qmgr";
+
+/// A background task attached to a queue manager — channels and TCP
+/// acceptors register themselves so [`QueueManager::shutdown`] can stop
+/// them and join their threads in one call.
+///
+/// Implementations must make `shutdown` idempotent: the manager calls it
+/// at most once per attachment, but owners (tests, `Drop` impls) may also
+/// call it directly.
+pub trait ManagedTask: Send + Sync {
+    /// Stops the task's background threads and joins them.
+    fn shutdown(&self);
+}
 
 /// Manager-wide configuration.
 #[derive(Debug, Clone)]
@@ -115,6 +128,7 @@ impl QueueManagerBuilder {
             stats,
             obs,
             running: AtomicBool::new(true),
+            tasks: Mutex::new(Vec::new()),
         });
         manager.recover()?;
         if !manager.queue_exists(DEAD_LETTER_QUEUE) {
@@ -138,6 +152,9 @@ pub struct QueueManager {
     stats: ManagerStats,
     obs: Arc<Obs>,
     running: AtomicBool,
+    /// Background machinery serving this manager (channel movers, TCP
+    /// acceptors); drained and stopped by [`QueueManager::shutdown`].
+    tasks: Mutex<Vec<Arc<dyn ManagedTask>>>,
 }
 
 impl fmt::Debug for QueueManager {
@@ -489,6 +506,28 @@ impl QueueManager {
             q.stats().dead_lettered.incr();
         }
         dlq.put_committed(msg)
+    }
+
+    // ---------------------------------------------- lifecycle & tasks --
+
+    /// Registers background machinery (a channel mover, a TCP acceptor)
+    /// serving this manager, so [`QueueManager::shutdown`] can stop it.
+    pub fn attach_task(&self, task: Arc<dyn ManagedTask>) {
+        self.tasks.lock().push(task);
+    }
+
+    /// Stops every attached background task (channel movers, TCP
+    /// acceptors) and joins their threads. Idempotent: the task list is
+    /// drained before stopping, so a second call — or a concurrent one —
+    /// finds nothing left to do. The manager itself stays running; use
+    /// [`QueueManager::crash`] to also drop volatile state.
+    pub fn shutdown(&self) {
+        // Take the list first and join outside the lock, so tasks whose
+        // shutdown re-enters the manager cannot deadlock against it.
+        let tasks = std::mem::take(&mut *self.tasks.lock());
+        for task in tasks {
+            task.shutdown();
+        }
     }
 
     // ------------------------------------------------ crash & recovery --

@@ -1,0 +1,259 @@
+//! Channel transports: how a batch of envelopes reaches the peer manager.
+//!
+//! The paper's reliable-messaging substrate (Fig. 4/5) assumes queue
+//! managers on different machines; this module abstracts the wire between
+//! them. A [`Transport`] pushes a *batch* of transmission-queue envelopes
+//! to the remote manager's receiving side and reports one of three fates
+//! ([`BatchOutcome`]): delivered-and-acked, dropped (retry now), or
+//! unavailable (back off until [`Transport::wait_ready`] fires).
+//!
+//! Two implementations exist:
+//!
+//! * [`LinkTransport`] — the original in-process path over the simulated
+//!   [`Link`], kept for deterministic tests and fault-model experiments.
+//! * [`tcp::TcpTransport`] / [`tcp::TcpAcceptor`] — real sockets with
+//!   CRC-framed batches, heartbeats, reconnect, and receiver-side dedup.
+//!
+//! Both paths converge on [`QueueManager::deliver_from_channel`], so a
+//! message that crossed a real socket is journaled, traced, and counted
+//! exactly like one that crossed the simulated link.
+//!
+//! The channel mover ([`crate::channel`]) is transport-agnostic: it drains
+//! the transmission queue in batches under one session transaction, calls
+//! [`Transport::send_batch`], and commits only on
+//! [`BatchOutcome::Delivered`] — the at-least-once half of the delivery
+//! guarantee. The TCP receiver's message-id dedup supplies the
+//! at-most-once half across connection failures.
+
+pub mod frame;
+pub mod tcp;
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use simtime::{Millis, SharedClock};
+
+use crate::message::Message;
+use crate::net::{Link, Transfer};
+use crate::qmgr::{QueueManager, XMIT_DEST_QUEUE_PROPERTY};
+use crate::stats::{Counter, Histogram, MetricsRegistry};
+use crate::{MqError, MqResult};
+
+/// Outcome of pushing one batch to the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The peer accepted (and acknowledged) the whole batch; the sender
+    /// may commit the destructive gets from its transmission queue.
+    Delivered,
+    /// The batch was lost in transit (loss model, torn connection before
+    /// the ack); the sender should roll back and retry promptly.
+    Dropped,
+    /// The transport has no usable connection; the sender should roll
+    /// back and park in [`Transport::wait_ready`].
+    Unavailable,
+}
+
+/// A one-way conduit from a local channel to a remote queue manager.
+///
+/// Implementations must be safe to share across threads; the channel mover
+/// calls [`Transport::send_batch`] from its own thread while supervisors or
+/// tests may concurrently tear connections down.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// Human-readable peer identity (manager name or socket address),
+    /// used in logs and errors.
+    fn peer(&self) -> String;
+
+    /// Attempts to push `batch` to the peer and waits for the ack.
+    fn send_batch(&self, batch: &[Message]) -> BatchOutcome;
+
+    /// Parks the caller until the transport believes it can deliver again
+    /// or `timeout` elapses; returns whether it is ready. Used by the
+    /// mover to back off from partitions without sleep-polling.
+    fn wait_ready(&self, timeout: Duration) -> bool;
+
+    /// Stops any background machinery (supervisor threads, sockets) and
+    /// joins it. Must be idempotent; the default is a no-op for
+    /// transports without background state.
+    fn shutdown(&self) {}
+}
+
+/// Metric cells for one transport endpoint, registered as `mq.transport.*`.
+///
+/// Built with [`TransportMetrics::registered`], which follows the
+/// registry's get-or-create semantics: every transport sharing one
+/// observability hub accumulates into the same cells.
+#[derive(Debug, Clone)]
+pub struct TransportMetrics {
+    /// Payload bytes written to the wire (frame bodies, sender side).
+    pub bytes_sent: Arc<Counter>,
+    /// Payload bytes accepted off the wire (receiver side).
+    pub bytes_received: Arc<Counter>,
+    /// Batches pushed and acknowledged.
+    pub batches_sent: Arc<Counter>,
+    /// Batches accepted by the receiving side.
+    pub batches_received: Arc<Counter>,
+    /// Messages pushed inside acknowledged batches.
+    pub messages_sent: Arc<Counter>,
+    /// Messages enqueued by the receiving side (dedup survivors).
+    pub messages_received: Arc<Counter>,
+    /// Successful connection establishments (first and subsequent).
+    pub connects: Arc<Counter>,
+    /// Re-establishments after a previously healthy connection died.
+    pub reconnects: Arc<Counter>,
+    /// Handshakes that failed (bad magic/version/peer or early close).
+    pub handshake_failures: Arc<Counter>,
+    /// Heartbeat round-trips completed.
+    pub heartbeats: Arc<Counter>,
+    /// Heartbeats that got no pong; each one tears the connection down.
+    pub heartbeat_misses: Arc<Counter>,
+    /// Messages discarded by receiver-side dedup (resends of already
+    /// delivered ids after a mid-batch connection loss).
+    pub dedup_dropped: Arc<Counter>,
+    /// Per-batch send→ack latency in microseconds.
+    pub batch_micros: Arc<Histogram>,
+}
+
+impl TransportMetrics {
+    /// Gets-or-creates the `mq.transport.*` cells in `registry`.
+    pub fn registered(registry: &MetricsRegistry) -> TransportMetrics {
+        TransportMetrics {
+            bytes_sent: registry.counter("mq.transport.bytes_sent"),
+            bytes_received: registry.counter("mq.transport.bytes_received"),
+            batches_sent: registry.counter("mq.transport.batches_sent"),
+            batches_received: registry.counter("mq.transport.batches_received"),
+            messages_sent: registry.counter("mq.transport.messages_sent"),
+            messages_received: registry.counter("mq.transport.messages_received"),
+            connects: registry.counter("mq.transport.connects"),
+            reconnects: registry.counter("mq.transport.reconnects"),
+            handshake_failures: registry.counter("mq.transport.handshake_failures"),
+            heartbeats: registry.counter("mq.transport.heartbeats"),
+            heartbeat_misses: registry.counter("mq.transport.heartbeat_misses"),
+            dedup_dropped: registry.counter("mq.transport.dedup_dropped"),
+            batch_micros: registry.histogram("mq.transport.batch_micros"),
+        }
+    }
+}
+
+/// Hands one arriving envelope to the receiving manager through the
+/// normal channel-delivery path: strips the transmission-header
+/// properties, then [`QueueManager::deliver_from_channel`] (which
+/// journals, counts, and dead-letters unknown queues).
+///
+/// # Errors
+///
+/// Local put failures from the receiving manager.
+pub(crate) fn deliver_envelope(to: &QueueManager, mut msg: Message) -> MqResult<()> {
+    let dest = msg
+        .remove_property(XMIT_DEST_QUEUE_PROPERTY)
+        .and_then(|v| v.as_str().map(str::to_owned));
+    msg.remove_property(crate::qmgr::XMIT_DEST_MANAGER_PROPERTY);
+    match dest {
+        Some(queue) => to.deliver_from_channel(&queue, msg),
+        // An envelope without a destination header cannot be routed;
+        // deliver_from_channel's unknown-queue path dead-letters it.
+        None => to.deliver_from_channel("", msg),
+    }
+}
+
+/// The in-process transport: crosses a simulated [`Link`] and delivers
+/// straight into the remote manager, exactly as channels always have.
+///
+/// One [`Link::transfer`] fate is sampled per *batch*, so the loss model's
+/// drop rate applies to batches rather than individual messages; since a
+/// dropped batch is retried in full, the end-to-end guarantee (and every
+/// existing link-fault test) is unchanged.
+pub struct LinkTransport {
+    link: Arc<Link>,
+    to: Arc<QueueManager>,
+    clock: SharedClock,
+    metrics: TransportMetrics,
+}
+
+impl fmt::Debug for LinkTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkTransport")
+            .field("to", &self.to.name())
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+impl LinkTransport {
+    /// Builds the in-process transport from `from`'s side of `link`
+    /// toward the manager `to`. Registers the link's counters as
+    /// `mq.net.*` and the transport cells as `mq.transport.*` on `from`'s
+    /// observability hub.
+    pub fn new(
+        from: &Arc<QueueManager>,
+        to: Arc<QueueManager>,
+        link: Arc<Link>,
+    ) -> Arc<LinkTransport> {
+        let registry = from.obs().metrics();
+        link.register_metrics(registry);
+        Arc::new(LinkTransport {
+            link,
+            clock: from.clock().clone(),
+            metrics: TransportMetrics::registered(registry),
+            to,
+        })
+    }
+
+    /// The underlying simulated link.
+    pub fn link(&self) -> &Arc<Link> {
+        &self.link
+    }
+}
+
+impl Transport for LinkTransport {
+    fn peer(&self) -> String {
+        self.to.name().to_owned()
+    }
+
+    fn send_batch(&self, batch: &[Message]) -> BatchOutcome {
+        let started = std::time::Instant::now();
+        match self.link.transfer() {
+            Transfer::Deliver(latency) => {
+                if latency > Millis::ZERO {
+                    self.clock.sleep(latency);
+                }
+                let mut bytes = 0u64;
+                for msg in batch {
+                    bytes += msg.payload().len() as u64;
+                    if deliver_envelope(&self.to, msg.clone()).is_err() {
+                        // The remote manager refused (stopped/crashed):
+                        // treat like a partition so the sender backs off
+                        // and the batch is retried after recovery.
+                        return BatchOutcome::Unavailable;
+                    }
+                }
+                self.metrics.batches_sent.incr();
+                self.metrics.batches_received.incr();
+                self.metrics.messages_sent.add(batch.len() as u64);
+                self.metrics.messages_received.add(batch.len() as u64);
+                self.metrics.bytes_sent.add(bytes);
+                self.metrics.bytes_received.add(bytes);
+                self.metrics.batch_micros.record_duration(started.elapsed());
+                BatchOutcome::Delivered
+            }
+            Transfer::Dropped => BatchOutcome::Dropped,
+            Transfer::Down => BatchOutcome::Unavailable,
+        }
+    }
+
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        if self.link.is_up() {
+            return true;
+        }
+        self.link.wait_state_change(timeout);
+        self.link.is_up()
+    }
+}
+
+/// Convenience conversion used by error paths in the TCP module.
+pub(crate) fn transport_error(peer: impl Into<String>, reason: impl Into<String>) -> MqError {
+    MqError::Transport {
+        peer: peer.into(),
+        reason: reason.into(),
+    }
+}

@@ -1,0 +1,921 @@
+//! Real sockets: a TCP [`Transport`] for channel traffic.
+//!
+//! Two halves cooperate:
+//!
+//! * [`TcpTransport`] — the sending side. A connection supervisor thread
+//!   owns the lifecycle: it dials the peer (with a connect timeout),
+//!   performs the `Hello`/`HelloAck` handshake (verifying magic, version
+//!   and — when configured — the peer's queue-manager name), and while the
+//!   connection is healthy issues `Ping`/`Pong` heartbeats. Any failure
+//!   tears the connection down and the supervisor re-dials with
+//!   exponential backoff (condvar-parked, never sleep-polled). The channel
+//!   mover calls [`TcpTransport::send_batch`], which writes one `Batch`
+//!   frame and waits for its sequence-matched `Ack`.
+//!
+//! * [`TcpAcceptor`] — the receiving side, one per listening queue
+//!   manager. An accept thread spawns a handler per connection; handlers
+//!   parse frames incrementally (surviving read-timeout ticks mid-frame),
+//!   deduplicate by message id, and hand each survivor to
+//!   [`QueueManager::deliver_from_channel`] — the same journal/obs path
+//!   in-process delivery uses. The `Ack` is written only after every
+//!   message in the batch is enqueued.
+//!
+//! ## Delivery guarantee
+//!
+//! The sender commits its transmission-queue gets only after the ack, so
+//! a connection lost mid-batch leaves the messages in the transmission
+//! queue and they are resent after reconnect — at-least-once. The
+//! acceptor's [`Deduper`] remembers recently delivered message ids and
+//! silently drops resends of messages that made it in before the
+//! connection died — at-most-once across connection failures. (The dedup
+//! window lives in receiver memory: it protects against connection churn,
+//! not against a receiving *process* restart, where the journal's replay
+//! already provides its own idempotence.)
+
+use std::collections::{HashSet, VecDeque};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::message::MessageId;
+use crate::qmgr::QueueManager;
+use crate::stats::MetricsRegistry;
+use crate::transport::frame::{Frame, FrameEvent, FrameKind, FrameReader};
+use crate::transport::{deliver_envelope, transport_error, BatchOutcome, Transport, TransportMetrics};
+use crate::MqResult;
+
+/// Tuning for the sending side of a TCP channel.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Dial timeout for one connection attempt.
+    pub connect_timeout: Duration,
+    /// Socket read timeout: the longest a sender waits for an ack, pong,
+    /// or handshake reply before declaring the connection dead.
+    pub read_timeout: Duration,
+    /// Interval between heartbeat pings on an idle-healthy connection.
+    pub heartbeat_interval: Duration,
+    /// First reconnect backoff; doubles per failure up to `backoff_max`.
+    pub backoff_initial: Duration,
+    /// Ceiling for the reconnect backoff.
+    pub backoff_max: Duration,
+    /// Peer queue-manager name the handshake must present; `None` skips
+    /// the check (used by tests and generic tooling).
+    pub expected_peer: Option<String>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(1000),
+            read_timeout: Duration::from_millis(2000),
+            heartbeat_interval: Duration::from_millis(500),
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(2000),
+            expected_peer: None,
+        }
+    }
+}
+
+/// How long acceptor-side reads block before re-checking the stop flag.
+const ACCEPT_READ_TICK: Duration = Duration::from_millis(100);
+
+/// How many read ticks a handler waits for the client's `Hello`.
+const HANDSHAKE_TICKS: u32 = 50;
+
+/// Default size of the receiver's message-id dedup window.
+pub const DEFAULT_DEDUP_WINDOW: usize = 16 * 1024;
+
+// ---------------------------------------------------------------- sender --
+
+/// Connection state shared between the mover, the supervisor, and
+/// shutdown; guarded by one mutex so writes and ack reads are serialized.
+struct ConnState {
+    stream: Option<TcpStream>,
+    seq: u64,
+    ever_connected: bool,
+}
+
+/// The sending side of a TCP channel. See the module docs for the
+/// protocol; construct with [`TcpTransport::connect`].
+pub struct TcpTransport {
+    local_name: String,
+    addr: SocketAddr,
+    config: TcpConfig,
+    metrics: TransportMetrics,
+    state: Mutex<ConnState>,
+    /// Signaled on connect, teardown, and shutdown; both the supervisor's
+    /// backoff/heartbeat waits and [`TcpTransport::wait_ready`] park here.
+    changed: Condvar,
+    stop: AtomicBool,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addr", &self.addr)
+            .field("connected", &self.state.lock().stream.is_some())
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Starts a transport from the queue manager named `local_name`
+    /// toward the acceptor at `addr`, spawning the connection supervisor.
+    /// Metrics land in `registry` under `mq.transport.*`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MqError::Transport`] if the supervisor thread cannot be
+    /// spawned.
+    pub fn connect(
+        local_name: &str,
+        addr: SocketAddr,
+        config: TcpConfig,
+        registry: &MetricsRegistry,
+    ) -> MqResult<Arc<TcpTransport>> {
+        let transport = Arc::new(TcpTransport {
+            local_name: local_name.to_owned(),
+            addr,
+            config,
+            metrics: TransportMetrics::registered(registry),
+            state: Mutex::new(ConnState {
+                stream: None,
+                seq: 0,
+                ever_connected: false,
+            }),
+            changed: Condvar::new(),
+            stop: AtomicBool::new(false),
+            supervisor: Mutex::new(None),
+        });
+        let clone = transport.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mq-tcp-supervisor-{addr}"))
+            .spawn(move || clone.supervise())
+            .map_err(|e| transport_error(addr.to_string(), format!("spawn supervisor: {e}")))?;
+        *transport.supervisor.lock() = Some(handle);
+        Ok(transport)
+    }
+
+    /// Whether a handshaken connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.state.lock().stream.is_some()
+    }
+
+    /// Test/fault hook: drops the current connection (if any) as if the
+    /// network failed; the supervisor will reconnect with backoff.
+    pub fn kill_connection(&self) {
+        let mut st = self.state.lock();
+        self.teardown_locked(&mut st);
+    }
+
+    /// Supervisor loop: dial + handshake while disconnected (exponential
+    /// backoff between failures), heartbeat while connected. All waiting
+    /// is condvar-parked on `changed`, so shutdown and teardowns wake it
+    /// immediately.
+    fn supervise(self: Arc<Self>) {
+        let mut backoff = self.config.backoff_initial;
+        while !self.stop.load(Ordering::SeqCst) {
+            let connected = self.is_connected();
+            if connected {
+                let timed_out = {
+                    let mut st = self.state.lock();
+                    self.changed
+                        .wait_for(&mut st, self.config.heartbeat_interval)
+                        .timed_out()
+                };
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if timed_out {
+                    self.heartbeat();
+                }
+                continue;
+            }
+            match self.dial() {
+                Ok(stream) => {
+                    let mut st = self.state.lock();
+                    if self.stop.load(Ordering::SeqCst) {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                    if st.ever_connected {
+                        self.metrics.reconnects.incr();
+                    }
+                    st.ever_connected = true;
+                    st.stream = Some(stream);
+                    self.metrics.connects.incr();
+                    backoff = self.config.backoff_initial;
+                    self.changed.notify_all();
+                }
+                Err(()) => {
+                    let mut st = self.state.lock();
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    self.changed.wait_for(&mut st, backoff);
+                    backoff = (backoff * 2).min(self.config.backoff_max);
+                }
+            }
+        }
+    }
+
+    /// One dial + handshake attempt. Counts `handshake_failures` for
+    /// post-connect protocol failures (refused dials are just backoff).
+    fn dial(&self) -> Result<TcpStream, ()> {
+        let mut stream =
+            TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).map_err(|_| ())?;
+        let _ = stream.set_nodelay(true);
+        if stream
+            .set_read_timeout(Some(self.config.read_timeout))
+            .is_err()
+        {
+            return Err(());
+        }
+        match self.handshake(&mut stream) {
+            Ok(()) => Ok(stream),
+            Err(()) => {
+                self.metrics.handshake_failures.incr();
+                let _ = stream.shutdown(Shutdown::Both);
+                Err(())
+            }
+        }
+    }
+
+    /// Sends `Hello`, awaits `HelloAck`, verifies the peer's name.
+    fn handshake(&self, stream: &mut TcpStream) -> Result<(), ()> {
+        stream
+            .write_all(&Frame::hello(&self.local_name).encode())
+            .map_err(|_| ())?;
+        let mut reader = FrameReader::new();
+        let reply = match reader.poll(stream) {
+            Ok(FrameEvent::Frame(f)) if f.kind == FrameKind::HelloAck => f,
+            _ => return Err(()),
+        };
+        let peer = reply.decode_handshake().map_err(|_| ())?;
+        if let Some(expected) = &self.config.expected_peer {
+            if &peer != expected {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// One ping/pong round trip; failure tears the connection down.
+    fn heartbeat(&self) {
+        let mut st = self.state.lock();
+        if st.stream.is_none() {
+            return;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        let ok = Self::roundtrip(&mut st, &Frame::ping(seq), |reply| {
+            reply.kind == FrameKind::Pong && reply.seq == seq
+        });
+        if ok {
+            self.metrics.heartbeats.incr();
+        } else {
+            self.metrics.heartbeat_misses.incr();
+            self.teardown_locked(&mut st);
+        }
+    }
+
+    /// Writes `frame` and reads one reply frame, returning whether
+    /// `accept` matched it. Any I/O or framing failure reports `false`.
+    fn roundtrip(st: &mut ConnState, frame: &Frame, accept: impl Fn(&Frame) -> bool) -> bool {
+        let Some(stream) = st.stream.as_mut() else {
+            return false;
+        };
+        if stream.write_all(&frame.encode()).is_err() {
+            return false;
+        }
+        let mut reader = FrameReader::new();
+        // Replies are strictly request/response on this half-duplex use of
+        // the stream, so a fresh reader per round trip cannot desync.
+        match reader.poll(stream) {
+            Ok(FrameEvent::Frame(reply)) => accept(&reply),
+            _ => false,
+        }
+    }
+
+    /// Drops the connection and wakes everyone parked on `changed`
+    /// (supervisor to re-dial, movers waiting in `wait_ready`).
+    fn teardown_locked(&self, st: &mut ConnState) {
+        if let Some(stream) = st.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.changed.notify_all();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn peer(&self) -> String {
+        match &self.config.expected_peer {
+            Some(name) => format!("{name}@{}", self.addr),
+            None => self.addr.to_string(),
+        }
+    }
+
+    fn send_batch(&self, batch: &[crate::message::Message]) -> BatchOutcome {
+        let started = std::time::Instant::now();
+        let mut st = self.state.lock();
+        if st.stream.is_none() {
+            return BatchOutcome::Unavailable;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        let frame = Frame::batch(seq, batch);
+        let wire_bytes = frame.encode().len() as u64;
+        let acked = Self::roundtrip(&mut st, &frame, |reply| {
+            reply.kind == FrameKind::Ack && reply.seq == seq && reply.decode_ack().is_ok()
+        });
+        if !acked {
+            // No ack means unknown fate: the connection is torn down and
+            // the batch will be resent after reconnect; the receiver's
+            // dedup keeps already-delivered messages single.
+            self.teardown_locked(&mut st);
+            return BatchOutcome::Unavailable;
+        }
+        drop(st);
+        self.metrics.batches_sent.incr();
+        self.metrics.messages_sent.add(batch.len() as u64);
+        self.metrics.bytes_sent.add(wire_bytes);
+        self.metrics.batch_micros.record_duration(started.elapsed());
+        BatchOutcome::Delivered
+    }
+
+    fn wait_ready(&self, timeout: Duration) -> bool {
+        let mut st = self.state.lock();
+        if st.stream.is_some() {
+            return true;
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.changed.wait_for(&mut st, timeout);
+        st.stream.is_some()
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        {
+            let mut st = self.state.lock();
+            self.teardown_locked(&mut st);
+        }
+        let handle = self.supervisor.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+// -------------------------------------------------------------- receiver --
+
+/// Sliding-window message-id dedup. Remembers the last `window` delivered
+/// ids; `seen` is O(1) via the hash set, eviction is FIFO via the deque.
+pub(crate) struct Deduper {
+    window: usize,
+    set: HashSet<MessageId>,
+    order: VecDeque<MessageId>,
+}
+
+impl Deduper {
+    fn new(window: usize) -> Deduper {
+        Deduper {
+            window: window.max(1),
+            set: HashSet::with_capacity(window.max(1)),
+            order: VecDeque::with_capacity(window.max(1)),
+        }
+    }
+
+    fn seen(&self, id: MessageId) -> bool {
+        self.set.contains(&id)
+    }
+
+    fn record(&mut self, id: MessageId) {
+        if !self.set.insert(id) {
+            return;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.window {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+    }
+}
+
+/// Shared state between the acceptor's threads.
+struct AcceptorShared {
+    manager: Weak<QueueManager>,
+    local_name: String,
+    stop: AtomicBool,
+    metrics: TransportMetrics,
+    dedup: Mutex<Deduper>,
+    /// Clones of live connection sockets, for kick/shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Fault-injection: close this many connections right after
+    /// delivering a batch but *before* acking it, forcing the sender down
+    /// the resend-and-dedup path deterministically.
+    drop_before_ack: AtomicU64,
+}
+
+/// The receiving side of the TCP transport: one listener per queue
+/// manager, delivering into it via the normal channel path.
+pub struct TcpAcceptor {
+    shared: Arc<AcceptorShared>,
+    addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TcpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpAcceptor")
+            .field("addr", &self.addr)
+            .field("manager", &self.shared.local_name)
+            .finish()
+    }
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (use port 0 for an ephemeral port; see
+    /// [`TcpAcceptor::local_addr`]) and starts accepting channel
+    /// connections for `manager`. The acceptor registers itself with the
+    /// manager, so [`QueueManager::shutdown`] stops it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MqError::Transport`] when the listener cannot be bound.
+    pub fn bind(manager: &Arc<QueueManager>, addr: &str) -> MqResult<Arc<TcpAcceptor>> {
+        TcpAcceptor::bind_with(manager, addr, DEFAULT_DEDUP_WINDOW)
+    }
+
+    /// [`TcpAcceptor::bind`] with an explicit dedup-window size.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MqError::Transport`] when the listener cannot be bound.
+    pub fn bind_with(
+        manager: &Arc<QueueManager>,
+        addr: &str,
+        dedup_window: usize,
+    ) -> MqResult<Arc<TcpAcceptor>> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| transport_error(addr, format!("bind failed: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| transport_error(addr, format!("local_addr failed: {e}")))?;
+        let shared = Arc::new(AcceptorShared {
+            manager: Arc::downgrade(manager),
+            local_name: manager.name().to_owned(),
+            stop: AtomicBool::new(false),
+            metrics: TransportMetrics::registered(manager.obs().metrics()),
+            dedup: Mutex::new(Deduper::new(dedup_window)),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            drop_before_ack: AtomicU64::new(0),
+        });
+        let accept_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mq-tcp-acceptor-{local}"))
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .map_err(|e| transport_error(addr, format!("spawn acceptor: {e}")))?;
+        let acceptor = Arc::new(TcpAcceptor {
+            shared,
+            addr: local,
+            accept_thread: Mutex::new(Some(handle)),
+        });
+        manager.attach_task(acceptor.clone());
+        Ok(acceptor)
+    }
+
+    /// The actual bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault-injection hook: the next `n` delivered batches are followed
+    /// by a connection close *instead of* an ack, exercising the
+    /// sender-resend / receiver-dedup path.
+    pub fn inject_drop_before_ack(&self, n: u64) {
+        self.shared.drop_before_ack.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Fault-injection hook: hard-closes every live connection, as if the
+    /// network between the managers failed.
+    pub fn kick_all(&self) {
+        let mut conns = self.shared.conns.lock();
+        for conn in conns.drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops accepting, closes live connections, and joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the accept thread: accept() is blocking, so poke it with a
+        // throwaway local connection.
+        if let Ok(stream) = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+        self.kick_all();
+        let handles = std::mem::take(&mut *self.shared.handlers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl crate::qmgr::ManagedTask for TcpAcceptor {
+    fn shutdown(&self) {
+        TcpAcceptor::shutdown(self);
+    }
+}
+
+/// Accept loop: one handler thread per connection.
+fn accept_loop(shared: &Arc<AcceptorShared>, listener: TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let handler_shared = shared.clone();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("mq-tcp-handler-{}", handler_shared.local_name))
+            .spawn(move || handle_connection(&handler_shared, stream))
+        {
+            shared.handlers.lock().push(handle);
+        }
+    }
+}
+
+/// Per-connection handler: handshake, then serve batches and pings until
+/// the peer disconnects, the stream corrupts, or the acceptor stops.
+fn handle_connection(shared: &Arc<AcceptorShared>, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(ACCEPT_READ_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    if !serve_handshake(shared, &mut stream, &mut reader) {
+        shared.metrics.handshake_failures.incr();
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(FrameEvent::Idle) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(FrameEvent::Closed) | Err(_) => return,
+            Ok(FrameEvent::Frame(frame)) => match frame.kind {
+                FrameKind::Ping => {
+                    if stream.write_all(&Frame::pong(frame.seq).encode()).is_err() {
+                        return;
+                    }
+                }
+                FrameKind::Batch => {
+                    if !serve_batch(shared, &mut stream, &frame) {
+                        return;
+                    }
+                }
+                // A second handshake or a frame kind that only flows
+                // sender-ward is a protocol violation: drop the line.
+                _ => return,
+            },
+        }
+    }
+}
+
+/// Waits for the client's `Hello` and replies `HelloAck`; `false` means
+/// the handshake failed and the connection must be dropped.
+fn serve_handshake(
+    shared: &Arc<AcceptorShared>,
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+) -> bool {
+    for _ in 0..HANDSHAKE_TICKS {
+        match reader.poll(stream) {
+            Ok(FrameEvent::Idle) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Ok(FrameEvent::Frame(frame)) if frame.kind == FrameKind::Hello => {
+                if frame.decode_handshake().is_err() {
+                    return false;
+                }
+                return stream
+                    .write_all(&Frame::hello_ack(&shared.local_name).encode())
+                    .is_ok();
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Delivers one batch (dedup + enqueue) and acks it. `false` means the
+/// connection must be dropped (delivery failure or injected fault); the
+/// unacked sender will resend.
+fn serve_batch(shared: &Arc<AcceptorShared>, stream: &mut TcpStream, frame: &Frame) -> bool {
+    let Some(manager) = shared.manager.upgrade() else {
+        return false;
+    };
+    let Ok(messages) = frame.decode_batch() else {
+        return false;
+    };
+    let mut accepted = 0u64;
+    let mut deduplicated = 0u64;
+    for msg in messages {
+        let id = msg.id();
+        if shared.dedup.lock().seen(id) {
+            deduplicated += 1;
+            shared.metrics.dedup_dropped.incr();
+            continue;
+        }
+        if deliver_envelope(&manager, msg).is_err() {
+            // Local put failure (manager stopping, journal error): leave
+            // the batch unacked so the sender retries after backoff.
+            return false;
+        }
+        shared.dedup.lock().record(id);
+        accepted += 1;
+    }
+    shared.metrics.batches_received.incr();
+    shared.metrics.messages_received.add(accepted);
+    shared.metrics.bytes_received.add(frame.payload.len() as u64);
+    if shared
+        .drop_before_ack
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    stream
+        .write_all(&Frame::ack(frame.seq, accepted, deduplicated).encode())
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::qmgr::QueueManager;
+    use crate::qmgr::{XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY};
+    use std::time::Instant;
+
+    fn manager(name: &str) -> Arc<QueueManager> {
+        let qm = QueueManager::builder(name).build().unwrap();
+        qm.create_queue("Q.IN").unwrap();
+        qm
+    }
+
+    fn envelope(text: &str) -> Message {
+        Message::text(text)
+            .property(XMIT_DEST_QUEUE_PROPERTY, "Q.IN")
+            .property(XMIT_DEST_MANAGER_PROPERTY, "QM.RECV")
+            .build()
+    }
+
+    fn quick_config(peer: &str) -> TcpConfig {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(1000),
+            heartbeat_interval: Duration::from_millis(30),
+            backoff_initial: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+            expected_peer: Some(peer.to_owned()),
+        }
+    }
+
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    #[test]
+    fn batch_crosses_loopback_socket() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)), "connects");
+        let batch = vec![envelope("m1"), envelope("m2"), envelope("m3")];
+        assert_eq!(tx.send_batch(&batch), BatchOutcome::Delivered);
+        let q = recv.queue("Q.IN").unwrap();
+        assert_eq!(q.depth(), 3);
+        assert_eq!(registry.snapshot().counter("mq.transport.batches_sent"), 1);
+        assert_eq!(
+            recv.obs()
+                .metrics()
+                .snapshot()
+                .counter("mq.transport.messages_received"),
+            3
+        );
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn stripped_envelope_headers_do_not_leak() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        assert_eq!(tx.send_batch(&[envelope("hdr")]), BatchOutcome::Delivered);
+        let msg = recv
+            .get("Q.IN", crate::queue::Wait::NoWait)
+            .unwrap()
+            .unwrap();
+        assert!(msg.str_property(XMIT_DEST_QUEUE_PROPERTY).is_none());
+        assert!(msg.str_property(XMIT_DEST_MANAGER_PROPERTY).is_none());
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn drop_before_ack_resend_is_deduplicated() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        acceptor.inject_drop_before_ack(1);
+        let batch = vec![envelope("once-a"), envelope("once-b")];
+        // First attempt: delivered on the receiver but the ack never
+        // arrives, so the sender sees Unavailable and must retry.
+        assert_eq!(tx.send_batch(&batch), BatchOutcome::Unavailable);
+        assert!(
+            wait_until(Duration::from_secs(5), || tx.is_connected()),
+            "supervisor reconnects"
+        );
+        assert_eq!(tx.send_batch(&batch), BatchOutcome::Delivered);
+        let q = recv.queue("Q.IN").unwrap();
+        assert_eq!(q.depth(), 2, "no duplicates after resend");
+        let snap = recv.obs().metrics().snapshot();
+        assert_eq!(snap.counter("mq.transport.dedup_dropped"), 2);
+        assert!(registry.snapshot().counter("mq.transport.reconnects") >= 1);
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_flow_and_misses_tear_down() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        assert!(
+            wait_until(Duration::from_secs(5), || registry
+                .snapshot()
+                .counter("mq.transport.heartbeats")
+                >= 2),
+            "pings round-trip on an idle connection"
+        );
+        // Stop the acceptor entirely: the next ping gets no pong.
+        acceptor.shutdown();
+        assert!(
+            wait_until(Duration::from_secs(10), || registry
+                .snapshot()
+                .counter("mq.transport.heartbeat_misses")
+                >= 1),
+            "missed heartbeat detected"
+        );
+        tx.shutdown();
+    }
+
+    #[test]
+    fn handshake_rejects_unexpected_peer_name() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.SOMEONE.ELSE"),
+            &registry,
+        )
+        .unwrap();
+        assert!(
+            wait_until(Duration::from_secs(5), || registry
+                .snapshot()
+                .counter("mq.transport.handshake_failures")
+                >= 2),
+            "dial keeps failing on peer-name mismatch"
+        );
+        assert!(!tx.is_connected());
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn acceptor_shutdown_is_idempotent() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        acceptor.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_do_not_kill_the_acceptor() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        {
+            let mut stream = TcpStream::connect(acceptor.local_addr()).unwrap();
+            stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        assert!(
+            wait_until(Duration::from_secs(5), || recv
+                .obs()
+                .metrics()
+                .snapshot()
+                .counter("mq.transport.handshake_failures")
+                >= 1),
+            "garbage counted as a failed handshake"
+        );
+        // A well-behaved client still gets through afterwards.
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        assert_eq!(tx.send_batch(&[envelope("ok")]), BatchOutcome::Delivered);
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
+    fn deduper_window_evicts_fifo() {
+        let mut dedup = Deduper::new(2);
+        let a = MessageId::from_u128(1);
+        let b = MessageId::from_u128(2);
+        let c = MessageId::from_u128(3);
+        dedup.record(a);
+        dedup.record(b);
+        assert!(dedup.seen(a) && dedup.seen(b));
+        dedup.record(c);
+        assert!(!dedup.seen(a), "oldest id evicted");
+        assert!(dedup.seen(b) && dedup.seen(c));
+        // Re-recording an id already present neither duplicates nor evicts.
+        dedup.record(c);
+        assert!(dedup.seen(b));
+    }
+}
