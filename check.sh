@@ -19,3 +19,7 @@ cargo run --release -p cond-bench --bin exp_journal -- --quick
 # Transport smoke: in-proc link vs loopback TCP, asserts batches moved and
 # writes BENCH_tcp.json.
 cargo run --release -p cond-bench --bin exp_tcp -- --quick
+# Relay federation: multi-hop chains over loopback TCP, plus the Fig. 8
+# crash proof (middle relay crashed mid-handoff, exactly-once asserted
+# inside the binary). Writes BENCH_federation.json.
+cargo run --release -p cond-bench --bin exp_federation -- --quick

@@ -1,0 +1,427 @@
+//! EF — relay federation: multi-hop chains over loopback TCP.
+//!
+//! Two measurements per chain length (1, 2 and 4 channel hops between
+//! the sending and the destination manager, i.e. 0, 1 and 3 relays):
+//!
+//! * **Store-and-forward throughput** — N plain messages put at the head
+//!   of the chain, wall clock until all land on the tail's queue;
+//!   reported as msgs/sec. Each extra hop adds a custody handoff (relay
+//!   decision, journalable record, another socket round trip), so the
+//!   table prices what federation costs over a direct channel.
+//! * **End-to-end verdict latency** — the full Fig. 8 conditional
+//!   protocol across the chain: original out over `hops` sockets, the
+//!   pick-up read at the tail, the read-ack relayed all the way back and
+//!   the condition evaluated at the head. Reported as p50/p95 of
+//!   send→verdict wall time.
+//!
+//! The run finishes with the **Fig. 8 crash proof**: a 3-manager chain
+//! whose middle relay is crashed while holding custody of every
+//! in-flight message, then rebuilt from its journal. The binary asserts
+//! every message reaches exactly one of success or
+//! compensation+annihilation — nothing lost, nothing doubled, nothing
+//! dead-lettered.
+//!
+//! Writes `BENCH_federation.json`; `--quick` shrinks the counts for the
+//! `check.sh` smoke run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cond_bench::{emit_metrics, header, row};
+use condmsg::{
+    Condition, ConditionalMessenger, ConditionalReceiver, Destination, MessageOutcome,
+};
+use mq::channel::Channel;
+use mq::journal::MemJournal;
+use mq::transport::tcp::{TcpAcceptor, TcpConfig};
+use mq::{Message, Obs, QueueAddress, QueueManager, SystemClock, Wait, DEAD_LETTER_QUEUE};
+use simtime::Millis;
+
+const HOP_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct RunStats {
+    msgs_per_sec: f64,
+    verdict_p50_ms: f64,
+    verdict_p95_ms: f64,
+    relay_forwarded: u64,
+}
+
+/// A chain of `hops + 1` managers connected by duplex loopback-TCP
+/// channel pairs, with explicit head/tail routes at every intermediate
+/// so envelopes (and read-acks) relay in both directions.
+struct FedChain {
+    managers: Vec<Arc<QueueManager>>,
+    _acceptors: Vec<Arc<TcpAcceptor>>,
+    _channels: Vec<Channel>,
+}
+
+fn chain_name(i: usize) -> String {
+    format!("QM.F{i}")
+}
+
+fn build_chain(hops: usize, obs: &Arc<Obs>) -> FedChain {
+    let n = hops + 1;
+    let clock = SystemClock::new();
+    let managers: Vec<Arc<QueueManager>> = (0..n)
+        .map(|i| {
+            QueueManager::builder(chain_name(i))
+                .clock(clock.clone())
+                .obs(obs.clone())
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let acceptors: Vec<Arc<TcpAcceptor>> = managers
+        .iter()
+        .map(|m| TcpAcceptor::bind(m, "127.0.0.1:0").unwrap())
+        .collect();
+    let mut channels = Vec::new();
+    for i in 0..n - 1 {
+        channels.push(
+            Channel::connect_tcp(
+                &managers[i],
+                &chain_name(i + 1),
+                acceptors[i + 1].local_addr(),
+                TcpConfig::default(),
+            )
+            .unwrap(),
+        );
+        channels.push(
+            Channel::connect_tcp(
+                &managers[i + 1],
+                &chain_name(i),
+                acceptors[i].local_addr(),
+                TcpConfig::default(),
+            )
+            .unwrap(),
+        );
+    }
+    // Intermediates route the endpoints through their direct neighbours.
+    let head = chain_name(0);
+    let tail = chain_name(n - 1);
+    for (i, m) in managers.iter().enumerate() {
+        if i + 1 < n - 1 {
+            m.define_route(&tail, &format!("SYSTEM.XMIT.{}", chain_name(i + 1)))
+                .unwrap();
+        }
+        if i > 1 {
+            m.define_route(&head, &format!("SYSTEM.XMIT.{}", chain_name(i - 1)))
+                .unwrap();
+        }
+    }
+    FedChain {
+        managers,
+        _acceptors: acceptors,
+        _channels: channels,
+    }
+}
+
+fn run(hops: usize, msgs: usize, verdict_rounds: usize) -> RunStats {
+    let obs = Obs::new();
+    let chain = build_chain(hops, &obs);
+    let head = chain.managers.first().unwrap().clone();
+    let tail = chain.managers.last().unwrap().clone();
+    tail.create_queue("Q.IN").unwrap();
+    tail.create_queue("Q.COND").unwrap();
+
+    // Throughput: flood the chain, wall-clock first put → last arrival.
+    let dest = QueueAddress::new(tail.name(), "Q.IN");
+    let start = Instant::now();
+    for i in 0..msgs {
+        head.put_to(&dest, Message::text(format!("m{i}")).build())
+            .unwrap();
+    }
+    let q = tail.queue("Q.IN").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while q.depth() < msgs {
+        assert!(
+            Instant::now() < deadline,
+            "hops={hops}: delivery stalled at {}/{msgs}",
+            q.depth()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let msgs_per_sec = msgs as f64 / start.elapsed().as_secs_f64();
+
+    // Verdict latency: the conditional protocol end to end, one message
+    // outstanding at a time so the number is a round trip, not queueing.
+    let messenger = ConditionalMessenger::new(head.clone()).unwrap();
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(1));
+    let tail2 = tail.clone();
+    let stop_reader = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop_reader.clone();
+    let reader = std::thread::spawn(move || {
+        let mut receiver = ConditionalReceiver::with_identity(tail2, "fed-bench").unwrap();
+        while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+            let _ = receiver.read_message("Q.COND", Wait::Timeout(Millis(20)));
+        }
+    });
+    let condition: Condition = Destination::queue(tail.name(), "Q.COND")
+        .pickup_within(Millis(30_000))
+        .into();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(verdict_rounds);
+    for i in 0..verdict_rounds {
+        let t0 = Instant::now();
+        let id = messenger
+            .send_message(format!("v{i}"), &condition)
+            .unwrap();
+        let outcome = messenger
+            .take_outcome(id, Wait::Timeout(Millis(30_000)))
+            .unwrap()
+            .expect("verdict decided");
+        assert_eq!(outcome.outcome, MessageOutcome::Success, "{:?}", outcome.reason);
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    stop_reader.store(true, std::sync::atomic::Ordering::SeqCst);
+    reader.join().unwrap();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let q_at = |q: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * q) as usize];
+    let snap = obs.metrics().snapshot();
+    let stats = RunStats {
+        msgs_per_sec,
+        verdict_p50_ms: q_at(0.50),
+        verdict_p95_ms: q_at(0.95),
+        relay_forwarded: snap.counter("mq.relay.forwarded"),
+    };
+    for m in chain.managers {
+        assert_eq!(
+            m.queue(DEAD_LETTER_QUEUE).unwrap().depth(),
+            0,
+            "nothing dead-lettered on {}",
+            m.name()
+        );
+        m.shutdown();
+    }
+    stats
+}
+
+struct Fig8Proof {
+    successes: usize,
+    compensated: usize,
+}
+
+/// The acceptance proof, inline: Fig. 8 compensation flow across
+/// QM.A → QM.B → QM.C over loopback TCP with QM.B crashed while holding
+/// custody of every in-flight original, then rebuilt from its journal.
+/// Panics unless every message reaches exactly one of success or
+/// compensation+annihilation.
+fn fig8_crash_proof(each: usize) -> Fig8Proof {
+    let clock = SystemClock::new();
+    let a = QueueManager::builder("QM.A").clock(clock.clone()).build().unwrap();
+    let journal = MemJournal::new();
+    let b = QueueManager::builder("QM.B")
+        .clock(clock.clone())
+        .journal(journal.clone())
+        .build()
+        .unwrap();
+    let c = QueueManager::builder("QM.C").clock(clock.clone()).build().unwrap();
+    c.create_queue("Q.SLOW").unwrap();
+    c.create_queue("Q.FAST").unwrap();
+
+    let acc_a = TcpAcceptor::bind(&a, "127.0.0.1:0").unwrap();
+    let acc_b = TcpAcceptor::bind(&b, "127.0.0.1:0").unwrap();
+    let acc_c = TcpAcceptor::bind(&c, "127.0.0.1:0").unwrap();
+    let b_addr = acc_b.local_addr();
+
+    // B→C stays unconnected: QM.B accepts (and journals) custody of
+    // everything bound for QM.C but cannot forward — the deterministic
+    // "crashed mid-handoff" window.
+    let _ab = Channel::connect_tcp(&a, "QM.B", b_addr, TcpConfig::default()).unwrap();
+    a.define_default_route(&["SYSTEM.XMIT.QM.B"]).unwrap();
+    let _cb = Channel::connect_tcp(&c, "QM.B", b_addr, TcpConfig::default()).unwrap();
+    c.define_default_route(&["SYSTEM.XMIT.QM.B"]).unwrap();
+    b.define_route("QM.C", "SYSTEM.XMIT.QM.C").unwrap();
+
+    let messenger = ConditionalMessenger::new(a.clone()).unwrap();
+    let _daemon = messenger.spawn_daemon(Duration::from_millis(2));
+    let slow: Condition = Destination::queue("QM.C", "Q.SLOW")
+        .pickup_within(Millis(30_000))
+        .into();
+    let fast: Condition = Destination::queue("QM.C", "Q.FAST")
+        .pickup_within(Millis(300))
+        .into();
+    let mut success_ids = Vec::new();
+    let mut failure_ids = Vec::new();
+    for i in 0..each {
+        success_ids.push(
+            messenger
+                .send_message_with_compensation(format!("keep-{i}"), format!("undo-{i}"), &slow)
+                .unwrap(),
+        );
+        failure_ids.push(
+            messenger
+                .send_message_with_compensation(format!("drop-{i}"), format!("undo-{i}"), &fast)
+                .unwrap(),
+        );
+    }
+    let custody = |qm: &Arc<QueueManager>| {
+        qm.queue("SYSTEM.XMIT.QM.C").map(|q| q.depth()).unwrap_or(0)
+    };
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while custody(&b) < 2 * each {
+        assert!(Instant::now() < deadline, "originals never reached custody");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    acc_b.shutdown();
+    b.crash();
+
+    let b2 = QueueManager::builder("QM.B")
+        .clock(clock)
+        .journal(journal)
+        .build()
+        .unwrap();
+    assert!(custody(&b2) >= 2 * each, "custody survived the crash");
+    // Rebind the crashed relay's address so upstream transports reconnect.
+    let acc_b2 = loop {
+        match TcpAcceptor::bind(&b2, &b_addr.to_string()) {
+            Ok(acc) => break acc,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let _acc_b2 = acc_b2;
+    let _bc = Channel::connect_tcp(&b2, "QM.C", acc_c.local_addr(), TcpConfig::default()).unwrap();
+    let _ba = Channel::connect_tcp(&b2, "QM.A", acc_a.local_addr(), TcpConfig::default()).unwrap();
+
+    let c2 = c.clone();
+    let reader = std::thread::spawn(move || {
+        let mut receiver = ConditionalReceiver::with_identity(c2, "fed-proof").unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..each {
+            let got = receiver
+                .read_message("Q.SLOW", Wait::Timeout(Millis(20_000)))
+                .unwrap()
+                .expect("slow original delivered after rebuild");
+            seen.push(got.payload_str().unwrap().to_owned());
+        }
+        seen
+    });
+    let mut seen = reader.join().unwrap();
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), each, "each success read exactly once");
+    for id in success_ids {
+        let outcome = messenger
+            .take_outcome(id, Wait::Timeout(Millis(30_000)))
+            .unwrap()
+            .expect("success verdict");
+        assert_eq!(outcome.outcome, MessageOutcome::Success, "{:?}", outcome.reason);
+    }
+    for id in &failure_ids {
+        let outcome = messenger
+            .take_outcome(*id, Wait::Timeout(Millis(30_000)))
+            .unwrap()
+            .expect("failure verdict");
+        assert_eq!(outcome.outcome, MessageOutcome::Failure);
+    }
+    // Wait until every compensation joined its original on Q.FAST
+    // (2*each slow+fast originals and each compensations delivered at
+    // QM.C in total), *then* read: annihilation must drain the queue
+    // without ever surfacing a message to the application.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while c.obs().metrics().snapshot().counter("mq.relay.delivered_local") < (3 * each) as u64 {
+        assert!(Instant::now() < deadline, "compensations never arrived");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut receiver = ConditionalReceiver::new(c.clone()).unwrap();
+    loop {
+        assert!(
+            receiver
+                .read_message("Q.FAST", Wait::NoWait)
+                .unwrap()
+                .is_none(),
+            "compensated original must never reach the application"
+        );
+        if c.queue("Q.FAST").unwrap().depth() == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "annihilation never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for qm in [&a, &b2, &c] {
+        assert_eq!(
+            qm.queue(DEAD_LETTER_QUEUE).unwrap().depth(),
+            0,
+            "{} DLQ clean",
+            qm.name()
+        );
+    }
+    a.shutdown();
+    b2.shutdown();
+    c.shutdown();
+    Fig8Proof {
+        successes: each,
+        compensated: failure_ids.len(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let msgs = if quick { 400 } else { 4_000 };
+    let verdict_rounds = if quick { 15 } else { 100 };
+    let proof_each = if quick { 3 } else { 8 };
+
+    println!(
+        "# EF — relay federation: multi-hop chains over loopback TCP ({msgs} msgs, {verdict_rounds} verdicts{})\n",
+        if quick { ", --quick" } else { "" }
+    );
+    header(&[
+        "hops", "managers", "msgs/s", "verdict p50 ms", "verdict p95 ms", "relayed",
+    ]);
+    let mut results: Vec<(usize, RunStats)> = Vec::new();
+    for &hops in &HOP_COUNTS {
+        let stats = run(hops, msgs, verdict_rounds);
+        row(&[
+            hops.to_string(),
+            (hops + 1).to_string(),
+            format!("{:.0}", stats.msgs_per_sec),
+            format!("{:.2}", stats.verdict_p50_ms),
+            format!("{:.2}", stats.verdict_p95_ms),
+            stats.relay_forwarded.to_string(),
+        ]);
+        results.push((hops, stats));
+    }
+
+    println!("\n# Fig. 8 proof: compensation flow across a crashed+rebuilt relay");
+    let proof = fig8_crash_proof(proof_each);
+    println!(
+        "  {} successes, {} compensated+annihilated, 0 dead-lettered — exactly-once held",
+        proof.successes, proof.compensated
+    );
+
+    let runs_json: Vec<String> = results
+        .iter()
+        .map(|(hops, s)| {
+            format!(
+                concat!(
+                    "    {{\"hops\": {}, \"managers\": {}, \"msgs_per_sec\": {:.1}, ",
+                    "\"verdict_p50_ms\": {:.2}, \"verdict_p95_ms\": {:.2}, ",
+                    "\"relay_forwarded\": {}}}"
+                ),
+                hops,
+                hops + 1,
+                s.msgs_per_sec,
+                s.verdict_p50_ms,
+                s.verdict_p95_ms,
+                s.relay_forwarded,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"EF relay federation\",\n  \"quick\": {},\n",
+            "  \"msgs\": {},\n  \"verdict_rounds\": {},\n  \"runs\": [\n{}\n  ],\n",
+            "  \"fig8_proof\": {{\"passed\": true, \"successes\": {}, \"compensated\": {}}}\n}}\n"
+        ),
+        quick,
+        msgs,
+        verdict_rounds,
+        runs_json.join(",\n"),
+        proof.successes,
+        proof.compensated,
+    );
+    std::fs::write("BENCH_federation.json", json).unwrap();
+    println!("\nwrote BENCH_federation.json");
+
+    emit_metrics();
+}

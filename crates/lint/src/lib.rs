@@ -641,6 +641,28 @@ mod tests {
     }
 
     #[test]
+    fn relay_module_is_fully_linted() {
+        // The relay seam sits on the hot delivery path of every transport:
+        // it must stay panic-free, condvar-parked and sim-clocked, with
+        // zero lint.allow entries of its own — every library rule covers
+        // it in full, while its experiment binary stays App.
+        let p = "crates/mq/src/relay.rs";
+        assert_eq!(classify(p), FileClass::Library);
+        for rule in [
+            LintRule::Sleep,
+            LintRule::StdSync,
+            LintRule::WallClock,
+            LintRule::Unwrap,
+        ] {
+            assert!(rule_applies(rule, classify(p), p), "{rule:?} must cover {p}");
+        }
+        assert_eq!(
+            classify("crates/bench/src/bin/exp_federation.rs"),
+            FileClass::App
+        );
+    }
+
+    #[test]
     fn simtime_exempt_from_time_rules_only() {
         let p = "crates/simtime/src/lib.rs";
         assert!(!rule_applies(LintRule::Sleep, classify(p), p));

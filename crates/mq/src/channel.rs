@@ -16,6 +16,16 @@
 //! drained in batches (up to [`MAX_BATCH`] per session transaction), which
 //! amortizes both the transaction overhead and — on TCP — the per-frame
 //! round trip.
+//!
+//! Batches are cut on *bytes* as well as count: the mover stops adding
+//! envelopes once [`BATCH_BYTE_BUDGET`] wire bytes are staged, so a batch
+//! can never grow past the transport frame cap
+//! ([`MAX_FRAME_BODY`](crate::transport::frame::MAX_FRAME_BODY)) and wedge
+//! the channel in an encode-fail/retry loop. A single envelope whose wire
+//! size alone exceeds [`MAX_ENVELOPE_WIRE`] can never cross any batch, so
+//! it is moved to the local dead-letter queue (reason in
+//! [`DLQ_REASON_PROPERTY`]) inside the same transaction instead of
+//! blocking every envelope queued behind it.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,9 +36,10 @@ use parking_lot::Mutex;
 
 use crate::error::MqResult;
 use crate::net::Link;
-use crate::qmgr::{ManagedTask, QueueManager};
+use crate::qmgr::{ManagedTask, QueueManager, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY};
 use crate::queue::Wait;
 use crate::stats::Counter;
+use crate::transport::frame::{Frame, MAX_FRAME_BODY};
 use crate::transport::tcp::{TcpConfig, TcpTransport};
 use crate::transport::{BatchOutcome, LinkTransport, Transport};
 use simtime::Millis;
@@ -46,6 +57,18 @@ const PARTITION_BACKOFF: Duration = Duration::from_millis(10);
 /// batch.
 pub const MAX_BATCH: usize = 64;
 
+/// Byte budget for one batch: the mover stops draining once the staged
+/// envelopes' combined wire size reaches this. Half the frame cap, so even
+/// with the one-envelope overshoot (a cut happens *after* the envelope
+/// that crosses the budget is staged) the encoded batch stays well below
+/// [`MAX_FRAME_BODY`].
+pub const BATCH_BYTE_BUDGET: usize = MAX_FRAME_BODY / 2;
+
+/// Largest single envelope (wire size) a channel will carry. Anything
+/// bigger could overflow a frame all by itself, so it is dead-lettered
+/// locally rather than allowed to wedge the channel.
+pub const MAX_ENVELOPE_WIRE: usize = MAX_FRAME_BODY / 4;
+
 /// Per-channel statistics.
 #[derive(Debug, Default)]
 pub struct ChannelStats {
@@ -53,6 +76,9 @@ pub struct ChannelStats {
     pub delivered: Counter,
     /// Batches retried after the transport dropped them.
     pub retries: Counter,
+    /// Envelopes exceeding [`MAX_ENVELOPE_WIRE`] moved to the local
+    /// dead-letter queue instead of being sent.
+    pub oversized_dead_lettered: Counter,
 }
 
 /// The stoppable half of a channel, shared between the [`Channel`] handle
@@ -232,9 +258,11 @@ impl Drop for Channel {
     }
 }
 
-/// Drains up to [`MAX_BATCH`] envelopes from the transmission queue into
-/// one session transaction, pushes them as one transport batch, and
-/// commits only on [`BatchOutcome::Delivered`].
+/// Drains up to [`MAX_BATCH`] envelopes (or [`BATCH_BYTE_BUDGET`] wire
+/// bytes, whichever is hit first) from the transmission queue into one
+/// session transaction, pushes them as one transport batch, and commits
+/// only on [`BatchOutcome::Delivered`]. Envelopes too large to ever fit a
+/// frame are diverted to the dead-letter queue in the same transaction.
 fn mover_loop(
     from: &Arc<QueueManager>,
     transport: &Arc<dyn Transport>,
@@ -264,11 +292,32 @@ fn mover_loop(
             return;
         }
         let mut batch = Vec::new();
+        let mut batch_bytes = 0usize;
+        let mut oversized = 0u64;
         loop {
             match session.get(xmit_queue, Wait::NoWait) {
-                Ok(Some(envelope)) => {
+                Ok(Some(mut envelope)) => {
+                    let wire = Frame::message_wire_len(&envelope);
+                    if wire > MAX_ENVELOPE_WIRE {
+                        // This envelope can never cross the wire; divert
+                        // it to the dead-letter queue inside the same
+                        // transaction so the channel keeps moving.
+                        envelope.set_property(
+                            DLQ_REASON_PROPERTY,
+                            format!(
+                                "oversized envelope: {wire} wire bytes exceeds \
+                                 channel cap {MAX_ENVELOPE_WIRE}"
+                            ),
+                        );
+                        if session.put(DEAD_LETTER_QUEUE, envelope).is_err() {
+                            return; // manager stopped
+                        }
+                        oversized += 1;
+                        continue;
+                    }
                     batch.push(envelope);
-                    if batch.len() >= MAX_BATCH {
+                    batch_bytes += wire;
+                    if batch.len() >= MAX_BATCH || batch_bytes >= BATCH_BYTE_BUDGET {
                         break;
                     }
                 }
@@ -277,14 +326,23 @@ fn mover_loop(
             }
         }
         if batch.is_empty() {
-            // Raced with another consumer; re-park.
-            let _ = session.rollback_for_retry();
+            if oversized > 0 {
+                // Nothing to send, but oversized envelopes were staged
+                // onto the dead-letter queue: make that move durable.
+                if session.commit().is_ok() {
+                    stats.oversized_dead_lettered.add(oversized);
+                }
+            } else {
+                // Raced with another consumer; re-park.
+                let _ = session.rollback_for_retry();
+            }
             continue;
         }
         match transport.send_batch(&batch) {
             BatchOutcome::Delivered => {
                 if session.commit().is_ok() {
                     stats.delivered.add(batch.len() as u64);
+                    stats.oversized_dead_lettered.add(oversized);
                 }
             }
             BatchOutcome::Dropped => {
@@ -550,5 +608,74 @@ mod tests {
         wait_for("post-crash delivery", || {
             b.queue("IN").unwrap().depth() == 1
         });
+    }
+
+    #[test]
+    fn oversized_envelope_is_dead_lettered_and_channel_keeps_moving() {
+        let (a, b) = pair();
+        b.create_queue("IN").unwrap();
+        let _channel = Channel::connect(&a, &b, Link::ideal()).unwrap();
+        // One envelope that can never fit a frame, then a normal one
+        // queued behind it: the big one must go to QA's dead-letter queue
+        // and the small one must still be delivered.
+        a.put_to(
+            &QueueAddress::new("QB", "IN"),
+            Message::text("x".repeat(MAX_ENVELOPE_WIRE + 1)).build(),
+        )
+        .unwrap();
+        a.put_to(&QueueAddress::new("QB", "IN"), Message::text("small").build())
+            .unwrap();
+        wait_for("small envelope delivered past the oversized one", || {
+            b.queue("IN").unwrap().depth() == 1
+        });
+        wait_for("oversized envelope dead-lettered", || {
+            a.queue(crate::qmgr::DEAD_LETTER_QUEUE).unwrap().depth() == 1
+        });
+        let dead = a
+            .get(crate::qmgr::DEAD_LETTER_QUEUE, Wait::NoWait)
+            .unwrap()
+            .unwrap();
+        let reason = dead.str_property(DLQ_REASON_PROPERTY).unwrap();
+        assert!(
+            reason.contains("oversized envelope"),
+            "reason names the cap: {reason}"
+        );
+        // The envelope keeps its addressing for post-mortem audit.
+        assert_eq!(dead.str_property(XMIT_DEST_MANAGER_PROPERTY), Some("QB"));
+        // Only the small envelope crossed; the oversized one never did.
+        let got = b.get("IN", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("small"));
+        assert_eq!(b.queue("IN").unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn byte_budget_cuts_batches_below_frame_cap() {
+        let (a, b) = pair();
+        b.create_queue("IN").unwrap();
+        // Park the mover behind a partition, queue 6 × ~2.5 MiB (≈15 MiB
+        // total — more than MAX_FRAME_BODY in one count-limited batch),
+        // then heal. Without the byte budget the mover would stage all 6
+        // in one batch and the frame encode would refuse it forever.
+        let link = Link::ideal();
+        link.set_up(false);
+        let channel = Channel::connect(&a, &b, link.clone()).unwrap();
+        let payload = "y".repeat(5 * MAX_FRAME_BODY / 32);
+        for _ in 0..6 {
+            a.put_to(
+                &QueueAddress::new("QB", "IN"),
+                Message::text(payload.clone()).build(),
+            )
+            .unwrap();
+        }
+        link.set_up(true);
+        wait_for("all large envelopes delivered", || {
+            b.queue("IN").unwrap().depth() == 6
+        });
+        let snap = a.obs().metrics().snapshot();
+        assert!(
+            snap.counter("mq.transport.batches_sent") >= 2,
+            "byte budget must split the backlog into multiple batches"
+        );
+        assert_eq!(channel.stats().oversized_dead_lettered.get(), 0);
     }
 }

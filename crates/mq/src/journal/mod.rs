@@ -81,6 +81,24 @@ pub enum JournalRecord {
         /// Expired message id.
         message_id: MessageId,
     },
+    /// A relay custody transfer: an in-transit envelope addressed to
+    /// another manager was accepted from a channel and atomically
+    /// re-enqueued on the outbound transmission queue. Replayed like a
+    /// [`JournalRecord::Put`] onto `xmit_queue`; the extra fields make the
+    /// handoff auditable (who originated it, where it is going, how many
+    /// hops it has taken).
+    RelayCustody {
+        /// The outbound transmission queue the envelope moved to.
+        xmit_queue: String,
+        /// The manager that first wrapped the message for transmission.
+        origin: String,
+        /// The final destination manager.
+        dest_manager: String,
+        /// Hop count stamped on the envelope after this handoff.
+        hops: u32,
+        /// The full in-transit envelope (transmission headers intact).
+        message: Message,
+    },
 }
 
 impl WireEncode for JournalRecord {
@@ -121,6 +139,20 @@ impl WireEncode for JournalRecord {
                 enc.put_u8(5);
                 enc.put_str(queue);
                 enc.put_u128(message_id.as_u128());
+            }
+            JournalRecord::RelayCustody {
+                xmit_queue,
+                origin,
+                dest_manager,
+                hops,
+                message,
+            } => {
+                enc.put_u8(6);
+                enc.put_str(xmit_queue);
+                enc.put_str(origin);
+                enc.put_str(dest_manager);
+                enc.put_u32(*hops);
+                message.encode(enc);
             }
         }
     }
@@ -163,6 +195,13 @@ impl WireDecode for JournalRecord {
             5 => Ok(JournalRecord::Expired {
                 queue: dec.get_str()?,
                 message_id: MessageId::from_u128(dec.get_u128()?),
+            }),
+            6 => Ok(JournalRecord::RelayCustody {
+                xmit_queue: dec.get_str()?,
+                origin: dec.get_str()?,
+                dest_manager: dec.get_str()?,
+                hops: dec.get_u32()?,
+                message: Message::decode(dec)?,
             }),
             tag => Err(CodecError::BadTag {
                 what: "JournalRecord",
@@ -387,6 +426,13 @@ pub(crate) mod tests {
             JournalRecord::Expired {
                 queue: "Q1".into(),
                 message_id: m2.id(),
+            },
+            JournalRecord::RelayCustody {
+                xmit_queue: "SYSTEM.XMIT.QM2".into(),
+                origin: "QM0".into(),
+                dest_manager: "QM9".into(),
+                hops: 3,
+                message: m2.clone(),
             },
             JournalRecord::QueueDeleted { queue: "Q1".into() },
         ]

@@ -48,6 +48,7 @@ pub mod net;
 pub mod obs;
 mod qmgr;
 mod queue;
+pub mod relay;
 pub mod selector;
 mod session;
 pub mod shard;
@@ -64,9 +65,14 @@ pub use qmgr::{
     DLQ_REASON_PROPERTY, XMIT_DEST_MANAGER_PROPERTY, XMIT_DEST_QUEUE_PROPERTY,
 };
 pub use queue::{PutWatcher, Queue, QueueConfig, Wait};
+pub use relay::{
+    RelayOutcome, DEFAULT_DEDUP_WINDOW, DEFAULT_MAX_RELAY_HOPS, RELAY_HOPS_PROPERTY,
+    RELAY_ORIGIN_PROPERTY,
+};
 pub use session::Session;
 pub use stats::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    RelayStats,
 };
 pub use trace::{TraceEvent, TraceLog, TraceStage};
 pub use transport::{BatchOutcome, LinkTransport, Transport, TransportMetrics};

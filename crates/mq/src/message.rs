@@ -374,6 +374,14 @@ impl Message {
         self.redelivery_count += 1;
     }
 
+    /// Strips TTL and absolute expiry. Used when a message is diverted to
+    /// the dead-letter queue for audit: an expired envelope must not
+    /// evaporate off the DLQ before an operator can inspect it.
+    pub(crate) fn clear_expiry(&mut self) {
+        self.ttl = None;
+        self.expiry = None;
+    }
+
     /// Reconstructs a message from raw parts (codec/journal use only).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(

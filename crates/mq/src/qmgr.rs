@@ -16,13 +16,14 @@ use simtime::{SharedClock, SystemClock};
 
 use crate::error::{MqError, MqResult};
 use crate::journal::{Journal, JournalRecord, MemJournal};
-use crate::message::{Message, QueueAddress};
+use crate::message::{Message, MessageId, QueueAddress};
 use crate::obs::Obs;
 use crate::queue::{Queue, QueueConfig, Wait};
+use crate::relay::{Deduper, DEFAULT_DEDUP_WINDOW, DEFAULT_MAX_RELAY_HOPS, RELAY_ORIGIN_PROPERTY};
 use crate::selector::Selector;
 use crate::session::Session;
 use crate::shard::StripedMap;
-use crate::stats::{ManagerStats, MetricsSnapshot, QueueStats};
+use crate::stats::{ManagerStats, MetricsSnapshot, QueueStats, RelayStats};
 use crate::trace::TraceLog;
 
 /// Name of the dead-letter queue every manager owns.
@@ -57,6 +58,12 @@ pub struct ManagerConfig {
     pub backout_threshold: u32,
     /// Maximum message payload size accepted by `put`.
     pub max_message_size: Option<usize>,
+    /// Maximum relay hops an in-transit envelope may take before the
+    /// relay dead-letters it (loop prevention; see [`crate::relay`]).
+    pub max_relay_hops: u32,
+    /// Sliding-window size of the manager-level delivery deduper
+    /// (origin-manager + message id keys; see [`crate::relay`]).
+    pub dedup_window: usize,
 }
 
 impl Default for ManagerConfig {
@@ -64,6 +71,8 @@ impl Default for ManagerConfig {
         ManagerConfig {
             backout_threshold: 5,
             max_message_size: None,
+            max_relay_hops: DEFAULT_MAX_RELAY_HOPS,
+            dedup_window: DEFAULT_DEDUP_WINDOW,
         }
     }
 }
@@ -115,9 +124,11 @@ impl QueueManagerBuilder {
         let journal = self.journal.unwrap_or_else(|| MemJournal::new());
         let obs = self.obs.unwrap_or_default();
         let stats = ManagerStats::registered(obs.metrics());
+        let relay_stats = RelayStats::registered(obs.metrics());
         // Journals that own metric cells (e.g. GroupCommitJournal's fsync
         // and batch-size metrics) surface them through this manager's hub.
         journal.register_metrics(obs.metrics());
+        let dedup_window = self.config.dedup_window;
         let manager = Arc::new(QueueManager {
             name: self.name,
             clock,
@@ -125,7 +136,10 @@ impl QueueManagerBuilder {
             config: self.config,
             queues: StripedMap::default(),
             routes: StripedMap::default(),
+            default_route: Mutex::new(None),
             stats,
+            relay_stats,
+            delivery_dedup: Mutex::new(Deduper::new(dedup_window)),
             obs,
             running: AtomicBool::new(true),
             tasks: Mutex::new(Vec::new()),
@@ -147,9 +161,20 @@ pub struct QueueManager {
     /// Queue table, lock-striped so traffic to distinct queues does not
     /// contend on one global lock (see [`crate::shard`]).
     queues: StripedMap<Arc<Queue>>,
-    /// remote manager name → local transmission queue name
-    routes: StripedMap<String>,
+    /// remote manager name → local transmission queue(s) staging traffic
+    /// toward it. Multiple targets model parallel downstream channels; the
+    /// relay picks one deterministically per message id.
+    routes: StripedMap<Vec<String>>,
+    /// Next-hop transmission queue(s) for destinations with no explicit
+    /// route entry — the "default route" of the relay federation.
+    default_route: Mutex<Option<Vec<String>>>,
     stats: ManagerStats,
+    /// Relay-federation counters (`mq.relay.*`); see [`crate::relay`].
+    pub(crate) relay_stats: RelayStats,
+    /// Manager-level delivery deduper: origin-manager + message id keys,
+    /// shared by every transport feeding this manager and reseeded from
+    /// the journal on recovery (see [`crate::relay`]).
+    pub(crate) delivery_dedup: Mutex<Deduper>,
     obs: Arc<Obs>,
     running: AtomicBool,
     /// Background machinery serving this manager (channel movers, TCP
@@ -199,6 +224,11 @@ impl QueueManager {
         &self.stats
     }
 
+    /// Relay-federation statistics (`mq.relay.*`).
+    pub fn relay_stats(&self) -> &RelayStats {
+        &self.relay_stats
+    }
+
     /// The manager's observability hub (metrics registry + lifecycle
     /// trace). Shared with other managers when built via
     /// [`QueueManagerBuilder::obs`].
@@ -227,7 +257,7 @@ impl QueueManager {
         self.running.load(Ordering::SeqCst)
     }
 
-    fn check_running(&self) -> MqResult<()> {
+    pub(crate) fn check_running(&self) -> MqResult<()> {
         if self.is_running() {
             Ok(())
         } else {
@@ -382,16 +412,24 @@ impl QueueManager {
         if addr.manager == self.name {
             return self.put(&addr.queue, msg);
         }
-        let xmit = self.route_for(&addr.manager)?;
-        let envelope = Self::wrap_for_transmission(addr, msg);
+        let xmit = self
+            .route_for_message(&addr.manager, msg.id())
+            .ok_or_else(|| MqError::NoRoute(addr.manager.clone()))?;
+        let envelope = self.wrap_for_transmission(addr, msg);
         self.stats.forwarded.incr();
         self.put(&xmit, envelope)
     }
 
-    /// Wraps a message in a transmission envelope bound for `addr`.
-    pub(crate) fn wrap_for_transmission(addr: &QueueAddress, mut msg: Message) -> Message {
+    /// Wraps a message in a transmission envelope bound for `addr`,
+    /// stamping this manager as the relay origin (the first half of the
+    /// federation-wide idempotency key) unless an upstream manager already
+    /// did.
+    pub(crate) fn wrap_for_transmission(&self, addr: &QueueAddress, mut msg: Message) -> Message {
         msg.set_property(XMIT_DEST_QUEUE_PROPERTY, addr.queue.as_str());
         msg.set_property(XMIT_DEST_MANAGER_PROPERTY, addr.manager.as_str());
+        if msg.str_property(RELAY_ORIGIN_PROPERTY).is_none() {
+            msg.set_property(RELAY_ORIGIN_PROPERTY, self.name.as_str());
+        }
         msg
     }
 
@@ -447,18 +485,66 @@ impl QueueManager {
 
     /// Declares that messages for `remote_manager` should be staged on the
     /// local transmission queue `xmit_queue` (created if missing).
+    /// Replaces any previous route (or route group) for that manager.
     ///
     /// # Errors
     ///
     /// Journal failures creating the transmission queue.
     pub fn define_route(&self, remote_manager: &str, xmit_queue: &str) -> MqResult<()> {
-        self.ensure_queue(xmit_queue)?;
-        self.routes
-            .insert(remote_manager.to_owned(), xmit_queue.to_owned());
+        self.define_route_group(remote_manager, std::slice::from_ref(&xmit_queue))
+    }
+
+    /// Declares a group of transmission queues for `remote_manager`
+    /// (parallel downstream channels). The relay spreads traffic across
+    /// the group deterministically by message id, so a retried custody
+    /// transfer always picks the same downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoRoute`] for an empty group; journal failures creating
+    /// the transmission queues.
+    pub fn define_route_group<S: AsRef<str>>(
+        &self,
+        remote_manager: &str,
+        xmit_queues: &[S],
+    ) -> MqResult<()> {
+        if xmit_queues.is_empty() {
+            return Err(MqError::NoRoute(remote_manager.to_owned()));
+        }
+        let mut targets = Vec::with_capacity(xmit_queues.len());
+        for q in xmit_queues {
+            self.ensure_queue(q.as_ref())?;
+            targets.push(q.as_ref().to_owned());
+        }
+        self.routes.insert(remote_manager.to_owned(), targets);
         Ok(())
     }
 
-    /// Resolves the transmission queue for a remote manager.
+    /// Declares the next-hop transmission queue(s) used for any
+    /// destination manager without an explicit route entry — the default
+    /// route of the relay federation. A chain topology needs only this:
+    /// each manager points its default route at the neighbor closer to
+    /// the hub and relays everything else.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::NoRoute`] for an empty group; journal failures creating
+    /// the transmission queues.
+    pub fn define_default_route<S: AsRef<str>>(&self, xmit_queues: &[S]) -> MqResult<()> {
+        if xmit_queues.is_empty() {
+            return Err(MqError::NoRoute("<default>".to_owned()));
+        }
+        let mut targets = Vec::with_capacity(xmit_queues.len());
+        for q in xmit_queues {
+            self.ensure_queue(q.as_ref())?;
+            targets.push(q.as_ref().to_owned());
+        }
+        *self.default_route.lock() = Some(targets);
+        Ok(())
+    }
+
+    /// Resolves a transmission queue for a remote manager: the first
+    /// target of its explicit route, falling back to the default route.
     ///
     /// # Errors
     ///
@@ -466,17 +552,58 @@ impl QueueManager {
     pub fn route_for(&self, remote_manager: &str) -> MqResult<String> {
         self.routes
             .get(remote_manager)
+            .and_then(|targets| targets.first().cloned())
+            .or_else(|| {
+                self.default_route
+                    .lock()
+                    .as_ref()
+                    .and_then(|targets| targets.first().cloned())
+            })
             .ok_or_else(|| MqError::NoRoute(remote_manager.to_owned()))
     }
 
+    /// Resolves the transmission queue for one message bound for
+    /// `remote_manager`: the explicit route group if one exists, else the
+    /// default route; within the group the target is chosen
+    /// deterministically from the message id, so retries of the same
+    /// custody transfer always travel the same downstream.
+    pub fn route_for_message(&self, remote_manager: &str, id: MessageId) -> Option<String> {
+        let targets = self
+            .routes
+            .get(remote_manager)
+            .or_else(|| self.default_route.lock().clone())?;
+        if targets.is_empty() {
+            return None;
+        }
+        let idx = (id.as_u128() % targets.len() as u128) as usize;
+        Some(targets[idx].clone())
+    }
+
     /// Delivers a message arriving from a remote channel. Unknown target
-    /// queues dead-letter the message rather than losing it.
+    /// queues dead-letter the message rather than losing it; an envelope
+    /// still addressed to a *different* manager is never accepted as
+    /// local — it is relayed toward its destination (or dead-lettered
+    /// with a reason; see [`crate::relay`]).
     ///
     /// # Errors
     ///
     /// Local put failures.
     pub fn deliver_from_channel(&self, queue: &str, mut msg: Message) -> MqResult<()> {
         self.check_running()?;
+        if let Some(dest) = msg
+            .str_property(XMIT_DEST_MANAGER_PROPERTY)
+            .map(str::to_owned)
+        {
+            if dest != self.name {
+                // Misaddressed envelope: relaying (or dead-lettering) is
+                // the only correct fate — silently accepting it here was
+                // the misdelivery bug this guard fixes.
+                self.stats.received_remote.incr();
+                return self.relay_envelope(msg, &dest).map(|_| ());
+            }
+        }
+        msg.remove_property(XMIT_DEST_QUEUE_PROPERTY);
+        msg.remove_property(XMIT_DEST_MANAGER_PROPERTY);
         self.stats.received_remote.incr();
         if self.queue_exists(queue) {
             self.put(queue, msg)
@@ -550,6 +677,11 @@ impl QueueManager {
             return Ok(());
         }
         let mut queues = self.queues.write_all();
+        // Every message this manager journaled an arrival for re-enters
+        // the delivery deduper, so a sender retrying a custody transfer
+        // across our restart cannot double-deliver (the global
+        // origin-manager + message-id idempotency key survives the crash).
+        let mut dedup = self.delivery_dedup.lock();
         for record in records {
             match record {
                 JournalRecord::QueueCreated { queue } => {
@@ -563,6 +695,7 @@ impl QueueManager {
                 }
                 JournalRecord::Put { queue, message } => {
                     if let Some(q) = queues.get(&queue) {
+                        dedup.record(Deduper::key_of(&message));
                         q.restore(message);
                     }
                 }
@@ -579,6 +712,7 @@ impl QueueManager {
                     }
                     for (queue, message) in puts {
                         if let Some(q) = queues.get(&queue) {
+                            dedup.record(Deduper::key_of(&message));
                             q.restore(message);
                         }
                     }
@@ -586,6 +720,21 @@ impl QueueManager {
                 JournalRecord::Expired { queue, message_id } => {
                     if let Some(q) = queues.get(&queue) {
                         q.remove_by_id(message_id);
+                    }
+                }
+                // A custody transfer replays like a Put onto the outbound
+                // transmission queue: accepted-and-forwarded is one atomic
+                // record, so a crash between accept and re-enqueue rolls
+                // back to "never accepted" and the upstream retry re-runs
+                // the relay decision.
+                JournalRecord::RelayCustody {
+                    xmit_queue,
+                    message,
+                    ..
+                } => {
+                    if let Some(q) = queues.get(&xmit_queue) {
+                        dedup.record(Deduper::key_of(&message));
+                        q.restore(message);
                     }
                 }
             }

@@ -240,8 +240,11 @@ impl Session {
         if addr.manager == self.manager.name() {
             return self.put(&addr.queue, msg);
         }
-        let xmit = self.manager.route_for(&addr.manager)?;
-        let envelope = QueueManager::wrap_for_transmission(addr, msg);
+        let xmit = self
+            .manager
+            .route_for_message(&addr.manager, msg.id())
+            .ok_or_else(|| crate::MqError::NoRoute(addr.manager.clone()))?;
+        let envelope = self.manager.wrap_for_transmission(addr, msg);
         self.manager.stats().forwarded.incr();
         self.put(&xmit, envelope)
     }

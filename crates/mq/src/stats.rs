@@ -522,6 +522,39 @@ impl ManagerStats {
     }
 }
 
+/// Relay-federation statistics for one queue manager, registered as
+/// `mq.relay.*`. Counts what happens to envelopes arriving from channels:
+/// accepted locally, forwarded downstream, discarded as duplicates, or
+/// dead-lettered because no viable next hop exists.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Envelopes accepted from a channel and delivered to a local queue.
+    pub delivered_local: Arc<Counter>,
+    /// In-transit envelopes re-enqueued toward their destination manager.
+    pub forwarded: Arc<Counter>,
+    /// Envelopes discarded by the manager-level idempotency check
+    /// (origin-manager + message id already seen).
+    pub duplicates: Arc<Counter>,
+    /// Envelopes dead-lettered by the relay (unknown destination manager,
+    /// hop count exhausted, TTL expired).
+    pub dead_lettered: Arc<Counter>,
+    /// Hop count observed on each envelope when it arrived here.
+    pub hops: Arc<Histogram>,
+}
+
+impl RelayStats {
+    /// Creates stats whose cells are registered in `registry`.
+    pub fn registered(registry: &MetricsRegistry) -> RelayStats {
+        RelayStats {
+            delivered_local: registry.counter("mq.relay.delivered_local"),
+            forwarded: registry.counter("mq.relay.forwarded"),
+            duplicates: registry.counter("mq.relay.duplicates"),
+            dead_lettered: registry.counter("mq.relay.dead_lettered"),
+            hops: registry.histogram("mq.relay.hops"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,12 @@ pub enum TraceStage {
     SphereCommit,
     /// A Dependency-Sphere aborted (detail: reason).
     SphereAbort,
+    /// A relay manager forwarded an in-transit envelope toward its
+    /// destination manager (detail: `dest=<mgr> via=<xmit queue> hops=<n>`).
+    RelayForwarded,
+    /// A relay manager dead-lettered an in-transit envelope it could not
+    /// forward (detail: the DLQ reason).
+    RelayDeadLettered,
 }
 
 impl fmt::Display for TraceStage {
@@ -76,6 +82,8 @@ impl fmt::Display for TraceStage {
             TraceStage::SphereBegin => "sphere-begin",
             TraceStage::SphereCommit => "sphere-commit",
             TraceStage::SphereAbort => "sphere-abort",
+            TraceStage::RelayForwarded => "relay-forwarded",
+            TraceStage::RelayDeadLettered => "relay-dead-lettered",
         };
         f.write_str(s)
     }

@@ -110,6 +110,14 @@ pub enum FrameError {
     BadKind(u8),
     /// A handshake payload carried the wrong magic or version.
     BadHandshake(&'static str),
+    /// The frame body would exceed [`MAX_FRAME_BODY`]: the peer's decoder
+    /// would reject it as implausible, so it must never hit the wire.
+    TooLarge {
+        /// The body size that was attempted.
+        size: usize,
+        /// The enforced ceiling ([`MAX_FRAME_BODY`]).
+        max: usize,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -120,6 +128,9 @@ impl fmt::Display for FrameError {
             FrameError::Codec(e) => write!(f, "frame payload error: {e}"),
             FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             FrameError::BadHandshake(why) => write!(f, "bad handshake: {why}"),
+            FrameError::TooLarge { size, max } => {
+                write!(f, "frame body {size} bytes exceeds cap {max}")
+            }
         }
     }
 }
@@ -174,6 +185,18 @@ impl Frame {
         Frame::with_payload(FrameKind::HelloAck, 0, Frame::handshake_payload(name))
     }
 
+    /// The wire footprint `msg` contributes to a batch payload: its
+    /// [`WireEncode`] form plus the varint length prefix
+    /// [`Frame::batch`] writes before it. The channel mover uses this to
+    /// cut batches on a byte budget before [`Frame::encode`] would refuse
+    /// the result.
+    pub fn message_wire_len(msg: &Message) -> usize {
+        let encoded = msg.to_bytes().len();
+        // Varint length prefix: one byte per 7 bits, at least one byte.
+        let prefix = (64 - (encoded as u64).leading_zeros() as usize).div_ceil(7).max(1);
+        prefix + encoded
+    }
+
     /// Builds a batch frame carrying `messages` under sequence `seq`.
     pub fn batch(seq: u64, messages: &[Message]) -> Frame {
         let mut enc = Encoder::new();
@@ -203,11 +226,25 @@ impl Frame {
     }
 
     /// Encodes the frame into its full wire form (length, body, CRC).
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the body would exceed
+    /// [`MAX_FRAME_BODY`] — the receiving [`FrameReader`] rejects such a
+    /// length as corrupt, so emitting it would wedge the connection in a
+    /// reject/reconnect loop. (This also guards the `as u32` narrowing of
+    /// the length prefix, which is impossible to overflow below the cap.)
+    pub fn encode(&self) -> Result<Bytes, FrameError> {
         let mut body = Encoder::new();
         body.put_u8(self.kind.as_u8());
         body.put_u64(self.seq);
         let body_len = BODY_HEADER + self.payload.len();
+        if body_len > MAX_FRAME_BODY {
+            return Err(FrameError::TooLarge {
+                size: body_len,
+                max: MAX_FRAME_BODY,
+            });
+        }
         let mut out = Encoder::new();
         out.put_u32(body_len as u32);
         let body = body.finish();
@@ -217,7 +254,7 @@ impl Frame {
         framed.extend_from_slice(&self.payload);
         let crc = crc32(&framed[4..4 + body_len]);
         framed.extend_from_slice(&crc.to_le_bytes());
-        Bytes::from(framed)
+        Ok(Bytes::from(framed))
     }
 
     /// Decodes a handshake payload ([`Frame::hello`] / [`Frame::hello_ack`]),
@@ -377,10 +414,10 @@ mod tests {
 
     #[test]
     fn handshake_roundtrips() {
-        let frame = read_one(&Frame::hello("QM.SEND").encode());
+        let frame = read_one(&Frame::hello("QM.SEND").encode().unwrap());
         assert_eq!(frame.kind, FrameKind::Hello);
         assert_eq!(frame.decode_handshake().unwrap(), "QM.SEND");
-        let ack = read_one(&Frame::hello_ack("QM.RECV").encode());
+        let ack = read_one(&Frame::hello_ack("QM.RECV").encode().unwrap());
         assert_eq!(ack.kind, FrameKind::HelloAck);
         assert_eq!(ack.decode_handshake().unwrap(), "QM.RECV");
     }
@@ -391,7 +428,7 @@ mod tests {
             Message::text("a").persistent(true).build(),
             Message::text("b").property("k", 7i64).build(),
         ];
-        let frame = read_one(&Frame::batch(42, &msgs).encode());
+        let frame = read_one(&Frame::batch(42, &msgs).encode().unwrap());
         assert_eq!(frame.kind, FrameKind::Batch);
         assert_eq!(frame.seq, 42);
         let back = frame.decode_batch().unwrap();
@@ -400,7 +437,7 @@ mod tests {
 
     #[test]
     fn ack_roundtrips_counts() {
-        let frame = read_one(&Frame::ack(9, 5, 2).encode());
+        let frame = read_one(&Frame::ack(9, 5, 2).encode().unwrap());
         assert_eq!(frame.kind, FrameKind::Ack);
         assert_eq!(frame.seq, 9);
         assert_eq!(frame.decode_ack().unwrap(), (5, 2));
@@ -408,16 +445,16 @@ mod tests {
 
     #[test]
     fn ping_pong_are_empty() {
-        let ping = read_one(&Frame::ping(3).encode());
+        let ping = read_one(&Frame::ping(3).encode().unwrap());
         assert_eq!(ping.kind, FrameKind::Ping);
         assert!(ping.payload.is_empty());
-        let pong = read_one(&Frame::pong(3).encode());
+        let pong = read_one(&Frame::pong(3).encode().unwrap());
         assert_eq!(pong.kind, FrameKind::Pong);
     }
 
     #[test]
     fn crc_flip_is_detected() {
-        let mut raw = Frame::ack(1, 1, 0).encode().to_vec();
+        let mut raw = Frame::ack(1, 1, 0).encode().unwrap().to_vec();
         let mid = raw.len() / 2;
         raw[mid] ^= 0x40;
         let mut reader = FrameReader::new();
@@ -430,7 +467,7 @@ mod tests {
 
     #[test]
     fn implausible_length_rejected() {
-        let mut raw = Frame::ping(1).encode().to_vec();
+        let mut raw = Frame::ping(1).encode().unwrap().to_vec();
         raw[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
         let mut reader = FrameReader::new();
         let mut cursor = Cursor::new(raw);
@@ -452,7 +489,7 @@ mod tests {
             }
         }
         let msgs = vec![Message::text("split").build()];
-        let mut stream = OneByte(Cursor::new(Frame::batch(7, &msgs).encode().to_vec()));
+        let mut stream = OneByte(Cursor::new(Frame::batch(7, &msgs).encode().unwrap().to_vec()));
         let mut reader = FrameReader::new();
         match reader.poll(&mut stream).unwrap() {
             FrameEvent::Frame(f) => assert_eq!(f.decode_batch().unwrap(), msgs),
@@ -462,8 +499,8 @@ mod tests {
 
     #[test]
     fn two_frames_in_one_buffer_parse_sequentially() {
-        let mut raw = Frame::ping(1).encode().to_vec();
-        raw.extend_from_slice(&Frame::pong(2).encode());
+        let mut raw = Frame::ping(1).encode().unwrap().to_vec();
+        raw.extend_from_slice(&Frame::pong(2).encode().unwrap());
         let mut reader = FrameReader::new();
         let mut cursor = Cursor::new(raw);
         let first = match reader.poll(&mut cursor).unwrap() {
@@ -480,6 +517,32 @@ mod tests {
             reader.poll(&mut cursor).unwrap(),
             FrameEvent::Closed
         ));
+    }
+
+    #[test]
+    fn oversized_body_refuses_to_encode() {
+        let huge = Message::text("x".repeat(MAX_FRAME_BODY)).build();
+        let err = Frame::batch(1, std::slice::from_ref(&huge))
+            .encode()
+            .unwrap_err();
+        match err {
+            FrameError::TooLarge { size, max } => {
+                assert!(size > max);
+                assert_eq!(max, MAX_FRAME_BODY);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_wire_len_matches_batch_payload_growth() {
+        let a = Message::text("short").build();
+        let b = Message::text("y".repeat(300)).property("k", 1i64).build();
+        let empty = Frame::batch(0, &[]).payload.len();
+        let one = Frame::batch(0, std::slice::from_ref(&a)).payload.len();
+        let two = Frame::batch(0, &[a.clone(), b.clone()]).payload.len();
+        assert_eq!(one - empty, Frame::message_wire_len(&a));
+        assert_eq!(two - one, Frame::message_wire_len(&b));
     }
 
     #[test]

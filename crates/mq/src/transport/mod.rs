@@ -14,16 +14,18 @@
 //! * [`tcp::TcpTransport`] / [`tcp::TcpAcceptor`] — real sockets with
 //!   CRC-framed batches, heartbeats, reconnect, and receiver-side dedup.
 //!
-//! Both paths converge on [`QueueManager::deliver_from_channel`], so a
-//! message that crossed a real socket is journaled, traced, and counted
-//! exactly like one that crossed the simulated link.
+//! Both paths converge on [`QueueManager::accept_envelope`] — the relay
+//! seam — so a message that crossed a real socket is deduplicated,
+//! relayed or delivered, journaled, traced, and counted exactly like one
+//! that crossed the simulated link.
 //!
 //! The channel mover ([`crate::channel`]) is transport-agnostic: it drains
 //! the transmission queue in batches under one session transaction, calls
 //! [`Transport::send_batch`], and commits only on
 //! [`BatchOutcome::Delivered`] — the at-least-once half of the delivery
-//! guarantee. The TCP receiver's message-id dedup supplies the
-//! at-most-once half across connection failures.
+//! guarantee. The receiving manager's origin+message-id dedup
+//! ([`crate::relay`]) supplies the at-most-once half across connection
+//! failures, restarts, and multi-hop relays.
 
 pub mod frame;
 pub mod tcp;
@@ -36,7 +38,8 @@ use simtime::{Millis, SharedClock};
 
 use crate::message::Message;
 use crate::net::{Link, Transfer};
-use crate::qmgr::{QueueManager, XMIT_DEST_QUEUE_PROPERTY};
+use crate::qmgr::QueueManager;
+use crate::relay::RelayOutcome;
 use crate::stats::{Counter, Histogram, MetricsRegistry};
 use crate::{MqError, MqResult};
 
@@ -136,24 +139,17 @@ impl TransportMetrics {
 }
 
 /// Hands one arriving envelope to the receiving manager through the
-/// normal channel-delivery path: strips the transmission-header
-/// properties, then [`QueueManager::deliver_from_channel`] (which
-/// journals, counts, and dead-letters unknown queues).
+/// relay seam ([`QueueManager::accept_envelope`]): the manager-level
+/// deduper drops sender retries, envelopes addressed here are delivered
+/// locally (journaled, counted, unknown queues dead-lettered), and
+/// envelopes addressed to *other* managers are relayed toward their
+/// destination or dead-lettered with a reason — never accepted as local.
 ///
 /// # Errors
 ///
-/// Local put failures from the receiving manager.
-pub(crate) fn deliver_envelope(to: &QueueManager, mut msg: Message) -> MqResult<()> {
-    let dest = msg
-        .remove_property(XMIT_DEST_QUEUE_PROPERTY)
-        .and_then(|v| v.as_str().map(str::to_owned));
-    msg.remove_property(crate::qmgr::XMIT_DEST_MANAGER_PROPERTY);
-    match dest {
-        Some(queue) => to.deliver_from_channel(&queue, msg),
-        // An envelope without a destination header cannot be routed;
-        // deliver_from_channel's unknown-queue path dead-letters it.
-        None => to.deliver_from_channel("", msg),
-    }
+/// Local put/journal failures from the receiving manager.
+pub(crate) fn deliver_envelope(to: &QueueManager, msg: Message) -> MqResult<RelayOutcome> {
+    to.accept_envelope(msg)
 }
 
 /// The in-process transport: crosses a simulated [`Link`] and delivers
@@ -220,11 +216,13 @@ impl Transport for LinkTransport {
                 let mut bytes = 0u64;
                 for msg in batch {
                     bytes += msg.payload().len() as u64;
-                    if deliver_envelope(&self.to, msg.clone()).is_err() {
+                    match deliver_envelope(&self.to, msg.clone()) {
+                        Ok(RelayOutcome::Duplicate) => self.metrics.dedup_dropped.incr(),
+                        Ok(_) => {}
                         // The remote manager refused (stopped/crashed):
                         // treat like a partition so the sender backs off
                         // and the batch is retried after recovery.
-                        return BatchOutcome::Unavailable;
+                        Err(_) => return BatchOutcome::Unavailable,
                     }
                 }
                 self.metrics.batches_sent.incr();

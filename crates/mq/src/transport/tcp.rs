@@ -14,25 +14,24 @@
 //!
 //! * [`TcpAcceptor`] — the receiving side, one per listening queue
 //!   manager. An accept thread spawns a handler per connection; handlers
-//!   parse frames incrementally (surviving read-timeout ticks mid-frame),
-//!   deduplicate by message id, and hand each survivor to
-//!   [`QueueManager::deliver_from_channel`] — the same journal/obs path
-//!   in-process delivery uses. The `Ack` is written only after every
-//!   message in the batch is enqueued.
+//!   parse frames incrementally (surviving read-timeout ticks mid-frame)
+//!   and hand each message to [`QueueManager::accept_envelope`] — the
+//!   relay seam every transport converges on, which deduplicates,
+//!   delivers locally, or relays toward another manager through the same
+//!   journal/obs path in-process delivery uses. The `Ack` is written only
+//!   after every message in the batch is enqueued.
 //!
 //! ## Delivery guarantee
 //!
 //! The sender commits its transmission-queue gets only after the ack, so
 //! a connection lost mid-batch leaves the messages in the transmission
 //! queue and they are resent after reconnect — at-least-once. The
-//! acceptor's [`Deduper`] remembers recently delivered message ids and
-//! silently drops resends of messages that made it in before the
-//! connection died — at-most-once across connection failures. (The dedup
-//! window lives in receiver memory: it protects against connection churn,
-//! not against a receiving *process* restart, where the journal's replay
-//! already provides its own idempotence.)
+//! receiving manager's [`crate::relay`] deduper remembers recently
+//! accepted *(origin manager, message id)* keys and silently drops
+//! resends of messages that made it in before the connection died —
+//! at-most-once across connection failures, and (because the window is
+//! reseeded from the journal on recovery) across receiver restarts too.
 
-use std::collections::{HashSet, VecDeque};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,8 +41,8 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::message::MessageId;
 use crate::qmgr::QueueManager;
+use crate::relay::RelayOutcome;
 use crate::stats::MetricsRegistry;
 use crate::transport::frame::{Frame, FrameEvent, FrameKind, FrameReader};
 use crate::transport::{deliver_envelope, transport_error, BatchOutcome, Transport, TransportMetrics};
@@ -87,8 +86,9 @@ const ACCEPT_READ_TICK: Duration = Duration::from_millis(100);
 /// How many read ticks a handler waits for the client's `Hello`.
 const HANDSHAKE_TICKS: u32 = 50;
 
-/// Default size of the receiver's message-id dedup window.
-pub const DEFAULT_DEDUP_WINDOW: usize = 16 * 1024;
+/// Default size of the receiver's dedup window (re-exported from the
+/// relay module, which owns the manager-level deduper these days).
+pub use crate::relay::DEFAULT_DEDUP_WINDOW;
 
 // ---------------------------------------------------------------- sender --
 
@@ -249,9 +249,8 @@ impl TcpTransport {
 
     /// Sends `Hello`, awaits `HelloAck`, verifies the peer's name.
     fn handshake(&self, stream: &mut TcpStream) -> Result<(), ()> {
-        stream
-            .write_all(&Frame::hello(&self.local_name).encode())
-            .map_err(|_| ())?;
+        let hello = Frame::hello(&self.local_name).encode().map_err(|_| ())?;
+        stream.write_all(&hello).map_err(|_| ())?;
         let mut reader = FrameReader::new();
         let reply = match reader.poll(stream) {
             Ok(FrameEvent::Frame(f)) if f.kind == FrameKind::HelloAck => f,
@@ -274,9 +273,12 @@ impl TcpTransport {
         }
         st.seq += 1;
         let seq = st.seq;
-        let ok = Self::roundtrip(&mut st, &Frame::ping(seq), |reply| {
-            reply.kind == FrameKind::Pong && reply.seq == seq
-        });
+        let ok = match Frame::ping(seq).encode() {
+            Ok(wire) => Self::roundtrip(&mut st, &wire, |reply| {
+                reply.kind == FrameKind::Pong && reply.seq == seq
+            }),
+            Err(_) => false,
+        };
         if ok {
             self.metrics.heartbeats.incr();
         } else {
@@ -285,13 +287,14 @@ impl TcpTransport {
         }
     }
 
-    /// Writes `frame` and reads one reply frame, returning whether
-    /// `accept` matched it. Any I/O or framing failure reports `false`.
-    fn roundtrip(st: &mut ConnState, frame: &Frame, accept: impl Fn(&Frame) -> bool) -> bool {
+    /// Writes the pre-encoded `wire` bytes and reads one reply frame,
+    /// returning whether `accept` matched it. Any I/O or framing failure
+    /// reports `false`.
+    fn roundtrip(st: &mut ConnState, wire: &[u8], accept: impl Fn(&Frame) -> bool) -> bool {
         let Some(stream) = st.stream.as_mut() else {
             return false;
         };
-        if stream.write_all(&frame.encode()).is_err() {
+        if stream.write_all(wire).is_err() {
             return false;
         }
         let mut reader = FrameReader::new();
@@ -330,8 +333,16 @@ impl Transport for TcpTransport {
         st.seq += 1;
         let seq = st.seq;
         let frame = Frame::batch(seq, batch);
-        let wire_bytes = frame.encode().len() as u64;
-        let acked = Self::roundtrip(&mut st, &frame, |reply| {
+        let Ok(wire) = frame.encode() else {
+            // The batch exceeds the frame cap. The mover's byte budget
+            // makes this unreachable; if it does happen, refusing here
+            // (rather than emitting a frame the peer rejects) keeps the
+            // connection healthy, and Dropped sends the batch back for a
+            // re-cut instead of parking the mover.
+            return BatchOutcome::Dropped;
+        };
+        let wire_bytes = wire.len() as u64;
+        let acked = Self::roundtrip(&mut st, &wire, |reply| {
             reply.kind == FrameKind::Ack && reply.seq == seq && reply.decode_ack().is_ok()
         });
         if !acked {
@@ -376,47 +387,12 @@ impl Transport for TcpTransport {
 
 // -------------------------------------------------------------- receiver --
 
-/// Sliding-window message-id dedup. Remembers the last `window` delivered
-/// ids; `seen` is O(1) via the hash set, eviction is FIFO via the deque.
-pub(crate) struct Deduper {
-    window: usize,
-    set: HashSet<MessageId>,
-    order: VecDeque<MessageId>,
-}
-
-impl Deduper {
-    fn new(window: usize) -> Deduper {
-        Deduper {
-            window: window.max(1),
-            set: HashSet::with_capacity(window.max(1)),
-            order: VecDeque::with_capacity(window.max(1)),
-        }
-    }
-
-    fn seen(&self, id: MessageId) -> bool {
-        self.set.contains(&id)
-    }
-
-    fn record(&mut self, id: MessageId) {
-        if !self.set.insert(id) {
-            return;
-        }
-        self.order.push_back(id);
-        while self.order.len() > self.window {
-            if let Some(old) = self.order.pop_front() {
-                self.set.remove(&old);
-            }
-        }
-    }
-}
-
 /// Shared state between the acceptor's threads.
 struct AcceptorShared {
     manager: Weak<QueueManager>,
     local_name: String,
     stop: AtomicBool,
     metrics: TransportMetrics,
-    dedup: Mutex<Deduper>,
     /// Clones of live connection sockets, for kick/shutdown.
     conns: Mutex<Vec<TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
@@ -456,7 +432,9 @@ impl TcpAcceptor {
         TcpAcceptor::bind_with(manager, addr, DEFAULT_DEDUP_WINDOW)
     }
 
-    /// [`TcpAcceptor::bind`] with an explicit dedup-window size.
+    /// [`TcpAcceptor::bind`] with an explicit dedup-window size, applied
+    /// to the manager-level deduper shared by every transport feeding
+    /// `manager` (see [`crate::relay`]).
     ///
     /// # Errors
     ///
@@ -471,12 +449,14 @@ impl TcpAcceptor {
         let local = listener
             .local_addr()
             .map_err(|e| transport_error(addr, format!("local_addr failed: {e}")))?;
+        if dedup_window != DEFAULT_DEDUP_WINDOW {
+            manager.set_dedup_window(dedup_window);
+        }
         let shared = Arc::new(AcceptorShared {
             manager: Arc::downgrade(manager),
             local_name: manager.name().to_owned(),
             stop: AtomicBool::new(false),
             metrics: TransportMetrics::registered(manager.obs().metrics()),
-            dedup: Mutex::new(Deduper::new(dedup_window)),
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
             drop_before_ack: AtomicU64::new(0),
@@ -589,7 +569,10 @@ fn handle_connection(shared: &Arc<AcceptorShared>, mut stream: TcpStream) {
             Ok(FrameEvent::Closed) | Err(_) => return,
             Ok(FrameEvent::Frame(frame)) => match frame.kind {
                 FrameKind::Ping => {
-                    if stream.write_all(&Frame::pong(frame.seq).encode()).is_err() {
+                    let Ok(pong) = Frame::pong(frame.seq).encode() else {
+                        return;
+                    };
+                    if stream.write_all(&pong).is_err() {
                         return;
                     }
                 }
@@ -624,9 +607,10 @@ fn serve_handshake(
                 if frame.decode_handshake().is_err() {
                     return false;
                 }
-                return stream
-                    .write_all(&Frame::hello_ack(&shared.local_name).encode())
-                    .is_ok();
+                let Ok(ack) = Frame::hello_ack(&shared.local_name).encode() else {
+                    return false;
+                };
+                return stream.write_all(&ack).is_ok();
             }
             _ => return false,
         }
@@ -647,19 +631,16 @@ fn serve_batch(shared: &Arc<AcceptorShared>, stream: &mut TcpStream, frame: &Fra
     let mut accepted = 0u64;
     let mut deduplicated = 0u64;
     for msg in messages {
-        let id = msg.id();
-        if shared.dedup.lock().seen(id) {
-            deduplicated += 1;
-            shared.metrics.dedup_dropped.incr();
-            continue;
-        }
-        if deliver_envelope(&manager, msg).is_err() {
+        match deliver_envelope(&manager, msg) {
+            Ok(RelayOutcome::Duplicate) => {
+                deduplicated += 1;
+                shared.metrics.dedup_dropped.incr();
+            }
+            Ok(_) => accepted += 1,
             // Local put failure (manager stopping, journal error): leave
             // the batch unacked so the sender retries after backoff.
-            return false;
+            Err(_) => return false,
         }
-        shared.dedup.lock().record(id);
-        accepted += 1;
     }
     shared.metrics.batches_received.incr();
     shared.metrics.messages_received.add(accepted);
@@ -672,9 +653,10 @@ fn serve_batch(shared: &Arc<AcceptorShared>, stream: &mut TcpStream, frame: &Fra
         let _ = stream.shutdown(Shutdown::Both);
         return false;
     }
-    stream
-        .write_all(&Frame::ack(frame.seq, accepted, deduplicated).encode())
-        .is_ok()
+    let Ok(ack) = Frame::ack(frame.seq, accepted, deduplicated).encode() else {
+        return false;
+    };
+    stream.write_all(&ack).is_ok()
 }
 
 #[cfg(test)]
@@ -693,6 +675,7 @@ mod tests {
 
     fn envelope(text: &str) -> Message {
         Message::text(text)
+            .persistent(true)
             .property(XMIT_DEST_QUEUE_PROPERTY, "Q.IN")
             .property(XMIT_DEST_MANAGER_PROPERTY, "QM.RECV")
             .build()
@@ -903,19 +886,66 @@ mod tests {
     }
 
     #[test]
-    fn deduper_window_evicts_fifo() {
-        let mut dedup = Deduper::new(2);
-        let a = MessageId::from_u128(1);
-        let b = MessageId::from_u128(2);
-        let c = MessageId::from_u128(3);
-        dedup.record(a);
-        dedup.record(b);
-        assert!(dedup.seen(a) && dedup.seen(b));
-        dedup.record(c);
-        assert!(!dedup.seen(a), "oldest id evicted");
-        assert!(dedup.seen(b) && dedup.seen(c));
-        // Re-recording an id already present neither duplicates nor evicts.
-        dedup.record(c);
-        assert!(dedup.seen(b));
+    fn acceptor_restart_during_retry_does_not_double_deliver() {
+        // The receiver delivers a batch but dies (acceptor + manager)
+        // before acking. The sender retries against the rebuilt manager:
+        // the journal-reseeded (origin, id) dedup window must drop the
+        // retry — exactly-once across a receiving-process restart.
+        let journal = crate::journal::MemJournal::new();
+        let recv = QueueManager::builder("QM.RECV")
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        recv.create_queue("Q.IN").unwrap();
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        acceptor.inject_drop_before_ack(1);
+        let batch = vec![envelope("exactly-once")];
+        // Delivered and journaled on the receiver, but never acked.
+        assert_eq!(tx.send_batch(&batch), BatchOutcome::Unavailable);
+        tx.shutdown();
+        acceptor.shutdown();
+        recv.crash();
+
+        let recv2 = QueueManager::builder("QM.RECV")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(recv2.queue("Q.IN").unwrap().depth(), 1, "recovered");
+        let acceptor2 = TcpAcceptor::bind(&recv2, "127.0.0.1:0").unwrap();
+        let registry2 = MetricsRegistry::new();
+        let tx2 = TcpTransport::connect(
+            "QM.SEND",
+            acceptor2.local_addr(),
+            quick_config("QM.RECV"),
+            &registry2,
+        )
+        .unwrap();
+        assert!(tx2.wait_ready(Duration::from_secs(5)));
+        // The sender never saw an ack, so it resends the same envelope.
+        assert_eq!(tx2.send_batch(&batch), BatchOutcome::Delivered);
+        assert_eq!(
+            recv2.queue("Q.IN").unwrap().depth(),
+            1,
+            "retry across restart must not double-deliver"
+        );
+        assert_eq!(
+            recv2
+                .obs()
+                .metrics()
+                .snapshot()
+                .counter("mq.transport.dedup_dropped"),
+            1
+        );
+        tx2.shutdown();
+        acceptor2.shutdown();
     }
 }
