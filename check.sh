@@ -23,3 +23,7 @@ cargo run --release -p cond-bench --bin exp_tcp -- --quick
 # crash proof (middle relay crashed mid-handoff, exactly-once asserted
 # inside the binary). Writes BENCH_federation.json.
 cargo run --release -p cond-bench --bin exp_federation -- --quick
+# Storage inversion gate: indexed selector/correlation gets must beat the
+# band scan, and checkpointed restart must be >= 10x faster than replaying
+# the full history (asserted inside the binary). Writes BENCH_store.json.
+cargo run --release -p cond-bench --bin exp_store -- --quick

@@ -109,7 +109,7 @@ fn bench_journal(c: &mut Criterion) {
                 }
                 j
             },
-            |j| j.replay().unwrap(),
+            |j| j.replay_collect().unwrap(),
             BatchSize::SmallInput,
         );
     });

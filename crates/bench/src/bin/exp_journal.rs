@@ -111,7 +111,7 @@ fn run_group_commit(writers: usize, per_writer: usize) -> RunStats {
 /// Reopen the journal cold and check that every acked append survived.
 fn verify_and_remove(path: &std::path::Path, expected: usize) {
     let reopened = FileJournal::open(path, false).unwrap();
-    let replayed = reopened.replay().unwrap();
+    let replayed = reopened.replay_collect().unwrap();
     assert_eq!(replayed.len(), expected, "durable journal must hold every acked append");
     drop(reopened);
     let _ = std::fs::remove_file(path);

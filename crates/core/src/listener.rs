@@ -239,7 +239,11 @@ mod tests {
             .unwrap()
             .expect("decided");
         assert_eq!(outcome.outcome, MessageOutcome::Success);
-        assert_eq!(listener.stats().processed.get(), 1);
+        // The outcome is decided the moment the processing ack commits;
+        // the listener bumps its counter just after, so park for it.
+        listener
+            .stats()
+            .wait_until("processed counted", || listener.stats().processed.get() == 1);
     }
 
     #[test]
@@ -277,7 +281,11 @@ mod tests {
             "third attempt commits"
         );
         assert_eq!(listener.stats().rolled_back.get(), 2);
-        assert_eq!(listener.stats().processed.get(), 1);
+        // The counter lands just after the commit that decided the
+        // outcome; park for it instead of racing the listener thread.
+        listener
+            .stats()
+            .wait_until("processed counted", || listener.stats().processed.get() == 1);
     }
 
     #[test]

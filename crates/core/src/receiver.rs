@@ -322,6 +322,9 @@ impl ConditionalReceiver {
         ))
         .map_err(MqError::from)?;
         let comps = match self.qmgr.queue(queue) {
+            // Indexed existence probe first: queues with no compensation
+            // aboard (the common case) skip the full browse entirely.
+            Ok(q) if !q.any_selected(&comp_selector) => return Ok(()),
             Ok(q) => q.browse_selected(Some(&comp_selector)),
             Err(_) => return Ok(()),
         };
@@ -414,7 +417,9 @@ impl ConditionalReceiver {
         ))
         .map_err(MqError::from)?;
         let rlog = self.qmgr.queue(&self.config.rlog_queue)?;
-        Ok(!rlog.browse_selected(Some(&selector)).is_empty())
+        // Point read off the property index: the rlog grows with every
+        // delivery, and this probe runs once per duplicate redelivery.
+        Ok(rlog.any_selected(&selector))
     }
 
     fn log_rlog_entry(&mut self, cond_id: CondMessageId, leaf: u32, entry: &str) -> CondResult<()> {

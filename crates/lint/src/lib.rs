@@ -663,6 +663,30 @@ mod tests {
     }
 
     #[test]
+    fn store_module_is_fully_linted() {
+        // The storage inversion made these the primary store: the message
+        // store's indexes and the segmented journal's roll/checkpoint/
+        // truncate machinery must stay panic-free, std::sync-free and
+        // sim-clocked — every library rule covers them in full, while the
+        // storage experiment binary stays App.
+        for p in [
+            "crates/mq/src/store.rs",
+            "crates/mq/src/journal/segment.rs",
+        ] {
+            assert_eq!(classify(p), FileClass::Library, "{p}");
+            for rule in [
+                LintRule::Sleep,
+                LintRule::StdSync,
+                LintRule::WallClock,
+                LintRule::Unwrap,
+            ] {
+                assert!(rule_applies(rule, classify(p), p), "{rule:?} must cover {p}");
+            }
+        }
+        assert_eq!(classify("crates/bench/src/bin/exp_store.rs"), FileClass::App);
+    }
+
+    #[test]
     fn simtime_exempt_from_time_rules_only() {
         let p = "crates/simtime/src/lib.rs";
         assert!(!rule_applies(LintRule::Sleep, classify(p), p));

@@ -2,15 +2,16 @@
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::error::MqResult;
+use crate::error::{MqError, MqResult};
 
-use super::{decode_frames, encode_frame, GroupStorage, Journal, JournalRecord};
+use super::{encode_frame, FrameStream, GroupStorage, Journal, JournalRecord, ReplaySink};
+use crate::codec::WireDecode;
 
 /// File-backed journal with `[len:u32][crc:u32][record bytes]` framing.
 pub struct FileJournal {
@@ -79,15 +80,24 @@ impl Journal for FileJournal {
         Ok(())
     }
 
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(0))?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
-        // Leave the cursor back at the end for subsequent appends.
-        file.seek(SeekFrom::End(0))?;
-        drop(file);
-        decode_frames(&raw)
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        // Stream from a dedicated read handle so replay memory is bounded
+        // by one frame and the append cursor is never disturbed.
+        let reader = OpenOptions::new().read(true).open(&self.path)?;
+        let total = reader.metadata()?.len();
+        let mut frames = FrameStream::new(BufReader::new(reader), total);
+        while let Some((offset, body)) = frames.next_body()? {
+            match JournalRecord::from_bytes(body) {
+                Ok(rec) => sink(rec)?,
+                Err(e) => {
+                    return Err(MqError::JournalCorrupt {
+                        offset,
+                        reason: format!("undecodable record: {e}"),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     fn reset(&self) -> MqResult<()> {
@@ -116,8 +126,8 @@ impl GroupStorage for FileJournal {
         Ok(())
     }
 
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        Journal::replay(self)
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        Journal::replay(self, sink)
     }
 
     fn reset(&self) -> MqResult<()> {
@@ -145,15 +155,15 @@ mod tests {
             for r in &records {
                 j.append(r).unwrap();
             }
-            assert_eq!(Journal::replay(j.as_ref()).unwrap(), records);
+            assert_eq!(Journal::replay_collect(j.as_ref()).unwrap(), records);
         }
         // Reopen: records persist across process-style restarts.
         let j = FileJournal::open(&path, false).unwrap();
-        assert_eq!(Journal::replay(j.as_ref()).unwrap(), records);
+        assert_eq!(Journal::replay_collect(j.as_ref()).unwrap(), records);
         // Appends after replay land after existing records.
         j.append(&JournalRecord::QueueCreated { queue: "Q9".into() })
             .unwrap();
-        let all = Journal::replay(j.as_ref()).unwrap();
+        let all = Journal::replay_collect(j.as_ref()).unwrap();
         assert_eq!(all.len(), records.len() + 1);
         assert_eq!(
             all.last().unwrap(),
@@ -177,7 +187,7 @@ mod tests {
         f.set_len(len - 3).unwrap();
         drop(f);
         let j = FileJournal::open(&path, true).unwrap();
-        let recs = Journal::replay(j.as_ref()).unwrap();
+        let recs = Journal::replay_collect(j.as_ref()).unwrap();
         assert_eq!(
             recs,
             vec![JournalRecord::QueueCreated { queue: "A".into() }]
@@ -199,7 +209,7 @@ mod tests {
         raw[10] ^= 0xFF;
         std::fs::write(&path, &raw).unwrap();
         let j = FileJournal::open(&path, true).unwrap();
-        match Journal::replay(j.as_ref()) {
+        match Journal::replay_collect(j.as_ref()) {
             Err(MqError::JournalCorrupt { offset: 0, .. }) => {}
             other => panic!("expected corruption at offset 0, got {other:?}"),
         }
@@ -215,10 +225,10 @@ mod tests {
         assert!(Journal::len_bytes(j.as_ref()) > 0);
         Journal::reset(j.as_ref()).unwrap();
         assert_eq!(Journal::len_bytes(j.as_ref()), 0);
-        assert!(Journal::replay(j.as_ref()).unwrap().is_empty());
+        assert!(Journal::replay_collect(j.as_ref()).unwrap().is_empty());
         j.append(&JournalRecord::QueueCreated { queue: "B".into() })
             .unwrap();
-        assert_eq!(Journal::replay(j.as_ref()).unwrap().len(), 1);
+        assert_eq!(Journal::replay_collect(j.as_ref()).unwrap().len(), 1);
         std::fs::remove_file(&path).ok();
     }
 }

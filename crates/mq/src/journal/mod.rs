@@ -8,7 +8,7 @@
 //! and non-persistent messages vanish — the same guarantees MQSeries gives
 //! the conditional-messaging layer.
 //!
-//! Four backends:
+//! Five backends:
 //! * [`MemJournal`] — encoded records in memory; survives a *simulated*
 //!   crash (the journal object outlives the manager) and exercises the full
 //!   codec path.
@@ -20,14 +20,19 @@
 //!   until the batch covering its record is durable. Same "returns ⇒
 //!   durable" contract as a sync-every-append [`FileJournal`], a fraction
 //!   of the fsyncs.
+//! * [`SegmentedJournal`] — a directory of per-queue segment files with a
+//!   global LSN order; checkpoint truncation is `unlink()` of whole
+//!   segments, making recovery O(live state) instead of O(history).
 //! * [`NullJournal`] — discards everything, for benchmarks isolating
 //!   in-memory throughput.
 
 mod file;
 mod group;
+mod segment;
 
 pub use file::FileJournal;
 pub use group::{GroupCommitConfig, GroupCommitJournal, GroupCommitMetrics, GroupStorage};
+pub use segment::{SegmentConfig, SegmentedJournal};
 
 use std::fmt;
 
@@ -99,6 +104,30 @@ pub enum JournalRecord {
         /// The full in-transit envelope (transmission headers intact).
         message: Message,
     },
+    /// Opens a checkpoint: a self-contained snapshot of all live persistent
+    /// state follows as ordinary [`JournalRecord::Put`] records, closed by a
+    /// [`JournalRecord::CheckpointEnd`] carrying the same id. Recovery
+    /// buffers the snapshot and *replaces* all previously replayed state
+    /// with it only when the matching end marker arrives, so a checkpoint
+    /// torn by a crash is ignored and the pre-checkpoint records (which
+    /// truncation only removes after the end marker is durable) still win.
+    CheckpointStart {
+        /// Matches this start with its [`JournalRecord::CheckpointEnd`].
+        checkpoint_id: u64,
+        /// Every queue existing at checkpoint time (including empty ones).
+        queues: Vec<String>,
+        /// The relay deduper window, oldest first: `(origin hash, message
+        /// id)` idempotency keys the manager must still refuse after
+        /// recovery even though the custody records were truncated away.
+        dedup: Vec<(u64, u128)>,
+    },
+    /// Closes the checkpoint opened by the [`JournalRecord::CheckpointStart`]
+    /// with the same id; only now may storage below the checkpoint be
+    /// truncated.
+    CheckpointEnd {
+        /// Matches the opening [`JournalRecord::CheckpointStart`].
+        checkpoint_id: u64,
+    },
 }
 
 impl WireEncode for JournalRecord {
@@ -154,6 +183,27 @@ impl WireEncode for JournalRecord {
                 enc.put_u32(*hops);
                 message.encode(enc);
             }
+            JournalRecord::CheckpointStart {
+                checkpoint_id,
+                queues,
+                dedup,
+            } => {
+                enc.put_u8(7);
+                enc.put_u64(*checkpoint_id);
+                enc.put_varint(queues.len() as u64);
+                for q in queues {
+                    enc.put_str(q);
+                }
+                enc.put_varint(dedup.len() as u64);
+                for (origin, id) in dedup {
+                    enc.put_u64(*origin);
+                    enc.put_u128(*id);
+                }
+            }
+            JournalRecord::CheckpointEnd { checkpoint_id } => {
+                enc.put_u8(8);
+                enc.put_u64(*checkpoint_id);
+            }
         }
     }
 }
@@ -203,6 +253,29 @@ impl WireDecode for JournalRecord {
                 hops: dec.get_u32()?,
                 message: Message::decode(dec)?,
             }),
+            7 => {
+                let checkpoint_id = dec.get_u64()?;
+                let n_queues = dec.get_varint()?;
+                let mut queues = Vec::with_capacity(n_queues.min(1024) as usize);
+                for _ in 0..n_queues {
+                    queues.push(dec.get_str()?);
+                }
+                let n_dedup = dec.get_varint()?;
+                let mut dedup = Vec::with_capacity(n_dedup.min(4096) as usize);
+                for _ in 0..n_dedup {
+                    let origin = dec.get_u64()?;
+                    let id = dec.get_u128()?;
+                    dedup.push((origin, id));
+                }
+                Ok(JournalRecord::CheckpointStart {
+                    checkpoint_id,
+                    queues,
+                    dedup,
+                })
+            }
+            8 => Ok(JournalRecord::CheckpointEnd {
+                checkpoint_id: dec.get_u64()?,
+            }),
             tag => Err(CodecError::BadTag {
                 what: "JournalRecord",
                 tag,
@@ -216,21 +289,26 @@ impl WireDecode for JournalRecord {
 /// Encodes a record as the on-storage frame shared by [`FileJournal`] and
 /// [`GroupCommitJournal`]: `[len:u32][crc:u32][record bytes]`.
 pub(crate) fn encode_frame(record: &JournalRecord) -> Vec<u8> {
-    let body = record.to_bytes();
+    encode_frame_body(&record.to_bytes())
+}
+
+/// Frames an arbitrary pre-encoded body (the segmented journal prefixes
+/// record bytes with an LSN stamp before framing).
+pub(crate) fn encode_frame_body(body: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(body.len() + 8);
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&body).to_le_bytes());
-    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&crc32(body).to_le_bytes());
+    frame.extend_from_slice(body);
     frame
 }
 
-/// Decodes a byte run of frames back into records.
+/// Streams a byte run of frames into `sink`, one decoded record at a time.
 ///
 /// A torn record at the very end (short header, short body, or a CRC
 /// mismatch on the final record — an interrupted last write) ends the
 /// replay silently; corruption anywhere earlier is an error.
-pub(crate) fn decode_frames(raw: &[u8]) -> MqResult<Vec<JournalRecord>> {
-    let mut records = Vec::new();
+#[cfg(test)]
+pub(crate) fn decode_frames_into(raw: &[u8], sink: &mut ReplaySink<'_>) -> MqResult<()> {
     let mut offset = 0usize;
     while offset < raw.len() {
         if raw.len() - offset < 8 {
@@ -257,7 +335,7 @@ pub(crate) fn decode_frames(raw: &[u8]) -> MqResult<Vec<JournalRecord>> {
             });
         }
         match JournalRecord::from_bytes(Bytes::copy_from_slice(body)) {
-            Ok(rec) => records.push(rec),
+            Ok(rec) => sink(rec)?,
             Err(e) => {
                 return Err(MqError::JournalCorrupt {
                     offset: offset as u64,
@@ -267,10 +345,96 @@ pub(crate) fn decode_frames(raw: &[u8]) -> MqResult<Vec<JournalRecord>> {
         }
         offset = body_start + len;
     }
+    Ok(())
+}
+
+/// Decodes a byte run of frames into a vector (tests and small logs; the
+/// recovery path streams via [`decode_frames_into`]).
+#[cfg(test)]
+pub(crate) fn decode_frames(raw: &[u8]) -> MqResult<Vec<JournalRecord>> {
+    let mut records = Vec::new();
+    decode_frames_into(raw, &mut |rec| {
+        records.push(rec);
+        Ok(())
+    })?;
     Ok(records)
 }
 
+/// Incremental frame reader over any byte stream of known total length:
+/// yields one CRC-checked frame body at a time so replay memory is bounded
+/// by the largest record, not the log.
+///
+/// Same tail rules as [`decode_frames_into`]: a torn frame at the very end
+/// (short header, short body, or CRC mismatch on the final frame) ends the
+/// stream silently; corruption anywhere earlier is an error.
+pub(crate) struct FrameStream<R> {
+    reader: R,
+    total: u64,
+    consumed: u64,
+}
+
+impl<R: std::io::Read> FrameStream<R> {
+    pub(crate) fn new(reader: R, total: u64) -> FrameStream<R> {
+        FrameStream {
+            reader,
+            total,
+            consumed: 0,
+        }
+    }
+
+    /// Reads exactly `buf.len()` bytes unless EOF intervenes; returns how
+    /// many bytes were actually read.
+    fn read_full(&mut self, buf: &mut [u8]) -> MqResult<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.reader.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+
+    /// Returns the next `(frame offset, frame body)`, or `None` at a clean
+    /// end of stream / tolerated torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::JournalCorrupt`] for mid-stream corruption; I/O errors.
+    pub(crate) fn next_body(&mut self) -> MqResult<Option<(u64, Bytes)>> {
+        let offset = self.consumed;
+        let mut header = [0u8; 8];
+        let got = self.read_full(&mut header)?;
+        if got < 8 {
+            return Ok(None); // clean EOF or torn header at the tail
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let mut body = vec![0u8; len];
+        let got = self.read_full(&mut body)?;
+        if got < len {
+            return Ok(None); // torn body at the tail
+        }
+        self.consumed = offset + 8 + len as u64;
+        if crc32(&body) != stored_crc {
+            if self.consumed >= self.total {
+                return Ok(None); // torn final frame
+            }
+            return Err(MqError::JournalCorrupt {
+                offset,
+                reason: "crc mismatch".into(),
+            });
+        }
+        Ok(Some((offset, Bytes::from(body))))
+    }
+}
+
 // ------------------------------------------------------------------ trait --
+
+/// Visitor receiving replayed records one at a time, in append order.
+/// Returning an error aborts the replay and propagates to the caller.
+pub type ReplaySink<'a> = dyn FnMut(JournalRecord) -> MqResult<()> + 'a;
 
 /// Abstract append-only journal.
 pub trait Journal: Send + Sync + fmt::Debug {
@@ -282,14 +446,54 @@ pub trait Journal: Send + Sync + fmt::Debug {
     /// be applied.
     fn append(&self, record: &JournalRecord) -> MqResult<()>;
 
-    /// Replays all records in append order.
+    /// Streams all records into `sink` in append order, never holding the
+    /// whole log in memory (recovery over a multi-gigabyte journal must be
+    /// bounded by live state, not history).
     ///
     /// # Errors
     ///
     /// Reports unreadable storage or mid-file corruption
     /// ([`MqError::JournalCorrupt`]). A torn record at the very end of the
     /// log (interrupted final write) is tolerated and replay stops there.
-    fn replay(&self) -> MqResult<Vec<JournalRecord>>;
+    /// Sink errors abort the replay and propagate.
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()>;
+
+    /// Replays all records into a vector. Convenience for tests and tools;
+    /// recovery uses the streaming [`Journal::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Journal::replay`].
+    fn replay_collect(&self) -> MqResult<Vec<JournalRecord>> {
+        let mut records = Vec::new();
+        self.replay(&mut |rec| {
+            records.push(rec);
+            Ok(())
+        })?;
+        Ok(records)
+    }
+
+    /// Writes a checkpoint — a [`JournalRecord::CheckpointStart`], the live
+    /// snapshot records, and the closing [`JournalRecord::CheckpointEnd`] —
+    /// and then discards whatever history the backend can prove is wholly
+    /// below it.
+    ///
+    /// The default implementation just appends (replay's buffer-and-swap
+    /// semantics make the checkpoint authoritative even with history still
+    /// in front of it); backends that can truncate override this.
+    /// [`MemJournal`] atomically replaces its record list; the segmented
+    /// journal rewrites its control stream and deletes every other segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures; on error the journal still recovers the
+    /// pre-checkpoint state (an incomplete checkpoint is ignored on replay).
+    fn write_checkpoint(&self, records: &mut dyn Iterator<Item = JournalRecord>) -> MqResult<()> {
+        for record in records {
+            self.append(&record)?;
+        }
+        Ok(())
+    }
 
     /// Discards all records (used after writing a compaction snapshot).
     ///
@@ -349,12 +553,30 @@ impl Journal for MemJournal {
         Ok(())
     }
 
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        let records = self.records.lock();
-        records
-            .iter()
-            .map(|b| JournalRecord::from_bytes(b.clone()).map_err(MqError::from))
-            .collect()
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        // Clone the encoded records out so the sink can re-enter the
+        // journal (e.g. append) without deadlocking on our mutex.
+        let records: Vec<Bytes> = self.records.lock().clone();
+        for b in records {
+            sink(JournalRecord::from_bytes(b).map_err(MqError::from)?)?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, records: &mut dyn Iterator<Item = JournalRecord>) -> MqResult<()> {
+        // Atomic replace: the checkpoint becomes the entire journal, so a
+        // simulated crash right after sees exactly the snapshot.
+        let mut encoded = Vec::new();
+        let mut total = 0u64;
+        for record in records {
+            let bytes = record.to_bytes();
+            total += bytes.len() as u64;
+            encoded.push(bytes);
+        }
+        let mut guard = self.records.lock();
+        *guard = encoded;
+        self.bytes.store(total, Ordering::Relaxed);
+        Ok(())
     }
 
     fn reset(&self) -> MqResult<()> {
@@ -387,8 +609,8 @@ impl Journal for NullJournal {
     fn is_durable(&self) -> bool {
         false
     }
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        Ok(Vec::new())
+    fn replay(&self, _sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        Ok(())
     }
     fn reset(&self) -> MqResult<()> {
         Ok(())
@@ -435,6 +657,12 @@ pub(crate) mod tests {
                 message: m2.clone(),
             },
             JournalRecord::QueueDeleted { queue: "Q1".into() },
+            JournalRecord::CheckpointStart {
+                checkpoint_id: 42,
+                queues: vec!["Q1".into(), "Q2".into()],
+                dedup: vec![(7, m1.id().as_u128()), (9, m2.id().as_u128())],
+            },
+            JournalRecord::CheckpointEnd { checkpoint_id: 42 },
         ]
     }
 
@@ -443,7 +671,7 @@ pub(crate) mod tests {
         for r in &records {
             journal.append(r).unwrap();
         }
-        let replayed = journal.replay().unwrap();
+        let replayed = journal.replay_collect().unwrap();
         assert_eq!(replayed, records);
     }
 
@@ -473,7 +701,7 @@ pub(crate) mod tests {
         let j = NullJournal::new();
         j.append(&JournalRecord::QueueCreated { queue: "Q".into() })
             .unwrap();
-        assert!(j.replay().unwrap().is_empty());
+        assert!(j.replay_collect().unwrap().is_empty());
         assert_eq!(j.len_bytes(), 0);
     }
 
@@ -522,6 +750,48 @@ pub(crate) mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert_eq!(j.replay().unwrap().len(), 800);
+        assert_eq!(j.replay_collect().unwrap().len(), 800);
+    }
+
+    #[test]
+    fn mem_journal_checkpoint_replaces_history() {
+        let j = MemJournal::new();
+        for r in sample_records() {
+            j.append(&r).unwrap();
+        }
+        let snapshot = vec![
+            JournalRecord::CheckpointStart {
+                checkpoint_id: 1,
+                queues: vec!["Q1".into()],
+                dedup: vec![],
+            },
+            JournalRecord::Put {
+                queue: "Q1".into(),
+                message: Message::text("live").persistent(true).build(),
+            },
+            JournalRecord::CheckpointEnd { checkpoint_id: 1 },
+        ];
+        j.write_checkpoint(&mut snapshot.clone().into_iter()).unwrap();
+        assert_eq!(j.replay_collect().unwrap(), snapshot);
+        assert_eq!(j.record_count(), 3);
+    }
+
+    #[test]
+    fn replay_sink_error_aborts() {
+        let j = MemJournal::new();
+        for r in sample_records() {
+            j.append(&r).unwrap();
+        }
+        let mut seen = 0;
+        let err = j.replay(&mut |_| {
+            seen += 1;
+            if seen == 2 {
+                Err(MqError::ManagerStopped("stop".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(seen, 2);
     }
 }

@@ -1,0 +1,912 @@
+//! Segmented journal: the journal *as* the primary store.
+//!
+//! Where [`super::FileJournal`] is one flat append-only file,
+//! [`SegmentedJournal`] is a directory of per-queue **streams**, each a
+//! sequence of bounded **segment** files:
+//!
+//! ```text
+//! root/
+//!   @control/00000000000000000000.seg      queue DDL, TxCommit, checkpoints
+//!   ORDERS/00000000000000000104.seg        ORDERS' puts/gets/expiries…
+//!   ORDERS/00000000000000020381.seg        …rolled at roll_bytes
+//!   DS%2EACK%2EQ/00000000000000000031.seg  names percent-encoded for the fs
+//! ```
+//!
+//! Every record is stamped with a global **LSN** at append time; a frame on
+//! disk is the standard `[len:u32][crc:u32]` envelope over
+//! `[lsn:u64][record bytes]`. Replay opens every segment of every stream
+//! and k-way merges them by LSN, reproducing exact append order — so the
+//! queue-manager recovery logic is byte-for-byte the same as over a flat
+//! journal, while the storage layout gives each queue its own files.
+//!
+//! Why this shape:
+//! * **Bounded segments** mean checkpoint truncation is `unlink()`, not a
+//!   rewrite: [`SegmentedJournal::write_checkpoint`] writes the snapshot
+//!   into one fresh control segment, fsyncs it, and deletes every other
+//!   segment file. Recovery cost becomes O(live state), not O(history).
+//! * **Per-queue streams** keep one queue's churn from interleaving with
+//!   another's, so a future per-queue retention pass can drop whole
+//!   segments once every record in them is dead.
+//! * **Crash safety** falls out of the checkpoint record pair: a crash
+//!   mid-checkpoint leaves a `CheckpointStart` without its matching end
+//!   (highest LSNs, so replayed last); recovery's buffer-and-swap discards
+//!   the torn snapshot and the not-yet-deleted history still wins. A crash
+//!   mid-delete leaves a *complete* checkpoint plus stale segments below
+//!   it; the swap replaces them.
+//!
+//! Records route to streams by the queue they touch: `Put`/`Get`/`Expired`
+//! go to their queue's stream, `RelayCustody` to its transmission queue's
+//! stream, and everything spanning queues (`QueueCreated`/`QueueDeleted`,
+//! `TxCommit`, the checkpoint pair) to the reserved `@control` stream.
+//! Queue names are percent-encoded for the filesystem (the `@` of the
+//! control stream is escaped in real queue names, so a queue literally
+//! named `@control` cannot collide).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::codec::{WireDecode, WireEncode};
+use crate::error::{MqError, MqResult};
+
+use super::{encode_frame_body, FrameStream, Journal, JournalRecord, ReplaySink};
+
+/// Directory name of the stream holding queue DDL, transaction commits and
+/// checkpoint records. Real queue names percent-encode `@`, so this never
+/// collides with a queue's stream directory.
+const CONTROL_STREAM: &str = "@control";
+
+/// Segment file extension; anything else in a stream directory is ignored.
+const SEGMENT_EXT: &str = "seg";
+
+/// Tuning for a [`SegmentedJournal`].
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Roll a stream to a fresh segment file once the active one reaches
+    /// this many bytes. Smaller segments mean finer-grained truncation at
+    /// slightly more file churn.
+    pub roll_bytes: u64,
+    /// Fsync the active segment after every append. Off by default: pair
+    /// the store with periodic checkpoints (or accept OS-buffer durability)
+    /// the way [`super::FileJournal`] does in experiments.
+    pub sync_every_append: bool,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> SegmentConfig {
+        SegmentConfig {
+            roll_bytes: 8 << 20,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// The active (last) segment of one stream, opened for appending.
+struct ActiveSegment {
+    file: File,
+    /// Bytes in the active segment (drives rolling).
+    seg_bytes: u64,
+}
+
+struct Inner {
+    /// Stream name (decoded) → its active segment.
+    streams: HashMap<String, ActiveSegment>,
+    /// Next LSN to stamp; strictly increasing across all streams.
+    next_lsn: u64,
+    /// Total bytes across every live segment file.
+    total_bytes: u64,
+}
+
+/// Directory-of-segments journal. See the module docs for the layout.
+pub struct SegmentedJournal {
+    root: PathBuf,
+    config: SegmentConfig,
+    inner: Mutex<Inner>,
+    /// Mirror of `Inner::total_bytes` so `len_bytes` never takes the lock.
+    bytes: AtomicU64,
+}
+
+impl fmt::Debug for SegmentedJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentedJournal")
+            .field("root", &self.root)
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Percent-encodes a queue name into a filesystem-safe directory name.
+/// Alphanumerics plus `.`, `_` and `-` pass through; everything else —
+/// including `/`, `%` and the control stream's `@` — becomes `%XX` per
+/// byte, so decoding is unambiguous and distinct names stay distinct.
+fn encode_stream_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The stream a record belongs to: the queue it touches, or the control
+/// stream for records spanning queues.
+fn stream_of(record: &JournalRecord) -> &str {
+    match record {
+        JournalRecord::Put { queue, .. }
+        | JournalRecord::Get { queue, .. }
+        | JournalRecord::Expired { queue, .. } => queue,
+        JournalRecord::RelayCustody { xmit_queue, .. } => xmit_queue,
+        JournalRecord::QueueCreated { .. }
+        | JournalRecord::QueueDeleted { .. }
+        | JournalRecord::TxCommit { .. }
+        | JournalRecord::CheckpointStart { .. }
+        | JournalRecord::CheckpointEnd { .. } => CONTROL_STREAM,
+    }
+}
+
+/// Encodes one segment frame: the standard `[len][crc]` envelope over
+/// `[lsn:u64 LE][record bytes]`.
+fn encode_segment_frame(lsn: u64, record: &JournalRecord) -> Vec<u8> {
+    let record_bytes = record.to_bytes();
+    let mut body = Vec::with_capacity(8 + record_bytes.len());
+    body.extend_from_slice(&lsn.to_le_bytes());
+    body.extend_from_slice(&record_bytes);
+    encode_frame_body(&body)
+}
+
+/// Splits a CRC-verified frame body back into `(lsn, record)`.
+fn decode_segment_body(offset: u64, body: Bytes) -> MqResult<(u64, JournalRecord)> {
+    if body.len() < 8 {
+        return Err(MqError::JournalCorrupt {
+            offset,
+            reason: "segment frame shorter than its LSN stamp".into(),
+        });
+    }
+    let lsn = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    let record = JournalRecord::from_bytes(body.slice(8..body.len())).map_err(|e| {
+        MqError::JournalCorrupt {
+            offset,
+            reason: format!("undecodable record: {e}"),
+        }
+    })?;
+    Ok((lsn, record))
+}
+
+fn segment_file_name(first_lsn: u64) -> String {
+    format!("{first_lsn:020}.{SEGMENT_EXT}")
+}
+
+/// Lists a stream's segment files sorted by first LSN (their file names
+/// zero-pad the LSN, so lexicographic order is numeric order).
+fn list_segments(stream_dir: &Path) -> MqResult<Vec<PathBuf>> {
+    let mut segs = Vec::new();
+    for entry in std::fs::read_dir(stream_dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXT) {
+            segs.push(path);
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Lists every stream directory under the root.
+fn list_streams(root: &Path) -> MqResult<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Flushes a directory's entry table so freshly created (or unlinked)
+/// segment files survive a power cut before their parent does.
+fn sync_dir(dir: &Path) -> MqResult<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// One stream's cursor during replay: frames of the current segment, then
+/// each later segment in LSN order.
+struct StreamCursor {
+    frames: FrameStream<BufReader<File>>,
+    later: std::vec::IntoIter<PathBuf>,
+}
+
+impl StreamCursor {
+    fn open(segments: Vec<PathBuf>) -> MqResult<Option<StreamCursor>> {
+        let mut later = segments.into_iter();
+        let Some(first) = later.next() else {
+            return Ok(None);
+        };
+        Ok(Some(StreamCursor {
+            frames: Self::open_segment(&first)?,
+            later,
+        }))
+    }
+
+    fn open_segment(path: &Path) -> MqResult<FrameStream<BufReader<File>>> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        let total = file.metadata()?.len();
+        Ok(FrameStream::new(BufReader::new(file), total))
+    }
+
+    /// Next `(lsn, record)` of this stream, crossing segment boundaries.
+    fn next(&mut self) -> MqResult<Option<(u64, JournalRecord)>> {
+        loop {
+            if let Some((offset, body)) = self.frames.next_body()? {
+                return decode_segment_body(offset, body).map(Some);
+            }
+            match self.later.next() {
+                Some(path) => self.frames = Self::open_segment(&path)?,
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+impl SegmentedJournal {
+    /// Opens (or creates) a segmented journal rooted at `root`.
+    ///
+    /// Reopening scans each stream's *last* segment to recover the global
+    /// LSN cursor and truncates any torn final frame left by a crash, so
+    /// subsequent appends never land behind garbage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures and mid-segment corruption.
+    pub fn open(
+        root: impl AsRef<Path>,
+        config: SegmentConfig,
+    ) -> MqResult<std::sync::Arc<SegmentedJournal>> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let mut streams = HashMap::new();
+        let mut next_lsn = 0u64;
+        let mut total_bytes = 0u64;
+        for dir in list_streams(&root)? {
+            let segments = list_segments(&dir)?;
+            let Some(last) = segments.last() else {
+                continue;
+            };
+            for seg in &segments[..segments.len() - 1] {
+                total_bytes += std::fs::metadata(seg)?.len();
+            }
+            // Scan the last segment: find the stream's final LSN and the
+            // byte length of its valid prefix (a torn tail is healed by
+            // truncation so appends resume on a clean boundary).
+            let mut frames = StreamCursor::open_segment(last)?;
+            let mut valid_len = 0u64;
+            while let Some((offset, body)) = frames.next_body()? {
+                let (lsn, _) = decode_segment_body(offset, body.clone())?;
+                next_lsn = next_lsn.max(lsn + 1);
+                valid_len = offset + 8 + body.len() as u64;
+            }
+            if valid_len < std::fs::metadata(last)?.len() {
+                let f = OpenOptions::new().write(true).open(last)?;
+                f.set_len(valid_len)?;
+                f.sync_data()?;
+            }
+            total_bytes += valid_len;
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            let file = OpenOptions::new().append(true).open(last)?;
+            streams.insert(
+                name,
+                ActiveSegment {
+                    file,
+                    seg_bytes: valid_len,
+                },
+            );
+        }
+        let journal = SegmentedJournal {
+            root,
+            config,
+            inner: Mutex::new(Inner {
+                streams,
+                next_lsn,
+                total_bytes,
+            }),
+            bytes: AtomicU64::new(total_bytes),
+        };
+        Ok(std::sync::Arc::new(journal))
+    }
+
+    /// The journal's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of live segment files (tests and tooling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn segment_count(&self) -> MqResult<usize> {
+        let _guard = self.inner.lock();
+        let mut n = 0;
+        for dir in list_streams(&self.root)? {
+            n += list_segments(&dir)?.len();
+        }
+        Ok(n)
+    }
+
+    /// Returns the stream's active segment, creating the stream directory
+    /// and/or rolling to a fresh segment (named after `lsn`) as needed.
+    fn active_segment<'a>(
+        &self,
+        inner: &'a mut Inner,
+        stream: &str,
+        lsn: u64,
+    ) -> MqResult<&'a mut ActiveSegment> {
+        let encoded = if stream == CONTROL_STREAM {
+            CONTROL_STREAM.to_owned()
+        } else {
+            encode_stream_name(stream)
+        };
+        let needs_roll = inner
+            .streams
+            .get(&encoded)
+            .is_some_and(|s| s.seg_bytes >= self.config.roll_bytes);
+        if needs_roll {
+            // Make the retiring segment durable before moving on: a roll is
+            // the one moment a stream's tail stops being the append target.
+            let retiring = inner.streams.remove(&encoded).expect("checked above");
+            retiring.file.sync_data()?;
+        }
+        if !inner.streams.contains_key(&encoded) {
+            let dir = self.root.join(&encoded);
+            std::fs::create_dir_all(&dir)?;
+            let path = dir.join(segment_file_name(lsn));
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            sync_dir(&dir)?;
+            inner.streams.insert(
+                encoded.clone(),
+                ActiveSegment { file, seg_bytes: 0 },
+            );
+        }
+        Ok(inner.streams.get_mut(&encoded).expect("just inserted"))
+    }
+}
+
+impl Journal for SegmentedJournal {
+    fn append(&self, record: &JournalRecord) -> MqResult<()> {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        let frame = encode_segment_frame(lsn, record);
+        let sync = self.config.sync_every_append;
+        let segment = self.active_segment(&mut inner, stream_of(record), lsn)?;
+        segment.file.write_all(&frame)?;
+        if sync {
+            segment.file.sync_data()?;
+        }
+        segment.seg_bytes += frame.len() as u64;
+        inner.next_lsn = lsn + 1;
+        inner.total_bytes += frame.len() as u64;
+        self.bytes.store(inner.total_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        // Lock-free, like `FileJournal::replay`: replay happens on a
+        // quiesced journal (recovery) through dedicated read handles, and
+        // the sink reaches into queue stores — holding the append lock
+        // here would invert the store-then-journal order of the put path.
+        let mut cursors = Vec::new();
+        for dir in list_streams(&self.root)? {
+            if let Some(cursor) = StreamCursor::open(list_segments(&dir)?)? {
+                cursors.push(cursor);
+            }
+        }
+        // K-way merge by LSN. Each stream is internally LSN-ascending, so a
+        // heap over the head of each stream yields global append order.
+        let mut heads: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut pending: Vec<Option<JournalRecord>> = Vec::with_capacity(cursors.len());
+        for (idx, cursor) in cursors.iter_mut().enumerate() {
+            pending.push(None);
+            if let Some((lsn, record)) = cursor.next()? {
+                pending[idx] = Some(record);
+                heads.push(std::cmp::Reverse((lsn, idx)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, idx))) = heads.pop() {
+            let record = pending[idx].take().expect("head present");
+            sink(record)?;
+            if let Some((lsn, next)) = cursors[idx].next()? {
+                pending[idx] = Some(next);
+                heads.push(std::cmp::Reverse((lsn, idx)));
+            }
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, records: &mut dyn Iterator<Item = JournalRecord>) -> MqResult<()> {
+        // 1. Write the whole snapshot into one fresh control segment. The
+        //    snapshot's Puts go here, not to their queue streams: the
+        //    checkpoint must be self-contained so step 3 can delete every
+        //    other file.
+        //
+        //    The append lock is NOT held while the iterator is pulled:
+        //    the snapshot reaches back into queue stores, and the put/get
+        //    path locks store-then-journal — holding the journal lock
+        //    across those store reads would invert that order. Callers
+        //    quiesce appenders for the whole call (the queue manager
+        //    holds its mutation gate exclusively); a concurrent append
+        //    would land in a segment step 3 is about to unlink anyway.
+        let control_dir = self.root.join(CONTROL_STREAM);
+        std::fs::create_dir_all(&control_dir)?;
+        let first_lsn = self.inner.lock().next_lsn;
+        let path = control_dir.join(segment_file_name(first_lsn));
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut seg_bytes = 0u64;
+        let mut next_lsn = first_lsn;
+        for record in records {
+            let lsn = next_lsn;
+            next_lsn = lsn + 1;
+            let frame = encode_segment_frame(lsn, &record);
+            file.write_all(&frame)?;
+            seg_bytes += frame.len() as u64;
+        }
+        // 2. Make it durable — data, then the directory entry — before any
+        //    history below it is touched.
+        file.sync_data()?;
+        sync_dir(&control_dir)?;
+        let mut inner = self.inner.lock();
+        inner.next_lsn = next_lsn.max(inner.next_lsn);
+        // 3. Truncation is now just unlink: every other segment is wholly
+        //    below the checkpoint. A crash part-way leaves stale segments
+        //    that replay's buffer-and-swap discards, so order is free.
+        for dir in list_streams(&self.root)? {
+            for seg in list_segments(&dir)? {
+                if seg != path {
+                    std::fs::remove_file(&seg)?;
+                }
+            }
+            if dir != control_dir {
+                // Ignore failures: a racing create would repopulate it.
+                std::fs::remove_dir(&dir).ok();
+            }
+        }
+        inner.streams.clear();
+        inner
+            .streams
+            .insert(CONTROL_STREAM.to_owned(), ActiveSegment { file, seg_bytes });
+        inner.total_bytes = seg_bytes;
+        self.bytes.store(seg_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn reset(&self) -> MqResult<()> {
+        let mut inner = self.inner.lock();
+        for dir in list_streams(&self.root)? {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        inner.streams.clear();
+        inner.total_bytes = 0;
+        self.bytes.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{sample_records, temp_path};
+    use super::*;
+    use crate::message::Message;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let path = temp_path(name);
+        std::fs::remove_dir_all(&path).ok();
+        path
+    }
+
+    fn small_config() -> SegmentConfig {
+        SegmentConfig {
+            roll_bytes: 256,
+            sync_every_append: false,
+        }
+    }
+
+    fn put(queue: &str, text: &str) -> JournalRecord {
+        JournalRecord::Put {
+            queue: queue.into(),
+            message: Message::text(text).persistent(true).build(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_append_order_across_streams() {
+        let root = temp_dir("seg-roundtrip");
+        let records = sample_records();
+        {
+            let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            assert_eq!(j.replay_collect().unwrap(), records);
+        }
+        // Reopen: same records, same order, appends continue after them.
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        assert_eq!(j.replay_collect().unwrap(), records);
+        let late = put("Q.LATE", "tail");
+        j.append(&late).unwrap();
+        let all = j.replay_collect().unwrap();
+        assert_eq!(all.len(), records.len() + 1);
+        assert_eq!(all.last().unwrap(), &late);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn streams_roll_into_bounded_segments() {
+        let root = temp_dir("seg-roll");
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        for i in 0..64 {
+            j.append(&put("Q", &format!("message {i}"))).unwrap();
+        }
+        assert!(
+            j.segment_count().unwrap() > 2,
+            "64 puts at roll_bytes=256 must span several segments"
+        );
+        let payloads: Vec<_> = j
+            .replay_collect()
+            .unwrap()
+            .iter()
+            .map(|r| match r {
+                JournalRecord::Put { message, .. } => message.payload_str().unwrap().to_owned(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(payloads.len(), 64);
+        assert_eq!(payloads[0], "message 0");
+        assert_eq!(payloads[63], "message 63");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn hostile_queue_names_get_distinct_streams() {
+        let root = temp_dir("seg-names");
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        // Path separators, the control stream's '@', unicode, and the '%'
+        // escape character itself must all stay distinct and replayable.
+        let names = ["a/b", "@control", "naïve queue", "100%"];
+        for n in &names {
+            j.append(&put(n, "payload")).unwrap();
+        }
+        drop(j);
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        let replayed = j.replay_collect().unwrap();
+        let queues: Vec<_> = replayed
+            .iter()
+            .map(|r| match r {
+                JournalRecord::Put { queue, .. } => queue.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(queues, names);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_to_one_segment() {
+        let root = temp_dir("seg-checkpoint");
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        for i in 0..50 {
+            j.append(&put("Q", &format!("old {i}"))).unwrap();
+            j.append(&JournalRecord::Get {
+                queue: "Q".into(),
+                message_id: crate::message::MessageId::generate(),
+            })
+            .unwrap();
+        }
+        let before = j.len_bytes();
+        let snapshot = vec![
+            JournalRecord::CheckpointStart {
+                checkpoint_id: 7,
+                queues: vec!["Q".into()],
+                dedup: Vec::new(),
+            },
+            put("Q", "live"),
+            JournalRecord::CheckpointEnd { checkpoint_id: 7 },
+        ];
+        j.write_checkpoint(&mut snapshot.clone().into_iter()).unwrap();
+        assert!(j.len_bytes() < before, "truncation must shrink the store");
+        assert_eq!(j.segment_count().unwrap(), 1, "only the checkpoint remains");
+        assert_eq!(j.replay_collect().unwrap(), snapshot);
+        // The store keeps working after truncation, across a reopen.
+        let after = put("Q", "after");
+        j.append(&after).unwrap();
+        drop(j);
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        let all = j.replay_collect().unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.last().unwrap(), &after);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_healed_on_reopen() {
+        let root = temp_dir("seg-torn");
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        let keep = put("Q", "keep");
+        j.append(&keep).unwrap();
+        j.append(&put("Q", "torn")).unwrap();
+        drop(j);
+        let seg = list_segments(&root.join(encode_stream_name("Q"))).unwrap()[0].clone();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        assert_eq!(j.replay_collect().unwrap(), vec![keep.clone()]);
+        // The torn bytes were truncated away, so new appends replay cleanly
+        // behind the surviving record rather than vanishing behind garbage.
+        let fresh = put("Q", "fresh");
+        j.append(&fresh).unwrap();
+        assert_eq!(j.replay_collect().unwrap(), vec![keep, fresh]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn midfile_corruption_is_reported() {
+        let root = temp_dir("seg-corrupt");
+        let j = SegmentedJournal::open(&root, SegmentConfig::default()).unwrap();
+        j.append(&put("Q", "first")).unwrap();
+        j.append(&put("Q", "second")).unwrap();
+        drop(j);
+        let seg = list_segments(&root.join(encode_stream_name("Q"))).unwrap()[0].clone();
+        let mut raw = std::fs::read(&seg).unwrap();
+        raw[12] ^= 0xFF; // inside the first frame's body
+        std::fs::write(&seg, &raw).unwrap();
+        let j = SegmentedJournal::open(&root, SegmentConfig::default());
+        // Either open (tail scan) or replay reports the corruption.
+        let err = match j {
+            Err(e) => e,
+            Ok(j) => j.replay_collect().unwrap_err(),
+        };
+        assert!(matches!(err, MqError::JournalCorrupt { .. }), "got {err:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_and_delete_recovers_checkpoint_only() {
+        let root = temp_dir("seg-crash-late");
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        for i in 0..20 {
+            j.append(&put("Q", &format!("old {i}"))).unwrap();
+        }
+        // Simulate "checkpoint durable, deletes lost": snapshot the whole
+        // directory, checkpoint, then restore the pre-delete segment files
+        // next to the checkpoint segment.
+        let backup = temp_dir("seg-crash-late-backup");
+        copy_tree(&root, &backup);
+        let snapshot = vec![
+            JournalRecord::CheckpointStart {
+                checkpoint_id: 1,
+                queues: vec!["Q".into()],
+                dedup: Vec::new(),
+            },
+            put("Q", "live"),
+            JournalRecord::CheckpointEnd { checkpoint_id: 1 },
+        ];
+        j.write_checkpoint(&mut snapshot.clone().into_iter()).unwrap();
+        drop(j);
+        copy_tree(&backup, &root); // stale history reappears
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        let replayed = j.replay_collect().unwrap();
+        // Replay yields history then (highest LSNs) the complete checkpoint;
+        // a recovery driver's buffer-and-swap keeps only the checkpoint.
+        assert_eq!(&replayed[replayed.len() - 3..], &snapshot[..]);
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::remove_dir_all(&backup).ok();
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_write_leaves_history_intact() {
+        let root = temp_dir("seg-crash-early");
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        let history: Vec<_> = (0..5).map(|i| put("Q", &format!("old {i}"))).collect();
+        for r in &history {
+            j.append(r).unwrap();
+        }
+        let backup = temp_dir("seg-crash-early-backup");
+        copy_tree(&root, &backup);
+        let snapshot = vec![
+            JournalRecord::CheckpointStart {
+                checkpoint_id: 2,
+                queues: vec!["Q".into()],
+                dedup: Vec::new(),
+            },
+            put("Q", "live"),
+            JournalRecord::CheckpointEnd { checkpoint_id: 2 },
+        ];
+        j.write_checkpoint(&mut snapshot.into_iter()).unwrap();
+        drop(j);
+        // Simulate a crash mid-checkpoint-write: history still on disk, the
+        // new control segment torn before its CheckpointEnd frame.
+        let control = list_segments(&root.join(CONTROL_STREAM)).unwrap();
+        let ckpt_seg = control.last().unwrap().clone();
+        let len = std::fs::metadata(&ckpt_seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&ckpt_seg).unwrap();
+        f.set_len(len - 10).unwrap(); // tear the final (CheckpointEnd) frame
+        drop(f);
+        copy_tree(&backup, &root);
+        let j = SegmentedJournal::open(&root, small_config()).unwrap();
+        let replayed = j.replay_collect().unwrap();
+        // All history survives; the torn checkpoint has a Start but no End,
+        // which recovery's buffer-and-swap discards.
+        assert_eq!(&replayed[..history.len()], &history[..]);
+        let ends = replayed
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CheckpointEnd { .. }))
+            .count();
+        assert_eq!(ends, 0, "the torn checkpoint must not present an end marker");
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::remove_dir_all(&backup).ok();
+    }
+
+    /// Copies every regular file in `src` into `dst` (one level of stream
+    /// dirs), preserving relative paths and skipping files already present.
+    fn copy_tree(src: &Path, dst: &Path) {
+        for dir in list_streams(src).unwrap() {
+            let rel = dir.file_name().unwrap();
+            let out_dir = dst.join(rel);
+            std::fs::create_dir_all(&out_dir).unwrap();
+            for seg in list_segments(&dir).unwrap() {
+                let out = out_dir.join(seg.file_name().unwrap());
+                if !out.exists() {
+                    std::fs::copy(&seg, &out).unwrap();
+                }
+            }
+        }
+    }
+
+    mod crash_proptest {
+        use super::*;
+        use crate::{QueueManager, Wait};
+        use proptest::prelude::*;
+
+        /// Builds the crash image of a checkpoint interrupted at an
+        /// arbitrary point. `pre` is the directory as it stood before the
+        /// checkpoint, `post` after it; `tear` truncates the checkpoint's
+        /// control segment (`None` = fully durable) and `keep_old`
+        /// selects which pre-checkpoint files the interrupted deletion
+        /// pass left behind.
+        fn build_crash_image(
+            pre: &Path,
+            post: &Path,
+            out: &Path,
+            tear: Option<u64>,
+            keep_old: &[bool],
+        ) {
+            std::fs::remove_dir_all(out).ok();
+            std::fs::create_dir_all(out).unwrap();
+            // The checkpoint's own control segment, possibly torn.
+            for dir in list_streams(post).unwrap() {
+                let out_dir = out.join(dir.file_name().unwrap());
+                std::fs::create_dir_all(&out_dir).unwrap();
+                for seg in list_segments(&dir).unwrap() {
+                    let dst = out_dir.join(seg.file_name().unwrap());
+                    std::fs::copy(&seg, &dst).unwrap();
+                    if let Some(at) = tear {
+                        let len = std::fs::metadata(&dst).unwrap().len();
+                        let f = OpenOptions::new().write(true).open(&dst).unwrap();
+                        f.set_len(at.min(len)).unwrap();
+                    }
+                }
+            }
+            // Pre-checkpoint segments the crashed deletion pass missed.
+            let mut idx = 0usize;
+            for dir in list_streams(pre).unwrap() {
+                let out_dir = out.join(dir.file_name().unwrap());
+                for seg in list_segments(&dir).unwrap() {
+                    let keep = keep_old.get(idx).copied().unwrap_or(true);
+                    idx += 1;
+                    if !keep {
+                        continue;
+                    }
+                    std::fs::create_dir_all(&out_dir).unwrap();
+                    let dst = out_dir.join(seg.file_name().unwrap());
+                    if !dst.exists() {
+                        std::fs::copy(&seg, &dst).unwrap();
+                    }
+                }
+            }
+        }
+
+        fn unique_root(tag: &str) -> PathBuf {
+            let p = temp_path(&format!("seg-prop-{tag}"));
+            std::fs::remove_dir_all(&p).ok();
+            p
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// A crash at *any* point of checkpoint-then-truncate recovers
+            /// exactly the live message set. Before the end marker is
+            /// durable nothing has been deleted (history wins); after it,
+            /// any subset of the deletions may have happened (the snapshot
+            /// wins); either way the logical state is identical.
+            #[test]
+            fn crash_during_checkpoint_recovers_exactly_the_live_set(
+                puts in 1usize..24,
+                consumed_permille in 0usize..1000,
+                tear_permille in proptest::option::of(0u64..=1000),
+                keep_old in proptest::collection::vec(any::<bool>(), 16),
+            ) {
+                let consumed = puts * consumed_permille / 1000;
+                let config = SegmentConfig { roll_bytes: 200, sync_every_append: false };
+                let root = unique_root("work");
+                let journal = SegmentedJournal::open(&root, config.clone()).unwrap();
+                let qm = QueueManager::builder("QM1")
+                    .journal(journal.clone())
+                    .build()
+                    .unwrap();
+                qm.create_queue("Q").unwrap();
+                for i in 0..puts {
+                    qm.put("Q", Message::text(format!("m{i}")).persistent(true).build())
+                        .unwrap();
+                }
+                for _ in 0..consumed {
+                    qm.get("Q", Wait::NoWait).unwrap().unwrap();
+                }
+                let live: Vec<String> = (consumed..puts).map(|i| format!("m{i}")).collect();
+
+                let pre = unique_root("pre");
+                std::fs::create_dir_all(&pre).unwrap();
+                copy_tree(&root, &pre);
+                qm.checkpoint().unwrap();
+                qm.crash();
+
+                // A tear means the end marker may not be durable, in which
+                // case the deletion pass never ran: all old files survive.
+                let ckpt_len = journal.len_bytes();
+                let tear = tear_permille.map(|p| ckpt_len * p / 1000);
+                let keep: Vec<bool> = if tear.is_some() {
+                    vec![true; keep_old.len()]
+                } else {
+                    keep_old
+                };
+                let crash_root = unique_root("crash");
+                build_crash_image(&pre, &root, &crash_root, tear, &keep);
+
+                let journal = SegmentedJournal::open(&crash_root, config).unwrap();
+                let qm2 = QueueManager::builder("QM1")
+                    .journal(journal)
+                    .build()
+                    .unwrap();
+                let recovered: Vec<String> = qm2
+                    .queue("Q")
+                    .unwrap()
+                    .browse()
+                    .iter()
+                    .map(|m| m.payload_str().unwrap().to_owned())
+                    .collect();
+                prop_assert_eq!(recovered, live);
+
+                std::fs::remove_dir_all(&root).ok();
+                std::fs::remove_dir_all(&pre).ok();
+                std::fs::remove_dir_all(&crash_root).ok();
+            }
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod selector;
 mod session;
 pub mod shard;
 pub mod stats;
+mod store;
 pub mod topic;
 pub mod trace;
 pub mod transport;

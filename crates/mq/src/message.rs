@@ -374,6 +374,15 @@ impl Message {
         self.redelivery_count += 1;
     }
 
+    /// Caps the message's lifetime at `t` unless a tighter expiry is
+    /// already set (per-queue retention policy; see
+    /// [`crate::QueueConfig::retention`]).
+    pub(crate) fn apply_retention(&mut self, t: Time) {
+        if self.expiry.is_none_or(|e| e > t) {
+            self.expiry = Some(t);
+        }
+    }
+
     /// Strips TTL and absolute expiry. Used when a message is diverted to
     /// the dead-letter queue for audit: an expired envelope must not
     /// evaporate off the DLQ before an operator can inspect it.

@@ -7,11 +7,12 @@
 //! it, restoring all persistent state — `crash()` followed by a rebuild is
 //! the crash-recovery test harness used throughout the repo.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use simtime::{SharedClock, SystemClock};
 
 use crate::error::{MqError, MqResult};
@@ -64,6 +65,10 @@ pub struct ManagerConfig {
     /// Sliding-window size of the manager-level delivery deduper
     /// (origin-manager + message id keys; see [`crate::relay`]).
     pub dedup_window: usize,
+    /// Journal growth (bytes appended since the last checkpoint) that
+    /// triggers an automatic checkpoint after a commit. `None` disables
+    /// automatic checkpoints; [`QueueManager::checkpoint`] still works.
+    pub checkpoint_bytes: Option<u64>,
 }
 
 impl Default for ManagerConfig {
@@ -73,6 +78,7 @@ impl Default for ManagerConfig {
             max_message_size: None,
             max_relay_hops: DEFAULT_MAX_RELAY_HOPS,
             dedup_window: DEFAULT_DEDUP_WINDOW,
+            checkpoint_bytes: Some(64 << 20),
         }
     }
 }
@@ -140,6 +146,8 @@ impl QueueManagerBuilder {
             stats,
             relay_stats,
             delivery_dedup: Mutex::new(Deduper::new(dedup_window)),
+            mutation_gate: Arc::new(RwLock::new(())),
+            last_checkpoint_len: AtomicU64::new(0),
             obs,
             running: AtomicBool::new(true),
             tasks: Mutex::new(Vec::new()),
@@ -148,6 +156,9 @@ impl QueueManagerBuilder {
         if !manager.queue_exists(DEAD_LETTER_QUEUE) {
             manager.create_queue(DEAD_LETTER_QUEUE)?;
         }
+        manager
+            .last_checkpoint_len
+            .store(manager.journal.len_bytes(), Ordering::Relaxed);
         Ok(manager)
     }
 }
@@ -173,8 +184,22 @@ pub struct QueueManager {
     pub(crate) relay_stats: RelayStats,
     /// Manager-level delivery deduper: origin-manager + message id keys,
     /// shared by every transport feeding this manager and reseeded from
-    /// the journal on recovery (see [`crate::relay`]).
+    /// the checkpoint + journal tail on recovery (see [`crate::relay`]).
     pub(crate) delivery_dedup: Mutex<Deduper>,
+    /// The checkpoint/mutation exclusion gate. Every journaled mutation
+    /// read-holds it across `[journal append + in-memory apply]`;
+    /// [`QueueManager::checkpoint`] write-holds it while snapshotting live
+    /// state and truncating history, so the snapshot can never miss the
+    /// effect of a record it truncates. The gate is never acquired
+    /// re-entrantly: consumer wakeups and watcher callbacks run strictly
+    /// after the read guard is released, so a queued writer cannot
+    /// deadlock against a nested read.
+    mutation_gate: Arc<RwLock<()>>,
+    /// `journal.len_bytes()` as of the last checkpoint — the delta against
+    /// the live length drives [`QueueManager::maybe_checkpoint`]. A plain
+    /// length threshold would misfire on append-only group journals, whose
+    /// length never shrinks at a checkpoint.
+    last_checkpoint_len: AtomicU64,
     obs: Arc<Obs>,
     running: AtomicBool,
     /// Background machinery serving this manager (channel movers, TCP
@@ -279,7 +304,13 @@ impl QueueManager {
             config,
             stats,
             self.stats.journal_append_micros.clone(),
+            self.mutation_gate.clone(),
         )
+    }
+
+    /// The checkpoint/mutation exclusion gate (see the field docs).
+    pub(crate) fn mutation_gate(&self) -> &Arc<RwLock<()>> {
+        &self.mutation_gate
     }
 
     /// Creates a queue with default configuration.
@@ -303,6 +334,10 @@ impl QueueManager {
     ) -> MqResult<Arc<Queue>> {
         self.check_running()?;
         let name = name.into();
+        // Gate before stripe (the crate-wide lock order): a checkpoint must
+        // not truncate this QueueCreated record without the queue in its
+        // snapshot's directory.
+        let _gate = self.mutation_gate.read();
         // Check + journal + insert must be atomic per name; the stripe lock
         // serializes exactly the names sharing this stripe, leaving traffic
         // on other stripes untouched.
@@ -342,6 +377,7 @@ impl QueueManager {
     /// [`MqError::QueueNotFound`]; journal failures.
     pub fn delete_queue(&self, name: &str) -> MqResult<()> {
         self.check_running()?;
+        let _gate = self.mutation_gate.read();
         let mut stripe = self.queues.lock_key(name);
         let queue = stripe
             .remove(name)
@@ -623,6 +659,7 @@ impl QueueManager {
     ) -> MqResult<()> {
         msg.set_property(DLQ_REASON_PROPERTY, reason);
         let dlq = self.queue(DEAD_LETTER_QUEUE)?;
+        let gate = self.mutation_gate.read();
         if msg.is_persistent() {
             self.journal.append(&JournalRecord::TxCommit {
                 puts: vec![(DEAD_LETTER_QUEUE.to_owned(), msg.clone())],
@@ -631,8 +668,14 @@ impl QueueManager {
         }
         if let Ok(q) = self.queue(from_queue) {
             q.stats().dead_lettered.incr();
+            // The TxCommit above is now the durable cover for the removal;
+            // release the source queue's pending-get hold.
+            q.finalize_pending(msg.id());
         }
-        dlq.put_committed(msg)
+        dlq.put_committed(msg)?;
+        drop(gate);
+        dlq.notify_arrival();
+        Ok(())
     }
 
     // ---------------------------------------------- lifecycle & tasks --
@@ -671,112 +714,255 @@ impl QueueManager {
         queues.clear();
     }
 
-    fn recover(&self) -> MqResult<()> {
-        let records = self.journal.replay()?;
-        if records.is_empty() {
-            return Ok(());
-        }
-        let mut queues = self.queues.write_all();
-        // Every message this manager journaled an arrival for re-enters
-        // the delivery deduper, so a sender retrying a custody transfer
-        // across our restart cannot double-deliver (the global
-        // origin-manager + message-id idempotency key survives the crash).
-        let mut dedup = self.delivery_dedup.lock();
-        for record in records {
-            match record {
-                JournalRecord::QueueCreated { queue } => {
-                    if !queues.contains_key(&queue) {
-                        let q = self.make_queue(queue.clone(), QueueConfig::default());
-                        queues.insert(queue, q);
-                    }
+    /// Applies one replayed journal record to a recovery image.
+    fn apply_recovered(&self, state: &mut RecoveredState, record: JournalRecord) {
+        match record {
+            JournalRecord::QueueCreated { queue } => {
+                if let std::collections::hash_map::Entry::Vacant(e) = state.queues.entry(queue) {
+                    let q = self.make_queue(e.key().clone(), QueueConfig::default());
+                    e.insert(q);
                 }
-                JournalRecord::QueueDeleted { queue } => {
-                    queues.remove(&queue);
+            }
+            JournalRecord::QueueDeleted { queue } => {
+                state.queues.remove(&queue);
+            }
+            JournalRecord::Put { queue, message } => {
+                if let Some(q) = state.queues.get(&queue) {
+                    state.dedup.record(Deduper::key_of(&message));
+                    q.restore(message);
                 }
-                JournalRecord::Put { queue, message } => {
-                    if let Some(q) = queues.get(&queue) {
-                        dedup.record(Deduper::key_of(&message));
-                        q.restore(message);
-                    }
+            }
+            JournalRecord::Get { queue, message_id } => {
+                if let Some(q) = state.queues.get(&queue) {
+                    q.remove_by_id(message_id);
                 }
-                JournalRecord::Get { queue, message_id } => {
-                    if let Some(q) = queues.get(&queue) {
+            }
+            JournalRecord::TxCommit { puts, gets } => {
+                for (queue, message_id) in gets {
+                    if let Some(q) = state.queues.get(&queue) {
                         q.remove_by_id(message_id);
                     }
                 }
-                JournalRecord::TxCommit { puts, gets } => {
-                    for (queue, message_id) in gets {
-                        if let Some(q) = queues.get(&queue) {
-                            q.remove_by_id(message_id);
-                        }
-                    }
-                    for (queue, message) in puts {
-                        if let Some(q) = queues.get(&queue) {
-                            dedup.record(Deduper::key_of(&message));
-                            q.restore(message);
-                        }
-                    }
-                }
-                JournalRecord::Expired { queue, message_id } => {
-                    if let Some(q) = queues.get(&queue) {
-                        q.remove_by_id(message_id);
-                    }
-                }
-                // A custody transfer replays like a Put onto the outbound
-                // transmission queue: accepted-and-forwarded is one atomic
-                // record, so a crash between accept and re-enqueue rolls
-                // back to "never accepted" and the upstream retry re-runs
-                // the relay decision.
-                JournalRecord::RelayCustody {
-                    xmit_queue,
-                    message,
-                    ..
-                } => {
-                    if let Some(q) = queues.get(&xmit_queue) {
-                        dedup.record(Deduper::key_of(&message));
+                for (queue, message) in puts {
+                    if let Some(q) = state.queues.get(&queue) {
+                        state.dedup.record(Deduper::key_of(&message));
                         q.restore(message);
                     }
                 }
             }
+            JournalRecord::Expired { queue, message_id } => {
+                if let Some(q) = state.queues.get(&queue) {
+                    q.remove_by_id(message_id);
+                }
+            }
+            // A custody transfer replays like a Put onto the outbound
+            // transmission queue: accepted-and-forwarded is one atomic
+            // record, so a crash between accept and re-enqueue rolls
+            // back to "never accepted" and the upstream retry re-runs
+            // the relay decision.
+            JournalRecord::RelayCustody {
+                xmit_queue,
+                message,
+                ..
+            } => {
+                if let Some(q) = state.queues.get(&xmit_queue) {
+                    state.dedup.record(Deduper::key_of(&message));
+                    q.restore(message);
+                }
+            }
+            // Checkpoint markers are handled by the replay driver.
+            JournalRecord::CheckpointStart { .. } | JournalRecord::CheckpointEnd { .. } => {}
         }
+    }
+
+    /// Streams the journal once, building the recovery image with
+    /// **buffer-and-swap** checkpoint handling: a `CheckpointStart` opens a
+    /// fresh pending image (queue directory and deduper reseeded from the
+    /// marker), records between the markers apply to it, and the matching
+    /// `CheckpointEnd` promotes it — discarding everything before the
+    /// checkpoint in O(1). A torn checkpoint (no `End`) is dropped whole
+    /// and the pre-checkpoint image stands, so a crash *during*
+    /// checkpointing recovers exactly the old live set.
+    ///
+    /// Memory and time are O(live messages + tail records), not O(journal
+    /// history): replay is a streaming visitor, and truncating journals
+    /// ([`crate::journal::Journal::write_checkpoint`]) drop pre-checkpoint
+    /// history physically.
+    fn recover(&self) -> MqResult<()> {
+        let mut base = RecoveredState::new(self.config.dedup_window);
+        let mut pending: Option<(u64, RecoveredState)> = None;
+        self.journal.replay(&mut |record| {
+            match record {
+                JournalRecord::CheckpointStart {
+                    checkpoint_id,
+                    queues,
+                    dedup,
+                } => {
+                    let mut image = RecoveredState::new(self.config.dedup_window);
+                    for name in queues {
+                        let q = self.make_queue(name.clone(), QueueConfig::default());
+                        image.queues.insert(name, q);
+                    }
+                    // The deduper's idempotency keys are part of the
+                    // snapshot: a sender retrying a custody transfer across
+                    // our restart must still be recognized even though the
+                    // original arrival records were truncated away.
+                    for (origin, id) in dedup {
+                        image.dedup.record((origin, MessageId::from_u128(id)));
+                    }
+                    pending = Some((checkpoint_id, image));
+                }
+                JournalRecord::CheckpointEnd { checkpoint_id } => {
+                    if let Some((open_id, image)) = pending.take() {
+                        if open_id == checkpoint_id {
+                            base = image;
+                        }
+                    }
+                }
+                other => {
+                    let state = match pending.as_mut() {
+                        Some((_, image)) => image,
+                        None => &mut base,
+                    };
+                    self.apply_recovered(state, other);
+                }
+            }
+            Ok(())
+        })?;
+        // A checkpoint still open at EOF is torn: drop it, keep `base`.
+        drop(pending);
+        let mut queues = self.queues.write_all();
+        for (name, q) in base.queues {
+            queues.insert(name, q);
+        }
+        *self.delivery_dedup.lock() = base.dedup;
         Ok(())
     }
 
-    /// Rewrites the journal as a snapshot of current persistent state,
-    /// bounding its growth. Concurrent mutation is excluded for the
-    /// duration.
+    /// Snapshots all live persistent state into the journal as a
+    /// checkpoint and truncates history before it, bounding journal growth
+    /// and making the next recovery O(live). Expired messages are swept
+    /// first so the snapshot carries none. Mutation is excluded (via the
+    /// write side of the mutation gate) only for the snapshot itself.
     ///
     /// # Errors
     ///
-    /// Journal failures; on failure the journal may hold a partial snapshot
-    /// and should be considered unusable.
-    pub fn compact(&self) -> MqResult<()> {
-        let queues = self.queues.write_all();
-        self.journal.reset()?;
-        for name in queues.sorted_keys() {
-            self.journal.append(&JournalRecord::QueueCreated {
-                queue: name.clone(),
-            })?;
-            let Some(queue) = queues.get(&name) else {
-                continue;
-            };
-            for msg in queue.browse() {
-                if msg.is_persistent() {
-                    self.journal.append(&JournalRecord::Put {
+    /// Journal failures; on failure the journal may hold a torn checkpoint,
+    /// which recovery ignores (the pre-checkpoint image stands).
+    pub fn checkpoint(&self) -> MqResult<()> {
+        self.sweep_expired_all()?;
+        let _gate = self.mutation_gate.write();
+        self.checkpoint_locked()
+    }
+
+    /// Expires every ripe message on every queue (TTL and retention), via
+    /// each queue's expiry heap. Returns the total expired.
+    ///
+    /// # Errors
+    ///
+    /// Journal failures appending expiry records.
+    pub fn sweep_expired_all(&self) -> MqResult<usize> {
+        let mut n = 0;
+        for name in self.queues.sorted_keys() {
+            if let Some(q) = self.queues.get(&name) {
+                n += q.sweep_expired()?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Checkpoints if the journal has grown past
+    /// [`ManagerConfig::checkpoint_bytes`] since the last one. Skips (and
+    /// returns `Ok`) when another thread holds the gate — the next commit
+    /// will retry; checkpointing is a bound, not a deadline.
+    pub(crate) fn maybe_checkpoint(&self) -> MqResult<()> {
+        let Some(threshold) = self.config.checkpoint_bytes else {
+            return Ok(());
+        };
+        let grown = self
+            .journal
+            .len_bytes()
+            .saturating_sub(self.last_checkpoint_len.load(Ordering::Relaxed));
+        if grown < threshold {
+            return Ok(());
+        }
+        self.sweep_expired_all()?;
+        // try_write, not write: the caller may sit under a read-held gate
+        // somewhere up-stack (a commit inside a put watcher), and a blocked
+        // writer would deadlock against it.
+        let Some(_gate) = self.mutation_gate.try_write() else {
+            return Ok(());
+        };
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> MqResult<()> {
+        // Not wall-clock time (checkpoints must work under SimClock):
+        // message-id entropy is unique enough to pair Start with End.
+        let checkpoint_id = MessageId::generate().as_u128() as u64;
+        let names = self.queues.sorted_keys();
+        let dedup: Vec<(u64, u128)> = self
+            .delivery_dedup
+            .lock()
+            .snapshot()
+            .into_iter()
+            .map(|(origin, id)| (origin, id.as_u128()))
+            .collect();
+        let mut records = Vec::new();
+        records.push(JournalRecord::CheckpointStart {
+            checkpoint_id,
+            queues: names.clone(),
+            dedup,
+        });
+        for name in &names {
+            if let Some(q) = self.queues.get(name) {
+                for msg in q.snapshot_persistent() {
+                    records.push(JournalRecord::Put {
                         queue: name.clone(),
                         message: (*msg).clone(),
-                    })?;
+                    });
                 }
             }
         }
+        records.push(JournalRecord::CheckpointEnd { checkpoint_id });
+        self.journal.write_checkpoint(&mut records.into_iter())?;
+        self.last_checkpoint_len
+            .store(self.journal.len_bytes(), Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Bounds journal growth by snapshotting current persistent state.
+    /// Alias for [`QueueManager::checkpoint`], kept for callers of the
+    /// pre-checkpoint compaction API.
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueueManager::checkpoint`].
+    pub fn compact(&self) -> MqResult<()> {
+        self.checkpoint()
+    }
+}
+
+/// A recovery image: the queue directory plus the delivery deduper being
+/// rebuilt, either the base image or the pending one a checkpoint opened.
+struct RecoveredState {
+    queues: HashMap<String, Arc<Queue>>,
+    dedup: Deduper,
+}
+
+impl RecoveredState {
+    fn new(dedup_window: usize) -> Self {
+        RecoveredState {
+            queues: HashMap::new(),
+            dedup: Deduper::new(dedup_window),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::journal::MemJournal;
+    use crate::journal::{FileJournal, MemJournal};
     use simtime::SimClock;
 
     fn manager() -> (Arc<MemJournal>, Arc<QueueManager>) {
@@ -1030,5 +1216,143 @@ mod tests {
             .unwrap();
         qm.put("Q", Message::text("post-recovery").build()).unwrap();
         assert_eq!(qm.queue("Q").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn consecutive_restarts_leave_journal_byte_identical() {
+        // Recovery must be a pure read: rebuilding a manager over an
+        // existing journal appends nothing, so restarting twice in a row
+        // leaves the file untouched byte for byte.
+        let path = crate::journal::tests::temp_path("restart-idempotent");
+        {
+            let journal = FileJournal::open(&path, false).unwrap();
+            let qm = QueueManager::builder("QM1")
+                .journal(journal)
+                .build()
+                .unwrap();
+            qm.create_queue("Q").unwrap();
+            for i in 0..5 {
+                qm.put("Q", Message::text(format!("m{i}")).persistent(true).build())
+                    .unwrap();
+            }
+            qm.get("Q", Wait::NoWait).unwrap().unwrap();
+            qm.crash();
+        }
+        let after_first_run = std::fs::read(&path).unwrap();
+        for restart in 1..=2 {
+            let journal = FileJournal::open(&path, false).unwrap();
+            let qm = QueueManager::builder("QM1")
+                .journal(journal)
+                .build()
+                .unwrap();
+            assert_eq!(qm.queue("Q").unwrap().depth(), 4);
+            qm.crash();
+            let now = std::fs::read(&path).unwrap();
+            assert_eq!(
+                now, after_first_run,
+                "restart #{restart} must not grow or rewrite the journal"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_segments_and_recovers_live_state() {
+        use crate::journal::{SegmentConfig, SegmentedJournal};
+        let root = crate::journal::tests::temp_path("qmgr-seg-ckpt");
+        std::fs::remove_dir_all(&root).ok();
+        let config = SegmentConfig {
+            roll_bytes: 512,
+            sync_every_append: false,
+        };
+        let journal = SegmentedJournal::open(&root, config.clone()).unwrap();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        for i in 0..40 {
+            qm.put("Q", Message::text(format!("m{i}")).persistent(true).build())
+                .unwrap();
+        }
+        for _ in 0..35 {
+            qm.get("Q", Wait::NoWait).unwrap().unwrap();
+        }
+        let before = journal.len_bytes();
+        qm.checkpoint().unwrap();
+        assert!(
+            journal.len_bytes() < before,
+            "checkpoint must shrink the segmented store ({} -> {})",
+            before,
+            journal.len_bytes()
+        );
+        assert_eq!(journal.segment_count().unwrap(), 1);
+        qm.crash();
+        let journal = SegmentedJournal::open(&root, config).unwrap();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 5);
+        let first = qm2.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(first.payload_str(), Some("m35"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn uncommitted_transactional_get_survives_checkpoint_and_crash() {
+        let (journal, qm) = manager();
+        qm.create_queue("Q").unwrap();
+        qm.put("Q", Message::text("held").persistent(true).build())
+            .unwrap();
+        let mut session = qm.session();
+        session.begin().unwrap();
+        let got = session.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("held"));
+        // The checkpoint snapshot must still cover the provisionally
+        // consumed message: its Get is only journaled at commit, and this
+        // transaction never commits.
+        qm.checkpoint().unwrap();
+        qm.crash();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 1, "get rolls back");
+        let back = qm2.get("Q", Wait::NoWait).unwrap().unwrap();
+        assert_eq!(back.payload_str(), Some("held"));
+    }
+
+    #[test]
+    fn commit_volume_triggers_automatic_checkpoint() {
+        let journal = MemJournal::new();
+        let qm = QueueManager::builder("QM1")
+            .journal(journal.clone())
+            .config(ManagerConfig {
+                checkpoint_bytes: Some(1),
+                ..ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qm.create_queue("Q").unwrap();
+        let mut session = qm.session();
+        session.begin().unwrap();
+        session
+            .put("Q", Message::text("auto").persistent(true).build())
+            .unwrap();
+        session.commit().unwrap();
+        let records = journal.replay_collect().unwrap();
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r, JournalRecord::CheckpointEnd { .. })),
+            "a 1-byte threshold must checkpoint right after the commit"
+        );
+        qm.crash();
+        let qm2 = QueueManager::builder("QM1")
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.queue("Q").unwrap().depth(), 1);
     }
 }

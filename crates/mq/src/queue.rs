@@ -1,32 +1,40 @@
 //! A single message queue: priority bands, FIFO within priority, expiry,
 //! selectors, browsing, and blocking consumption.
 //!
-//! Internally the queue keeps messages in an id-keyed store with per-
-//! priority FIFO bands of ids plus a correlation-id index, so targeted
-//! consumption by correlation id (`get_by_correlation`) — which the
-//! conditional-messaging layer uses heavily to pick one message's
-//! compensations and log entries out of busy service queues — costs
-//! O(matches) instead of a full queue scan. Band entries whose message was
-//! removed through another path are skipped (and dropped) lazily.
+//! The queue itself is an orchestration shell: all in-memory state lives
+//! in a [`crate::store::MessageStore`] (id-keyed map, priority bands,
+//! correlation and property-value indexes, expiry heap, pending
+//! transactional gets), while this module owns journaling, statistics,
+//! clock access and blocking. Selector gets whose selector pins an
+//! equality (`shard = 7 AND kind = 'ack'`) are served as **point reads**
+//! from the property index instead of a band scan; targeted consumption
+//! by correlation id costs O(matches) the same way.
+//!
+//! Journaled mutations hold the owning manager's **mutation gate** (a
+//! shared read lock) across `[journal append + state change]`, so a
+//! checkpoint — which write-holds the gate while snapshotting live state
+//! and truncating history — can never observe a mutation whose record it
+//! truncates but whose effect it missed (see [`crate::QueueManager`]).
 //!
 //! Queues are owned by a [`crate::QueueManager`]; applications obtain
 //! `Arc<Queue>` handles via [`crate::QueueManager::queue`] for read-only
 //! inspection (depth, browse, stats) and go through sessions for get/put so
 //! that journaling and transactions are handled uniformly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use simtime::{Millis, SharedClock};
 
 use crate::error::{MqError, MqResult};
 use crate::journal::{Journal, JournalRecord};
-use crate::message::{Message, MessageId};
+use crate::message::{Message, MessageId, PropertyValue};
 use crate::selector::Selector;
 use crate::stats::{Histogram, QueueStats};
+use crate::store::{MessageStore, PRIORITY_BANDS};
 
 /// How long a consumer is willing to wait for a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,59 +48,28 @@ pub enum Wait {
 }
 
 /// Per-queue configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QueueConfig {
     /// Maximum queue depth; puts beyond it fail with [`MqError::QueueFull`].
     pub max_depth: Option<usize>,
+    /// Retention ceiling: every message's lifetime is capped at this age
+    /// (a tighter per-message TTL still wins). Expired messages are
+    /// removed by the index-driven TTL sweep and checkpointed away.
+    pub retention: Option<Millis>,
+    /// Maintain per-property value-band indexes so selector equality gets
+    /// become point reads (on by default; turn off for write-heavy queues
+    /// that are never read with selectors).
+    pub index_properties: bool,
 }
 
-const PRIORITY_BANDS: usize = 10;
-
-#[derive(Debug)]
-struct Inner {
-    /// One FIFO band of message ids per priority level; may contain stale
-    /// ids (messages already removed), skipped lazily.
-    bands: [VecDeque<MessageId>; PRIORITY_BANDS],
-    /// The actual messages, keyed by id. `store.len()` is the queue depth.
-    /// `Arc`-wrapped so browse hands out shared handles instead of deep-
-    /// copying every payload; consumption unwraps (or clones only when a
-    /// browse snapshot still holds the message).
-    store: HashMap<MessageId, Arc<Message>>,
-    /// Correlation id → enqueued message ids (FIFO; may contain stale ids).
-    by_correlation: HashMap<String, VecDeque<MessageId>>,
-    open: bool,
-}
-
-impl Inner {
-    fn new() -> Inner {
-        Inner {
-            bands: Default::default(),
-            store: HashMap::new(),
-            by_correlation: HashMap::new(),
-            open: true,
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            max_depth: None,
+            retention: None,
+            index_properties: true,
         }
     }
-
-    /// Removes a message from the store and its correlation index (its
-    /// band entry goes stale and is dropped lazily).
-    fn detach(&mut self, id: MessageId) -> Option<Message> {
-        let msg = self.store.remove(&id)?;
-        if let Some(corr) = msg.correlation_id() {
-            if let Some(ids) = self.by_correlation.get_mut(corr) {
-                ids.retain(|x| *x != id);
-                if ids.is_empty() {
-                    self.by_correlation.remove(corr);
-                }
-            }
-        }
-        Some(unshare(msg))
-    }
-}
-
-/// Takes the `Message` out of a store handle: free when no browse snapshot
-/// shares it, a deep clone only when one does.
-fn unshare(msg: Arc<Message>) -> Message {
-    Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Callback invoked (outside the queue lock) after a message becomes
@@ -106,8 +83,13 @@ pub struct Queue {
     clock: SharedClock,
     journal: Arc<dyn Journal>,
     config: QueueConfig,
-    inner: Mutex<Inner>,
+    store: Mutex<MessageStore>,
     available: Condvar,
+    /// The owning manager's mutation gate (see module docs): read-held
+    /// across every `[journal append + state change]`, write-held by
+    /// checkpoints. Never acquired re-entrantly — notifications and
+    /// watcher callbacks run strictly after the guard is released.
+    gate: Arc<RwLock<()>>,
     stats: QueueStats,
     /// Journal-append latency (micros), shared with the owning manager's
     /// `mq.journal.append_micros` histogram when built via the manager.
@@ -142,11 +124,13 @@ impl Queue {
             config,
             QueueStats::default(),
             Arc::new(Histogram::default()),
+            Arc::new(RwLock::new(())),
         )
     }
 
     /// Builds a queue whose stats cells (and journal-append histogram) are
-    /// already registered in a metrics registry by the owning manager.
+    /// already registered in a metrics registry by the owning manager, and
+    /// which shares the manager's mutation gate.
     pub(crate) fn new_instrumented(
         name: String,
         clock: SharedClock,
@@ -154,14 +138,17 @@ impl Queue {
         config: QueueConfig,
         stats: QueueStats,
         journal_append_micros: Arc<Histogram>,
+        gate: Arc<RwLock<()>>,
     ) -> Arc<Queue> {
+        let index_properties = config.index_properties;
         Arc::new(Queue {
             name,
             clock,
             journal,
             config,
-            inner: Mutex::new(Inner::new()),
+            store: Mutex::new(MessageStore::new(index_properties)),
             available: Condvar::new(),
+            gate,
             stats,
             journal_append_micros,
             put_watchers: Mutex::new(Vec::new()),
@@ -175,14 +162,14 @@ impl Queue {
 
     /// Current number of messages on the queue.
     pub fn depth(&self) -> usize {
-        self.inner.lock().store.len()
+        self.store.lock().len()
     }
 
     /// Whether the queue currently holds no messages. A cheap peek so idle
     /// wakeups (e.g. the ack drain) can skip opening a session — and its
     /// journal bookkeeping — entirely.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().store.is_empty()
+        self.store.lock().is_empty()
     }
 
     /// Registers a callback to run after every put (visible enqueue),
@@ -213,10 +200,10 @@ impl Queue {
             Wait::Timeout(t) => Some(self.clock.now() + t),
             Wait::Forever => None,
         };
-        let mut inner = self.inner.lock();
+        let mut store = self.store.lock();
         loop {
-            self.check_open(&inner)?;
-            if !inner.store.is_empty() {
+            self.check_open(&store)?;
+            if !store.is_empty() {
                 return Ok(true);
             }
             let now = self.clock.now();
@@ -228,7 +215,7 @@ impl Queue {
                 _ if self.clock.is_virtual() => Duration::from_millis(2),
                 _ => Duration::from_millis(200),
             };
-            self.available.wait_for(&mut inner, real_wait);
+            self.available.wait_for(&mut store, real_wait);
         }
     }
 
@@ -248,28 +235,64 @@ impl Queue {
     /// consuming; cheap `Arc` handles, as with [`Queue::browse`].
     pub fn browse_selected(&self, selector: Option<&Selector>) -> Vec<Arc<Message>> {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
+        let mut store = self.store.lock();
         self.stats.browses.incr();
         let mut out = Vec::new();
         for band_idx in (0..PRIORITY_BANDS).rev() {
             // Drop stale ids while browsing; collect live matches.
-            let ids: Vec<MessageId> = inner.bands[band_idx].iter().copied().collect();
+            let ids: Vec<MessageId> = store.bands[band_idx].iter().copied().collect();
             let mut live = VecDeque::with_capacity(ids.len());
             for id in ids {
-                let Some(msg) = inner.store.get(&id) else {
+                let Some(entry) = store.get(id) else {
                     continue;
                 };
                 live.push_back(id);
-                if msg.is_expired(now) {
+                if entry.msg.is_expired(now) {
                     continue;
                 }
-                if selector.is_none_or(|s| s.matches(msg)) {
-                    out.push(Arc::clone(msg));
+                if selector.is_none_or(|s| s.matches(&entry.msg)) {
+                    out.push(Arc::clone(&entry.msg));
                 }
             }
-            inner.bands[band_idx] = live;
+            store.bands[band_idx] = live;
         }
         out
+    }
+
+    /// Whether any live message matches `selector` — the existence probe
+    /// behind receiver-side duplicate checks. Uses the property index as
+    /// a point read when the selector pins an equality; never consumes,
+    /// never prunes.
+    pub fn any_selected(&self, selector: &Selector) -> bool {
+        let now = self.clock.now();
+        let store = self.store.lock();
+        if self.config.index_properties {
+            let hints = selector.point_constraints();
+            if !hints.is_empty() {
+                let mut bucket: Option<&VecDeque<MessageId>> = None;
+                for (name, value) in &hints {
+                    match store.hint_bucket(name, value) {
+                        // Absent bucket: no live message carries that
+                        // value, so nothing can match.
+                        None => return false,
+                        Some(b) => {
+                            if bucket.is_none_or(|cur| b.len() < cur.len()) {
+                                bucket = Some(b);
+                            }
+                        }
+                    }
+                }
+                return bucket.into_iter().flatten().any(|id| {
+                    store
+                        .get(*id)
+                        .is_some_and(|e| !e.msg.is_expired(now) && selector.matches(&e.msg))
+                });
+            }
+        }
+        store
+            .entries
+            .values()
+            .any(|e| !e.msg.is_expired(now) && selector.matches(&e.msg))
     }
 
     /// Appends a journal record, recording its wall-clock latency (which
@@ -286,7 +309,15 @@ impl Queue {
     /// Enqueues a message. `journal_put` is false when the enqueue is
     /// already covered by a `TxCommit` journal record.
     pub(crate) fn put(&self, mut msg: Message, journal_put: bool) -> MqResult<()> {
-        msg.stamp_enqueue(self.clock.now());
+        let now = self.clock.now();
+        msg.stamp_enqueue(now);
+        if let Some(retention) = self.config.retention {
+            msg.apply_retention(now + retention);
+        }
+        // Gate read-held across [append + insert]: a checkpoint cannot
+        // truncate this Put record while the message is missing from its
+        // snapshot.
+        let gate = self.gate.read();
         if journal_put && msg.is_persistent() && self.journal.is_durable() {
             // WAL discipline: the record must be stable before the message
             // becomes visible.
@@ -295,93 +326,103 @@ impl Queue {
                 message: msg.clone(),
             })?;
         }
-        let mut inner = self.inner.lock();
-        self.check_open(&inner)?;
-        self.check_depth(&inner)?;
-        self.insert(&mut inner, msg, false);
-        drop(inner);
-        self.available.notify_one();
-        self.notify_put_watchers();
+        let mut store = self.store.lock();
+        self.check_open(&store)?;
+        self.check_depth(&store)?;
+        self.insert(&mut store, msg, false);
+        drop(store);
+        drop(gate);
+        self.notify_arrival();
         Ok(())
     }
 
     /// Returns a message to the *front* of its priority band after a
     /// transaction rollback. Never journaled: the original `Put` record (if
-    /// any) still covers it. `bump` increments the redelivery count — false
-    /// for infrastructure retries (channel movers) that must not consume the
-    /// application's backout budget.
+    /// any) still covers it, and the insert clears the pending-get entry
+    /// the provisional consumption left behind. `bump` increments the
+    /// redelivery count — false for infrastructure retries (channel movers)
+    /// that must not consume the application's backout budget.
     pub(crate) fn requeue_front(&self, mut msg: Message, bump: bool) {
         if bump {
             msg.bump_redelivery();
             self.stats.redelivered.incr();
         }
-        let mut inner = self.inner.lock();
-        self.insert(&mut inner, msg, true);
-        drop(inner);
+        let mut store = self.store.lock();
+        self.insert(&mut store, msg, true);
+        drop(store);
         self.available.notify_one();
     }
 
     /// Re-inserts a message during journal replay (no journaling, no
     /// re-stamping — the recovered message keeps its original headers).
     pub(crate) fn restore(&self, msg: Message) {
-        let mut inner = self.inner.lock();
-        self.insert(&mut inner, msg, false);
+        let mut store = self.store.lock();
+        self.insert(&mut store, msg, false);
     }
 
-    /// Enqueues a message whose durability is already covered by a
-    /// transaction's `TxCommit` record. Bypasses the depth limit: the
-    /// transaction was accepted at stage time and must not fail mid-commit.
+    /// Enqueues a message whose durability is already covered by another
+    /// journal record (`TxCommit`, `RelayCustody`). Bypasses the depth
+    /// limit: the transaction was accepted at stage time and must not fail
+    /// mid-commit. The caller must read-hold the mutation gate around the
+    /// covering append and this insert, then call [`Queue::notify_arrival`]
+    /// after releasing it — watchers must never run under the gate.
     pub(crate) fn put_committed(&self, mut msg: Message) -> MqResult<()> {
-        msg.stamp_enqueue(self.clock.now());
-        let mut inner = self.inner.lock();
-        self.check_open(&inner)?;
-        self.insert(&mut inner, msg, false);
-        drop(inner);
+        let now = self.clock.now();
+        msg.stamp_enqueue(now);
+        if let Some(retention) = self.config.retention {
+            msg.apply_retention(now + retention);
+        }
+        let mut store = self.store.lock();
+        self.check_open(&store)?;
+        self.insert(&mut store, msg, false);
+        Ok(())
+    }
+
+    /// Wakes one parked consumer and runs the put watchers. Pairs with
+    /// [`Queue::put_committed`] once the caller has released the gate.
+    pub(crate) fn notify_arrival(&self) {
         self.available.notify_one();
         self.notify_put_watchers();
-        Ok(())
     }
 
     /// Removes a specific message by id (journal replay and annihilation).
     pub(crate) fn remove_by_id(&self, id: MessageId) -> Option<Message> {
-        let mut inner = self.inner.lock();
-        let msg = inner.detach(id)?;
-        self.stats.depth.set(inner.store.len() as u64);
+        let mut store = self.store.lock();
+        let msg = store.detach(id)?;
+        self.stats.depth.set(store.len() as u64);
         Some(msg)
     }
 
-    fn insert(&self, inner: &mut Inner, msg: Message, front: bool) {
-        let band = usize::from(msg.priority().level()).min(PRIORITY_BANDS - 1);
-        let id = msg.id();
-        if front {
-            inner.bands[band].push_front(id);
-        } else {
-            inner.bands[band].push_back(id);
-        }
-        if let Some(corr) = msg.correlation_id() {
-            let ids = inner.by_correlation.entry(corr.to_owned()).or_default();
-            if front {
-                ids.push_front(id);
-            } else {
-                ids.push_back(id);
-            }
-        }
-        inner.store.insert(id, Arc::new(msg));
-        self.stats.enqueued.incr();
-        self.stats.depth.set(inner.store.len() as u64);
+    /// Drops the pending-get entry of a transactionally consumed message
+    /// once its covering record (`TxCommit`, dead-letter) is durable. The
+    /// caller holds the mutation gate.
+    pub(crate) fn finalize_pending(&self, id: MessageId) {
+        self.store.lock().finalize_pending(id);
     }
 
-    fn check_open(&self, inner: &Inner) -> MqResult<()> {
-        if inner.open {
+    /// Live persistent messages in delivery order plus persistent pending
+    /// transactional gets — the set a checkpoint snapshot re-journals.
+    pub(crate) fn snapshot_persistent(&self) -> Vec<Arc<Message>> {
+        self.store.lock().snapshot_persistent()
+    }
+
+    fn insert(&self, store: &mut MessageStore, msg: Message, front: bool) {
+        store.insert(msg, front);
+        self.stats.enqueued.incr();
+        self.stats.depth.set(store.len() as u64);
+    }
+
+    fn check_open(&self, store: &MessageStore) -> MqResult<()> {
+        if store.open {
             Ok(())
         } else {
             Err(MqError::ManagerStopped(self.name.clone()))
         }
     }
 
-    fn check_depth(&self, inner: &Inner) -> MqResult<()> {
+    fn check_depth(&self, store: &MessageStore) -> MqResult<()> {
         match self.config.max_depth {
-            Some(max) if inner.store.len() >= max => Err(MqError::QueueFull(self.name.clone())),
+            Some(max) if store.len() >= max => Err(MqError::QueueFull(self.name.clone())),
             _ => Ok(()),
         }
     }
@@ -397,9 +438,10 @@ impl Queue {
         selector: Option<&Selector>,
         journal_get: bool,
     ) -> MqResult<Option<Message>> {
-        let mut inner = self.inner.lock();
-        self.check_open(&inner)?;
-        self.take_locked(&mut inner, selector, journal_get)
+        let _gate = self.gate.read();
+        let mut store = self.store.lock();
+        self.check_open(&store)?;
+        self.take_locked(&mut store, selector, journal_get)
     }
 
     /// Removes and returns the oldest message with the given correlation
@@ -410,45 +452,25 @@ impl Queue {
         journal_get: bool,
     ) -> MqResult<Option<Message>> {
         let now = self.clock.now();
-        let mut inner = self.inner.lock();
-        self.check_open(&inner)?;
+        let _gate = self.gate.read();
+        let mut store = self.store.lock();
+        self.check_open(&store)?;
         loop {
-            let Some(ids) = inner.by_correlation.get_mut(correlation) else {
+            let Some(ids) = store.by_correlation.get_mut(correlation) else {
                 return Ok(None);
             };
             let Some(id) = ids.pop_front() else {
-                inner.by_correlation.remove(correlation);
+                store.by_correlation.remove(correlation);
                 return Ok(None);
             };
-            let Some(msg) = inner.store.remove(&id).map(unshare) else {
+            let Some(entry) = store.get(id) else {
                 continue; // stale
             };
-            if inner
-                .by_correlation
-                .get(correlation)
-                .is_some_and(VecDeque::is_empty)
-            {
-                inner.by_correlation.remove(correlation);
-            }
-            self.stats.depth.set(inner.store.len() as u64);
-            if msg.is_expired(now) {
-                self.stats.expired.incr();
-                if msg.is_persistent() && self.journal.is_durable() {
-                    self.append_timed(&JournalRecord::Expired {
-                        queue: self.name.clone(),
-                        message_id: msg.id(),
-                    })?;
-                }
+            if entry.msg.is_expired(now) {
+                self.expire_locked(&mut store, id)?;
                 continue;
             }
-            self.stats.dequeued.incr();
-            if journal_get && msg.is_persistent() && self.journal.is_durable() {
-                self.append_timed(&JournalRecord::Get {
-                    queue: self.name.clone(),
-                    message_id: msg.id(),
-                })?;
-            }
-            return Ok(Some(msg));
+            return self.consume_locked(&mut store, id, journal_get).map(Some);
         }
     }
 
@@ -476,9 +498,9 @@ impl Queue {
                 _ if self.clock.is_virtual() => Duration::from_millis(2),
                 _ => Duration::from_millis(200),
             };
-            let mut inner = self.inner.lock();
-            self.check_open(&inner)?;
-            self.available.wait_for(&mut inner, real_wait);
+            let mut store = self.store.lock();
+            self.check_open(&store)?;
+            self.available.wait_for(&mut store, real_wait);
         }
     }
 
@@ -494,11 +516,20 @@ impl Queue {
             Wait::Timeout(t) => Some(self.clock.now() + t),
             Wait::Forever => None,
         };
-        let mut inner = self.inner.lock();
         loop {
-            self.check_open(&inner)?;
-            if let Some(msg) = self.take_locked(&mut inner, selector, journal_get)? {
-                return Ok(Some(msg));
+            // Attempt under the gate, then release it before parking: a
+            // checkpoint must never wait on parked consumers. The store
+            // version detects arrivals (and closes) in the unlocked gap,
+            // so the condvar wait cannot miss a wakeup.
+            let seen_version;
+            {
+                let _gate = self.gate.read();
+                let mut store = self.store.lock();
+                self.check_open(&store)?;
+                if let Some(msg) = self.take_locked(&mut store, selector, journal_get)? {
+                    return Ok(Some(msg));
+                }
+                seen_version = store.version();
             }
             let now = self.clock.now();
             let real_wait = match deadline {
@@ -509,52 +540,46 @@ impl Queue {
                 _ if self.clock.is_virtual() => Duration::from_millis(2),
                 _ => Duration::from_millis(200),
             };
-            self.available.wait_for(&mut inner, real_wait);
+            let mut store = self.store.lock();
+            self.check_open(&store)?;
+            if store.version() == seen_version {
+                self.available.wait_for(&mut store, real_wait);
+            }
         }
     }
 
     fn take_locked(
         &self,
-        inner: &mut Inner,
+        store: &mut MessageStore,
         selector: Option<&Selector>,
         journal_get: bool,
     ) -> MqResult<Option<Message>> {
+        if let Some(sel) = selector {
+            if self.config.index_properties {
+                let hints = sel.point_constraints();
+                if !hints.is_empty() {
+                    return self.take_indexed(store, sel, &hints, journal_get);
+                }
+            }
+        }
         let now = self.clock.now();
         for band_idx in (0..PRIORITY_BANDS).rev() {
             let mut i = 0;
-            while i < inner.bands[band_idx].len() {
-                let id = inner.bands[band_idx][i];
-                let Some(msg) = inner.store.get(&id) else {
+            while i < store.bands[band_idx].len() {
+                let id = store.bands[band_idx][i];
+                let Some(entry) = store.get(id) else {
                     // Stale id: message removed through another path.
-                    inner.bands[band_idx].remove(i);
+                    store.bands[band_idx].remove(i);
                     continue;
                 };
-                if msg.is_expired(now) {
-                    inner.bands[band_idx].remove(i);
-                    let dead = inner.detach(id).expect("message present");
-                    self.stats.expired.incr();
-                    self.stats.depth.set(inner.store.len() as u64);
-                    if dead.is_persistent() && self.journal.is_durable() {
-                        self.append_timed(&JournalRecord::Expired {
-                            queue: self.name.clone(),
-                            message_id: dead.id(),
-                        })?;
-                    }
+                if entry.msg.is_expired(now) {
+                    store.bands[band_idx].remove(i);
+                    self.expire_locked(store, id)?;
                     continue; // same index now holds the next entry
                 }
-                let matches = selector.is_none_or(|s| s.matches(msg));
-                if matches {
-                    inner.bands[band_idx].remove(i);
-                    let msg = inner.detach(id).expect("message present");
-                    self.stats.dequeued.incr();
-                    self.stats.depth.set(inner.store.len() as u64);
-                    if journal_get && msg.is_persistent() && self.journal.is_durable() {
-                        self.append_timed(&JournalRecord::Get {
-                            queue: self.name.clone(),
-                            message_id: msg.id(),
-                        })?;
-                    }
-                    return Ok(Some(msg));
+                if selector.is_none_or(|s| s.matches(&entry.msg)) {
+                    store.bands[band_idx].remove(i);
+                    return self.consume_locked(store, id, journal_get).map(Some);
                 }
                 i += 1;
             }
@@ -562,14 +587,151 @@ impl Queue {
         Ok(None)
     }
 
+    /// Serves a selector get as a point read: pick the narrowest index
+    /// bucket among the selector's equality constraints, verify each
+    /// candidate against the full selector, and consume the one a band
+    /// scan would have chosen (highest priority, then lowest sequence
+    /// number). Stale bucket entries are pruned on the way through.
+    fn take_indexed(
+        &self,
+        store: &mut MessageStore,
+        selector: &Selector,
+        hints: &[(String, PropertyValue)],
+        journal_get: bool,
+    ) -> MqResult<Option<Message>> {
+        let now = self.clock.now();
+        let mut chosen: Option<(usize, usize)> = None; // (bucket len, hint idx)
+        for (idx, (name, value)) in hints.iter().enumerate() {
+            match store.hint_bucket(name, value) {
+                // Absent bucket: no live message carries this value, and
+                // the constraint is conjunctive — nothing can match.
+                None => return Ok(None),
+                Some(bucket) => {
+                    let len = bucket.len();
+                    if chosen.is_none_or(|(best, _)| len < best) {
+                        chosen = Some((len, idx));
+                    }
+                }
+            }
+        }
+        let Some((_, hint_idx)) = chosen else {
+            return Ok(None);
+        };
+        let (name, value) = &hints[hint_idx];
+        let ids: Vec<MessageId> = store
+            .hint_bucket(name, value)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        let mut survivors = VecDeque::with_capacity(ids.len());
+        let mut ripe = Vec::new();
+        let mut best: Option<(u8, u64, MessageId)> = None;
+        for id in ids {
+            let Some(entry) = store.get(id) else {
+                continue; // stale: prune
+            };
+            if entry.msg.is_expired(now) {
+                ripe.push(id);
+                continue;
+            }
+            survivors.push_back(id);
+            if selector.matches(&entry.msg) {
+                let prio = entry.msg.priority().level();
+                let better = match best {
+                    None => true,
+                    Some((bp, bs, _)) => prio > bp || (prio == bp && entry.seq < bs),
+                };
+                if better {
+                    best = Some((prio, entry.seq, id));
+                }
+            }
+        }
+        if let Some((_, _, id)) = best {
+            survivors.retain(|x| *x != id);
+        }
+        store.replace_bucket(name, value, survivors);
+        for id in ripe {
+            self.expire_locked(store, id)?;
+        }
+        match best {
+            Some((_, _, id)) => self.consume_locked(store, id, journal_get).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Detaches an expired message and journals the expiry.
+    fn expire_locked(&self, store: &mut MessageStore, id: MessageId) -> MqResult<()> {
+        let Some(dead) = store.detach(id) else {
+            return Ok(());
+        };
+        self.stats.expired.incr();
+        self.stats.depth.set(store.len() as u64);
+        if dead.is_persistent() && self.journal.is_durable() {
+            self.append_timed(&JournalRecord::Expired {
+                queue: self.name.clone(),
+                message_id: dead.id(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Detaches a live message as one consumed delivery: journals the Get,
+    /// or — for transactional gets whose `TxCommit` record comes later —
+    /// parks it in the pending-get table so checkpoints still see it.
+    fn consume_locked(
+        &self,
+        store: &mut MessageStore,
+        id: MessageId,
+        journal_get: bool,
+    ) -> MqResult<Message> {
+        let persistent = store.get(id).is_some_and(|e| e.msg.is_persistent());
+        let durable = persistent && self.journal.is_durable();
+        let msg = if durable && !journal_get {
+            store.detach_pending(id)
+        } else {
+            store.detach(id)
+        }
+        .expect("message present");
+        self.stats.dequeued.incr();
+        self.stats.depth.set(store.len() as u64);
+        if durable && journal_get {
+            self.append_timed(&JournalRecord::Get {
+                queue: self.name.clone(),
+                message_id: id,
+            })?;
+        }
+        Ok(msg)
+    }
+
+    /// Expires every message whose TTL or retention deadline has passed,
+    /// driven by the expiry heap — O(expired · log depth), not O(depth).
+    /// Returns how many were expired. Checkpoints run this first so a
+    /// snapshot carries no ripe messages.
+    pub fn sweep_expired(&self) -> MqResult<usize> {
+        let now = self.clock.now();
+        let _gate = self.gate.read();
+        let mut store = self.store.lock();
+        let ripe = store.ripe_expired(now);
+        let mut n = 0;
+        for id in ripe {
+            if store.get(id).is_some_and(|e| e.msg.is_expired(now)) {
+                self.expire_locked(&mut store, id)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
     /// Discards all messages; returns how many were removed. Expired and
     /// live messages alike are journaled as consumed so recovery agrees.
     pub fn purge(&self) -> MqResult<usize> {
-        let mut inner = self.inner.lock();
-        let ids: Vec<MessageId> = inner.store.keys().copied().collect();
+        let _gate = self.gate.read();
+        let mut store = self.store.lock();
+        let ids: Vec<MessageId> = store.entries.keys().copied().collect();
         let mut n = 0;
         for id in ids {
-            let msg = inner.detach(id).expect("key present");
+            let msg = store.detach(id).expect("key present");
             if msg.is_persistent() && self.journal.is_durable() {
                 self.append_timed(&JournalRecord::Get {
                     queue: self.name.clone(),
@@ -578,7 +740,7 @@ impl Queue {
             }
             n += 1;
         }
-        for band in inner.bands.iter_mut() {
+        for band in store.bands.iter_mut() {
             band.clear();
         }
         self.stats.depth.set(0);
@@ -587,9 +749,12 @@ impl Queue {
 
     /// Closes the queue, waking all blocked consumers with an error.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock();
-        inner.open = false;
-        drop(inner);
+        let mut store = self.store.lock();
+        store.open = false;
+        // Version bump: a consumer between its gated attempt and its park
+        // re-checks instead of sleeping through the close.
+        store.bump_version();
+        drop(store);
         self.available.notify_all();
     }
 
@@ -718,7 +883,10 @@ mod tests {
             "SMALL.Q".into(),
             clock,
             MemJournal::new(),
-            QueueConfig { max_depth: Some(2) },
+            QueueConfig {
+                max_depth: Some(2),
+                ..QueueConfig::default()
+            },
         );
         q.put(text("a"), true).unwrap();
         q.put(text("b"), true).unwrap();
@@ -756,7 +924,58 @@ mod tests {
         q.put(msg, true).unwrap();
         clock.advance(Millis(10));
         assert!(q.try_take(None, true).unwrap().is_none());
-        let recs = journal.replay().unwrap();
+        let recs = journal.replay_collect().unwrap();
+        assert!(recs.iter().any(|r| matches!(
+            r,
+            JournalRecord::Expired { message_id, .. } if *message_id == id
+        )));
+    }
+
+    #[test]
+    fn retention_caps_message_lifetime() {
+        let clock = SimClock::new();
+        let q = Queue::new(
+            "RET.Q".into(),
+            clock.clone(),
+            MemJournal::new(),
+            QueueConfig {
+                retention: Some(Millis(20)),
+                ..QueueConfig::default()
+            },
+        );
+        q.put(text("ages-out"), true).unwrap();
+        // A tighter per-message TTL still wins over retention.
+        q.put(Message::text("tighter").ttl(Millis(5)).build(), true)
+            .unwrap();
+        clock.advance(Millis(10));
+        assert_eq!(q.sweep_expired().unwrap(), 1, "TTL 5 expired, retention not yet");
+        assert_eq!(q.depth(), 1);
+        clock.advance(Millis(15));
+        assert_eq!(q.sweep_expired().unwrap(), 1, "retention cap reached");
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.stats().expired.get(), 2);
+    }
+
+    #[test]
+    fn sweep_expired_journals_persistent_expiries() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let q = Queue::new(
+            "SW.Q".into(),
+            clock.clone(),
+            journal.clone(),
+            QueueConfig::default(),
+        );
+        let msg = Message::text("x").persistent(true).ttl(Millis(5)).build();
+        let id = msg.id();
+        q.put(msg, true).unwrap();
+        q.put(Message::text("keep").persistent(true).build(), true)
+            .unwrap();
+        clock.advance(Millis(10));
+        assert_eq!(q.sweep_expired().unwrap(), 1);
+        assert_eq!(q.sweep_expired().unwrap(), 0, "sweep is idempotent");
+        assert_eq!(q.depth(), 1);
+        let recs = journal.replay_collect().unwrap();
         assert!(recs.iter().any(|r| matches!(
             r,
             JournalRecord::Expired { message_id, .. } if *message_id == id
@@ -784,6 +1003,89 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_scanned_selector_gets_agree() {
+        // Two queues with identical contents: one serving selector gets
+        // from the property index, one forced onto the band scan. Every
+        // get must return the same message in the same order.
+        let clock = SimClock::new();
+        let indexed = Queue::new(
+            "IDX.Q".into(),
+            clock.clone(),
+            MemJournal::new(),
+            QueueConfig::default(),
+        );
+        let scanned = Queue::new(
+            "SCAN.Q".into(),
+            clock.clone(),
+            MemJournal::new(),
+            QueueConfig {
+                index_properties: false,
+                ..QueueConfig::default()
+            },
+        );
+        let mut payloads = Vec::new();
+        for i in 0..40u8 {
+            let m = Message::text(format!("m{i}"))
+                .property("shard", i64::from(i % 5))
+                .property("kind", if i % 2 == 0 { "even" } else { "odd" })
+                .priority(Priority::new(i % 3))
+                .build();
+            payloads.push(m.clone());
+        }
+        for m in &payloads {
+            indexed.put(m.clone(), true).unwrap();
+            scanned.put(m.clone(), true).unwrap();
+        }
+        let selectors = [
+            "shard = 3",
+            "shard = 1 AND kind = 'even'",
+            "kind = 'odd'",
+            "shard = 2 AND priority = 2",
+            "shard = 9", // matches nothing
+        ];
+        for src in selectors {
+            let sel = Selector::parse(src).unwrap();
+            loop {
+                let a = indexed.try_take(Some(&sel), true).unwrap();
+                let b = scanned.try_take(Some(&sel), true).unwrap();
+                assert_eq!(
+                    a.as_ref().map(Message::id),
+                    b.as_ref().map(Message::id),
+                    "selector {src:?} diverged between index and scan"
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(indexed.depth(), scanned.depth());
+    }
+
+    #[test]
+    fn indexed_take_respects_priority_over_bucket_order() {
+        let (_c, q) = sim_queue();
+        q.put(
+            Message::text("early-low")
+                .property("k", 1i64)
+                .priority(Priority::new(1))
+                .build(),
+            true,
+        )
+        .unwrap();
+        q.put(
+            Message::text("late-high")
+                .property("k", 1i64)
+                .priority(Priority::new(7))
+                .build(),
+            true,
+        )
+        .unwrap();
+        let sel = Selector::parse("k = 1").unwrap();
+        let got = q.try_take(Some(&sel), true).unwrap().unwrap();
+        assert_eq!(got.payload_str(), Some("late-high"));
+    }
+
+    #[test]
     fn browse_does_not_consume() {
         let (_c, q) = sim_queue();
         q.put(text("a"), true).unwrap();
@@ -796,6 +1098,18 @@ mod tests {
         assert_eq!(q.depth(), 2);
         let sel = Selector::parse("priority = 9").unwrap();
         assert_eq!(q.browse_selected(Some(&sel)).len(), 1);
+    }
+
+    #[test]
+    fn any_selected_probes_without_consuming() {
+        let (_c, q) = sim_queue();
+        q.put(Message::text("m").property("k", 1i64).build(), true)
+            .unwrap();
+        let hit = Selector::parse("k = 1").unwrap();
+        let miss = Selector::parse("k = 2").unwrap();
+        assert!(q.any_selected(&hit));
+        assert!(!q.any_selected(&miss));
+        assert_eq!(q.depth(), 1, "probe must not consume");
     }
 
     #[test]
@@ -971,9 +1285,32 @@ mod tests {
         let id = msg.id();
         q.put(msg, true).unwrap();
         q.try_take(None, true).unwrap().unwrap();
-        let recs = journal.replay().unwrap();
+        let recs = journal.replay_collect().unwrap();
         assert!(matches!(&recs[0], JournalRecord::Put { message, .. } if message.id() == id));
         assert!(matches!(&recs[1], JournalRecord::Get { message_id, .. } if *message_id == id));
+    }
+
+    #[test]
+    fn transactional_get_parks_pending_until_finalized() {
+        let clock = SimClock::new();
+        let journal = MemJournal::new();
+        let q = Queue::new(
+            "TX.Q".into(),
+            clock,
+            journal.clone(),
+            QueueConfig::default(),
+        );
+        let msg = Message::text("x").persistent(true).build();
+        let id = msg.id();
+        q.put(msg, true).unwrap();
+        // Transactional get: no Get record yet, message held pending.
+        q.try_take(None, false).unwrap().unwrap();
+        assert_eq!(q.depth(), 0);
+        let snap = q.snapshot_persistent();
+        assert_eq!(snap.len(), 1, "pending get still owed to checkpoints");
+        assert_eq!(snap[0].id(), id);
+        q.finalize_pending(id);
+        assert!(q.snapshot_persistent().is_empty());
     }
 
     #[test]

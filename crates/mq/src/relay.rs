@@ -141,6 +141,13 @@ impl Deduper {
         }
     }
 
+    /// The remembered keys, oldest first — what a checkpoint snapshots so
+    /// recovery can reseed the window even after the arrival records that
+    /// built it have been truncated away.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, MessageId)> {
+        self.order.iter().copied().collect()
+    }
+
     /// Resizes the window, evicting oldest keys if it shrank.
     pub(crate) fn set_window(&mut self, window: usize) {
         self.window = window.max(1);
@@ -240,6 +247,10 @@ impl QueueManager {
         let next_hops = hops + 1;
         msg.set_property(RELAY_HOPS_PROPERTY, i64::from(next_hops));
         let xmit_queue = self.queue(&xmit)?;
+        // Gate read-held across [custody append + re-enqueue]: a checkpoint
+        // cannot truncate the RelayCustody record while the envelope is
+        // missing from its snapshot of the transmission queue.
+        let gate = self.mutation_gate().read();
         if msg.is_persistent() && self.journal().is_durable() {
             let origin = msg
                 .str_property(RELAY_ORIGIN_PROPERTY)
@@ -266,6 +277,8 @@ impl QueueManager {
             format!("dest={dest} via={xmit} hops={next_hops}"),
         );
         xmit_queue.put_committed(msg)?;
+        drop(gate);
+        xmit_queue.notify_arrival();
         Ok(RelayOutcome::Forwarded(xmit))
     }
 
@@ -465,6 +478,36 @@ mod tests {
         // …and reseeded the dedup window: the upstream retry is dropped.
         assert_eq!(qm2.accept_envelope(env).unwrap(), RelayOutcome::Duplicate);
         assert_eq!(qm2.queue("SYSTEM.XMIT.QM.C").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn dedup_window_survives_checkpoint_truncation() {
+        // A checkpoint truncates the custody records the dedup window was
+        // rebuilt from; the CheckpointStart snapshot must carry the window
+        // itself, or a post-crash retry would be double-delivered.
+        let journal = MemJournal::new();
+        let clock = SimClock::new();
+        let qm = QueueManager::builder("QM.B")
+            .clock(clock.clone())
+            .journal(journal.clone())
+            .build()
+            .unwrap();
+        qm.create_queue("Q.IN").unwrap();
+        let origin = manager("QM.A");
+        let env = envelope(&origin, "QM.B", "Q.IN", "once only");
+        assert_eq!(
+            qm.accept_envelope(env.clone()).unwrap(),
+            RelayOutcome::DeliveredLocal
+        );
+        qm.checkpoint().unwrap();
+        qm.crash();
+        let qm2 = QueueManager::builder("QM.B")
+            .clock(clock)
+            .journal(journal)
+            .build()
+            .unwrap();
+        assert_eq!(qm2.accept_envelope(env).unwrap(), RelayOutcome::Duplicate);
+        assert_eq!(qm2.queue("Q.IN").unwrap().depth(), 1, "no double delivery");
     }
 
     #[test]

@@ -94,6 +94,63 @@ impl Selector {
     pub fn source(&self) -> &str {
         &self.source
     }
+
+    /// Equality constraints every matching message must satisfy:
+    /// `(name, value)` pairs from `name = literal` comparisons reachable
+    /// through top-level `AND`s. A message lacking `value` for `name`
+    /// cannot match the selector (equality against `NULL` is *unknown*),
+    /// which is what lets a property index serve `get` as a point read —
+    /// any one constraint's index bucket is a complete candidate set.
+    ///
+    /// Pseudo-headers (`priority`, `persistent`, `redelivered`,
+    /// `redelivery_count`) are skipped: they are not message properties
+    /// and have no index. `correlation_id` *is* reported — queues index
+    /// it exactly.
+    pub(crate) fn point_constraints(&self) -> Vec<(String, PropertyValue)> {
+        let mut out = Vec::new();
+        collect_point_constraints(&self.expr, &mut out);
+        out
+    }
+}
+
+/// Walks `AND`s and `=` comparisons collecting indexable equality
+/// constraints; any other node contributes nothing (its subtree may relax
+/// the match but never widens an equality elsewhere in an `AND`).
+fn collect_point_constraints(expr: &Expr, out: &mut Vec<(String, PropertyValue)>) {
+    match expr {
+        Expr::And(l, r) => {
+            collect_point_constraints(l, out);
+            collect_point_constraints(r, out);
+        }
+        Expr::Cmp(CmpOp::Eq, l, r) => {
+            let pair = match (&**l, &**r) {
+                (Expr::Ident(name), lit) | (lit, Expr::Ident(name)) => {
+                    literal_value(lit).map(|v| (name, v))
+                }
+                _ => None,
+            };
+            if let Some((name, value)) = pair {
+                let pseudo = matches!(
+                    name.as_str(),
+                    "priority" | "persistent" | "redelivered" | "redelivery_count"
+                );
+                if !pseudo {
+                    out.push((name.clone(), value));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn literal_value(expr: &Expr) -> Option<PropertyValue> {
+    match expr {
+        Expr::LitI64(v) => Some(PropertyValue::I64(*v)),
+        Expr::LitF64(v) => Some(PropertyValue::F64(*v)),
+        Expr::LitStr(s) => Some(PropertyValue::Str(s.clone())),
+        Expr::LitBool(b) => Some(PropertyValue::Bool(*b)),
+        _ => None,
+    }
 }
 
 impl fmt::Display for Selector {

@@ -104,26 +104,25 @@ impl Session {
     /// failures abort the commit (state rolls back).
     pub fn commit(&mut self) -> MqResult<()> {
         let tx = self.tx.take().ok_or(MqError::NoTransaction)?;
+        // Mutation gate read-held across [TxCommit append + applying its
+        // effects]: a checkpoint can never snapshot half a transaction, nor
+        // truncate the TxCommit record while its effects are missing.
+        let gate = self.manager.mutation_gate().read();
         if self.manager.journal().is_durable() {
-            let record = JournalRecord::TxCommit {
-                puts: tx
-                    .staged_puts
-                    .iter()
-                    .filter(|(_, m)| m.is_persistent())
-                    .cloned()
-                    .collect(),
-                gets: tx
-                    .gets
-                    .iter()
-                    .filter(|(_, m)| m.is_persistent())
-                    .map(|(q, m)| (q.name().to_owned(), m.id()))
-                    .collect(),
-            };
-            let durable = match &record {
-                JournalRecord::TxCommit { puts, gets } => !puts.is_empty() || !gets.is_empty(),
-                _ => unreachable!(),
-            };
-            if durable {
+            let puts: Vec<_> = tx
+                .staged_puts
+                .iter()
+                .filter(|(_, m)| m.is_persistent())
+                .cloned()
+                .collect();
+            let gets: Vec<_> = tx
+                .gets
+                .iter()
+                .filter(|(_, m)| m.is_persistent())
+                .map(|(q, m)| (q.name().to_owned(), m.id()))
+                .collect();
+            if !puts.is_empty() || !gets.is_empty() {
+                let record = JournalRecord::TxCommit { puts, gets };
                 let started = std::time::Instant::now();
                 let appended = self.manager.journal().append(&record);
                 self.manager
@@ -138,22 +137,39 @@ impl Session {
                 }
             }
         }
+        let mut to_notify = Vec::new();
+        let mut orphaned = Vec::new();
         for (queue_name, msg) in tx.staged_puts {
             // Queue was validated at stage time; tolerate deletion races by
             // dead-lettering rather than losing the message.
             match self.manager.queue(&queue_name) {
-                Ok(q) => q.put_committed(msg)?,
-                Err(_) => self
-                    .manager
-                    .deliver_from_channel(&queue_name, msg)
-                    .unwrap_or(()),
+                Ok(q) => {
+                    q.put_committed(msg)?;
+                    to_notify.push(q);
+                }
+                Err(_) => orphaned.push((queue_name, msg)),
             }
         }
         for (queue, msg) in tx.gets {
-            queue.stats().dequeued.incr();
-            drop(msg);
+            // The TxCommit record is now the durable cover for this
+            // consumption: release the pending-get hold checkpoints honor.
+            queue.finalize_pending(msg.id());
+        }
+        drop(gate);
+        // Outside the gate: the unknown-queue path journals and gates its
+        // own records, and the gate must never be held re-entrantly.
+        for (queue_name, msg) in orphaned {
+            self.manager
+                .deliver_from_channel(&queue_name, msg)
+                .unwrap_or(());
+        }
+        // Wake consumers and watchers only after the gate is released:
+        // watcher callbacks may start transactions of their own.
+        for q in to_notify {
+            q.notify_arrival();
         }
         self.manager.stats().tx_committed.incr();
+        self.manager.maybe_checkpoint()?;
         Ok(())
     }
 

@@ -1,0 +1,515 @@
+//! The in-memory message store behind a [`crate::Queue`]: an id-keyed map
+//! of live messages plus every secondary structure that makes queue reads
+//! cheap — priority bands for delivery order, a correlation-id exact-match
+//! index, per-property value-band indexes for selector point reads, an
+//! expiry heap for TTL sweeps, and the pending-get table that keeps
+//! transactionally-consumed messages visible to checkpoints.
+//!
+//! The store is the *cache* side of the storage inversion: the journal is
+//! the primary copy of persistent state, and everything here can be
+//! rebuilt from a checkpoint plus the journal tail. Consequently the store
+//! never journals anything itself; the owning queue drives journaling and
+//! the store only maintains structure invariants:
+//!
+//! * `entries` is authoritative for liveness — `entries.len()` is the
+//!   queue depth.
+//! * Band, correlation and property-index deques may hold **stale ids**
+//!   (messages removed through another path); readers skip and prune them
+//!   lazily, so removal stays O(1).
+//! * Every live message has a **sequence number**: back-inserts count up
+//!   from the midpoint, front-inserts (rollback requeues) count down, so
+//!   "lowest seq wins within a priority band" reproduces exact FIFO
+//!   delivery order — the property that lets an index bucket pick the
+//!   same message a full band scan would.
+//! * `pending` holds messages provisionally consumed by open transactions
+//!   (journal-covered-later gets). They are invisible to reads but are
+//!   included in checkpoint snapshots: the journal records that would
+//!   rebuild them are truncated by the checkpoint, so the snapshot must
+//!   carry them or a crash before commit would lose them.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use simtime::Time;
+
+use crate::message::{Message, MessageId, PropertyValue};
+
+/// Number of priority bands (JMS priorities 0–9).
+pub(crate) const PRIORITY_BANDS: usize = 10;
+
+/// Seed of the FNV-1a hash used for property value bands.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One live message plus its delivery-order sequence number.
+pub(crate) struct Entry {
+    pub(crate) msg: Arc<Message>,
+    pub(crate) seq: u64,
+}
+
+/// Key of one secondary-index bucket: property name + canonical value band.
+type PropKey = (String, u64);
+
+/// Canonical value band of a property value, consistent with selector
+/// equality: two values that can compare `=` true always land in the same
+/// band (bands may collide further — candidates are always re-verified
+/// against the full selector).
+///
+/// Numerics are banded by their `f64` bit pattern (with `-0.0` folded
+/// into `0.0`) because the selector compares `I64` against `F64` through
+/// `f64`; strings and booleans are tagged so `'1'`, `1` and `TRUE` never
+/// share a band.
+pub(crate) fn value_band(v: &PropertyValue) -> u64 {
+    match v {
+        PropertyValue::Str(s) => fnv(b's', s.as_bytes()),
+        PropertyValue::Bool(b) => fnv(b'b', &[u8::from(*b)]),
+        PropertyValue::I64(i) => numeric_band(*i as f64),
+        PropertyValue::F64(f) => numeric_band(*f),
+    }
+}
+
+fn numeric_band(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    fnv(b'n', &f.to_bits().to_le_bytes())
+}
+
+fn fnv(tag: u8, bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash ^= u64::from(tag);
+    hash = hash.wrapping_mul(FNV_PRIME);
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Takes the `Message` out of a store handle: free when no browse snapshot
+/// shares it, a deep clone only when one does.
+pub(crate) fn unshare(msg: Arc<Message>) -> Message {
+    Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// The id-keyed message map with all secondary indexes. Owned by a queue
+/// behind its mutex; every method here assumes that exclusion.
+pub(crate) struct MessageStore {
+    /// One FIFO band of message ids per priority level; may contain stale
+    /// ids (messages already removed), skipped lazily.
+    pub(crate) bands: [VecDeque<MessageId>; PRIORITY_BANDS],
+    /// The live messages. `entries.len()` is the queue depth.
+    pub(crate) entries: HashMap<MessageId, Entry>,
+    /// Correlation id → enqueued message ids (FIFO; may contain stale ids).
+    pub(crate) by_correlation: HashMap<String, VecDeque<MessageId>>,
+    /// (property name, value band) → enqueued message ids (FIFO; may
+    /// contain stale ids). Complete over live messages when
+    /// `index_properties` is on: every property of every inserted message
+    /// is indexed, so an absent bucket proves no live message matches an
+    /// equality constraint on that (name, value).
+    by_property: HashMap<PropKey, VecDeque<MessageId>>,
+    /// Min-heap of (expiry millis, id): the TTL sweep pops ripe entries
+    /// instead of scanning the queue. May hold stale ids.
+    expiry_heap: BinaryHeap<std::cmp::Reverse<(u64, u128)>>,
+    /// Messages provisionally consumed by open transactions, still owed
+    /// to checkpoint snapshots (see module docs).
+    pending: HashMap<MessageId, Arc<Message>>,
+    /// Whether `by_property` is maintained (per-queue config).
+    index_properties: bool,
+    /// Next sequence number for back-inserts (counts up).
+    next_back_seq: u64,
+    /// Next sequence number for front-inserts (counts down).
+    next_front_seq: u64,
+    /// Bumped on every insert (and on close) so blocking consumers can
+    /// detect arrivals between releasing the lock and parking.
+    version: u64,
+    pub(crate) open: bool,
+}
+
+impl std::fmt::Debug for MessageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageStore")
+            .field("depth", &self.entries.len())
+            .field("pending", &self.pending.len())
+            .field("indexed", &self.index_properties)
+            .finish()
+    }
+}
+
+const SEQ_MIDPOINT: u64 = u64::MAX / 2;
+
+impl MessageStore {
+    pub(crate) fn new(index_properties: bool) -> MessageStore {
+        MessageStore {
+            bands: Default::default(),
+            entries: HashMap::new(),
+            by_correlation: HashMap::new(),
+            by_property: HashMap::new(),
+            expiry_heap: BinaryHeap::new(),
+            pending: HashMap::new(),
+            index_properties,
+            next_back_seq: SEQ_MIDPOINT,
+            next_front_seq: SEQ_MIDPOINT - 1,
+            version: 0,
+            open: true,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Monotonic arrival counter; see the `version` field.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Bumps the arrival counter without an insert (close/wake paths).
+    pub(crate) fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    pub(crate) fn get(&self, id: MessageId) -> Option<&Entry> {
+        self.entries.get(&id)
+    }
+
+    /// Inserts a message at the back (normal put) or front (rollback
+    /// requeue) of its priority band, indexing every property.
+    pub(crate) fn insert(&mut self, msg: Message, front: bool) {
+        let id = msg.id();
+        // A rollback requeue returns a pending transactional get; the
+        // pending copy is superseded by the live one.
+        self.pending.remove(&id);
+        let seq = if front {
+            let s = self.next_front_seq;
+            self.next_front_seq = self.next_front_seq.wrapping_sub(1);
+            s
+        } else {
+            let s = self.next_back_seq;
+            self.next_back_seq = self.next_back_seq.wrapping_add(1);
+            s
+        };
+        let band = usize::from(msg.priority().level()).min(PRIORITY_BANDS - 1);
+        if front {
+            // A front insert is a rollback requeue: the message's earlier
+            // life on this queue left stale band/index entries behind.
+            // Scrub them first so a *live* id never appears twice (stale
+            // ids of dead messages are fine — they prune lazily).
+            self.bands[band].retain(|x| *x != id);
+            self.bands[band].push_front(id);
+        } else {
+            self.bands[band].push_back(id);
+        }
+        if let Some(corr) = msg.correlation_id() {
+            let ids = self.by_correlation.entry(corr.to_owned()).or_default();
+            if front {
+                ids.retain(|x| *x != id);
+                ids.push_front(id);
+            } else {
+                ids.push_back(id);
+            }
+        }
+        if self.index_properties {
+            for (name, value) in msg.properties() {
+                let ids = self
+                    .by_property
+                    .entry((name.to_owned(), value_band(value)))
+                    .or_default();
+                if front {
+                    ids.retain(|x| *x != id);
+                    ids.push_front(id);
+                } else {
+                    ids.push_back(id);
+                }
+            }
+        }
+        if let Some(expiry) = msg.expiry() {
+            self.expiry_heap
+                .push(std::cmp::Reverse((expiry.0, id.as_u128())));
+        }
+        self.entries.insert(id, Entry {
+            msg: Arc::new(msg),
+            seq,
+        });
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Removes a message from the live map and its correlation index
+    /// (band, property-index and heap entries go stale, pruned lazily).
+    pub(crate) fn detach_arc(&mut self, id: MessageId) -> Option<Arc<Message>> {
+        let entry = self.entries.remove(&id)?;
+        if let Some(corr) = entry.msg.correlation_id() {
+            if let Some(ids) = self.by_correlation.get_mut(corr) {
+                ids.retain(|x| *x != id);
+                if ids.is_empty() {
+                    self.by_correlation.remove(corr);
+                }
+            }
+        }
+        Some(entry.msg)
+    }
+
+    /// Removes a message, handing back an owned copy.
+    pub(crate) fn detach(&mut self, id: MessageId) -> Option<Message> {
+        self.detach_arc(id).map(unshare)
+    }
+
+    /// Removes a message into the pending-get table: invisible to reads,
+    /// but still part of checkpoint snapshots until finalized (commit /
+    /// dead-letter) or reinserted (rollback).
+    pub(crate) fn detach_pending(&mut self, id: MessageId) -> Option<Message> {
+        let arc = self.detach_arc(id)?;
+        self.pending.insert(id, arc.clone());
+        Some(unshare(arc))
+    }
+
+    /// Drops a pending transactional get after its covering record
+    /// (`TxCommit`, dead-letter) is durable.
+    pub(crate) fn finalize_pending(&mut self, id: MessageId) {
+        self.pending.remove(&id);
+    }
+
+    /// How many transactional gets are currently in flight.
+    #[cfg(test)]
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The ids currently indexed under one equality constraint, or `None`
+    /// when no live message carries that (name, value band). Correlation
+    /// ids use the exact-match correlation index; other names use the
+    /// value-band index. Buckets may contain stale ids and over-approximate
+    /// (band collisions), never under-approximate.
+    pub(crate) fn hint_bucket(&self, name: &str, value: &PropertyValue) -> Option<&VecDeque<MessageId>> {
+        if name == "correlation_id" {
+            // Correlation ids are strings; an equality against any other
+            // type can never hold, which the caller maps to "no match".
+            return value.as_str().and_then(|s| self.by_correlation.get(s));
+        }
+        self.by_property.get(&(name.to_owned(), value_band(value)))
+    }
+
+    /// Replaces one index bucket with its pruned survivors (empty deque
+    /// removes the bucket). `correlation_id` routes to the correlation
+    /// index like [`MessageStore::hint_bucket`].
+    pub(crate) fn replace_bucket(
+        &mut self,
+        name: &str,
+        value: &PropertyValue,
+        ids: VecDeque<MessageId>,
+    ) {
+        if name == "correlation_id" {
+            let Some(key) = value.as_str() else { return };
+            if ids.is_empty() {
+                self.by_correlation.remove(key);
+            } else {
+                self.by_correlation.insert(key.to_owned(), ids);
+            }
+            return;
+        }
+        let key = (name.to_owned(), value_band(value));
+        if ids.is_empty() {
+            self.by_property.remove(&key);
+        } else {
+            self.by_property.insert(key, ids);
+        }
+    }
+
+    /// Pops ids whose recorded expiry is at or before `now`. Returned ids
+    /// may be stale or re-stamped; the caller re-checks liveness and
+    /// `Message::is_expired` before acting.
+    pub(crate) fn ripe_expired(&mut self, now: Time) -> Vec<MessageId> {
+        let mut ripe = Vec::new();
+        while let Some(std::cmp::Reverse((at, id))) = self.expiry_heap.peek().copied() {
+            if at > now.0 {
+                break;
+            }
+            self.expiry_heap.pop();
+            let id = MessageId::from_u128(id);
+            if self.entries.contains_key(&id) {
+                ripe.push(id);
+            }
+        }
+        ripe
+    }
+
+    /// Live persistent messages in delivery order (priority, then FIFO),
+    /// followed by persistent pending transactional gets — exactly the
+    /// set a checkpoint snapshot must re-journal.
+    pub(crate) fn snapshot_persistent(&self) -> Vec<Arc<Message>> {
+        let mut out = Vec::new();
+        for band in self.bands.iter().rev() {
+            for id in band {
+                if let Some(entry) = self.entries.get(id) {
+                    if entry.msg.is_persistent() {
+                        out.push(Arc::clone(&entry.msg));
+                    }
+                }
+            }
+        }
+        for msg in self.pending.values() {
+            if msg.is_persistent() {
+                out.push(Arc::clone(msg));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Priority;
+
+    fn msg(text: &str) -> Message {
+        Message::text(text).build()
+    }
+
+    #[test]
+    fn depth_tracks_insert_and_detach() {
+        let mut s = MessageStore::new(true);
+        let m = msg("a");
+        let id = m.id();
+        s.insert(m, false);
+        assert_eq!(s.len(), 1);
+        assert!(s.detach(id).is_some());
+        assert!(s.detach(id).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_insert() {
+        let mut s = MessageStore::new(false);
+        let v0 = s.version();
+        s.insert(msg("a"), false);
+        assert_ne!(s.version(), v0);
+    }
+
+    #[test]
+    fn seq_orders_front_before_back() {
+        let mut s = MessageStore::new(false);
+        let back = msg("back");
+        let front = msg("front");
+        let (bid, fid) = (back.id(), front.id());
+        s.insert(back, false);
+        s.insert(front, true);
+        let bseq = s.get(bid).map(|e| e.seq);
+        let fseq = s.get(fid).map(|e| e.seq);
+        assert!(fseq < bseq, "front insert must sort before back insert");
+    }
+
+    #[test]
+    fn property_bucket_over_approximates_and_prunes() {
+        let mut s = MessageStore::new(true);
+        let m1 = Message::text("m1").property("k", 7i64).build();
+        let m2 = Message::text("m2").property("k", 7.0f64).build();
+        let (id1, id2) = (m1.id(), m2.id());
+        s.insert(m1, false);
+        s.insert(m2, false);
+        // 7 and 7.0 compare equal in selectors, so they share a band.
+        let bucket = s.hint_bucket("k", &PropertyValue::I64(7)).cloned();
+        assert_eq!(bucket, Some(VecDeque::from(vec![id1, id2])));
+        assert!(s.hint_bucket("k", &PropertyValue::I64(8)).is_none());
+        s.detach(id1);
+        // Stale id survives until a reader prunes the bucket.
+        let pruned: VecDeque<MessageId> = s
+            .hint_bucket("k", &PropertyValue::F64(7.0))
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|id| s.get(*id).is_some())
+            .collect();
+        s.replace_bucket("k", &PropertyValue::F64(7.0), pruned);
+        let bucket = s.hint_bucket("k", &PropertyValue::I64(7)).cloned();
+        assert_eq!(bucket, Some(VecDeque::from(vec![id2])));
+    }
+
+    #[test]
+    fn zero_bands_fold_signed_zero() {
+        assert_eq!(
+            value_band(&PropertyValue::F64(-0.0)),
+            value_band(&PropertyValue::I64(0))
+        );
+        // Same number, different types: one band.
+        assert_eq!(
+            value_band(&PropertyValue::I64(5)),
+            value_band(&PropertyValue::F64(5.0))
+        );
+        // Same bytes, different types: distinct bands.
+        assert_ne!(
+            value_band(&PropertyValue::Str("true".into())),
+            value_band(&PropertyValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn pending_messages_hidden_but_snapshotted() {
+        let mut s = MessageStore::new(true);
+        let live = Message::text("live").persistent(true).build();
+        let taken = Message::text("taken").persistent(true).build();
+        let volatile = msg("volatile");
+        let taken_id = taken.id();
+        s.insert(live, false);
+        s.insert(taken, false);
+        s.insert(volatile, false);
+        assert!(s.detach_pending(taken_id).is_some());
+        assert_eq!(s.len(), 2, "pending get leaves the live map");
+        assert_eq!(s.pending_len(), 1);
+        let snap = s.snapshot_persistent();
+        assert_eq!(snap.len(), 2, "snapshot = live persistent + pending");
+        assert!(snap.iter().any(|m| m.id() == taken_id));
+        s.finalize_pending(taken_id);
+        assert_eq!(s.snapshot_persistent().len(), 1);
+    }
+
+    #[test]
+    fn reinsert_clears_pending_copy() {
+        let mut s = MessageStore::new(false);
+        let m = Message::text("m").persistent(true).build();
+        let id = m.id();
+        s.insert(m, false);
+        let back = s.detach_pending(id).expect("live");
+        s.insert(back, true); // rollback requeue
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.snapshot_persistent().len(), 1);
+    }
+
+    #[test]
+    fn ripe_expired_pops_in_order_and_skips_stale() {
+        let mut s = MessageStore::new(false);
+        let early = Message::text("early").ttl(simtime::Millis(5)).build();
+        let late = Message::text("late").ttl(simtime::Millis(50)).build();
+        let (early_id, late_id) = (early.id(), late.id());
+        let mut e = early;
+        e.stamp_enqueue(Time(0));
+        let mut l = late;
+        l.stamp_enqueue(Time(0));
+        s.insert(e, false);
+        s.insert(l, false);
+        assert!(s.ripe_expired(Time(1)).is_empty());
+        assert_eq!(s.ripe_expired(Time(10)), vec![early_id]);
+        // Detached before ripening: not reported.
+        s.detach(late_id);
+        assert!(s.ripe_expired(Time(100)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_preserves_delivery_order() {
+        let mut s = MessageStore::new(false);
+        let low = Message::text("low")
+            .priority(Priority::new(1))
+            .persistent(true)
+            .build();
+        let high = Message::text("high")
+            .priority(Priority::new(8))
+            .persistent(true)
+            .build();
+        s.insert(low, false);
+        s.insert(high, false);
+        let snap = s.snapshot_persistent();
+        assert_eq!(snap[0].payload_str(), Some("high"));
+        assert_eq!(snap[1].payload_str(), Some("low"));
+    }
+}

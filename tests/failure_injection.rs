@@ -44,8 +44,8 @@ impl Journal for FlakyJournal {
         self.inner.append(record)
     }
 
-    fn replay(&self) -> MqResult<Vec<JournalRecord>> {
-        self.inner.replay()
+    fn replay(&self, sink: &mut mq::journal::ReplaySink<'_>) -> MqResult<()> {
+        self.inner.replay(sink)
     }
 
     fn reset(&self) -> MqResult<()> {
