@@ -1,7 +1,22 @@
 #!/usr/bin/env sh
 # Full local gate: release build, test suite (plain and with lock-order
 # deadlock detection), lint-clean (clippy + cond-lint), smoke bench.
+#
+# `./check.sh --lint-only` runs just the static gates — the cond-lint
+# token scan + cond-verify passes (with their golden fixture corpus)
+# and clippy — for a fast pre-commit check.
 set -eux
+
+if [ "${1:-}" = "--lint-only" ]; then
+    # Project-specific source lints and the cond-verify static analyses
+    # (lock order, never-hold disciplines, message custody, registries).
+    cargo run -q -p cond-lint -- --deny
+    # The golden fixture corpus: every seeded violation must still fire
+    # with both-site diagnostics, and the clean corpus must stay silent.
+    cargo test -q -p cond-lint
+    cargo clippy --workspace --all-targets -- -D warnings
+    exit 0
+fi
 
 cargo build --release
 cargo test -q
@@ -10,7 +25,8 @@ cargo test -q
 cargo test -q --workspace --features parking_lot/deadlock_detection
 cargo clippy --workspace --all-targets -- -D warnings
 # Project-specific source lints (sleep-polls, std::sync locks, wall-clock
-# reads, unwraps); lint.allow documents the accepted exceptions.
+# reads, unwraps) plus the cond-verify passes (lock order, never-hold,
+# custody, registries); lint.allow documents the accepted exceptions.
 cargo run --release -p cond-lint -- --deny
 cargo run --release -p cond-bench --bin exp_fig6_overhead -- --quick
 # Journal throughput regression gate: group commit must beat fsync-per-append

@@ -42,6 +42,7 @@ pub struct ReceivedMessage {
 }
 
 impl ReceivedMessage {
+    // lint: custody(message)
     fn classify(message: Message) -> ReceivedMessage {
         let kind = wire::kind_of(&message);
         let cond_id = wire::cond_id_of(&message).ok();

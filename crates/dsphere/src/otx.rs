@@ -100,6 +100,10 @@ impl std::error::Error for TxAborted {}
 #[derive(Debug, Default)]
 pub struct TransactionManager {
     next_xid: AtomicU64,
+    /// Decision audit log. Never held while calling into enlisted
+    /// resources: a resource may re-enter the coordinator.
+    // lint: never-hold(TransactionManager.decisions) across prepare
+    // lint: never-hold(TransactionManager.decisions) across rollback
     decisions: Mutex<Vec<(Xid, Decision)>>,
 }
 

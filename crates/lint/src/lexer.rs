@@ -1,0 +1,446 @@
+//! Token lexer for the `cond-verify` passes.
+//!
+//! Unlike [`crate::clean_source`] (which blanks literals so substring
+//! rules cannot fire inside them), this lexer *tokenizes* the source:
+//! the registry pass needs the actual values of string and integer
+//! literals, and the parser needs identifier/punctuation structure.
+//!
+//! Correctness notes the fixture corpus pins down:
+//! * `//` inside a string literal (URLs!) is **not** a comment start —
+//!   plain, raw (`r"…"`, `r#"…"#`), and byte (`b"…"`, `br"…"`) strings
+//!   are consumed as single tokens, as are char/byte-char literals.
+//! * Lifetimes (`'a`) are distinguished from char literals (`'a'`).
+//! * `// lint: …` comments are captured as [`Annotation`]s instead of
+//!   being discarded; every other comment (line, doc, nested block) is
+//!   skipped.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `self`, `fn`, `impl`, …).
+    Ident(String),
+    /// Lifetime or loop label (without the leading `'`).
+    Lifetime(String),
+    /// Integer literal value (suffix and `_` separators stripped).
+    /// Floats and integers too large for `u64` lex as [`Tok::Num`].
+    Int(u64),
+    /// Numeric literal whose exact value the passes do not need.
+    Num,
+    /// String literal (plain/byte: escapes cooked; raw: body verbatim).
+    Str(String),
+    /// Char or byte-char literal.
+    Char,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A captured `// lint: …` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-based source line the comment appears on.
+    pub line: u32,
+    /// The text after `lint:`, trimmed.
+    pub text: String,
+}
+
+/// Lexes `src` into tokens and captured lint annotations.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Annotation>) {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+        annotations: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    annotations: Vec<Annotation>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Annotation>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.bump();
+                let s = self.plain_string();
+                self.push(Tok::Str(s), line);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if c.is_alphanumeric() || c == '_' {
+                self.ident_or_prefixed_literal(line);
+            } else {
+                self.bump();
+                self.push(Tok::Punct(c), line);
+            }
+        }
+        (self.tokens, self.annotations)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `// lint: …` (any number of slashes tolerated, doc comments too).
+        let body = text.trim_start_matches('/').trim_start();
+        if let Some(rest) = body.strip_prefix("lint:") {
+            self.annotations.push(Annotation {
+                line,
+                text: rest.trim().to_owned(),
+            });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.chars.len() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a plain/byte string body after the opening quote,
+    /// returning the cooked value (simple escapes resolved, unknown
+    /// escapes kept verbatim without the backslash).
+    fn plain_string(&mut self) -> String {
+        let mut value = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('0') => value.push('\0'),
+                    Some(other) => value.push(other), // \\ \" \' and the rest
+                    None => break,
+                },
+                other => value.push(other),
+            }
+        }
+        value
+    }
+
+    /// Consumes a raw string body after `r#*"`, returning it verbatim.
+    fn raw_string(&mut self, hashes: usize) -> String {
+        let mut value = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut k = 0;
+                while k < hashes && self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            value.push(c);
+        }
+        value
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a'` / `'\n'` / `'\u{…}'` are chars; `'a` / `'static` are
+        // lifetimes or labels.
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        self.bump(); // the quote
+        if is_char {
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(Tok::Char, line);
+        } else {
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Tok::Lifetime(name), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits: String = text.chars().filter(|c| *c != '_').collect();
+            match u64::from_str_radix(&digits, 16) {
+                Ok(v) => self.push(Tok::Int(v), line),
+                Err(_) => self.push(Tok::Num, line),
+            }
+            self.eat_numeric_suffix();
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A fractional part or exponent makes it a float (but `1..n` is a
+        // range, not a float).
+        let mut is_float = false;
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e') | Some('E'))
+            && self
+                .peek(1)
+                .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            is_float = true;
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_float {
+            self.push(Tok::Num, line);
+        } else {
+            let digits: String = text.chars().filter(|c| *c != '_').collect();
+            match digits.parse::<u64>() {
+                Ok(v) => self.push(Tok::Int(v), line),
+                Err(_) => self.push(Tok::Num, line),
+            }
+        }
+        self.eat_numeric_suffix();
+    }
+
+    fn eat_numeric_suffix(&mut self) {
+        // `64u64`, `1.5f32` — the suffix is part of the literal, not an
+        // identifier token.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"…" / r#"…"# / b"…" / br#"…"# — but
+        // only when the ident is exactly the prefix (so `for`, `br0ken`
+        // and raw identifiers like `r#type` stay identifiers).
+        let is_raw = name == "r" || name == "br";
+        let is_byte = name == "b" || name == "br";
+        if is_raw || is_byte {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                if is_raw || hashes > 0 {
+                    for _ in 0..=hashes {
+                        self.bump(); // hashes + opening quote
+                    }
+                    let s = self.raw_string(hashes);
+                    self.push(Tok::Str(s), line);
+                } else {
+                    self.bump(); // opening quote of b"…"
+                    let s = self.plain_string();
+                    self.push(Tok::Str(s), line);
+                }
+                return;
+            }
+            if name == "b" && self.peek(0) == Some('\'') {
+                // Byte-char literal b'x'.
+                self.bump();
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(Tok::Char, line);
+                return;
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).0.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn url_in_string_is_not_a_comment() {
+        // The satellite regression: `//` inside a string literal must not
+        // start a comment and swallow the rest of the line.
+        let t = toks(r#"let u = "https://example.com"; x.unwrap();"#);
+        assert!(t.contains(&Tok::Str("https://example.com".into())));
+        assert!(t.contains(&Tok::Ident("unwrap".into())), "{t:?}");
+    }
+
+    #[test]
+    fn raw_and_byte_strings_keep_slashes_inside() {
+        let t = toks(r##"let a = r#"//raw"#; let b = b"//bytes"; tail();"##);
+        assert!(t.contains(&Tok::Str("//raw".into())));
+        assert!(t.contains(&Tok::Str("//bytes".into())));
+        assert!(t.contains(&Tok::Ident("tail".into())));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let t = toks("let c: &'static str = f('/', '\\n', 'x');");
+        assert_eq!(t.iter().filter(|t| **t == Tok::Char).count(), 3);
+        assert!(t.contains(&Tok::Lifetime("static".into())));
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes() {
+        let t = toks(r#"let p = "dir\\"; let q = "say \"hi\""; done();"#);
+        assert!(t.contains(&Tok::Str("dir\\".into())));
+        assert!(t.contains(&Tok::Str("say \"hi\"".into())));
+        assert!(t.contains(&Tok::Ident("done".into())));
+    }
+
+    #[test]
+    fn lint_annotations_are_captured() {
+        let (_, anns) = lex("// lint: custody(msg)\nfn f() {}\n// not lint\n");
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].line, 1);
+        assert_eq!(anns[0].text, "custody(msg)");
+    }
+
+    #[test]
+    fn ints_parse_and_floats_do_not_break_ranges() {
+        let t = toks("put_u8(6); cap(0x10); for i in 0..16 {} let f = 1.5;");
+        assert!(t.contains(&Tok::Int(6)));
+        assert!(t.contains(&Tok::Int(16)));
+        assert!(t.contains(&Tok::Int(0)));
+        assert!(t.contains(&Tok::Num));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let t = toks("let r = r#type; br0ken();");
+        assert!(t.contains(&Tok::Ident("r".into())));
+        assert!(t.contains(&Tok::Ident("br0ken".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let (tokens, _) = lex("a\n\"two\nlines\"\nb");
+        let b = tokens.iter().find(|t| t.tok == Tok::Ident("b".into())).map(|t| t.line);
+        assert_eq!(b, Some(4));
+    }
+}

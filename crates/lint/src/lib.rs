@@ -30,6 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lexer;
+pub mod parser;
+pub mod verify;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -45,14 +49,33 @@ pub enum LintRule {
     WallClock,
     /// `.unwrap()` / `.expect(` outside tests.
     Unwrap,
+    /// Potential ABBA lock inversion (cond-verify lock-order pass).
+    LockOrder,
+    /// Violation of a declared `never-hold(<lock>) across <fn>`
+    /// discipline (cond-verify lock-order pass).
+    NeverHold,
+    /// Leaked message custody (cond-verify custody pass).
+    Custody,
+    /// Emission missing from its declared registry (cond-verify
+    /// registry pass).
+    Registry,
 }
 
-/// All rules, in reporting order.
+/// Token-level rules, in reporting order (the cond-verify rules are
+/// listed in [`VERIFY_RULES`] and produced by [`verify::run`]).
 pub const ALL_RULES: [LintRule; 4] = [
     LintRule::Sleep,
     LintRule::StdSync,
     LintRule::WallClock,
     LintRule::Unwrap,
+];
+
+/// The inter-procedural cond-verify rules.
+pub const VERIFY_RULES: [LintRule; 4] = [
+    LintRule::LockOrder,
+    LintRule::NeverHold,
+    LintRule::Custody,
+    LintRule::Registry,
 ];
 
 impl LintRule {
@@ -63,13 +86,20 @@ impl LintRule {
             LintRule::StdSync => "std-sync",
             LintRule::WallClock => "wall-clock",
             LintRule::Unwrap => "unwrap",
+            LintRule::LockOrder => "lock-order",
+            LintRule::NeverHold => "never-hold",
+            LintRule::Custody => "custody",
+            LintRule::Registry => "registry",
         }
     }
 
     /// Parses an allowlist rule name (`*` is not a rule; see
     /// [`Allowlist`]).
     pub fn parse(name: &str) -> Option<LintRule> {
-        ALL_RULES.into_iter().find(|r| r.name() == name)
+        ALL_RULES
+            .into_iter()
+            .chain(VERIFY_RULES)
+            .find(|r| r.name() == name)
     }
 }
 
@@ -445,6 +475,11 @@ fn line_matches(rule: LintRule, line: &str) -> bool {
                 !is_self
             })
         }
+        // Verify rules are produced by the `verify` passes, never by the
+        // token scan.
+        LintRule::LockOrder | LintRule::NeverHold | LintRule::Custody | LintRule::Registry => {
+            false
+        }
     }
 }
 
@@ -568,6 +603,22 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
         let src = std::fs::read_to_string(&file)?;
         findings.extend(scan_file(&rel, &src));
     }
+    Ok(findings)
+}
+
+/// Runs the token scan *and* the cond-verify inter-procedural passes,
+/// returning the merged findings sorted by (path, line, rule) so output
+/// is deterministic across filesystems.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from traversal or reads.
+pub fn run_all(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = run(root)?;
+    findings.extend(verify::run(root)?);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.name()).cmp(&(b.path.as_str(), b.line, b.rule.name()))
+    });
     Ok(findings)
 }
 

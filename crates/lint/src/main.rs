@@ -10,7 +10,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cond_lint::{run, Allowlist};
+use cond_lint::{run_all, Allowlist};
 
 fn main() -> ExitCode {
     let mut deny = false;
@@ -56,7 +56,7 @@ fn main() -> ExitCode {
         Allowlist::default()
     };
 
-    let findings = match run(&root) {
+    let findings = match run_all(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cond-lint: scan failed: {e}");

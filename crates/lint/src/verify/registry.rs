@@ -1,0 +1,252 @@
+//! Registry pass: every emitted metric name, trace stage, journal
+//! record tag, and frame kind must appear in its declared registry.
+//!
+//! A `// lint: registry <kind>` annotation on a const declares the
+//! single registry for that kind; its string entries may contain `*`
+//! wildcards (matching across dots, since queue names embed dots).
+//! Emissions come from two sources:
+//!
+//! * **metric-name** — any call named `counter`/`gauge`/`histogram`/
+//!   `register_counter`/`register_gauge`/`register_histogram` whose
+//!   arguments contain a string literal. `format!` interpolations
+//!   (`{…}`) are wildcardized to `*` before matching.
+//! * **sink items** — an item annotated `// lint: registry-sink <kind>`
+//!   contributes its string literals (e.g. a `Display` impl for trace
+//!   stages) or its tag-position integers (`put_u8(N)` arguments and
+//!   ints adjacent to `=>`, e.g. wire encode/decode impls) as
+//!   emissions of that kind.
+//!
+//! Any emission with no matching registry entry is a finding carrying
+//! both sites: the emission and the registry declaration.
+
+use std::collections::HashMap;
+
+use crate::parser::{Block, Event, RegistryDecl, Stmt};
+use crate::{Finding, LintRule};
+
+use super::Workspace;
+
+/// Call names that emit (or read back) a metric by name.
+const METRIC_SINKS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+];
+
+/// Runs the pass.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut by_kind: HashMap<&str, &RegistryDecl> = HashMap::new();
+    let mut findings = Vec::new();
+    for f in &ws.files {
+        for r in &f.registries {
+            if let Some(prev) = by_kind.insert(r.kind.as_str(), r) {
+                findings.push(Finding {
+                    rule: LintRule::Registry,
+                    path: r.path.clone(),
+                    line: r.line as usize,
+                    snippet: format!(
+                        "duplicate registry for kind `{}`; already declared at {}:{}",
+                        r.kind, prev.path, prev.line
+                    ),
+                });
+            }
+        }
+    }
+
+    // Metric-name emissions from every call site.
+    if let Some(decl) = by_kind.get("metric-name").copied() {
+        for fnd in &ws.fns {
+            let Some(body) = &fnd.body else { continue };
+            let mut emissions = Vec::new();
+            collect_metric_calls(body, &mut emissions);
+            for (name, line) in emissions {
+                let pattern = wildcardize(&name);
+                if !decl.strs.iter().any(|(entry, _)| glob_match(entry, &pattern)) {
+                    findings.push(Finding {
+                        rule: LintRule::Registry,
+                        path: fnd.path.clone(),
+                        line: line as usize,
+                        snippet: format!(
+                            "metric `{pattern}` is not in the metric-name registry declared at {}:{}",
+                            decl.path, decl.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Sink-item emissions.
+    for f in &ws.files {
+        for sink in &f.sinks {
+            let Some(decl) = by_kind.get(sink.kind.as_str()).copied() else {
+                findings.push(Finding {
+                    rule: LintRule::Registry,
+                    path: sink.path.clone(),
+                    line: sink
+                        .strs
+                        .first()
+                        .map(|(_, l)| *l)
+                        .or_else(|| sink.ints.first().map(|(_, l)| *l))
+                        .unwrap_or(1) as usize,
+                    snippet: format!("no registry declared for kind `{}`", sink.kind),
+                });
+                continue;
+            };
+            if !decl.strs.is_empty() {
+                for (s, line) in &sink.strs {
+                    if !decl.strs.iter().any(|(entry, _)| glob_match(entry, s)) {
+                        findings.push(Finding {
+                            rule: LintRule::Registry,
+                            path: sink.path.clone(),
+                            line: *line as usize,
+                            snippet: format!(
+                                "{} `{s}` is not in the {} registry declared at {}:{}",
+                                sink.kind, sink.kind, decl.path, decl.line
+                            ),
+                        });
+                    }
+                }
+            }
+            if !decl.ints.is_empty() {
+                for (v, line) in &sink.ints {
+                    if !decl.ints.iter().any(|(entry, _)| entry == v) {
+                        findings.push(Finding {
+                            rule: LintRule::Registry,
+                            path: sink.path.clone(),
+                            line: *line as usize,
+                            snippet: format!(
+                                "{} `{v}` is not in the {} registry declared at {}:{}",
+                                sink.kind, sink.kind, decl.path, decl.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Collects `(name, line)` for metric-sink calls carrying a string.
+fn collect_metric_calls(b: &Block, out: &mut Vec<(String, u32)>) {
+    let visit = |events: &[Event], out: &mut Vec<(String, u32)>| {
+        for ev in events {
+            if let Event::Call(c) = ev {
+                if METRIC_SINKS.contains(&c.name.as_str()) {
+                    if let Some(s) = &c.first_str {
+                        out.push((s.clone(), c.line));
+                    }
+                }
+            }
+        }
+    };
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { events, else_block, .. } => {
+                visit(events, out);
+                if let Some(e) = else_block {
+                    collect_metric_calls(e, out);
+                }
+            }
+            Stmt::Expr { events, .. } | Stmt::Return { events, .. } => visit(events, out),
+            Stmt::If { cond, then_b, else_b, .. } => {
+                visit(cond, out);
+                collect_metric_calls(then_b, out);
+                if let Some(e) = else_b {
+                    collect_metric_calls(e, out);
+                }
+            }
+            Stmt::Match { scrutinee, arms, .. } => {
+                visit(scrutinee, out);
+                for a in arms {
+                    collect_metric_calls(&a.body, out);
+                }
+            }
+            Stmt::Loop { header, body, .. } => {
+                visit(header, out);
+                collect_metric_calls(body, out);
+            }
+            Stmt::Nested(inner) => collect_metric_calls(inner, out),
+            _ => {}
+        }
+    }
+}
+
+/// Replaces `{…}` interpolations with `*`.
+fn wildcardize(name: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in name.chars() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    out.push('*');
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Glob match where `*` in `pattern` matches any substring (including
+/// dots and literal `*`s in the subject).
+fn glob_match(pattern: &str, subject: &str) -> bool {
+    if !pattern.contains('*') {
+        return pattern == subject;
+    }
+    let parts: Vec<&str> = pattern.split('*').collect();
+    let mut rest = subject;
+    // Anchored prefix.
+    let first = parts[0];
+    if !rest.starts_with(first) {
+        return false;
+    }
+    rest = &rest[first.len()..];
+    // Anchored suffix.
+    let last = parts[parts.len() - 1];
+    if parts.len() > 1 {
+        if rest.len() < last.len() || !rest.ends_with(last) {
+            return false;
+        }
+        rest = &rest[..rest.len() - last.len()];
+    }
+    // Middles in order.
+    for mid in &parts[1..parts.len() - 1] {
+        if mid.is_empty() {
+            continue;
+        }
+        match rest.find(mid) {
+            Some(at) => rest = &rest[at + mid.len()..],
+            None => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matches_across_dots() {
+        assert!(glob_match("mq.queue.*.enqueued", "mq.queue.Q.A.enqueued"));
+        assert!(glob_match("mq.queue.*.enqueued", "mq.queue.*.enqueued"));
+        assert!(!glob_match("mq.queue.*.enqueued", "mq.queue.Q.A.dequeued"));
+        assert!(glob_match("cond.sent", "cond.sent"));
+        assert!(!glob_match("cond.sent", "cond.sentx"));
+    }
+
+    #[test]
+    fn wildcardize_replaces_interpolations() {
+        assert_eq!(wildcardize("mq.queue.{queue}.enqueued"), "mq.queue.*.enqueued");
+        assert_eq!(wildcardize("plain.name"), "plain.name");
+    }
+}

@@ -1,0 +1,60 @@
+//! Golden-file corpus for the cond-verify passes.
+//!
+//! Each directory under `tests/fixtures/` is a miniature crate layout
+//! (`src/*.rs`) with an `expected.txt` holding the exact formatted
+//! findings `run_all` must produce — seeded violations must fire with
+//! both sites in the diagnostic, and the clean corpus must stay
+//! silent. Regenerate a golden file with
+//! `cargo run -p cond-lint -- --root crates/lint/tests/fixtures/<case>`.
+
+use std::path::Path;
+
+fn check(case: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case);
+    let findings = cond_lint::run_all(&root)
+        .unwrap_or_else(|e| panic!("fixture `{case}` failed to scan: {e}"));
+    let actual: String = findings.iter().map(|f| format!("{f}\n")).collect();
+    let expected = std::fs::read_to_string(root.join("expected.txt"))
+        .unwrap_or_else(|e| panic!("fixture `{case}` has no expected.txt: {e}"));
+    assert_eq!(
+        actual, expected,
+        "fixture `{case}` diverged from its golden file"
+    );
+}
+
+/// Opposite acquisition orders of the same two locks: one finding
+/// naming both acquisition sites.
+#[test]
+fn abba_inversion_is_reported_with_both_sites() {
+    check("abba");
+}
+
+/// A declared `never-hold(<lock>) across <fn>` violated directly and
+/// through a helper; the transitive report names the reached callee.
+#[test]
+fn never_hold_fires_directly_and_transitively() {
+    check("never_hold");
+}
+
+/// Custody leaks on an early `return Err` and on a `?` exit; the
+/// discharged path stays silent.
+#[test]
+fn custody_leaks_on_early_return_and_try() {
+    check("custody_leak");
+}
+
+/// A misspelled metric emission against the declared registry;
+/// wildcarded `format!` names match.
+#[test]
+fn registry_typo_is_flagged() {
+    check("registry_typo");
+}
+
+/// Disciplined code — including `//` inside string literals, one of
+/// which spells out a lint annotation — produces zero findings.
+#[test]
+fn clean_corpus_is_silent() {
+    check("clean");
+}

@@ -1,0 +1,29 @@
+//! Seeded ABBA inversion: `forward` takes `a` then `b`, `backward`
+//! takes `b` then `a`.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let sum = *ga + *gb;
+        drop(gb);
+        drop(ga);
+        sum
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let sum = *ga + *gb;
+        drop(ga);
+        drop(gb);
+        sum
+    }
+}

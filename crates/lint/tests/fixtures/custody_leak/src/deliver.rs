@@ -1,0 +1,50 @@
+//! Seeded custody leaks: an early `return Err` that abandons the
+//! message, and a `?` that propagates an error while custody is live.
+
+pub struct Message;
+
+pub enum Error {
+    Closed,
+}
+
+pub struct Queue {
+    open: bool,
+}
+
+impl Queue {
+    /// Clean: custody moves into `store` on every path.
+    // lint: custody(msg)
+    pub fn put(&self, msg: Message) {
+        self.store(msg);
+    }
+
+    /// Leak: the early return drops the message on the floor.
+    // lint: custody(msg)
+    pub fn deliver(&self, msg: Message) -> Result<(), Error> {
+        if !self.open {
+            return Err(Error::Closed);
+        }
+        self.store(msg);
+        Ok(())
+    }
+
+    /// Leak: `?` abandons the message when the precondition fails.
+    // lint: custody(msg)
+    pub fn forward(&self, msg: Message) -> Result<(), Error> {
+        self.check()?;
+        self.store(msg);
+        Ok(())
+    }
+
+    fn store(&self, msg: Message) {
+        let _ = msg;
+    }
+
+    fn check(&self) -> Result<(), Error> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(Error::Closed)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Seeded never-hold violation: the buffer lock is declared
+//! never-held across `sync_data`, but `append` pays the sync while
+//! still holding it (directly and through a helper).
+
+use parking_lot::Mutex;
+
+pub struct Journal {
+    /// Guards the staging buffer; the fsync must happen outside it.
+    // lint: never-hold(Journal.inner) across sync_data
+    inner: Mutex<Vec<u8>>,
+}
+
+impl Journal {
+    pub fn append(&self, byte: u8) {
+        let mut inner = self.inner.lock();
+        inner.push(byte);
+        self.sync_data();
+        drop(inner);
+    }
+
+    pub fn append_indirect(&self, byte: u8) {
+        let mut inner = self.inner.lock();
+        inner.push(byte);
+        self.flush_helper();
+        drop(inner);
+    }
+
+    fn flush_helper(&self) {
+        self.sync_data();
+    }
+
+    fn sync_data(&self) {}
+
+    pub fn append_clean(&self, byte: u8) {
+        let mut inner = self.inner.lock();
+        inner.push(byte);
+        drop(inner);
+        self.sync_data();
+    }
+}

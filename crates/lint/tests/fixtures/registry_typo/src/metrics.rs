@@ -1,0 +1,21 @@
+//! Seeded registry violation: one emission is misspelled relative to
+//! the declared metric-name registry.
+
+/// The declared registry for this mini-crate.
+// lint: registry metric-name
+pub const METRICS: &[&str] = &["app.sent", "app.received", "app.queue.*.depth"];
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&self, name: &str) -> u64 {
+        name.len() as u64
+    }
+}
+
+pub fn wire(r: &Registry, queue: &str) -> u64 {
+    let mut total = r.counter("app.sent");
+    total += r.counter("app.recieved");
+    total += r.counter(&format!("app.queue.{queue}.depth"));
+    total
+}

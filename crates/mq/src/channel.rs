@@ -263,6 +263,7 @@ impl Drop for Channel {
 /// session transaction, pushes them as one transport batch, and commits
 /// only on [`BatchOutcome::Delivered`]. Envelopes too large to ever fit a
 /// frame are diverted to the dead-letter queue in the same transaction.
+// lint: custody(envelope)
 fn mover_loop(
     from: &Arc<QueueManager>,
     transport: &Arc<dyn Transport>,

@@ -150,6 +150,11 @@ struct State {
 struct Shared {
     storage: Arc<dyn GroupStorage>,
     config: GroupCommitConfig,
+    /// Buffer state. The flusher seals a batch under this lock but pays
+    /// the storage write and fsync strictly outside it, so appenders can
+    /// keep batching while the disk works.
+    // lint: never-hold(Shared.state) across write_frames
+    // lint: never-hold(Shared.state) across sync
     state: Mutex<State>,
     /// Signals the flusher: buffer non-empty, or shutdown.
     work: Condvar,

@@ -107,6 +107,11 @@ struct Inner {
 pub struct SegmentedJournal {
     root: PathBuf,
     config: SegmentConfig,
+    /// Append state. Never held while a replay sink or a checkpoint
+    /// snapshot iterator runs: both reach back into queue stores, and the
+    /// put path locks store-then-journal.
+    // lint: never-hold(SegmentedJournal.inner) across sink
+    // lint: never-hold(SegmentedJournal.inner) across snapshot_persistent
     inner: Mutex<Inner>,
     /// Mirror of `Inner::total_bytes` so `len_bytes` never takes the lock.
     bytes: AtomicU64,
@@ -164,13 +169,14 @@ fn encode_segment_frame(lsn: u64, record: &JournalRecord) -> Vec<u8> {
 
 /// Splits a CRC-verified frame body back into `(lsn, record)`.
 fn decode_segment_body(offset: u64, body: Bytes) -> MqResult<(u64, JournalRecord)> {
-    if body.len() < 8 {
-        return Err(MqError::JournalCorrupt {
+    let lsn_bytes: [u8; 8] = body
+        .get(..8)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| MqError::JournalCorrupt {
             offset,
             reason: "segment frame shorter than its LSN stamp".into(),
-        });
-    }
-    let lsn = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        })?;
+    let lsn = u64::from_le_bytes(lsn_bytes);
     let record = JournalRecord::from_bytes(body.slice(8..body.len())).map_err(|e| {
         MqError::JournalCorrupt {
             offset,
@@ -182,6 +188,35 @@ fn decode_segment_body(offset: u64, body: Bytes) -> MqResult<(u64, JournalRecord
 
 fn segment_file_name(first_lsn: u64) -> String {
     format!("{first_lsn:020}.{SEGMENT_EXT}")
+}
+
+/// One stream's current head during the replay k-way merge: its LSN,
+/// the owning cursor's index, and the already-decoded record. Ordered
+/// by `(lsn, idx)` only — the record rides along.
+struct Head {
+    lsn: u64,
+    idx: usize,
+    record: JournalRecord,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.lsn == other.lsn && self.idx == other.idx
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.lsn, self.idx).cmp(&(other.lsn, other.idx))
+    }
 }
 
 /// Lists a stream's segment files sorted by first LSN (their file names
@@ -366,21 +401,21 @@ impl SegmentedJournal {
         if needs_roll {
             // Make the retiring segment durable before moving on: a roll is
             // the one moment a stream's tail stops being the append target.
-            let retiring = inner.streams.remove(&encoded).expect("checked above");
-            retiring.file.sync_data()?;
+            if let Some(retiring) = inner.streams.remove(&encoded) {
+                retiring.file.sync_data()?;
+            }
         }
-        if !inner.streams.contains_key(&encoded) {
-            let dir = self.root.join(&encoded);
-            std::fs::create_dir_all(&dir)?;
-            let path = dir.join(segment_file_name(lsn));
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            sync_dir(&dir)?;
-            inner.streams.insert(
-                encoded.clone(),
-                ActiveSegment { file, seg_bytes: 0 },
-            );
+        match inner.streams.entry(encoded) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let dir = self.root.join(e.key());
+                std::fs::create_dir_all(&dir)?;
+                let path = dir.join(segment_file_name(lsn));
+                let file = OpenOptions::new().create(true).append(true).open(&path)?;
+                sync_dir(&dir)?;
+                Ok(e.insert(ActiveSegment { file, seg_bytes: 0 }))
+            }
         }
-        Ok(inner.streams.get_mut(&encoded).expect("just inserted"))
     }
 }
 
@@ -414,22 +449,19 @@ impl Journal for SegmentedJournal {
             }
         }
         // K-way merge by LSN. Each stream is internally LSN-ascending, so a
-        // heap over the head of each stream yields global append order.
-        let mut heads: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
-        let mut pending: Vec<Option<JournalRecord>> = Vec::with_capacity(cursors.len());
+        // heap over the head of each stream yields global append order. The
+        // head carries its record so popping yields it directly.
+        let mut heads: BinaryHeap<std::cmp::Reverse<Head>> = BinaryHeap::new();
         for (idx, cursor) in cursors.iter_mut().enumerate() {
-            pending.push(None);
             if let Some((lsn, record)) = cursor.next()? {
-                pending[idx] = Some(record);
-                heads.push(std::cmp::Reverse((lsn, idx)));
+                heads.push(std::cmp::Reverse(Head { lsn, idx, record }));
             }
         }
-        while let Some(std::cmp::Reverse((_, idx))) = heads.pop() {
-            let record = pending[idx].take().expect("head present");
-            sink(record)?;
-            if let Some((lsn, next)) = cursors[idx].next()? {
-                pending[idx] = Some(next);
-                heads.push(std::cmp::Reverse((lsn, idx)));
+        while let Some(std::cmp::Reverse(head)) = heads.pop() {
+            let idx = head.idx;
+            sink(head.record)?;
+            if let Some((lsn, record)) = cursors[idx].next()? {
+                heads.push(std::cmp::Reverse(Head { lsn, idx, record }));
             }
         }
         Ok(())

@@ -25,6 +25,127 @@ use std::sync::Arc;
 use crate::stats::{MetricsRegistry, MetricsSnapshot};
 use crate::trace::TraceLog;
 
+/// Every metric name the workspace may register, with `*` standing for
+/// an interpolated segment (queue names may themselves contain dots).
+///
+/// This is the single source of truth the `cond-lint` registry pass
+/// checks every `counter`/`gauge`/`histogram`/`register_*` call site
+/// against; a misspelled or undeclared name is a lint error carrying
+/// both the emission site and this declaration.
+// lint: registry metric-name
+pub const METRIC_REGISTRY: &[&str] = &[
+    // condmsg sender/evaluation pipeline.
+    "cond.sent",
+    "cond.fanout",
+    "cond.pump.iterations",
+    "cond.ack.read",
+    "cond.ack.processed",
+    "cond.ack.lag_ms",
+    "cond.ack.batch_size",
+    "cond.verdict.success",
+    "cond.verdict.failure",
+    "cond.verdict.timeout",
+    "cond.comp.released",
+    "cond.comp.consumed",
+    "cond.notify.success",
+    "cond.pending.depth",
+    "cond.deferred.depth",
+    "cond.eval.incremental_updates",
+    "cond.eval.timer_fires",
+    "cond.analyze.runs",
+    "cond.analyze.warnings",
+    "cond.analyze.rejected",
+    // condmsg receiver.
+    "cond.recv.originals",
+    "cond.recv.read_acks",
+    "cond.recv.processed_acks",
+    "cond.recv.comp_delivered",
+    "cond.recv.comp_deferred",
+    "cond.recv.annihilated",
+    // Dependency-spheres.
+    "dsphere.begun",
+    "dsphere.committed",
+    "dsphere.aborted",
+    "dsphere.active",
+    // Per-queue cells.
+    "mq.queue.*.enqueued",
+    "mq.queue.*.dequeued",
+    "mq.queue.*.expired",
+    "mq.queue.*.redelivered",
+    "mq.queue.*.dead_lettered",
+    "mq.queue.*.browses",
+    "mq.queue.*.depth",
+    // Queue-manager cells.
+    "mq.tx.committed",
+    "mq.tx.rolled_back",
+    "mq.forwarded",
+    "mq.received_remote",
+    // Journal.
+    "mq.journal.append_micros",
+    "mq.journal.appends",
+    "mq.journal.fsyncs",
+    "mq.journal.group_waits",
+    "mq.journal.batch_size",
+    // Relay federation.
+    "mq.relay.delivered_local",
+    "mq.relay.forwarded",
+    "mq.relay.duplicates",
+    "mq.relay.dead_lettered",
+    "mq.relay.hops",
+    // Simulated network link.
+    "mq.net.attempts",
+    "mq.net.delivered",
+    "mq.net.dropped",
+    "mq.net.refused",
+    // TCP transport.
+    "mq.transport.bytes_sent",
+    "mq.transport.bytes_received",
+    "mq.transport.batches_sent",
+    "mq.transport.batches_received",
+    "mq.transport.messages_sent",
+    "mq.transport.messages_received",
+    "mq.transport.connects",
+    "mq.transport.reconnects",
+    "mq.transport.handshake_failures",
+    "mq.transport.heartbeats",
+    "mq.transport.heartbeat_misses",
+    "mq.transport.dedup_dropped",
+    "mq.transport.batch_micros",
+];
+
+/// The wire names of every [`crate::trace::TraceStage`], as rendered by
+/// its `Display` impl (which is the registry sink for this kind).
+// lint: registry trace-stage
+pub const TRACE_STAGE_REGISTRY: &[&str] = &[
+    "send",
+    "fan-out",
+    "read-ack",
+    "process-ack",
+    "verdict",
+    "success-notify",
+    "comp-released",
+    "comp-consumed",
+    "annihilated",
+    "comp-delivered",
+    "comp-deferred",
+    "sphere-begin",
+    "sphere-commit",
+    "sphere-abort",
+    "relay-forwarded",
+    "relay-dead-lettered",
+];
+
+/// Every on-storage [`crate::journal::JournalRecord`] tag byte. The
+/// record's wire encode/decode impls are the registry sinks; adding a
+/// record variant without extending this table is a lint error.
+// lint: registry journal-tag
+pub const JOURNAL_TAG_REGISTRY: &[u8] = &[0, 1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Every transport frame-kind tag byte (`FrameKind::as_u8`/`from_u8`
+/// are the sinks). Tag 0 is reserved and never valid on the wire.
+// lint: registry frame-kind
+pub const FRAME_KIND_REGISTRY: &[u8] = &[1, 2, 3, 4, 5, 6];
+
 /// Shared observability state: named metrics + lifecycle trace.
 #[derive(Debug, Default)]
 pub struct Obs {

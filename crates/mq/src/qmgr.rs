@@ -194,6 +194,7 @@ pub struct QueueManager {
     /// re-entrantly: consumer wakeups and watcher callbacks run strictly
     /// after the read guard is released, so a queued writer cannot
     /// deadlock against a nested read.
+    // lint: never-hold(QueueManager.mutation_gate) across send_batch
     mutation_gate: Arc<RwLock<()>>,
     /// `journal.len_bytes()` as of the last checkpoint — the delta against
     /// the live length drives [`QueueManager::maybe_checkpoint`]. A plain
@@ -309,6 +310,7 @@ impl QueueManager {
     }
 
     /// The checkpoint/mutation exclusion gate (see the field docs).
+    // lint: returns-lock(QueueManager.mutation_gate)
     pub(crate) fn mutation_gate(&self) -> &Arc<RwLock<()>> {
         &self.mutation_gate
     }
@@ -624,6 +626,7 @@ impl QueueManager {
     /// # Errors
     ///
     /// Local put failures.
+    // lint: custody(msg, err-reverts)
     pub fn deliver_from_channel(&self, queue: &str, mut msg: Message) -> MqResult<()> {
         self.check_running()?;
         if let Some(dest) = msg
@@ -651,6 +654,7 @@ impl QueueManager {
 
     /// Moves a message to the dead-letter queue with a reason, atomically
     /// with its removal from `from_queue` (single `TxCommit` record).
+    // lint: custody(msg, err-reverts)
     pub(crate) fn dead_letter(
         &self,
         from_queue: &str,

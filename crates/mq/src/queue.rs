@@ -89,6 +89,7 @@ pub struct Queue {
     /// across every `[journal append + state change]`, write-held by
     /// checkpoints. Never acquired re-entrantly — notifications and
     /// watcher callbacks run strictly after the guard is released.
+    // lint: lock-alias Queue.gate QueueManager.mutation_gate
     gate: Arc<RwLock<()>>,
     stats: QueueStats,
     /// Journal-append latency (micros), shared with the owning manager's
@@ -308,6 +309,7 @@ impl Queue {
 
     /// Enqueues a message. `journal_put` is false when the enqueue is
     /// already covered by a `TxCommit` journal record.
+    // lint: custody(msg, err-reverts)
     pub(crate) fn put(&self, mut msg: Message, journal_put: bool) -> MqResult<()> {
         let now = self.clock.now();
         msg.stamp_enqueue(now);
@@ -342,6 +344,7 @@ impl Queue {
     /// the provisional consumption left behind. `bump` increments the
     /// redelivery count — false for infrastructure retries (channel movers)
     /// that must not consume the application's backout budget.
+    // lint: custody(msg)
     pub(crate) fn requeue_front(&self, mut msg: Message, bump: bool) {
         if bump {
             msg.bump_redelivery();
@@ -355,6 +358,7 @@ impl Queue {
 
     /// Re-inserts a message during journal replay (no journaling, no
     /// re-stamping — the recovered message keeps its original headers).
+    // lint: custody(msg)
     pub(crate) fn restore(&self, msg: Message) {
         let mut store = self.store.lock();
         self.insert(&mut store, msg, false);
@@ -366,6 +370,7 @@ impl Queue {
     /// mid-commit. The caller must read-hold the mutation gate around the
     /// covering append and this insert, then call [`Queue::notify_arrival`]
     /// after releasing it — watchers must never run under the gate.
+    // lint: custody(msg, err-reverts)
     pub(crate) fn put_committed(&self, mut msg: Message) -> MqResult<()> {
         let now = self.clock.now();
         msg.stamp_enqueue(now);
@@ -406,6 +411,7 @@ impl Queue {
         self.store.lock().snapshot_persistent()
     }
 
+    // lint: custody(msg)
     fn insert(&self, store: &mut MessageStore, msg: Message, front: bool) {
         store.insert(msg, front);
         self.stats.enqueued.incr();

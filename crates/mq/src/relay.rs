@@ -180,11 +180,13 @@ impl QueueManager {
     /// # Errors
     ///
     /// [`crate::MqError::ManagerStopped`]; local put/journal failures.
+    // lint: custody(msg, err-reverts)
     pub fn accept_envelope(&self, mut msg: Message) -> MqResult<RelayOutcome> {
         self.check_running()?;
         let key = Deduper::key_of(&msg);
         if self.delivery_dedup.lock().seen(&key) {
             self.relay_stats.duplicates.incr();
+            // lint: custody-ok(duplicate delivery; the original was already accepted)
             return Ok(RelayOutcome::Duplicate);
         }
         let dest = msg
@@ -228,6 +230,7 @@ impl QueueManager {
     /// # Errors
     ///
     /// Journal append or local put failures.
+    // lint: custody(msg, err-reverts)
     pub(crate) fn relay_envelope(&self, mut msg: Message, dest: &str) -> MqResult<RelayOutcome> {
         let hops = msg.i64_property(RELAY_HOPS_PROPERTY).unwrap_or(0).max(0) as u32;
         self.relay_stats.hops.record(u64::from(hops));
@@ -286,6 +289,7 @@ impl QueueManager {
     /// [`DLQ_REASON_PROPERTY`] with the relay failure. Transmission
     /// headers are left on the message so the DLQ entry shows where it
     /// was trying to go.
+    // lint: custody(msg, err-reverts)
     fn relay_dead_letter(&self, mut msg: Message, reason: String) -> MqResult<RelayOutcome> {
         self.relay_stats.dead_lettered.incr();
         self.obs().trace().record(

@@ -177,6 +177,7 @@ impl MessageStore {
 
     /// Inserts a message at the back (normal put) or front (rollback
     /// requeue) of its priority band, indexing every property.
+    // lint: custody(msg)
     pub(crate) fn insert(&mut self, msg: Message, front: bool) {
         let id = msg.id();
         // A rollback requeue returns a pending transactional get; the

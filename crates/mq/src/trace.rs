@@ -65,6 +65,7 @@ pub enum TraceStage {
     RelayDeadLettered,
 }
 
+// lint: registry-sink trace-stage
 impl fmt::Display for TraceStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

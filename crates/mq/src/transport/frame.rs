@@ -69,6 +69,7 @@ pub enum FrameKind {
     Pong,
 }
 
+// lint: registry-sink frame-kind
 impl FrameKind {
     fn as_u8(self) -> u8 {
         match self {
