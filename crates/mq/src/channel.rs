@@ -17,6 +17,18 @@
 //! amortizes both the transaction overhead and — on TCP — the per-frame
 //! round trip.
 //!
+//! When the transport exposes a
+//! [`PipelinedTransport`](crate::transport::PipelinedTransport) (via
+//! [`Transport::pipeline`]), the mover keeps a *window* of batches in
+//! flight instead of stopping for an acknowledgment after each one: every
+//! submitted batch keeps its own open session, and sessions are committed
+//! in order as the receiver's cumulative ack watermark advances past their
+//! tickets. A disconnect strands whatever the watermark had not covered;
+//! those sessions are rolled back newest-first (so front-requeueing
+//! preserves FIFO order) and the envelopes are retransmitted after
+//! reconnect, with receiver-side dedup collapsing any batch the peer had
+//! in fact already accepted — delivery stays exactly-once end to end.
+//!
 //! Batches are cut on *bytes* as well as count: the mover stops adding
 //! envelopes once [`BATCH_BYTE_BUDGET`] wire bytes are staged, so a batch
 //! can never grow past the transport frame cap
@@ -27,6 +39,7 @@
 //! [`DLQ_REASON_PROPERTY`]) inside the same transaction instead of
 //! blocking every envelope queued behind it.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -35,13 +48,15 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::error::MqResult;
+use crate::message::Message;
 use crate::net::Link;
 use crate::qmgr::{ManagedTask, QueueManager, DEAD_LETTER_QUEUE, DLQ_REASON_PROPERTY};
 use crate::queue::Wait;
+use crate::session::Session;
 use crate::stats::Counter;
 use crate::transport::frame::{Frame, MAX_FRAME_BODY};
 use crate::transport::tcp::{TcpConfig, TcpTransport};
-use crate::transport::{BatchOutcome, LinkTransport, Transport};
+use crate::transport::{BatchOutcome, BatchTicket, LinkTransport, SubmitError, Transport};
 use simtime::Millis;
 
 /// Upper bound on one condvar park awaiting transmission-queue work: a put
@@ -258,13 +273,99 @@ impl Drop for Channel {
     }
 }
 
+/// Envelopes drained from the transmission queue into one open session
+/// transaction, ready to go out as one transport batch.
+struct Staged {
+    batch: Vec<Message>,
+    /// Oversized envelopes diverted to the dead-letter queue inside the
+    /// same transaction.
+    oversized: u64,
+}
+
+/// A submitted batch whose session stays open until the receiver's ack
+/// watermark covers its ticket.
+struct Inflight {
+    ticket: BatchTicket,
+    session: Session,
+    count: u64,
+    oversized: u64,
+}
+
 /// Drains up to [`MAX_BATCH`] envelopes (or [`BATCH_BYTE_BUDGET`] wire
-/// bytes, whichever is hit first) from the transmission queue into one
-/// session transaction, pushes them as one transport batch, and commits
-/// only on [`BatchOutcome::Delivered`]. Envelopes too large to ever fit a
-/// frame are diverted to the dead-letter queue in the same transaction.
+/// bytes, whichever is hit first) from the transmission queue into the
+/// open `session`. Envelopes too large to ever fit a frame are diverted
+/// to the dead-letter queue in the same transaction. Returns `None` when
+/// the manager stopped mid-drain.
 // lint: custody(envelope)
+fn stage_batch(session: &mut Session, xmit_queue: &str) -> Option<Staged> {
+    let mut batch = Vec::new();
+    let mut batch_bytes = 0usize;
+    let mut oversized = 0u64;
+    loop {
+        match session.get(xmit_queue, Wait::NoWait) {
+            Ok(Some(mut envelope)) => {
+                let wire = Frame::message_wire_len(&envelope);
+                if wire > MAX_ENVELOPE_WIRE {
+                    // This envelope can never cross the wire; divert it
+                    // to the dead-letter queue inside the same
+                    // transaction so the channel keeps moving.
+                    envelope.set_property(
+                        DLQ_REASON_PROPERTY,
+                        format!(
+                            "oversized envelope: {wire} wire bytes exceeds \
+                             channel cap {MAX_ENVELOPE_WIRE}"
+                        ),
+                    );
+                    if session.put(DEAD_LETTER_QUEUE, envelope).is_err() {
+                        return None; // manager stopped
+                    }
+                    oversized += 1;
+                    continue;
+                }
+                batch.push(envelope);
+                batch_bytes += wire;
+                if batch.len() >= MAX_BATCH || batch_bytes >= BATCH_BYTE_BUDGET {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(_) => return None, // manager stopped
+        }
+    }
+    Some(Staged { batch, oversized })
+}
+
+/// Rolls back every in-flight session, newest first: each rollback
+/// front-requeues its envelopes, so unwinding in reverse restores the
+/// original FIFO order on the transmission queue. Redelivery counts are
+/// not bumped — the loss was in transit, not a consumer backout.
+fn rollback_window(window: &mut VecDeque<Inflight>, window_rollbacks: &Counter) {
+    while let Some(mut inflight) = window.pop_back() {
+        let _ = inflight.session.rollback_for_retry();
+        window_rollbacks.incr();
+    }
+}
+
+/// Entry point for the mover thread: picks the pipelined window loop when
+/// the transport supports it, the classic one-batch-at-a-time lockstep
+/// loop otherwise.
 fn mover_loop(
+    from: &Arc<QueueManager>,
+    transport: &Arc<dyn Transport>,
+    stop: &AtomicBool,
+    stats: &ChannelStats,
+    xmit_queue: &str,
+) {
+    if transport.pipeline().is_some() {
+        pipelined_mover(from, transport, stop, stats, xmit_queue);
+    } else {
+        lockstep_mover(from, transport, stop, stats, xmit_queue);
+    }
+}
+
+/// Classic lockstep mover: one batch in flight at a time, committed or
+/// rolled back on the synchronous [`Transport::send_batch`] outcome.
+fn lockstep_mover(
     from: &Arc<QueueManager>,
     transport: &Arc<dyn Transport>,
     stop: &AtomicBool,
@@ -292,40 +393,9 @@ fn mover_loop(
         if session.begin().is_err() {
             return;
         }
-        let mut batch = Vec::new();
-        let mut batch_bytes = 0usize;
-        let mut oversized = 0u64;
-        loop {
-            match session.get(xmit_queue, Wait::NoWait) {
-                Ok(Some(mut envelope)) => {
-                    let wire = Frame::message_wire_len(&envelope);
-                    if wire > MAX_ENVELOPE_WIRE {
-                        // This envelope can never cross the wire; divert
-                        // it to the dead-letter queue inside the same
-                        // transaction so the channel keeps moving.
-                        envelope.set_property(
-                            DLQ_REASON_PROPERTY,
-                            format!(
-                                "oversized envelope: {wire} wire bytes exceeds \
-                                 channel cap {MAX_ENVELOPE_WIRE}"
-                            ),
-                        );
-                        if session.put(DEAD_LETTER_QUEUE, envelope).is_err() {
-                            return; // manager stopped
-                        }
-                        oversized += 1;
-                        continue;
-                    }
-                    batch.push(envelope);
-                    batch_bytes += wire;
-                    if batch.len() >= MAX_BATCH || batch_bytes >= BATCH_BYTE_BUDGET {
-                        break;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => return, // manager stopped
-            }
-        }
+        let Some(Staged { batch, oversized }) = stage_batch(&mut session, xmit_queue) else {
+            return; // manager stopped
+        };
         if batch.is_empty() {
             if oversized > 0 {
                 // Nothing to send, but oversized envelopes were staged
@@ -361,6 +431,161 @@ fn mover_loop(
                 transport.wait_ready(PARTITION_BACKOFF);
             }
         }
+    }
+}
+
+/// Pipelined mover: keeps up to
+/// [`PipelinedTransport::window`](crate::transport::PipelinedTransport::window)
+/// batches in flight, each holding its own open session, and commits
+/// sessions in submission order as the receiver's cumulative ack
+/// watermark advances.
+///
+/// Invariants:
+/// * Sessions commit strictly in submission order — a later batch's ack
+///   can never commit past an earlier uncovered one, because the
+///   watermark is cumulative.
+/// * When the window's *front* batch is neither covered nor pending (its
+///   connection epoch died), every in-flight session is rolled back
+///   newest-first and the envelopes retransmit after reconnect; the
+///   receiver's dedup window absorbs any batch that had actually landed.
+/// * On stop, covered batches are still committed (their acks are final
+///   even after disconnect) before the remainder rolls back, so no
+///   acknowledged delivery is ever re-sent.
+fn pipelined_mover(
+    from: &Arc<QueueManager>,
+    transport: &Arc<dyn Transport>,
+    stop: &AtomicBool,
+    stats: &ChannelStats,
+    xmit_queue: &str,
+) {
+    let Some(pipe) = transport.pipeline() else {
+        return;
+    };
+    let Ok(xmit) = from.queue(xmit_queue) else {
+        return;
+    };
+    // Wake a mover parked in `wait_progress` (watching for acks) when new
+    // envelopes land on the transmission queue, so a half-full window
+    // tops up immediately instead of at the next park timeout. The weak
+    // reference keeps the watcher from pinning the transport (and, via
+    // duplex pairs, the remote manager) alive.
+    let weak = Arc::downgrade(transport);
+    xmit.add_put_watcher(Arc::new(move || {
+        if let Some(t) = weak.upgrade() {
+            if let Some(p) = t.pipeline() {
+                p.poke();
+            }
+        }
+    }));
+    let window_rollbacks = from
+        .obs()
+        .metrics()
+        .counter("mq.transport.window_rollbacks");
+    let mut window: VecDeque<Inflight> = VecDeque::new();
+
+    loop {
+        let stopping = stop.load(Ordering::SeqCst) || !from.is_running();
+        let progress = pipe.progress();
+        // Commit every leading in-flight batch the watermark covers.
+        // Acks are final even across a disconnect, so this also runs on
+        // the stop path: an acknowledged batch must never retransmit.
+        while window.front().is_some_and(|f| progress.covers(f.ticket)) {
+            let Some(mut inflight) = window.pop_front() else {
+                break;
+            };
+            if inflight.session.commit().is_ok() {
+                stats.delivered.add(inflight.count);
+                stats.oversized_dead_lettered.add(inflight.oversized);
+            }
+        }
+        if stopping {
+            rollback_window(&mut window, &window_rollbacks);
+            return;
+        }
+        // The front batch is uncovered; if it is not pending either, its
+        // connection died before the ack arrived. The peer may or may not
+        // have accepted it, so re-queue the whole window and retransmit
+        // after reconnect — receiver-side dedup keeps this exactly-once.
+        if window
+            .front()
+            .is_some_and(|f| !progress.pending(f.ticket))
+        {
+            rollback_window(&mut window, &window_rollbacks);
+            transport.wait_ready(PARTITION_BACKOFF);
+            continue;
+        }
+        // Refill: stage and submit batches until the window is full or
+        // the transmission queue runs dry.
+        while progress.connected && window.len() < pipe.window() {
+            if window.is_empty() {
+                // Nothing in flight: park on the queue's condvar
+                // (bounded, so the stop flag stays responsive).
+                match xmit.wait_nonempty(Wait::Timeout(IDLE_PARK)) {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(_) => {
+                        rollback_window(&mut window, &window_rollbacks);
+                        return; // manager stopped
+                    }
+                }
+            } else if xmit.depth() == 0 {
+                break; // in-flight work to watch; don't park here
+            }
+            let mut session = from.session();
+            if session.begin().is_err() {
+                rollback_window(&mut window, &window_rollbacks);
+                return;
+            }
+            let Some(Staged { batch, oversized }) = stage_batch(&mut session, xmit_queue) else {
+                rollback_window(&mut window, &window_rollbacks);
+                return; // manager stopped
+            };
+            if batch.is_empty() {
+                if oversized > 0 {
+                    // Only dead-letter diversions were staged; make the
+                    // move durable without a wire round trip.
+                    if session.commit().is_ok() {
+                        stats.oversized_dead_lettered.add(oversized);
+                    }
+                } else {
+                    // Raced with another consumer; re-park.
+                    let _ = session.rollback_for_retry();
+                }
+                break;
+            }
+            match pipe.submit(&batch) {
+                Ok(ticket) => {
+                    window.push_back(Inflight {
+                        ticket,
+                        session,
+                        count: batch.len() as u64,
+                        oversized,
+                    });
+                }
+                Err(SubmitError::Rejected) => {
+                    // Encode failure — should be prevented by the byte
+                    // budget; keep the envelopes and retry.
+                    stats.retries.incr();
+                    let _ = session.rollback_for_retry();
+                    break;
+                }
+                Err(SubmitError::Unavailable) => {
+                    // Disconnected (or stopping): the outer loop settles
+                    // the in-flight window first, then backs off.
+                    let _ = session.rollback_for_retry();
+                    break;
+                }
+            }
+        }
+        // Park until something moves: an ack advancing the watermark, a
+        // teardown, a poke from the put-watcher, or the timeout.
+        if window.is_empty() {
+            if !progress.connected {
+                transport.wait_ready(PARTITION_BACKOFF);
+            }
+            continue;
+        }
+        let _ = pipe.wait_progress(progress, IDLE_PARK.to_duration());
     }
 }
 

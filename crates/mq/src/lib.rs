@@ -35,7 +35,10 @@
 //! # Ok::<(), mq::MqError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the transport reactor's epoll bindings
+// (`transport::reactor::sys`) carry the crate's only `allow(unsafe_code)`,
+// three thin syscall wrappers with safe signatures.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
@@ -76,7 +79,10 @@ pub use stats::{
     RelayStats,
 };
 pub use trace::{TraceEvent, TraceLog, TraceStage};
-pub use transport::{BatchOutcome, LinkTransport, Transport, TransportMetrics};
+pub use transport::{
+    BatchOutcome, BatchTicket, LinkTransport, PipelineProgress, PipelinedTransport, SubmitError,
+    Transport, TransportMetrics,
+};
 
 // Re-export the clock abstraction so downstream crates need only `mq`.
 pub use simtime::{

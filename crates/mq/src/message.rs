@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use rand::RngCore;
@@ -217,7 +218,7 @@ impl fmt::Display for QueueAddress {
 /// Construct with [`Message::builder`]. Most fields are immutable after
 /// construction; the broker stamps `put_time`, absolute `expiry` and
 /// `redelivery_count` during delivery.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Message {
     id: MessageId,
     payload: Bytes,
@@ -233,6 +234,29 @@ pub struct Message {
     reply_to: Option<QueueAddress>,
     put_time: Option<Time>,
     redelivery_count: u32,
+    /// Cached encoded wire image, filled lazily by `Message::wire_bytes`
+    /// (in `codec.rs`). Clones share the cell; every mutator swaps in a
+    /// fresh one (copy-on-write invalidation), so a stale image can never
+    /// be observed. Excluded from equality.
+    wire: Arc<OnceLock<Bytes>>,
+}
+
+impl PartialEq for Message {
+    fn eq(&self, other: &Message) -> bool {
+        // All logical fields; the derived impl would also drag in the
+        // wire-image cache, which is an encoding artifact, not state.
+        self.id == other.id
+            && self.payload == other.payload
+            && self.properties == other.properties
+            && self.priority == other.priority
+            && self.persistent == other.persistent
+            && self.ttl == other.ttl
+            && self.expiry == other.expiry
+            && self.correlation_id == other.correlation_id
+            && self.reply_to == other.reply_to
+            && self.put_time == other.put_time
+            && self.redelivery_count == other.redelivery_count
+    }
 }
 
 impl Message {
@@ -289,12 +313,14 @@ impl Message {
     /// Sets a property on an existing message (used by the conditional
     /// messaging layer to stamp control information, paper §2.3).
     pub fn set_property(&mut self, name: impl Into<String>, value: impl Into<PropertyValue>) {
+        self.invalidate_wire();
         self.properties.insert(name.into(), value.into());
     }
 
     /// Removes a property, returning its previous value (used by channels to
     /// strip transmission envelopes).
     pub fn remove_property(&mut self, name: &str) -> Option<PropertyValue> {
+        self.invalidate_wire();
         self.properties.remove(name)
     }
 
@@ -361,7 +387,21 @@ impl Message {
 
     // --- crate-internal mutation used by the broker ---
 
+    /// The lazily-filled wire-image cell; see [`Message::wire_bytes`] in
+    /// `codec.rs` for the fill side.
+    pub(crate) fn wire_cache(&self) -> &OnceLock<Bytes> {
+        &self.wire
+    }
+
+    /// Detaches this message from any wire image cached so far. Clones
+    /// made before the mutation keep the old (still-correct) image via
+    /// their own `Arc` handle.
+    fn invalidate_wire(&mut self) {
+        self.wire = Arc::new(OnceLock::new());
+    }
+
     pub(crate) fn stamp_enqueue(&mut self, now: Time) {
+        self.invalidate_wire();
         self.put_time = Some(now);
         if self.expiry.is_none() {
             if let Some(ttl) = self.ttl {
@@ -371,6 +411,7 @@ impl Message {
     }
 
     pub(crate) fn bump_redelivery(&mut self) {
+        self.invalidate_wire();
         self.redelivery_count += 1;
     }
 
@@ -379,6 +420,7 @@ impl Message {
     /// [`crate::QueueConfig::retention`]).
     pub(crate) fn apply_retention(&mut self, t: Time) {
         if self.expiry.is_none_or(|e| e > t) {
+            self.invalidate_wire();
             self.expiry = Some(t);
         }
     }
@@ -387,6 +429,7 @@ impl Message {
     /// the dead-letter queue for audit: an expired envelope must not
     /// evaporate off the DLQ before an operator can inspect it.
     pub(crate) fn clear_expiry(&mut self) {
+        self.invalidate_wire();
         self.ttl = None;
         self.expiry = None;
     }
@@ -418,6 +461,7 @@ impl Message {
             reply_to,
             put_time,
             redelivery_count,
+            wire: Arc::new(OnceLock::new()),
         }
     }
 }
@@ -512,6 +556,7 @@ impl MessageBuilder {
             reply_to: self.reply_to,
             put_time: None,
             redelivery_count: 0,
+            wire: Arc::new(OnceLock::new()),
         }
     }
 }

@@ -111,6 +111,14 @@ pub const METRIC_REGISTRY: &[&str] = &[
     "mq.transport.heartbeat_misses",
     "mq.transport.dedup_dropped",
     "mq.transport.batch_micros",
+    // Pipelined reactor data plane.
+    "mq.transport.acks_received",
+    "mq.transport.send_stalls",
+    "mq.transport.window_depth",
+    "mq.transport.window_rollbacks",
+    // Codec: full message encodes (the zero-copy send path caches the
+    // wire image, so throughput tests assert one encode per message).
+    "mq.codec.encodes",
 ];
 
 /// The wire names of every [`crate::trace::TraceStage`], as rendered by
@@ -144,7 +152,7 @@ pub const JOURNAL_TAG_REGISTRY: &[u8] = &[0, 1, 2, 3, 4, 5, 6, 7, 8];
 /// Every transport frame-kind tag byte (`FrameKind::as_u8`/`from_u8`
 /// are the sinks). Tag 0 is reserved and never valid on the wire.
 // lint: registry frame-kind
-pub const FRAME_KIND_REGISTRY: &[u8] = &[1, 2, 3, 4, 5, 6];
+pub const FRAME_KIND_REGISTRY: &[u8] = &[1, 2, 3, 4, 5, 6, 7];
 
 /// Shared observability state: named metrics + lifecycle trace.
 #[derive(Debug, Default)]

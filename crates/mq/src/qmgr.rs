@@ -134,6 +134,10 @@ impl QueueManagerBuilder {
         // Journals that own metric cells (e.g. GroupCommitJournal's fsync
         // and batch-size metrics) surface them through this manager's hub.
         journal.register_metrics(obs.metrics());
+        // The process-wide encode counter: the zero-copy send path is
+        // probed by comparing it against messages actually transmitted.
+        obs.metrics()
+            .register_counter("mq.codec.encodes", crate::codec::message_encodes());
         let dedup_window = self.config.dedup_window;
         let manager = Arc::new(QueueManager {
             name: self.name,

@@ -350,6 +350,51 @@ mod tests {
     }
 
     #[test]
+    fn configured_window_overflow_forgets_oldest_retransmit() {
+        // The window size flows from ManagerConfig into the delivery
+        // deduper; once more distinct envelopes than the window have been
+        // accepted, a (pathologically late) retransmit of the oldest one
+        // is no longer recognized — the documented bound on the
+        // exactly-once guarantee — while everything still inside the
+        // window keeps deduplicating.
+        let qm = QueueManager::builder("QM.B")
+            .clock(SimClock::new())
+            .config(crate::ManagerConfig {
+                dedup_window: 3,
+                ..crate::ManagerConfig::default()
+            })
+            .build()
+            .unwrap();
+        qm.create_queue("Q.IN").unwrap();
+        let origin = manager("QM.A");
+        let envs: Vec<Message> = (0..4)
+            .map(|i| envelope(&origin, "QM.B", "Q.IN", &format!("m{i}")))
+            .collect();
+        for env in &envs {
+            assert_eq!(
+                qm.accept_envelope(env.clone()).unwrap(),
+                RelayOutcome::DeliveredLocal
+            );
+        }
+        // envs[0] has been pushed out of the 3-deep window by envs[1..4].
+        assert_eq!(
+            qm.accept_envelope(envs[0].clone()).unwrap(),
+            RelayOutcome::DeliveredLocal,
+            "evicted key is accepted again"
+        );
+        // envs[3] is still inside the window.
+        assert_eq!(
+            qm.accept_envelope(envs[3].clone()).unwrap(),
+            RelayOutcome::Duplicate
+        );
+        // The re-accepted copy of envs[0] landed on the queue, where the
+        // id-keyed store superseded the still-queued original — depth
+        // stays 4, but a consumer that had already taken envs[0] would
+        // have seen it twice.
+        assert_eq!(qm.queue("Q.IN").unwrap().depth(), 4);
+    }
+
+    #[test]
     fn origin_hash_distinguishes_managers() {
         assert_ne!(origin_hash("QM.A"), origin_hash("QM.B"));
         assert_eq!(origin_hash("QM.A"), origin_hash("QM.A"));

@@ -69,17 +69,34 @@ impl Gauge {
 /// Default bucket upper bounds for latency histograms, in microseconds.
 ///
 /// Covers sub-microsecond in-memory operations up to multi-second stalls;
-/// values above the last bound land in the implicit overflow bucket.
-pub const DEFAULT_LATENCY_BOUNDS_US: [u64; 14] = [
+/// values above the last bound land in the implicit overflow bucket. The
+/// sub-10 ms range is deliberately fine-grained (~1.5–2× steps): the
+/// pipelined transport's per-batch ack latency sits in the hundreds of
+/// microseconds on loopback, and a quantile can only resolve to its
+/// bucket's upper bound — with the old 100 → 500 → 1000 → 5000 µs ladder
+/// a 300 µs p95 reported as 500 and anything past 1 ms collapsed to
+/// 5000. Recording stays a linear scan over a few dozen bounds.
+pub const DEFAULT_LATENCY_BOUNDS_US: [u64; 25] = [
     1,
+    2,
     5,
     10,
+    20,
     50,
     100,
+    150,
+    200,
+    300,
     500,
+    750,
     1_000,
+    1_500,
+    2_000,
+    3_000,
     5_000,
+    7_500,
     10_000,
+    20_000,
     50_000,
     100_000,
     500_000,
@@ -641,6 +658,23 @@ mod tests {
         h.record_duration(std::time::Duration::from_millis(3));
         assert_eq!(h.count(), 2);
         assert_eq!(h.bounds(), &DEFAULT_LATENCY_BOUNDS_US);
+    }
+
+    #[test]
+    fn default_bounds_resolve_sub_millisecond_quantiles() {
+        // A sub-millisecond batch p95 must be measurable: samples in the
+        // hundreds of microseconds may not collapse into a ≥1 ms bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(280);
+        }
+        assert_eq!(h.quantile(0.95), 300, "p95 resolves below 1 ms");
+        // And the 1–10 ms band keeps sub-5 ms resolution.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1_400);
+        }
+        assert_eq!(h.quantile(0.95), 1_500);
     }
 
     #[test]

@@ -23,7 +23,18 @@
 //!   queue manager name, each side verifying the other.
 //! * `Batch` / `Ack` — a batch of transmission-queue envelopes and its
 //!   acknowledgment (sequence-matched, with accepted/deduplicated counts).
+//! * `AckWin` — a *cumulative* acknowledgment: its `seq` is a watermark
+//!   covering every batch up to and including that sequence number, so a
+//!   receiver draining a pipelined window acks once per drain, not once
+//!   per batch. Counts are deltas since the previous ack.
 //! * `Ping` / `Pong` — heartbeats issued by the connection supervisor.
+//!
+//! Batch frames are assembled zero-copy by [`Frame::batch_wire`]: the
+//! fixed header, count and per-message varint length prefixes live in one
+//! small skeleton buffer, the message bodies are the cached wire images
+//! off the messages themselves ([`Message::wire_bytes`]), and the whole
+//! frame goes to the socket as a [`BytesList`] via `write_vectored` —
+//! payload bytes are never copied into a contiguous frame buffer.
 //!
 //! [`FrameReader`] is an incremental parser over a byte stream: it
 //! tolerates short reads and read timeouts (frames split across segments
@@ -33,9 +44,11 @@
 use std::fmt;
 use std::io::Read;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesList};
 
-use crate::codec::{crc32, CodecError, Decoder, Encoder, WireDecode, WireEncode};
+use crate::codec::{
+    crc32, crc32_begin, crc32_finish, crc32_update, CodecError, Decoder, Encoder, WireDecode,
+};
 use crate::message::Message;
 
 /// Protocol magic, first field of every handshake payload (`"CMW1"`).
@@ -67,6 +80,9 @@ pub enum FrameKind {
     Ping,
     /// Heartbeat reply.
     Pong,
+    /// Cumulative acknowledgment: `seq` is a watermark covering every
+    /// batch up to and including it; counts are deltas since the last ack.
+    AckWin,
 }
 
 // lint: registry-sink frame-kind
@@ -79,6 +95,7 @@ impl FrameKind {
             FrameKind::Ack => 4,
             FrameKind::Ping => 5,
             FrameKind::Pong => 6,
+            FrameKind::AckWin => 7,
         }
     }
 
@@ -90,8 +107,27 @@ impl FrameKind {
             4 => FrameKind::Ack,
             5 => FrameKind::Ping,
             6 => FrameKind::Pong,
+            7 => FrameKind::AckWin,
             other => return Err(FrameError::BadKind(other)),
         })
+    }
+}
+
+/// Encoded length of a LEB128 varint.
+fn varint_len(v: u64) -> usize {
+    ((64 - v.leading_zeros() as usize).max(1)).div_ceil(7)
+}
+
+/// Appends a LEB128 varint to a plain byte vector (skeleton assembly).
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
     }
 }
 
@@ -192,20 +228,88 @@ impl Frame {
     /// cut batches on a byte budget before [`Frame::encode`] would refuse
     /// the result.
     pub fn message_wire_len(msg: &Message) -> usize {
-        let encoded = msg.to_bytes().len();
-        // Varint length prefix: one byte per 7 bits, at least one byte.
-        let prefix = (64 - (encoded as u64).leading_zeros() as usize).div_ceil(7).max(1);
-        prefix + encoded
+        // Served from the message's cached wire image: the budget loop in
+        // the channel mover calls this per message and must not re-encode.
+        let encoded = msg.wire_len();
+        varint_len(encoded as u64) + encoded
     }
 
     /// Builds a batch frame carrying `messages` under sequence `seq`.
+    ///
+    /// This flattens into one contiguous payload (tests, diagnostics);
+    /// the transport send path uses [`Frame::batch_wire`], which produces
+    /// the identical bytes without copying the message bodies.
     pub fn batch(seq: u64, messages: &[Message]) -> Frame {
         let mut enc = Encoder::new();
         enc.put_varint(messages.len() as u64);
         for msg in messages {
-            enc.put_bytes(&msg.to_bytes());
+            enc.put_bytes(&msg.wire_bytes());
         }
         Frame::with_payload(FrameKind::Batch, seq, enc.finish())
+    }
+
+    /// Assembles a batch frame's complete wire form (length, body, CRC)
+    /// as a segment list: one small skeleton buffer holds the frame
+    /// header, message count and per-message varint length prefixes, and
+    /// the message bodies are the cached wire images shared straight off
+    /// the [`Message`]s. The result is byte-identical to
+    /// `Frame::batch(seq, messages).encode()` but copies no payload
+    /// bytes; emit it with `write_vectored`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the body would exceed
+    /// [`MAX_FRAME_BODY`] (same contract as [`Frame::encode`]).
+    pub fn batch_wire(seq: u64, messages: &[Message]) -> Result<BytesList, FrameError> {
+        let wires: Vec<Bytes> = messages.iter().map(Message::wire_bytes).collect();
+        let mut body_len = BODY_HEADER + varint_len(messages.len() as u64);
+        for w in &wires {
+            body_len += varint_len(w.len() as u64) + w.len();
+        }
+        if body_len > MAX_FRAME_BODY {
+            return Err(FrameError::TooLarge {
+                size: body_len,
+                max: MAX_FRAME_BODY,
+            });
+        }
+
+        // Skeleton: len | kind | seq | count | prefix_1 … prefix_n. Each
+        // prefix is later sliced back out (sharing this one allocation)
+        // and interleaved with its message body in the segment list.
+        let mut skel = Vec::with_capacity(4 + BODY_HEADER + 1 + 5 * wires.len());
+        skel.extend_from_slice(&(body_len as u32).to_le_bytes());
+        skel.push(FrameKind::Batch.as_u8());
+        skel.extend_from_slice(&seq.to_le_bytes());
+        push_varint(&mut skel, messages.len() as u64);
+        let mut cuts = Vec::with_capacity(wires.len());
+        for w in &wires {
+            push_varint(&mut skel, w.len() as u64);
+            cuts.push(skel.len());
+        }
+        let skel = Bytes::from(skel);
+
+        let mut list = BytesList::with_capacity(2 + 2 * wires.len());
+        let mut prev = 0;
+        for (cut, wire) in cuts.into_iter().zip(wires) {
+            list.push(skel.slice(prev..cut));
+            list.push(wire);
+            prev = cut;
+        }
+        if prev < skel.len() {
+            // Empty batch: header + count with no prefixes.
+            list.push(skel.slice(prev..skel.len()));
+        }
+
+        // CRC over the body only: every segment, minus the 4-byte length
+        // prefix that opens the first one.
+        let mut crc = crc32_begin();
+        for (i, seg) in list.segments().iter().enumerate() {
+            let slice: &[u8] = if i == 0 { &seg[4..] } else { seg };
+            crc = crc32_update(crc, slice);
+        }
+        let crc = crc32_finish(crc);
+        list.push(Bytes::from(crc.to_le_bytes().to_vec()));
+        Ok(list)
     }
 
     /// Builds the acknowledgment for batch `seq`.
@@ -214,6 +318,16 @@ impl Frame {
         enc.put_varint(accepted);
         enc.put_varint(deduplicated);
         Frame::with_payload(FrameKind::Ack, seq, enc.finish())
+    }
+
+    /// Builds a cumulative acknowledgment covering every batch sequence
+    /// up to and including `watermark`; the counts are deltas since the
+    /// receiver's previous ack on this connection.
+    pub fn ack_win(watermark: u64, accepted: u64, deduplicated: u64) -> Frame {
+        let mut enc = Encoder::new();
+        enc.put_varint(accepted);
+        enc.put_varint(deduplicated);
+        Frame::with_payload(FrameKind::AckWin, watermark, enc.finish())
     }
 
     /// Builds a heartbeat request.
@@ -442,6 +556,60 @@ mod tests {
         assert_eq!(frame.kind, FrameKind::Ack);
         assert_eq!(frame.seq, 9);
         assert_eq!(frame.decode_ack().unwrap(), (5, 2));
+    }
+
+    #[test]
+    fn ack_win_roundtrips_watermark_and_counts() {
+        let frame = read_one(&Frame::ack_win(37, 128, 3).encode().unwrap());
+        assert_eq!(frame.kind, FrameKind::AckWin);
+        assert_eq!(frame.seq, 37);
+        assert_eq!(frame.decode_ack().unwrap(), (128, 3));
+    }
+
+    #[test]
+    fn batch_wire_is_byte_identical_to_contiguous_encode() {
+        for msgs in [
+            vec![],
+            vec![Message::text("a").build()],
+            vec![
+                Message::text("x".repeat(200)).property("k", 7i64).build(),
+                Message::text("").persistent(true).build(),
+                Message::text("y".repeat(5000)).build(),
+            ],
+        ] {
+            let contiguous = Frame::batch(99, &msgs).encode().unwrap();
+            let vectored = Frame::batch_wire(99, &msgs).unwrap();
+            assert_eq!(vectored.len(), contiguous.len());
+            assert_eq!(vectored.to_bytes(), contiguous);
+            // And it parses back through the normal reader.
+            let frame = read_one(&vectored.to_bytes());
+            assert_eq!(frame.decode_batch().unwrap(), msgs);
+        }
+    }
+
+    #[test]
+    fn batch_wire_shares_message_storage() {
+        // The message body segments must be the cached wire images, not
+        // copies: same length, and mutating nothing, a second assembly
+        // yields segments equal to the first (cache hit, zero encodes).
+        let msg = Message::text("z".repeat(1000)).build();
+        let wire = msg.wire_bytes();
+        let list = Frame::batch_wire(1, std::slice::from_ref(&msg)).unwrap();
+        let body_seg = list
+            .segments()
+            .iter()
+            .find(|s| s.len() == wire.len())
+            .expect("body segment present");
+        assert_eq!(body_seg.as_ref(), wire.as_ref());
+    }
+
+    #[test]
+    fn batch_wire_refuses_oversized_bodies() {
+        let huge = Message::text("x".repeat(MAX_FRAME_BODY)).build();
+        assert!(matches!(
+            Frame::batch_wire(1, std::slice::from_ref(&huge)),
+            Err(FrameError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! failures, restarts, and multi-hop relays.
 
 pub mod frame;
+pub mod reactor;
 pub mod tcp;
 
 use std::fmt;
@@ -40,7 +41,7 @@ use crate::message::Message;
 use crate::net::{Link, Transfer};
 use crate::qmgr::QueueManager;
 use crate::relay::RelayOutcome;
-use crate::stats::{Counter, Histogram, MetricsRegistry};
+use crate::stats::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::{MqError, MqResult};
 
 /// Outcome of pushing one batch to the peer.
@@ -79,6 +80,103 @@ pub trait Transport: Send + Sync + fmt::Debug {
     /// joins it. Must be idempotent; the default is a no-op for
     /// transports without background state.
     fn shutdown(&self) {}
+
+    /// The pipelined interface, when this transport supports keeping a
+    /// window of batches in flight ([`PipelinedTransport`]). Transports
+    /// that only speak lockstep (`send_batch`) return `None` and the
+    /// channel mover falls back to one-batch-at-a-time.
+    fn pipeline(&self) -> Option<&dyn PipelinedTransport> {
+        None
+    }
+}
+
+/// A ticket for one submitted batch: which connection incarnation carried
+/// it and its sequence number within that incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTicket {
+    /// Connection epoch the batch was written under; bumps on every
+    /// (re)connect, so a ticket from a dead connection can never be
+    /// confirmed by a later one's watermark.
+    pub epoch: u64,
+    /// Batch sequence number (monotonic across the transport's life).
+    pub seq: u64,
+}
+
+/// A snapshot of pipelined delivery progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineProgress {
+    /// Current connection epoch.
+    pub epoch: u64,
+    /// Highest cumulative ack watermark observed for `epoch`.
+    pub acked: u64,
+    /// Whether the connection behind `epoch` is still established. When
+    /// `false`, in-flight tickets at `epoch` beyond `acked` are lost
+    /// (their fate unknown — the mover rolls back and the receiver-side
+    /// dedup absorbs the retransmits).
+    pub connected: bool,
+}
+
+impl PipelineProgress {
+    /// Whether the batch behind `ticket` is covered by this progress:
+    /// same epoch and at-or-below the acked watermark. A covered batch
+    /// was accepted by the peer and its sessions may commit — an observed
+    /// watermark is final even if the connection died afterwards.
+    pub fn covers(&self, ticket: BatchTicket) -> bool {
+        self.epoch == ticket.epoch && self.acked >= ticket.seq
+    }
+
+    /// Whether the batch behind `ticket` can still be confirmed later:
+    /// its epoch is current and the connection is alive (the watermark
+    /// may yet advance over it).
+    pub fn pending(&self, ticket: BatchTicket) -> bool {
+        self.epoch == ticket.epoch && self.connected && self.acked < ticket.seq
+    }
+}
+
+/// Why a pipelined submit did not produce a ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No established connection; park in [`Transport::wait_ready`].
+    Unavailable,
+    /// The batch can never cross this transport (oversized frame); the
+    /// caller must shrink or dead-letter it, not retry verbatim.
+    Rejected,
+}
+
+/// Windowed, ack-decoupled batch submission over a transport.
+///
+/// `submit` writes a batch and returns immediately with a
+/// [`BatchTicket`]; cumulative watermark acks (`AckWin` frames) advance
+/// [`PipelinedTransport::progress`], and the channel mover commits each
+/// in-flight session once its ticket is covered. Backpressure is
+/// physical: when the socket refuses bytes, `submit` parks until the
+/// reactor reports the socket writable again.
+pub trait PipelinedTransport: Send + Sync {
+    /// Writes `batch` to the wire without waiting for its ack.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Unavailable`] with nothing written when no
+    /// connection is established (or it died mid-write);
+    /// [`SubmitError::Rejected`] when the batch cannot be framed.
+    fn submit(&self, batch: &[Message]) -> Result<BatchTicket, SubmitError>;
+
+    /// Current delivery progress (epoch, watermark, liveness).
+    fn progress(&self) -> PipelineProgress;
+
+    /// Parks until progress moves past `seen` (watermark advance, epoch
+    /// change, connection loss) or `timeout` elapses, returning the
+    /// progress at wake. Spurious wakeups are allowed.
+    fn wait_progress(&self, seen: PipelineProgress, timeout: Duration) -> PipelineProgress;
+
+    /// Wakes any `wait_progress` parkers (used by queue put-watchers so
+    /// the mover notices new work while it waits on acks).
+    fn poke(&self);
+
+    /// How many batches the mover should keep in flight.
+    fn window(&self) -> usize {
+        16
+    }
 }
 
 /// Metric cells for one transport endpoint, registered as `mq.transport.*`.
@@ -115,6 +213,16 @@ pub struct TransportMetrics {
     pub dedup_dropped: Arc<Counter>,
     /// Per-batch send→ack latency in microseconds.
     pub batch_micros: Arc<Histogram>,
+    /// Cumulative ack frames consumed (each may cover many batches).
+    pub acks_received: Arc<Counter>,
+    /// Times a sender parked on a full socket (backpressure events).
+    pub send_stalls: Arc<Counter>,
+    /// Batches currently in flight (submitted, not yet acked) — the
+    /// visible middle of the backpressure chain.
+    pub window_depth: Arc<Gauge>,
+    /// In-flight batches rolled back because their connection died before
+    /// the watermark covered them (each is retransmitted and deduped).
+    pub window_rollbacks: Arc<Counter>,
 }
 
 impl TransportMetrics {
@@ -134,6 +242,10 @@ impl TransportMetrics {
             heartbeat_misses: registry.counter("mq.transport.heartbeat_misses"),
             dedup_dropped: registry.counter("mq.transport.dedup_dropped"),
             batch_micros: registry.histogram("mq.transport.batch_micros"),
+            acks_received: registry.counter("mq.transport.acks_received"),
+            send_stalls: registry.counter("mq.transport.send_stalls"),
+            window_depth: registry.gauge("mq.transport.window_depth"),
+            window_rollbacks: registry.counter("mq.transport.window_rollbacks"),
         }
     }
 }

@@ -1,51 +1,68 @@
 //! Real sockets: a TCP [`Transport`] for channel traffic.
 //!
-//! Two halves cooperate:
+//! Two halves cooperate, both multiplexed on the process-wide
+//! [`Reactor`](crate::transport::reactor::Reactor) rather than parking a
+//! thread per connection:
 //!
 //! * [`TcpTransport`] — the sending side. A connection supervisor thread
 //!   owns the lifecycle: it dials the peer (with a connect timeout),
-//!   performs the `Hello`/`HelloAck` handshake (verifying magic, version
-//!   and — when configured — the peer's queue-manager name), and while the
-//!   connection is healthy issues `Ping`/`Pong` heartbeats. Any failure
-//!   tears the connection down and the supervisor re-dials with
-//!   exponential backoff (condvar-parked, never sleep-polled). The channel
-//!   mover calls [`TcpTransport::send_batch`], which writes one `Batch`
-//!   frame and waits for its sequence-matched `Ack`.
+//!   performs the blocking `Hello`/`HelloAck` handshake (verifying magic,
+//!   version and — when configured — the peer's queue-manager name), then
+//!   flips the socket non-blocking and hands the read half to the
+//!   reactor. From there the data plane is *pipelined*: `submit` writes a
+//!   `Batch` frame (vectored, straight from the per-message cached wire
+//!   images — no copy) and returns a [`BatchTicket`] without waiting;
+//!   cumulative `AckWin` watermarks consumed on the reactor advance
+//!   [`PipelinedTransport::progress`], confirming every batch at or below
+//!   the watermark at once. A full socket parks `submit` until the
+//!   reactor reports it writable again — that is the first link of the
+//!   backpressure chain (socket → mover window → transmission queue).
+//!   Heartbeat pings are only sent when no frames have arrived since the
+//!   last interval: under load the ack stream itself proves liveness.
 //!
 //! * [`TcpAcceptor`] — the receiving side, one per listening queue
-//!   manager. An accept thread spawns a handler per connection; handlers
-//!   parse frames incrementally (surviving read-timeout ticks mid-frame)
-//!   and hand each message to [`QueueManager::accept_envelope`] — the
-//!   relay seam every transport converges on, which deduplicates,
-//!   delivers locally, or relays toward another manager through the same
-//!   journal/obs path in-process delivery uses. The `Ack` is written only
-//!   after every message in the batch is enqueued.
+//!   manager. A (blocking) accept thread registers each connection with
+//!   the reactor; the per-connection handler parses frames incrementally,
+//!   hands each message to [`QueueManager::accept_envelope`] — the relay
+//!   seam every transport converges on — and, after draining a readable
+//!   burst, emits *one* coalesced `AckWin` carrying the highest batch
+//!   sequence processed (plus accepted/deduplicated counts for the whole
+//!   burst) instead of one ack per batch.
 //!
 //! ## Delivery guarantee
 //!
-//! The sender commits its transmission-queue gets only after the ack, so
-//! a connection lost mid-batch leaves the messages in the transmission
-//! queue and they are resent after reconnect — at-least-once. The
-//! receiving manager's [`crate::relay`] deduper remembers recently
-//! accepted *(origin manager, message id)* keys and silently drops
-//! resends of messages that made it in before the connection died —
-//! at-most-once across connection failures, and (because the window is
-//! reseeded from the journal on recovery) across receiver restarts too.
+//! The sender commits a transmission-queue session only once the ack
+//! watermark covers its ticket, so a connection lost mid-window leaves
+//! the messages in the transmission queue and they are resent after
+//! reconnect — at-least-once. The receiving manager's [`crate::relay`]
+//! deduper remembers recently accepted *(origin manager, message id)*
+//! keys and silently drops resends of messages that made it in before the
+//! connection died — at-most-once across connection failures, and
+//! (because the window is reseeded from the journal on recovery) across
+//! receiver restarts too. Connection epochs make the watermark safe: a
+//! ticket issued under one connection can never be confirmed by a later
+//! connection's acks.
 
-use std::io::Write;
+use std::collections::VecDeque;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::BytesList;
 use parking_lot::{Condvar, Mutex};
 
 use crate::qmgr::QueueManager;
 use crate::relay::RelayOutcome;
 use crate::stats::MetricsRegistry;
 use crate::transport::frame::{Frame, FrameEvent, FrameKind, FrameReader};
-use crate::transport::{deliver_envelope, transport_error, BatchOutcome, Transport, TransportMetrics};
+use crate::transport::reactor::{Pollable, Reactor, Registration};
+use crate::transport::{
+    deliver_envelope, transport_error, BatchOutcome, BatchTicket, PipelineProgress,
+    PipelinedTransport, SubmitError, Transport, TransportMetrics,
+};
 use crate::MqResult;
 
 /// Tuning for the sending side of a TCP channel.
@@ -53,8 +70,8 @@ use crate::MqResult;
 pub struct TcpConfig {
     /// Dial timeout for one connection attempt.
     pub connect_timeout: Duration,
-    /// Socket read timeout: the longest a sender waits for an ack, pong,
-    /// or handshake reply before declaring the connection dead.
+    /// The longest a sender waits for ack progress, a pong, or the
+    /// handshake reply before declaring the connection dead.
     pub read_timeout: Duration,
     /// Interval between heartbeat pings on an idle-healthy connection.
     pub heartbeat_interval: Duration,
@@ -80,23 +97,90 @@ impl Default for TcpConfig {
     }
 }
 
-/// How long acceptor-side reads block before re-checking the stop flag.
-const ACCEPT_READ_TICK: Duration = Duration::from_millis(100);
-
-/// How many read ticks a handler waits for the client's `Hello`.
-const HANDSHAKE_TICKS: u32 = 50;
+/// Batches the sender keeps in flight (submitted, unacked) per
+/// connection. Sized so a loopback pipe stays full without letting an
+/// unacked window grow past what a reconnect cheaply retransmits.
+const SEND_WINDOW: usize = 16;
 
 /// Default size of the receiver's dedup window (re-exported from the
 /// relay module, which owns the manager-level deduper these days).
 pub use crate::relay::DEFAULT_DEDUP_WINDOW;
 
+/// Outcome of one attempt to push the connection's outbox onto the wire.
+enum FlushOutcome {
+    /// Everything written.
+    Clean,
+    /// The socket is full; a writable notification has been armed.
+    Blocked,
+    /// The connection is unusable (write error / peer gone).
+    Dead,
+}
+
+/// Writes as much of `outbox` as the socket accepts, using vectored
+/// writes over the un-copied frame segments. On `WouldBlock` the caller's
+/// registration (if any) is armed for a writable wake-up.
+fn flush_outbox(
+    stream: &mut TcpStream,
+    outbox: &mut BytesList,
+    registration: Option<&Registration>,
+) -> FlushOutcome {
+    while !outbox.is_empty() {
+        let wrote = {
+            let slices = outbox.io_slices();
+            stream.write_vectored(&slices)
+        };
+        match wrote {
+            Ok(0) => return FlushOutcome::Dead,
+            Ok(n) => outbox.advance(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Some(reg) = registration {
+                    reg.want_write();
+                }
+                return FlushOutcome::Blocked;
+            }
+            Err(_) => return FlushOutcome::Dead,
+        }
+    }
+    FlushOutcome::Clean
+}
+
 // ---------------------------------------------------------------- sender --
 
-/// Connection state shared between the mover, the supervisor, and
-/// shutdown; guarded by one mutex so writes and ack reads are serialized.
+/// Connection state shared between the mover, the supervisor, the
+/// reactor-side ack reader, and shutdown; one mutex serializes them all.
 struct ConnState {
+    /// The non-blocking, handshaken socket (write half; the ack reader
+    /// owns its own clone).
     stream: Option<TcpStream>,
-    seq: u64,
+    /// Reactor registration of the current connection's read half.
+    registration: Option<Registration>,
+    /// Bumped on every successful (re)connect; tickets carry it so a
+    /// stale connection's acks can never confirm a newer batch.
+    epoch: u64,
+    /// Last batch/ping sequence assigned (monotonic for the transport's
+    /// whole life, surviving reconnects).
+    next_seq: u64,
+    /// Highest cumulative ack watermark observed for `epoch`.
+    acked: u64,
+    /// Bytes staged but not yet accepted by the socket (tail of a frame
+    /// that hit `WouldBlock`); drained in order before anything else.
+    outbox: BytesList,
+    /// Submit timestamps of unacked batches, for `batch_micros`.
+    inflight_at: VecDeque<(u64, std::time::Instant)>,
+    /// Bumped by every inbound frame; the heartbeat tick skips pinging
+    /// when it moved (ack traffic already proves the peer alive).
+    activity: u64,
+    /// `activity` as of the last heartbeat tick.
+    activity_checked: u64,
+    /// A ping was sent and its pong (or any other frame) is still due.
+    ping_outstanding: bool,
+    /// When the last inbound frame arrived (or the connection was
+    /// installed). A probed connection is only declared dead once this
+    /// is older than `read_timeout` — ticks alone don't tear it down,
+    /// which keeps a starved-but-healthy fleet from reconnect-storming
+    /// when the reactor can't service every shard within one interval.
+    last_inbound: std::time::Instant,
     ever_connected: bool,
 }
 
@@ -108,9 +192,13 @@ pub struct TcpTransport {
     config: TcpConfig,
     metrics: TransportMetrics,
     state: Mutex<ConnState>,
-    /// Signaled on connect, teardown, and shutdown; both the supervisor's
-    /// backoff/heartbeat waits and [`TcpTransport::wait_ready`] park here.
+    /// Signaled on connect, teardown, shutdown, ack progress, and
+    /// writable wake-ups; movers park here ([`TcpTransport::wait_ready`],
+    /// `wait_progress`, backpressured `submit`).
     changed: Condvar,
+    /// Supervisor-only parking (backoff and heartbeat pacing), so the
+    /// per-ack `changed` broadcasts don't wake it needlessly.
+    sup_wake: Condvar,
     stop: AtomicBool,
     supervisor: Mutex<Option<JoinHandle<()>>>,
 }
@@ -121,6 +209,48 @@ impl std::fmt::Debug for TcpTransport {
             .field("addr", &self.addr)
             .field("connected", &self.state.lock().stream.is_some())
             .finish()
+    }
+}
+
+/// Reactor handler for the sender's read half: consumes `AckWin`/`Ack`
+/// watermarks and `Pong`s for one connection epoch, and flushes the
+/// outbox when the socket becomes writable again.
+struct AckReader {
+    transport: Weak<TcpTransport>,
+    epoch: u64,
+    io: Mutex<(TcpStream, FrameReader)>,
+}
+
+impl Pollable for AckReader {
+    fn on_readable(&self) -> bool {
+        let Some(transport) = self.transport.upgrade() else {
+            return false;
+        };
+        let mut io = self.io.lock();
+        let (stream, reader) = &mut *io;
+        loop {
+            match reader.poll(stream) {
+                Ok(FrameEvent::Idle) => return true,
+                Ok(FrameEvent::Closed) | Err(_) => {
+                    transport.peer_lost(self.epoch);
+                    return false;
+                }
+                Ok(FrameEvent::Frame(frame)) => {
+                    if !transport.on_reply(self.epoch, &frame) {
+                        transport.peer_lost(self.epoch);
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_writable(&self) -> bool {
+        let Some(transport) = self.transport.upgrade() else {
+            return false;
+        };
+        transport.socket_writable(self.epoch);
+        true
     }
 }
 
@@ -146,10 +276,20 @@ impl TcpTransport {
             metrics: TransportMetrics::registered(registry),
             state: Mutex::new(ConnState {
                 stream: None,
-                seq: 0,
+                registration: None,
+                epoch: 0,
+                next_seq: 0,
+                acked: 0,
+                outbox: BytesList::new(),
+                inflight_at: VecDeque::new(),
+                activity: 0,
+                activity_checked: 0,
+                ping_outstanding: false,
+                last_inbound: std::time::Instant::now(),
                 ever_connected: false,
             }),
             changed: Condvar::new(),
+            sup_wake: Condvar::new(),
             stop: AtomicBool::new(false),
             supervisor: Mutex::new(None),
         });
@@ -175,9 +315,10 @@ impl TcpTransport {
     }
 
     /// Supervisor loop: dial + handshake while disconnected (exponential
-    /// backoff between failures), heartbeat while connected. All waiting
-    /// is condvar-parked on `changed`, so shutdown and teardowns wake it
-    /// immediately.
+    /// backoff between failures), heartbeat pacing while connected. All
+    /// waiting is condvar-parked on `sup_wake`, so shutdown and teardowns
+    /// wake it immediately while the high-rate ack broadcasts on
+    /// `changed` never touch it.
     fn supervise(self: Arc<Self>) {
         let mut backoff = self.config.backoff_initial;
         while !self.stop.load(Ordering::SeqCst) {
@@ -185,7 +326,7 @@ impl TcpTransport {
             if connected {
                 let timed_out = {
                     let mut st = self.state.lock();
-                    self.changed
+                    self.sup_wake
                         .wait_for(&mut st, self.config.heartbeat_interval)
                         .timed_out()
                 };
@@ -199,28 +340,74 @@ impl TcpTransport {
             }
             match self.dial() {
                 Ok(stream) => {
-                    let mut st = self.state.lock();
-                    if self.stop.load(Ordering::SeqCst) {
-                        let _ = stream.shutdown(Shutdown::Both);
-                        break;
+                    if !self.install_connection(stream) {
+                        let mut st = self.state.lock();
+                        if self.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        self.sup_wake.wait_for(&mut st, backoff);
+                        backoff = (backoff * 2).min(self.config.backoff_max);
+                        continue;
                     }
-                    if st.ever_connected {
-                        self.metrics.reconnects.incr();
-                    }
-                    st.ever_connected = true;
-                    st.stream = Some(stream);
-                    self.metrics.connects.incr();
                     backoff = self.config.backoff_initial;
-                    self.changed.notify_all();
                 }
                 Err(()) => {
                     let mut st = self.state.lock();
                     if self.stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    self.changed.wait_for(&mut st, backoff);
+                    self.sup_wake.wait_for(&mut st, backoff);
                     backoff = (backoff * 2).min(self.config.backoff_max);
                 }
+            }
+        }
+    }
+
+    /// Flips the freshly handshaken `stream` non-blocking, registers its
+    /// read half with the reactor under a new epoch, and publishes it as
+    /// the live connection. `false` means installation failed and the
+    /// supervisor should back off.
+    fn install_connection(self: &Arc<Self>, stream: TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return false;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            return false;
+        };
+        let mut st = self.state.lock();
+        if self.stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return false;
+        }
+        st.epoch += 1;
+        st.acked = 0;
+        st.outbox = BytesList::new();
+        st.inflight_at.clear();
+        st.ping_outstanding = false;
+        st.activity_checked = st.activity;
+        st.last_inbound = std::time::Instant::now();
+        let reader = Arc::new(AckReader {
+            transport: Arc::downgrade(self),
+            epoch: st.epoch,
+            io: Mutex::new((read_half, FrameReader::new())),
+        });
+        match Reactor::global().register(&stream, reader) {
+            Ok(registration) => {
+                st.registration = Some(registration);
+                st.stream = Some(stream);
+                if st.ever_connected {
+                    self.metrics.reconnects.incr();
+                }
+                st.ever_connected = true;
+                self.metrics.connects.incr();
+                self.changed.notify_all();
+                true
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                false
             }
         }
     }
@@ -247,7 +434,8 @@ impl TcpTransport {
         }
     }
 
-    /// Sends `Hello`, awaits `HelloAck`, verifies the peer's name.
+    /// Sends `Hello`, awaits `HelloAck`, verifies the peer's name. Runs
+    /// on the still-blocking socket, before the reactor takes over.
     fn handshake(&self, stream: &mut TcpStream) -> Result<(), ()> {
         let hello = Frame::hello(&self.local_name).encode().map_err(|_| ())?;
         stream.write_all(&hello).map_err(|_| ())?;
@@ -265,54 +453,222 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// One ping/pong round trip; failure tears the connection down.
-    fn heartbeat(&self) {
+    /// One reply frame from the reactor-side reader. `false` drops the
+    /// connection (protocol violation or stale epoch).
+    fn on_reply(&self, epoch: u64, frame: &Frame) -> bool {
         let mut st = self.state.lock();
-        if st.stream.is_none() {
-            return;
+        if st.epoch != epoch {
+            return false;
         }
-        st.seq += 1;
-        let seq = st.seq;
-        let ok = match Frame::ping(seq).encode() {
-            Ok(wire) => Self::roundtrip(&mut st, &wire, |reply| {
-                reply.kind == FrameKind::Pong && reply.seq == seq
-            }),
-            Err(_) => false,
-        };
-        if ok {
-            self.metrics.heartbeats.incr();
-        } else {
+        st.activity = st.activity.wrapping_add(1);
+        st.last_inbound = std::time::Instant::now();
+        match frame.kind {
+            FrameKind::Ack | FrameKind::AckWin => {
+                if frame.decode_ack().is_err() {
+                    return false;
+                }
+                self.metrics.acks_received.incr();
+                st.ping_outstanding = false;
+                if frame.seq > st.acked {
+                    st.acked = frame.seq;
+                    let now = std::time::Instant::now();
+                    while st
+                        .inflight_at
+                        .front()
+                        .is_some_and(|(seq, _)| *seq <= frame.seq)
+                    {
+                        if let Some((_, at)) = st.inflight_at.pop_front() {
+                            self.metrics.batch_micros.record_duration(now - at);
+                        }
+                    }
+                    self.metrics.window_depth.set(st.inflight_at.len() as u64);
+                }
+                self.changed.notify_all();
+                true
+            }
+            FrameKind::Pong => {
+                st.ping_outstanding = false;
+                self.metrics.heartbeats.incr();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The reader saw the connection close or corrupt. If it was still
+    /// the live connection this is a lost peer: counted with the
+    /// heartbeat misses (same signal — an established peer went away
+    /// without acking) and torn down so the supervisor re-dials.
+    fn peer_lost(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        if st.epoch == epoch && st.stream.is_some() {
             self.metrics.heartbeat_misses.incr();
             self.teardown_locked(&mut st);
         }
     }
 
-    /// Writes the pre-encoded `wire` bytes and reads one reply frame,
-    /// returning whether `accept` matched it. Any I/O or framing failure
-    /// reports `false`.
-    fn roundtrip(st: &mut ConnState, wire: &[u8], accept: impl Fn(&Frame) -> bool) -> bool {
-        let Some(stream) = st.stream.as_mut() else {
-            return false;
-        };
-        if stream.write_all(wire).is_err() {
-            return false;
+    /// Writable wake-up from the reactor: drain the parked outbox and
+    /// wake any `submit` stalled on backpressure.
+    fn socket_writable(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        if st.epoch != epoch || st.stream.is_none() {
+            return;
         }
-        let mut reader = FrameReader::new();
-        // Replies are strictly request/response on this half-duplex use of
-        // the stream, so a fresh reader per round trip cannot desync.
-        match reader.poll(stream) {
-            Ok(FrameEvent::Frame(reply)) => accept(&reply),
-            _ => false,
+        if let FlushOutcome::Dead = self.flush_locked(&mut st) {
+            self.teardown_locked(&mut st);
+        }
+        self.changed.notify_all();
+    }
+
+    /// Pushes the staged outbox onto the socket; arms a writable wake-up
+    /// when the socket is full.
+    fn flush_locked(&self, st: &mut ConnState) -> FlushOutcome {
+        let ConnState {
+            stream,
+            outbox,
+            registration,
+            ..
+        } = st;
+        let Some(stream) = stream.as_mut() else {
+            return FlushOutcome::Dead;
+        };
+        flush_outbox(stream, outbox, registration.as_ref())
+    }
+
+    /// Heartbeat tick: probe only when the connection has been silent
+    /// for a whole interval (inbound acks/pongs already prove liveness).
+    /// An outstanding probe is a miss only once the silence has lasted
+    /// `read_timeout` — tick counting alone would false-positive under
+    /// scheduler starvation (many connections, few cores), where a
+    /// healthy peer's pong can lag several intervals behind. When the
+    /// socket is backed up the flag alone acts as the probe — no ping
+    /// bytes are queued behind the jam, but a peer that stays silent
+    /// past the deadline is still declared gone.
+    fn heartbeat(&self) {
+        let mut st = self.state.lock();
+        if st.stream.is_none() {
+            return;
+        }
+        if st.activity != st.activity_checked {
+            st.activity_checked = st.activity;
+            return;
+        }
+        if st.ping_outstanding {
+            if st.last_inbound.elapsed() >= self.config.read_timeout {
+                self.metrics.heartbeat_misses.incr();
+                self.teardown_locked(&mut st);
+            }
+            return;
+        }
+        st.ping_outstanding = true;
+        if !st.outbox.is_empty() {
+            return;
+        }
+        st.next_seq += 1;
+        let seq = st.next_seq;
+        let Ok(wire) = Frame::ping(seq).encode() else {
+            return;
+        };
+        st.outbox.push(wire);
+        if let FlushOutcome::Dead = self.flush_locked(&mut st) {
+            self.metrics.heartbeat_misses.incr();
+            self.teardown_locked(&mut st);
         }
     }
 
     /// Drops the connection and wakes everyone parked on `changed`
-    /// (supervisor to re-dial, movers waiting in `wait_ready`).
+    /// (movers) and `sup_wake` (the supervisor, to re-dial).
     fn teardown_locked(&self, st: &mut ConnState) {
         if let Some(stream) = st.stream.take() {
             let _ = stream.shutdown(Shutdown::Both);
         }
+        if let Some(registration) = st.registration.take() {
+            registration.deregister();
+        }
+        st.outbox = BytesList::new();
+        st.inflight_at.clear();
+        st.ping_outstanding = false;
+        self.metrics.window_depth.set(0);
         self.changed.notify_all();
+        self.sup_wake.notify_all();
+    }
+
+    /// Current progress under an already-held state lock.
+    fn progress_locked(st: &ConnState) -> PipelineProgress {
+        PipelineProgress {
+            epoch: st.epoch,
+            acked: st.acked,
+            connected: st.stream.is_some(),
+        }
+    }
+}
+
+impl PipelinedTransport for TcpTransport {
+    fn submit(&self, batch: &[crate::message::Message]) -> Result<BatchTicket, SubmitError> {
+        // Warm the per-message wire cache outside the connection lock:
+        // first touch encodes, every later use (this frame, a retransmit
+        // after reconnect) reuses the bytes.
+        for msg in batch {
+            let _ = msg.wire_bytes();
+        }
+        let mut st = self.state.lock();
+        if st.stream.is_none() {
+            return Err(SubmitError::Unavailable);
+        }
+        let seq = st.next_seq + 1;
+        let wire = Frame::batch_wire(seq, batch).map_err(|_| SubmitError::Rejected)?;
+        st.next_seq = seq;
+        let epoch = st.epoch;
+        let wire_bytes = wire.len() as u64;
+        for segment in wire.segments() {
+            st.outbox.push(segment.clone());
+        }
+        loop {
+            match self.flush_locked(&mut st) {
+                FlushOutcome::Clean => break,
+                FlushOutcome::Blocked => {
+                    self.metrics.send_stalls.incr();
+                    self.changed.wait_for(&mut st, self.config.read_timeout);
+                    if self.stop.load(Ordering::SeqCst)
+                        || st.epoch != epoch
+                        || st.stream.is_none()
+                    {
+                        return Err(SubmitError::Unavailable);
+                    }
+                }
+                FlushOutcome::Dead => {
+                    self.teardown_locked(&mut st);
+                    return Err(SubmitError::Unavailable);
+                }
+            }
+        }
+        st.inflight_at.push_back((seq, std::time::Instant::now()));
+        self.metrics.window_depth.set(st.inflight_at.len() as u64);
+        drop(st);
+        self.metrics.batches_sent.incr();
+        self.metrics.messages_sent.add(batch.len() as u64);
+        self.metrics.bytes_sent.add(wire_bytes);
+        Ok(BatchTicket { epoch, seq })
+    }
+
+    fn progress(&self) -> PipelineProgress {
+        Self::progress_locked(&self.state.lock())
+    }
+
+    fn wait_progress(&self, seen: PipelineProgress, timeout: Duration) -> PipelineProgress {
+        let mut st = self.state.lock();
+        if Self::progress_locked(&st) == seen && !self.stop.load(Ordering::SeqCst) {
+            self.changed.wait_for(&mut st, timeout);
+        }
+        Self::progress_locked(&st)
+    }
+
+    fn poke(&self) {
+        self.changed.notify_all();
+    }
+
+    fn window(&self) -> usize {
+        SEND_WINDOW
     }
 }
 
@@ -325,39 +681,40 @@ impl Transport for TcpTransport {
     }
 
     fn send_batch(&self, batch: &[crate::message::Message]) -> BatchOutcome {
-        let started = std::time::Instant::now();
-        let mut st = self.state.lock();
-        if st.stream.is_none() {
-            return BatchOutcome::Unavailable;
-        }
-        st.seq += 1;
-        let seq = st.seq;
-        let frame = Frame::batch(seq, batch);
-        let Ok(wire) = frame.encode() else {
+        // Lockstep compatibility shim over the pipelined machinery: one
+        // submit, then wait until the watermark covers it.
+        let deadline = std::time::Instant::now() + self.config.read_timeout;
+        let ticket = match self.submit(batch) {
+            Ok(ticket) => ticket,
             // The batch exceeds the frame cap. The mover's byte budget
-            // makes this unreachable; if it does happen, refusing here
-            // (rather than emitting a frame the peer rejects) keeps the
-            // connection healthy, and Dropped sends the batch back for a
+            // makes this unreachable; Dropped sends the batch back for a
             // re-cut instead of parking the mover.
-            return BatchOutcome::Dropped;
+            Err(SubmitError::Rejected) => return BatchOutcome::Dropped,
+            Err(SubmitError::Unavailable) => return BatchOutcome::Unavailable,
         };
-        let wire_bytes = wire.len() as u64;
-        let acked = Self::roundtrip(&mut st, &wire, |reply| {
-            reply.kind == FrameKind::Ack && reply.seq == seq && reply.decode_ack().is_ok()
-        });
-        if !acked {
-            // No ack means unknown fate: the connection is torn down and
-            // the batch will be resent after reconnect; the receiver's
-            // dedup keeps already-delivered messages single.
-            self.teardown_locked(&mut st);
-            return BatchOutcome::Unavailable;
+        loop {
+            let progress = self.progress();
+            if progress.covers(ticket) {
+                return BatchOutcome::Delivered;
+            }
+            if !progress.pending(ticket) {
+                // Connection died (or reconnected) with the batch's fate
+                // unknown: resend after reconnect, receiver dedup keeps
+                // already-delivered messages single.
+                return BatchOutcome::Unavailable;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // No ack within the read timeout — same verdict the old
+                // blocking read would have reached.
+                let mut st = self.state.lock();
+                if st.epoch == ticket.epoch {
+                    self.teardown_locked(&mut st);
+                }
+                return BatchOutcome::Unavailable;
+            }
+            self.wait_progress(progress, deadline - now);
         }
-        drop(st);
-        self.metrics.batches_sent.incr();
-        self.metrics.messages_sent.add(batch.len() as u64);
-        self.metrics.bytes_sent.add(wire_bytes);
-        self.metrics.batch_micros.record_duration(started.elapsed());
-        BatchOutcome::Delivered
     }
 
     fn wait_ready(&self, timeout: Duration) -> bool {
@@ -383,11 +740,16 @@ impl Transport for TcpTransport {
             let _ = handle.join();
         }
     }
+
+    fn pipeline(&self) -> Option<&dyn PipelinedTransport> {
+        Some(self)
+    }
 }
 
 // -------------------------------------------------------------- receiver --
 
-/// Shared state between the acceptor's threads.
+/// Shared state between the acceptor's accept thread and its
+/// reactor-driven connection handlers.
 struct AcceptorShared {
     manager: Weak<QueueManager>,
     local_name: String,
@@ -395,7 +757,6 @@ struct AcceptorShared {
     metrics: TransportMetrics,
     /// Clones of live connection sockets, for kick/shutdown.
     conns: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
     /// Fault-injection: close this many connections right after
     /// delivering a batch but *before* acking it, forcing the sender down
     /// the resend-and-dedup path deterministically.
@@ -458,13 +819,12 @@ impl TcpAcceptor {
             stop: AtomicBool::new(false),
             metrics: TransportMetrics::registered(manager.obs().metrics()),
             conns: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
             drop_before_ack: AtomicU64::new(0),
         });
         let accept_shared = shared.clone();
         let handle = std::thread::Builder::new()
             .name(format!("mq-tcp-acceptor-{local}"))
-            .spawn(move || accept_loop(&accept_shared, listener))
+            .spawn(move || accept_loop(&accept_shared, &listener))
             .map_err(|e| transport_error(addr, format!("spawn acceptor: {e}")))?;
         let acceptor = Arc::new(TcpAcceptor {
             shared,
@@ -496,8 +856,8 @@ impl TcpAcceptor {
         }
     }
 
-    /// Stops accepting, closes live connections, and joins all threads.
-    /// Idempotent.
+    /// Stops accepting and closes live connections (the reactor reaps
+    /// their handlers on the resulting close events). Idempotent.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the accept thread: accept() is blocking, so poke it with a
@@ -509,10 +869,6 @@ impl TcpAcceptor {
             let _ = handle.join();
         }
         self.kick_all();
-        let handles = std::mem::take(&mut *self.shared.handlers.lock());
-        for handle in handles {
-            let _ = handle.join();
-        }
     }
 }
 
@@ -522,8 +878,9 @@ impl crate::qmgr::ManagedTask for TcpAcceptor {
     }
 }
 
-/// Accept loop: one handler thread per connection.
-fn accept_loop(shared: &Arc<AcceptorShared>, listener: TcpListener) {
+/// Accept loop: registers each connection with the reactor; no
+/// per-connection thread.
+fn accept_loop(shared: &Arc<AcceptorShared>, listener: &TcpListener) {
     while !shared.stop.load(Ordering::SeqCst) {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -533,130 +890,222 @@ fn accept_loop(shared: &Arc<AcceptorShared>, listener: TcpListener) {
             let _ = stream.shutdown(Shutdown::Both);
             break;
         }
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().push(clone);
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
         }
-        let handler_shared = shared.clone();
-        if let Ok(handle) = std::thread::Builder::new()
-            .name(format!("mq-tcp-handler-{}", handler_shared.local_name))
-            .spawn(move || handle_connection(&handler_shared, stream))
-        {
-            shared.handlers.lock().push(handle);
+        let Ok(kick_clone) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        let Ok(register_clone) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        shared.conns.lock().push(kick_clone);
+        let conn = Arc::new(AcceptorConn {
+            shared: shared.clone(),
+            io: Mutex::new(ConnIo {
+                stream,
+                reader: FrameReader::new(),
+                served_hello: false,
+                outbox: BytesList::new(),
+                ack_watermark: 0,
+                ack_accepted: 0,
+                ack_deduplicated: 0,
+                ack_due: false,
+            }),
+            registration: OnceLock::new(),
+        });
+        match Reactor::global().register(&register_clone, conn.clone()) {
+            Ok(registration) => {
+                let _ = conn.registration.set(registration);
+                // Close the race where a flush hit `WouldBlock` before
+                // the registration landed: re-arm now that it can.
+                let io = conn.io.lock();
+                if !io.outbox.is_empty() {
+                    if let Some(reg) = conn.registration.get() {
+                        reg.want_write();
+                    }
+                }
+            }
+            Err(_) => {
+                let _ = register_clone.shutdown(Shutdown::Both);
+            }
         }
     }
 }
 
-/// Per-connection handler: handshake, then serve batches and pings until
-/// the peer disconnects, the stream corrupts, or the acceptor stops.
-fn handle_connection(shared: &Arc<AcceptorShared>, mut stream: TcpStream) {
-    if stream.set_read_timeout(Some(ACCEPT_READ_TICK)).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let mut reader = FrameReader::new();
-    if !serve_handshake(shared, &mut stream, &mut reader) {
-        shared.metrics.handshake_failures.incr();
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
-    }
-    loop {
-        match reader.poll(&mut stream) {
-            Ok(FrameEvent::Idle) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Ok(FrameEvent::Closed) | Err(_) => return,
-            Ok(FrameEvent::Frame(frame)) => match frame.kind {
-                FrameKind::Ping => {
-                    let Ok(pong) = Frame::pong(frame.seq).encode() else {
-                        return;
-                    };
-                    if stream.write_all(&pong).is_err() {
-                        return;
-                    }
-                }
-                FrameKind::Batch => {
-                    if !serve_batch(shared, &mut stream, &frame) {
-                        return;
-                    }
-                }
-                // A second handshake or a frame kind that only flows
-                // sender-ward is a protocol violation: drop the line.
-                _ => return,
-            },
-        }
-    }
+/// Per-connection receiver state, all under one lock (connection-local;
+/// shard threads and `kick_all` never contend beyond it).
+struct ConnIo {
+    stream: TcpStream,
+    reader: FrameReader,
+    served_hello: bool,
+    /// Unflushed reply bytes (hello-ack, pongs, coalesced acks).
+    outbox: BytesList,
+    /// Highest batch sequence processed since the connection opened.
+    ack_watermark: u64,
+    /// Accepted / deduplicated counts since the last ack was emitted.
+    ack_accepted: u64,
+    ack_deduplicated: u64,
+    /// Batches were processed since the last ack: one coalesced `AckWin`
+    /// is due at the end of the current readable burst.
+    ack_due: bool,
 }
 
-/// Waits for the client's `Hello` and replies `HelloAck`; `false` means
-/// the handshake failed and the connection must be dropped.
-fn serve_handshake(
-    shared: &Arc<AcceptorShared>,
-    stream: &mut TcpStream,
-    reader: &mut FrameReader,
-) -> bool {
-    for _ in 0..HANDSHAKE_TICKS {
-        match reader.poll(stream) {
-            Ok(FrameEvent::Idle) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return false;
+/// Reactor handler for one accepted connection: handshake, batch
+/// delivery, coalesced watermark acks, and heartbeat replies all run in
+/// the readiness callbacks.
+struct AcceptorConn {
+    shared: Arc<AcceptorShared>,
+    io: Mutex<ConnIo>,
+    registration: OnceLock<Registration>,
+}
+
+impl AcceptorConn {
+    /// Processes frames until the socket runs dry. `false` drops the
+    /// connection.
+    fn drain_frames(&self, io: &mut ConnIo) -> bool {
+        loop {
+            let ConnIo { stream, reader, .. } = &mut *io;
+            match reader.poll(stream) {
+                Ok(FrameEvent::Idle) => return true,
+                Ok(FrameEvent::Closed) | Err(_) => return false,
+                Ok(FrameEvent::Frame(frame)) => {
+                    if !self.serve_frame(io, &frame) {
+                        return false;
+                    }
                 }
             }
-            Ok(FrameEvent::Frame(frame)) if frame.kind == FrameKind::Hello => {
+        }
+    }
+
+    fn serve_frame(&self, io: &mut ConnIo, frame: &Frame) -> bool {
+        match frame.kind {
+            FrameKind::Hello if !io.served_hello => {
                 if frame.decode_handshake().is_err() {
                     return false;
                 }
-                let Ok(ack) = Frame::hello_ack(&shared.local_name).encode() else {
+                let Ok(ack) = Frame::hello_ack(&self.shared.local_name).encode() else {
                     return false;
                 };
-                return stream.write_all(&ack).is_ok();
+                io.outbox.push(ack);
+                io.served_hello = true;
+                true
             }
-            _ => return false,
+            FrameKind::Ping if io.served_hello => match Frame::pong(frame.seq).encode() {
+                Ok(pong) => {
+                    io.outbox.push(pong);
+                    true
+                }
+                Err(_) => false,
+            },
+            FrameKind::Batch if io.served_hello => self.serve_batch(io, frame),
+            // A missing/second handshake or a frame kind that only flows
+            // sender-ward is a protocol violation: drop the line.
+            _ => false,
         }
     }
-    false
+
+    /// Delivers one batch (dedup + enqueue) and folds it into the
+    /// pending coalesced ack. `false` means the connection must be
+    /// dropped (delivery failure or injected fault) *without* acking —
+    /// the sender rolls back and resends, and dedup keeps it single.
+    fn serve_batch(&self, io: &mut ConnIo, frame: &Frame) -> bool {
+        let Some(manager) = self.shared.manager.upgrade() else {
+            return false;
+        };
+        let Ok(messages) = frame.decode_batch() else {
+            return false;
+        };
+        let mut accepted = 0u64;
+        let mut deduplicated = 0u64;
+        for msg in messages {
+            match deliver_envelope(&manager, msg) {
+                Ok(RelayOutcome::Duplicate) => {
+                    deduplicated += 1;
+                    self.shared.metrics.dedup_dropped.incr();
+                }
+                Ok(_) => accepted += 1,
+                // Local put failure (manager stopping, journal error):
+                // leave the burst unacked so the sender retries.
+                Err(_) => return false,
+            }
+        }
+        self.shared.metrics.batches_received.incr();
+        self.shared.metrics.messages_received.add(accepted);
+        self.shared
+            .metrics
+            .bytes_received
+            .add(frame.payload.len() as u64);
+        if self
+            .shared
+            .drop_before_ack
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return false;
+        }
+        io.ack_watermark = io.ack_watermark.max(frame.seq);
+        io.ack_accepted += accepted;
+        io.ack_deduplicated += deduplicated;
+        io.ack_due = true;
+        true
+    }
+
+    /// Emits the coalesced `AckWin` for everything processed this burst
+    /// (one frame regardless of how many batches landed) and pushes the
+    /// outbox onto the wire. `false` drops the connection.
+    fn flush_replies(&self, io: &mut ConnIo) -> bool {
+        if io.ack_due {
+            io.ack_due = false;
+            let accepted = std::mem::take(&mut io.ack_accepted);
+            let deduplicated = std::mem::take(&mut io.ack_deduplicated);
+            match Frame::ack_win(io.ack_watermark, accepted, deduplicated).encode() {
+                Ok(wire) => io.outbox.push(wire),
+                Err(_) => return false,
+            }
+        }
+        let ConnIo { stream, outbox, .. } = &mut *io;
+        match flush_outbox(stream, outbox, self.registration.get()) {
+            FlushOutcome::Clean | FlushOutcome::Blocked => true,
+            FlushOutcome::Dead => false,
+        }
+    }
+
+    fn close(&self, io: &mut ConnIo) {
+        if !io.served_hello {
+            self.shared.metrics.handshake_failures.incr();
+        }
+        let _ = io.stream.shutdown(Shutdown::Both);
+    }
 }
 
-/// Delivers one batch (dedup + enqueue) and acks it. `false` means the
-/// connection must be dropped (delivery failure or injected fault); the
-/// unacked sender will resend.
-fn serve_batch(shared: &Arc<AcceptorShared>, stream: &mut TcpStream, frame: &Frame) -> bool {
-    let Some(manager) = shared.manager.upgrade() else {
-        return false;
-    };
-    let Ok(messages) = frame.decode_batch() else {
-        return false;
-    };
-    let mut accepted = 0u64;
-    let mut deduplicated = 0u64;
-    for msg in messages {
-        match deliver_envelope(&manager, msg) {
-            Ok(RelayOutcome::Duplicate) => {
-                deduplicated += 1;
-                shared.metrics.dedup_dropped.incr();
-            }
-            Ok(_) => accepted += 1,
-            // Local put failure (manager stopping, journal error): leave
-            // the batch unacked so the sender retries after backoff.
-            Err(_) => return false,
+impl Pollable for AcceptorConn {
+    fn on_readable(&self) -> bool {
+        if self.shared.stop.load(Ordering::SeqCst) {
+            let io = self.io.lock();
+            let _ = io.stream.shutdown(Shutdown::Both);
+            return false;
         }
+        let mut io = self.io.lock();
+        if !self.drain_frames(&mut io) || !self.flush_replies(&mut io) {
+            self.close(&mut io);
+            return false;
+        }
+        true
     }
-    shared.metrics.batches_received.incr();
-    shared.metrics.messages_received.add(accepted);
-    shared.metrics.bytes_received.add(frame.payload.len() as u64);
-    if shared
-        .drop_before_ack
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-        .is_ok()
-    {
-        let _ = stream.shutdown(Shutdown::Both);
-        return false;
+
+    fn on_writable(&self) -> bool {
+        let mut io = self.io.lock();
+        if !self.flush_replies(&mut io) {
+            self.close(&mut io);
+            return false;
+        }
+        true
     }
-    let Ok(ack) = Frame::ack(frame.seq, accepted, deduplicated).encode() else {
-        return false;
-    };
-    stream.write_all(&ack).is_ok()
 }
 
 #[cfg(test)]
@@ -757,6 +1206,47 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_window_delivers_and_tracks_progress() {
+        let recv = manager("QM.RECV");
+        let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
+        let registry = MetricsRegistry::new();
+        let tx = TcpTransport::connect(
+            "QM.SEND",
+            acceptor.local_addr(),
+            quick_config("QM.RECV"),
+            &registry,
+        )
+        .unwrap();
+        assert!(tx.wait_ready(Duration::from_secs(5)));
+        let pipe: &dyn PipelinedTransport = tx.pipeline().unwrap();
+        // Submit a burst of batches without waiting for any ack.
+        let mut last: Option<BatchTicket> = None;
+        for i in 0..8 {
+            let batch = vec![envelope(&format!("w{i}a")), envelope(&format!("w{i}b"))];
+            let ticket = pipe.submit(&batch).unwrap();
+            if let Some(prev) = last {
+                assert!(ticket.seq > prev.seq, "sequences are monotonic");
+                assert_eq!(ticket.epoch, prev.epoch, "same connection epoch");
+            }
+            last = Some(ticket);
+        }
+        let last = last.unwrap();
+        // The cumulative watermark must sweep over every ticket.
+        assert!(
+            wait_until(Duration::from_secs(5), || pipe.progress().covers(last)),
+            "watermark covers the whole window"
+        );
+        assert_eq!(recv.queue("Q.IN").unwrap().depth(), 16);
+        let sent = registry.snapshot().counter("mq.transport.batches_sent");
+        let acks = registry.snapshot().counter("mq.transport.acks_received");
+        assert_eq!(sent, 8);
+        assert!(acks >= 1, "at least one cumulative ack");
+        // The watermark is final: progress still covers after shutdown.
+        tx.shutdown();
+        acceptor.shutdown();
+    }
+
+    #[test]
     fn drop_before_ack_resend_is_deduplicated() {
         let recv = manager("QM.RECV");
         let acceptor = TcpAcceptor::bind(&recv, "127.0.0.1:0").unwrap();
@@ -808,14 +1298,15 @@ mod tests {
                 >= 2),
             "pings round-trip on an idle connection"
         );
-        // Stop the acceptor entirely: the next ping gets no pong.
+        // Stop the acceptor entirely: the peer is gone — detected either
+        // by the reader seeing the close or by an unanswered ping.
         acceptor.shutdown();
         assert!(
             wait_until(Duration::from_secs(10), || registry
                 .snapshot()
                 .counter("mq.transport.heartbeat_misses")
                 >= 1),
-            "missed heartbeat detected"
+            "lost peer detected"
         );
         tx.shutdown();
     }

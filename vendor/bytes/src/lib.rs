@@ -172,6 +172,103 @@ impl fmt::Debug for Bytes {
     }
 }
 
+/// An ordered list of [`Bytes`] segments presented as one logical byte
+/// string without copying any of them.
+///
+/// Built for vectored I/O: a frame assembler can mix small header chunks
+/// with large pre-encoded payload slices, then hand the whole thing to
+/// `write_vectored` via [`BytesList::io_slices`]. Partial writes advance
+/// with [`BytesList::advance`], which drops and trims segments in place
+/// (no data is moved).
+#[derive(Clone, Default, Debug)]
+pub struct BytesList {
+    segments: Vec<Bytes>,
+    len: usize,
+}
+
+impl BytesList {
+    pub fn new() -> BytesList {
+        BytesList::default()
+    }
+
+    pub fn with_capacity(segments: usize) -> BytesList {
+        BytesList {
+            segments: Vec::with_capacity(segments),
+            len: 0,
+        }
+    }
+
+    /// Appends a segment. Empty segments are dropped so every entry maps
+    /// to a non-empty `IoSlice` (some platforms stop at a zero-length
+    /// slice in a vectored write).
+    pub fn push(&mut self, segment: Bytes) {
+        if !segment.is_empty() {
+            self.len += segment.len();
+            self.segments.push(segment);
+        }
+    }
+
+    /// Total logical length across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// One `IoSlice` per segment, ready for `Write::write_vectored`.
+    pub fn io_slices(&self) -> Vec<std::io::IoSlice<'_>> {
+        self.segments
+            .iter()
+            .map(|s| std::io::IoSlice::new(s.as_ref()))
+            .collect()
+    }
+
+    /// Consumes the first `cnt` logical bytes after a partial write:
+    /// fully-written segments are dropped, a partially-written one is
+    /// trimmed via [`Bytes::advance`] (an index bump, not a copy).
+    pub fn advance(&mut self, mut cnt: usize) {
+        assert!(cnt <= self.len, "advance past end of BytesList");
+        self.len -= cnt;
+        let mut drop_front = 0;
+        for seg in self.segments.iter_mut() {
+            if cnt == 0 {
+                break;
+            }
+            if cnt >= seg.len() {
+                cnt -= seg.len();
+                drop_front += 1;
+            } else {
+                seg.advance(cnt);
+                cnt = 0;
+            }
+        }
+        self.segments.drain(..drop_front);
+    }
+
+    /// Flattens into one contiguous `Bytes` (copies; test/diagnostic use).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.len);
+        for seg in &self.segments {
+            out.extend_from_slice(seg.as_ref());
+        }
+        Bytes::from(out)
+    }
+}
+
+impl From<Bytes> for BytesList {
+    fn from(b: Bytes) -> BytesList {
+        let mut list = BytesList::new();
+        list.push(b);
+        list
+    }
+}
+
 /// A growable byte buffer (shim over `Vec<u8>`).
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -375,6 +472,31 @@ mod tests {
         assert_eq!(front.as_ref(), &[1, 2]);
         assert_eq!(b.as_ref(), &[3, 4, 5]);
         assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    fn bytes_list_tracks_len_and_advances_without_copying() {
+        let big = Bytes::from(vec![9u8; 100]);
+        let mut list = BytesList::new();
+        list.push(Bytes::from(vec![1u8, 2]));
+        list.push(Bytes::new()); // dropped
+        list.push(big.slice(10..20)); // shares storage with `big`
+        assert_eq!(list.len(), 12);
+        assert_eq!(list.segments().len(), 2);
+        assert_eq!(list.io_slices().len(), 2);
+        let flat = list.to_bytes();
+        assert_eq!(flat.len(), 12);
+        assert_eq!(&flat[..2], &[1, 2]);
+        assert_eq!(&flat[2..], &[9u8; 10][..]);
+
+        // Partial-write accounting: drop one segment, trim into the next.
+        list.advance(5);
+        assert_eq!(list.len(), 7);
+        assert_eq!(list.segments().len(), 1);
+        assert_eq!(list.to_bytes().as_ref(), &[9u8; 7][..]);
+        list.advance(7);
+        assert!(list.is_empty());
+        assert!(list.segments().is_empty());
     }
 
     #[test]
