@@ -43,3 +43,8 @@ cargo run --release -p cond-bench --bin exp_federation -- --quick
 # band scan, and checkpointed restart must be >= 10x faster than replaying
 # the full history (asserted inside the binary). Writes BENCH_store.json.
 cargo run --release -p cond-bench --bin exp_store -- --quick
+# Declarative scenarios: the three flagship TOMLs (relay crash, D-Sphere
+# branch pattern, scaled-down IoT chaos fleet) compile, run, and every
+# exactly-one-outcome oracle must pass (asserted inside the binary).
+# Writes BENCH_scenario.json.
+cargo run --release -p cond-bench --bin exp_scenario -- --quick

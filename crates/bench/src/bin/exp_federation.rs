@@ -27,7 +27,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cond_bench::{emit_metrics, header, row};
+use cond_bench::{emit_metrics, header, percentile_f64, row};
 use condmsg::{
     Condition, ConditionalMessenger, ConditionalReceiver, Destination, MessageOutcome,
 };
@@ -175,13 +175,11 @@ fn run(hops: usize, msgs: usize, verdict_rounds: usize) -> RunStats {
     stop_reader.store(true, std::sync::atomic::Ordering::SeqCst);
     reader.join().unwrap();
 
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let q_at = |q: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * q) as usize];
     let snap = obs.metrics().snapshot();
     let stats = RunStats {
         msgs_per_sec,
-        verdict_p50_ms: q_at(0.50),
-        verdict_p95_ms: q_at(0.95),
+        verdict_p50_ms: percentile_f64(&latencies_ms, 0.50),
+        verdict_p95_ms: percentile_f64(&latencies_ms, 0.95),
         relay_forwarded: snap.counter("mq.relay.forwarded"),
     };
     for m in chain.managers {

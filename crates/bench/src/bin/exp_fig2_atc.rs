@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cond_bench::{emit_metrics, header, row, system_world};
+use cond_bench::{emit_metrics, header, mean, percentile, row, system_world};
 use condmsg::{Condition, Destination};
 use condmsg::{ConditionalReceiver, MessageKind, MessageOutcome, SendOptions};
 use mq::Wait;
@@ -95,21 +95,11 @@ fn run(controllers: usize, interarrival_ms: u64, service_ms: u64) -> RunResult {
         let _ = t.join();
     }
 
-    let mut delays = pickup_delays.lock().clone();
-    delays.sort_unstable();
-    let mean = if delays.is_empty() {
-        f64::NAN
-    } else {
-        delays.iter().sum::<u64>() as f64 / delays.len() as f64
-    };
-    let p95 = delays
-        .get(delays.len().saturating_sub(1).min(delays.len() * 95 / 100))
-        .copied()
-        .unwrap_or(0);
+    let delays = pickup_delays.lock().clone();
     RunResult {
         timeouts,
-        mean_pickup_ms: mean,
-        p95_pickup_ms: p95,
+        mean_pickup_ms: mean(&delays),
+        p95_pickup_ms: percentile(&delays, 0.95),
     }
 }
 

@@ -20,8 +20,8 @@
 use std::time::{Duration, Instant};
 
 use cond_bench::{
-    emit_metrics, header, queue_names, row, shared_obs, sim_world_cfg, system_world,
-    system_world_cfg, workload,
+    emit_metrics, header, percentile, queue_names, row, shared_obs, sim_world_cfg,
+    system_world, system_world_cfg, workload,
 };
 use condmsg::{CondConfig, ConditionalReceiver};
 use mq::{Message, Wait};
@@ -245,11 +245,4 @@ fn drain_tx_run(ack_batch: usize, msgs: usize) -> (u64, u64) {
     world.messenger.pump().unwrap();
     let txs = shared_obs().snapshot().counter("mq.tx.committed") - before;
     (txs, acks)
-}
-
-fn percentile(samples: &[u64], p: f64) -> u64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }

@@ -16,7 +16,7 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use cond_bench::{emit_metrics, header, row};
+use cond_bench::{emit_metrics, header, percentile, row};
 use mq::journal::{FileJournal, GroupCommitConfig, GroupCommitJournal, Journal, JournalRecord};
 use mq::Message;
 
@@ -33,13 +33,6 @@ struct RunStats {
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("condmsg-journal-{}-{name}.log", std::process::id()))
-}
-
-fn percentile(samples: &[u64], p: f64) -> u64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 /// Drive `writers` threads through `per_writer` durable appends each and

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cond_bench::{emit_metrics, header, row};
+use cond_bench::{emit_metrics, header, percentile, row};
 use mq::journal::{FileJournal, Journal, NullJournal, SegmentConfig, SegmentedJournal};
 use mq::selector::Selector;
 use mq::{ManagerConfig, Message, QueueConfig, QueueManager, Wait};
@@ -34,12 +34,6 @@ const KINDS: [&str; 8] = [
     "flight", "train", "hotel", "meeting", "alert", "report", "invoice", "ticket",
 ];
 const SHARDS: i64 = 64;
-
-fn percentile(samples: &mut [u64], p: f64) -> u64 {
-    samples.sort_unstable();
-    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
-    samples[idx]
-}
 
 /// A corpus message: shard/kind spread deterministically, correlation id
 /// unique per index.
@@ -112,8 +106,8 @@ fn run_index_phase(parked: usize, ops: usize, indexed: bool) -> IndexStats {
     }
 
     IndexStats {
-        selector_p95_us: percentile(&mut selector_lat, 0.95),
-        correlation_p95_us: percentile(&mut corr_lat, 0.95),
+        selector_p95_us: percentile(&selector_lat, 0.95),
+        correlation_p95_us: percentile(&corr_lat, 0.95),
     }
 }
 

@@ -91,6 +91,38 @@ pub fn emit_metrics() {
     print!("{}", snapshot.render());
 }
 
+/// Nearest-rank percentile of `samples` for `p` in `[0, 1]`, or 0 when
+/// empty. Copies and sorts internally; every `exp_*` binary used to
+/// hand-roll this.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// [`percentile`] over float samples (NaNs sort last), or NaN when empty.
+pub fn percentile_f64(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Arithmetic mean of `samples`, or NaN when empty.
+pub fn mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().sum::<u64>() as f64 / samples.len() as f64
+}
+
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

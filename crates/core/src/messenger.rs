@@ -372,11 +372,13 @@ impl ConditionalMessenger {
         if self.is_event_driven() {
             // Arm the new message's deadline timer (and decide vacuous
             // conditions) right away; no pump will come along to do it.
+            // Targeted: deciding and rearming only this id keeps send
+            // O(1) in the pending count — a full-cycle scan here would
+            // make a burst of n sends cost O(n²).
             let _serial = self.pump_lock.lock();
-            if let Ok(outs) = self.run_cycle() {
+            if let Ok(outs) = self.run_cycle_for(&[cond_id]) {
                 self.buffer_outcomes(outs);
             }
-            self.rearm_all();
         }
         Ok(cond_id)
     }
@@ -413,6 +415,30 @@ impl ConditionalMessenger {
     /// message and return the new outcomes.
     fn run_cycle(&self) -> CondResult<Vec<OutcomeNotification>> {
         self.drain_acks()?;
+        let ids: Vec<CondMessageId> = self.pending.lock().keys().copied().collect();
+        self.decide_ids(&ids)
+    }
+
+    /// Targeted cycle for the event-driven hot paths (send, ack arrival,
+    /// timer fire): drains the ack queue, then decides — and rearms —
+    /// only `seed` plus the messages the drained acks touched. O(touched)
+    /// instead of O(pending); the full scan stays with [`pump`](Self::pump).
+    /// Sound because every pending message keeps an armed timer at its
+    /// next decision-relevant instant, so time-only decisions arrive via
+    /// their own timer fire rather than opportunistic full scans.
+    fn run_cycle_for(&self, seed: &[CondMessageId]) -> CondResult<Vec<OutcomeNotification>> {
+        let mut ids = self.drain_acks()?;
+        ids.extend_from_slice(seed);
+        ids.sort_unstable();
+        ids.dedup();
+        let out = self.decide_ids(&ids)?;
+        self.rearm_ids(&ids);
+        Ok(out)
+    }
+
+    /// Expires cells against the clock, decides and finalizes the given
+    /// messages, and returns the new outcomes. Caller holds the pump lock.
+    fn decide_ids(&self, ids: &[CondMessageId]) -> CondResult<Vec<OutcomeNotification>> {
         let now = self.qmgr.clock().now();
 
         // Decide. Decidability comes from the O(depth)-maintained
@@ -422,8 +448,7 @@ impl ConditionalMessenger {
         let mut decided = Vec::new();
         {
             let mut pending = self.pending.lock();
-            let ids: Vec<CondMessageId> = pending.keys().copied().collect();
-            for id in ids {
+            for &id in ids {
                 let Some(eval) = pending.get_mut(&id) else {
                     continue;
                 };
@@ -479,14 +504,19 @@ impl ConditionalMessenger {
         Ok(out)
     }
 
-    fn drain_acks(&self) -> CondResult<()> {
+    /// Drains the ack queue and applies every ack for a known pending
+    /// message; returns the (sorted, deduplicated) ids those acks touched.
+    fn drain_acks(&self) -> CondResult<Vec<CondMessageId>> {
+        let mut touched: Vec<CondMessageId> = Vec::new();
         let ack_queue = self.qmgr.queue(&self.config.ack_queue)?;
         let batch_cap = self.config.ack_batch.max(1) as u64;
         loop {
             // Fast path: an idle wakeup must not open a session (or touch
             // the journal) just to learn there is nothing to drain.
             if ack_queue.is_empty() {
-                return Ok(());
+                touched.sort_unstable();
+                touched.dedup();
+                return Ok(touched);
             }
             // One messaging transaction per batch: up to `ack_batch` gets
             // plus their AckSeen WAL entries commit as a single grouped
@@ -516,12 +546,15 @@ impl ConditionalMessenger {
             }
             if consumed == 0 {
                 session.rollback()?;
-                return Ok(());
+                touched.sort_unstable();
+                touched.dedup();
+                return Ok(touched);
             }
             session.commit()?;
             self.metrics.ack_batch_size.record(consumed);
             for ack in &batch {
                 self.apply_ack(ack);
+                touched.push(ack.cond_id);
             }
         }
     }
@@ -621,7 +654,9 @@ impl ConditionalMessenger {
         }
     }
 
-    /// Ack-queue put watcher: evaluate the moment an ack lands.
+    /// Ack-queue put watcher: evaluate the moment an ack lands. Only the
+    /// messages the drained acks touch are re-evaluated and rearmed;
+    /// everything else keeps its armed timer.
     fn on_ack_arrival(&self) {
         if !self.is_event_driven() {
             return;
@@ -629,10 +664,9 @@ impl ConditionalMessenger {
         let _serial = self.pump_lock.lock();
         // Errors mean the manager is shutting down; the queue close path
         // handles cleanup.
-        if let Ok(outs) = self.run_cycle() {
+        if let Ok(outs) = self.run_cycle_for(&[]) {
             self.buffer_outcomes(outs);
         }
-        self.rearm_all();
     }
 
     /// Deadline/timeout timer callback for one pending message.
@@ -649,46 +683,59 @@ impl ConditionalMessenger {
             }
         }
         self.metrics.eval_timer_fires.incr();
-        if let Ok(outs) = self.run_cycle() {
+        if let Ok(outs) = self.run_cycle_for(&[id]) {
             self.buffer_outcomes(outs);
         }
-        self.rearm_all();
     }
 
     /// Ensures every pending message has exactly one armed timer at its
     /// next trigger instant (and none when no future instant can decide
     /// it). Caller holds the pump lock.
     fn rearm_all(&self) {
-        let clock = self.qmgr.clock();
         let mut pending = self.pending.lock();
         for (id, eval) in pending.iter_mut() {
-            match (eval.next_trigger(), eval.timer) {
-                (Some(at), Some((_, armed))) if armed == at => {}
-                (Some(at), previous) => {
-                    if let Some((timer, _)) = previous {
-                        clock.cancel(timer);
-                    }
-                    eval.timer_gen += 1;
-                    let gen = eval.timer_gen;
-                    let weak = self.self_weak.clone();
-                    let id = *id;
-                    let timer = clock.schedule_at(
-                        at,
-                        Box::new(move || {
-                            if let Some(messenger) = weak.upgrade() {
-                                messenger.on_timer(id, gen);
-                            }
-                        }),
-                    );
-                    eval.timer = Some((timer, at));
-                }
-                (None, Some((timer, _))) => {
-                    clock.cancel(timer);
-                    eval.timer_gen += 1;
-                    eval.timer = None;
-                }
-                (None, None) => {}
+            self.rearm_entry(*id, eval);
+        }
+    }
+
+    /// [`rearm_all`](Self::rearm_all) restricted to the given ids
+    /// (already-decided ids are skipped). Caller holds the pump lock.
+    fn rearm_ids(&self, ids: &[CondMessageId]) {
+        let mut pending = self.pending.lock();
+        for id in ids {
+            if let Some(eval) = pending.get_mut(id) {
+                self.rearm_entry(*id, eval);
             }
+        }
+    }
+
+    fn rearm_entry(&self, id: CondMessageId, eval: &mut PendingEval) {
+        let clock = self.qmgr.clock();
+        match (eval.next_trigger(), eval.timer) {
+            (Some(at), Some((_, armed))) if armed == at => {}
+            (Some(at), previous) => {
+                if let Some((timer, _)) = previous {
+                    clock.cancel(timer);
+                }
+                eval.timer_gen += 1;
+                let gen = eval.timer_gen;
+                let weak = self.self_weak.clone();
+                let timer = clock.schedule_at(
+                    at,
+                    Box::new(move || {
+                        if let Some(messenger) = weak.upgrade() {
+                            messenger.on_timer(id, gen);
+                        }
+                    }),
+                );
+                eval.timer = Some((timer, at));
+            }
+            (None, Some((timer, _))) => {
+                clock.cancel(timer);
+                eval.timer_gen += 1;
+                eval.timer = None;
+            }
+            (None, None) => {}
         }
     }
 

@@ -443,6 +443,7 @@ impl DSphere {
                 SphereOutcome::Aborted { reason }
             }
         };
+        self.consume_member_outcomes();
         self.record_termination(&outcome);
         self.terminated = Some(outcome.clone());
         Ok(Some(outcome))
@@ -495,9 +496,19 @@ impl DSphere {
         }
         self.release_all(MessageOutcome::Failure)?;
         let outcome = SphereOutcome::Aborted { reason };
+        self.consume_member_outcomes();
         self.record_termination(&outcome);
         self.terminated = Some(outcome.clone());
         Ok(outcome)
+    }
+
+    /// Consumes the members' queued outcome notifications: the sphere is
+    /// their consumer of record, and its termination already carries the
+    /// aggregate verdict, so nothing may linger on the outcome queue.
+    fn consume_member_outcomes(&self) {
+        for id in &self.messages {
+            let _ = self.service.messenger.take_outcome(*id, mq::Wait::NoWait);
+        }
     }
 
     fn release_all(&self, group_outcome: MessageOutcome) -> SphereResult<()> {

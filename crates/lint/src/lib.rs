@@ -738,6 +738,40 @@ mod tests {
     }
 
     #[test]
+    fn scenario_crate_is_fully_linted() {
+        // The scenario engine drives crash-and-rebuild and fault
+        // schedules against live managers: its executor must park on
+        // condvars (the Pacer), never sleep-poll, stay panic-free, and
+        // read only the scenario clock — every library rule covers the
+        // whole crate with zero lint.allow entries, while its experiment
+        // binary stays App.
+        for p in [
+            "crates/scenario/src/lib.rs",
+            "crates/scenario/src/toml.rs",
+            "crates/scenario/src/spec.rs",
+            "crates/scenario/src/compile.rs",
+            "crates/scenario/src/exec.rs",
+            "crates/scenario/src/oracle.rs",
+            "crates/scenario/src/pacer.rs",
+            "crates/scenario/src/error.rs",
+        ] {
+            assert_eq!(classify(p), FileClass::Library, "{p}");
+            for rule in [
+                LintRule::Sleep,
+                LintRule::StdSync,
+                LintRule::WallClock,
+                LintRule::Unwrap,
+            ] {
+                assert!(rule_applies(rule, classify(p), p), "{rule:?} must cover {p}");
+            }
+        }
+        assert_eq!(
+            classify("crates/bench/src/bin/exp_scenario.rs"),
+            FileClass::App
+        );
+    }
+
+    #[test]
     fn simtime_exempt_from_time_rules_only() {
         let p = "crates/simtime/src/lib.rs";
         assert!(!rule_applies(LintRule::Sleep, classify(p), p));

@@ -12,7 +12,9 @@
 //!   or rollback), flagging early returns / `?` exits that leak it.
 //! * [`registry`] — checks every emitted metric name, trace stage,
 //!   journal record tag, and frame kind against its single declared
-//!   `// lint: registry <kind>` registry.
+//!   `// lint: registry <kind>` registry, and scans `scenarios/*.toml`
+//!   so every `metric = "…"` / `stage = "…"` a scenario oracle asserts
+//!   on names something the observability layer actually emits.
 //!
 //! The annotation grammar and the soundness caveats of the lightweight
 //! parser are documented in DESIGN.md §14.
@@ -504,5 +506,6 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
     findings.extend(lockorder::run(&ws));
     findings.extend(custody::run(&ws));
     findings.extend(registry::run(&ws));
+    findings.extend(registry::scan_scenarios(root, &ws)?);
     Ok(findings)
 }

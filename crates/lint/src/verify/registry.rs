@@ -131,6 +131,89 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
     findings
 }
 
+/// Scans the repo's `scenarios/*.toml` files: every `metric = "…"`
+/// value must appear in the metric-name registry and every `stage = "…"`
+/// value in the trace-stage registry — a scenario oracle cannot assert
+/// on a counter or lifecycle stage the observability layer never emits.
+///
+/// # Errors
+///
+/// Propagates read errors on scenario files (a missing `scenarios/`
+/// directory is fine — there is simply nothing to check).
+pub fn scan_scenarios(root: &std::path::Path, ws: &Workspace) -> std::io::Result<Vec<Finding>> {
+    let mut by_kind: HashMap<&str, &RegistryDecl> = HashMap::new();
+    for f in &ws.files {
+        for r in &f.registries {
+            by_kind.entry(r.kind.as_str()).or_insert(r);
+        }
+    }
+    let mut findings = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("scenarios")) else {
+        return Ok(findings);
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(check_scenario_src(&rel, &src, &by_kind));
+    }
+    Ok(findings)
+}
+
+/// The actual per-file scenario check, separated for testability.
+fn check_scenario_src(
+    rel: &str,
+    src: &str,
+    by_kind: &HashMap<&str, &RegistryDecl>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (k, raw) in src.lines().enumerate() {
+        let line_no = k + 1;
+        let t = raw.trim();
+        for (key, kind) in [("metric", "metric-name"), ("stage", "trace-stage")] {
+            let Some(rest) = t.strip_prefix(key) else { continue };
+            let Some(rest) = rest.trim_start().strip_prefix('=') else {
+                continue;
+            };
+            let Some(value) = rest.trim().strip_prefix('"').and_then(|r| r.split('"').next())
+            else {
+                continue;
+            };
+            match by_kind.get(kind) {
+                Some(decl) => {
+                    if !decl.strs.iter().any(|(entry, _)| glob_match(entry, value)) {
+                        findings.push(Finding {
+                            rule: LintRule::Registry,
+                            path: rel.to_owned(),
+                            line: line_no,
+                            snippet: format!(
+                                "scenario {key} `{value}` is not in the {kind} registry \
+                                 declared at {}:{}",
+                                decl.path, decl.line
+                            ),
+                        });
+                    }
+                }
+                None => findings.push(Finding {
+                    rule: LintRule::Registry,
+                    path: rel.to_owned(),
+                    line: line_no,
+                    snippet: format!("no {kind} registry declared for scenario {key} `{value}`"),
+                }),
+            }
+        }
+    }
+    findings
+}
+
 /// Collects `(name, line)` for metric-sink calls carrying a string.
 fn collect_metric_calls(b: &Block, out: &mut Vec<(String, u32)>) {
     let visit = |events: &[Event], out: &mut Vec<(String, u32)>| {
@@ -248,5 +331,49 @@ mod tests {
     fn wildcardize_replaces_interpolations() {
         assert_eq!(wildcardize("mq.queue.{queue}.enqueued"), "mq.queue.*.enqueued");
         assert_eq!(wildcardize("plain.name"), "plain.name");
+    }
+
+    #[test]
+    fn scenario_scan_checks_metrics_and_stages_against_registries() {
+        let metric_decl = RegistryDecl {
+            kind: "metric-name".to_owned(),
+            path: "crates/mq/src/obs.rs".to_owned(),
+            line: 35,
+            strs: vec![("cond.sent".to_owned(), 36), ("mq.queue.*.depth".to_owned(), 37)],
+            ints: Vec::new(),
+        };
+        let stage_decl = RegistryDecl {
+            kind: "trace-stage".to_owned(),
+            path: "crates/mq/src/obs.rs".to_owned(),
+            line: 126,
+            strs: vec![("verdict".to_owned(), 127)],
+            ints: Vec::new(),
+        };
+        let mut by_kind: HashMap<&str, &RegistryDecl> = HashMap::new();
+        by_kind.insert("metric-name", &metric_decl);
+        by_kind.insert("trace-stage", &stage_decl);
+
+        let src = r#"
+[[oracle.metrics]]
+metric = "cond.sent"
+min = 1
+
+[[oracle.metrics]]
+metric = "mq.queue.Q.APP.depth"
+
+[[oracle.metrics]]
+metric = "cond.bogus"
+
+[[oracle.stages]]
+stage = "verdict"
+
+[[oracle.stages]]
+stage = "no-such-stage"
+"#;
+        let findings = check_scenario_src("scenarios/x.toml", src, &by_kind);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].snippet.contains("cond.bogus"), "{findings:?}");
+        assert!(findings[1].snippet.contains("no-such-stage"), "{findings:?}");
+        assert!(findings.iter().all(|f| f.path == "scenarios/x.toml"));
     }
 }

@@ -1,0 +1,187 @@
+//! Fault-injectable in-memory journal.
+//!
+//! [`FaultableJournal`] behaves exactly like [`MemJournal`](super::MemJournal)
+//! until a fault is scripted into it: appends can be made to fail (modelling
+//! a full or broken disk), and the newest record can be torn off (modelling
+//! an interrupted final write — the situation the file backends tolerate on
+//! replay). Failure-injection tests and the scenario engine's
+//! `fail_storage` / `heal_storage` / `tear_journal_tail` actions drive it
+//! through the [`FaultPlane`](crate::transport::fault::FaultPlane) surface.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use super::{Journal, JournalRecord, ReplaySink};
+use crate::codec::{WireDecode, WireEncode};
+use crate::error::{MqError, MqResult};
+
+/// In-memory journal with scriptable storage failures and torn tails.
+///
+/// Keep the `Arc<FaultableJournal>` across a simulated crash
+/// ([`crate::QueueManager::crash`]) and hand it to the restarted manager,
+/// exactly as with [`MemJournal`](super::MemJournal); in between, faults can
+/// reshape what the restarted manager will recover.
+#[derive(Debug, Default)]
+pub struct FaultableJournal {
+    /// Encoded records. Never held while a replay sink runs: the sink may
+    /// re-enter the journal (e.g. append during recovery).
+    // lint: never-hold(FaultableJournal.records) across sink
+    records: Mutex<Vec<Bytes>>,
+    bytes: AtomicU64,
+    /// While set, every append fails without retaining the record.
+    failing: AtomicBool,
+    /// Records dropped by [`FaultableJournal::tear_tail`].
+    torn: AtomicU64,
+}
+
+impl FaultableJournal {
+    /// Creates an empty journal with no faults armed.
+    pub fn new() -> Arc<FaultableJournal> {
+        Arc::new(FaultableJournal::default())
+    }
+
+    /// Arms (`true`) or heals (`false`) the storage-failure fault: while
+    /// armed, [`Journal::append`] fails with [`MqError::Io`] and retains
+    /// nothing, so callers must not apply the state change.
+    pub fn set_failing(&self, failing: bool) {
+        self.failing.store(failing, Ordering::SeqCst);
+    }
+
+    /// Whether appends are currently failing.
+    pub fn is_failing(&self) -> bool {
+        self.failing.load(Ordering::SeqCst)
+    }
+
+    /// Tears off the newest record, as if its final write was interrupted
+    /// mid-frame; returns whether a record was removed. A subsequent
+    /// replay simply never sees it — the same silent-tail rule the file
+    /// backends apply to a short or CRC-broken last frame.
+    pub fn tear_tail(&self) -> bool {
+        let mut records = self.records.lock();
+        match records.pop() {
+            Some(dropped) => {
+                self.bytes.fetch_sub(dropped.len() as u64, Ordering::Relaxed);
+                self.torn.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of records currently stored.
+    pub fn record_count(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// How many records have been torn off so far.
+    pub fn torn_count(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
+    }
+}
+
+impl Journal for FaultableJournal {
+    fn append(&self, record: &JournalRecord) -> MqResult<()> {
+        if self.is_failing() {
+            return Err(MqError::Io(std::io::Error::other(
+                "injected storage failure",
+            )));
+        }
+        let bytes = record.to_bytes();
+        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.records.lock().push(bytes);
+        Ok(())
+    }
+
+    fn replay(&self, sink: &mut ReplaySink<'_>) -> MqResult<()> {
+        // Clone the encoded records out so the sink can re-enter the
+        // journal (e.g. append) without deadlocking on our mutex.
+        let records: Vec<Bytes> = self.records.lock().clone();
+        for b in records {
+            sink(JournalRecord::from_bytes(b).map_err(MqError::from)?)?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, records: &mut dyn Iterator<Item = JournalRecord>) -> MqResult<()> {
+        if self.is_failing() {
+            return Err(MqError::Io(std::io::Error::other(
+                "injected storage failure",
+            )));
+        }
+        // Atomic replace, as MemJournal: the checkpoint becomes the journal.
+        let mut encoded = Vec::new();
+        let mut total = 0u64;
+        for record in records {
+            let bytes = record.to_bytes();
+            total += bytes.len() as u64;
+            encoded.push(bytes);
+        }
+        let mut guard = self.records.lock();
+        *guard = encoded;
+        self.bytes.store(total, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn reset(&self) -> MqResult<()> {
+        self.records.lock().clear();
+        self.bytes.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::check_roundtrip;
+    use super::*;
+
+    #[test]
+    fn healthy_journal_roundtrips_like_mem() {
+        let j = FaultableJournal::new();
+        check_roundtrip(j.as_ref());
+        assert!(j.record_count() > 0);
+        assert!(j.len_bytes() > 0);
+    }
+
+    #[test]
+    fn failing_append_retains_nothing() {
+        let j = FaultableJournal::new();
+        j.set_failing(true);
+        assert!(j.is_failing());
+        let err = j
+            .append(&JournalRecord::QueueCreated { queue: "Q".into() })
+            .unwrap_err();
+        assert!(matches!(err, MqError::Io(_)));
+        assert_eq!(j.record_count(), 0);
+        j.set_failing(false);
+        j.append(&JournalRecord::QueueCreated { queue: "Q".into() })
+            .unwrap();
+        assert_eq!(j.record_count(), 1);
+    }
+
+    #[test]
+    fn tear_tail_drops_only_the_newest_record() {
+        let j = FaultableJournal::new();
+        j.append(&JournalRecord::QueueCreated { queue: "A".into() })
+            .unwrap();
+        j.append(&JournalRecord::QueueCreated { queue: "B".into() })
+            .unwrap();
+        let before = j.len_bytes();
+        assert!(j.tear_tail());
+        assert!(j.len_bytes() < before);
+        assert_eq!(j.torn_count(), 1);
+        let replayed = j.replay_collect().unwrap();
+        assert_eq!(
+            replayed,
+            vec![JournalRecord::QueueCreated { queue: "A".into() }]
+        );
+        assert!(j.tear_tail());
+        assert!(!j.tear_tail(), "empty journal has no tail to tear");
+    }
+}

@@ -8,10 +8,13 @@
 //! and non-persistent messages vanish — the same guarantees MQSeries gives
 //! the conditional-messaging layer.
 //!
-//! Five backends:
+//! Six backends:
 //! * [`MemJournal`] — encoded records in memory; survives a *simulated*
 //!   crash (the journal object outlives the manager) and exercises the full
 //!   codec path.
+//! * [`FaultableJournal`] — a [`MemJournal`] with scriptable storage
+//!   failures and torn tails, driven by failure-injection tests and the
+//!   scenario engine's fault schedules.
 //! * [`FileJournal`] — length + CRC-32 framed records in an append-only
 //!   file; torn tail records are tolerated, mid-file corruption is reported.
 //! * [`GroupCommitJournal`] — a group-commit wrapper over batched storage
@@ -26,10 +29,12 @@
 //! * [`NullJournal`] — discards everything, for benchmarks isolating
 //!   in-memory throughput.
 
+mod fault;
 mod file;
 mod group;
 mod segment;
 
+pub use fault::FaultableJournal;
 pub use file::FileJournal;
 pub use group::{GroupCommitConfig, GroupCommitJournal, GroupCommitMetrics, GroupStorage};
 pub use segment::{SegmentConfig, SegmentedJournal};
@@ -741,6 +746,7 @@ pub(crate) mod tests {
     fn journals_are_share_safe() {
         fn assert_bounds<T: Send + Sync>() {}
         assert_bounds::<MemJournal>();
+        assert_bounds::<FaultableJournal>();
         assert_bounds::<FileJournal>();
         assert_bounds::<GroupCommitJournal>();
         assert_bounds::<NullJournal>();

@@ -79,6 +79,7 @@ pub use stats::{
     RelayStats,
 };
 pub use trace::{TraceEvent, TraceLog, TraceStage};
+pub use transport::fault::{FaultAction, FaultPlane};
 pub use transport::{
     BatchOutcome, BatchTicket, LinkTransport, PipelineProgress, PipelinedTransport, SubmitError,
     Transport, TransportMetrics,

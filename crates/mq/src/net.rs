@@ -8,7 +8,7 @@
 //! exactly the property the paper's reliable-messaging substrate provides.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -78,6 +78,9 @@ pub struct Link {
     /// parks on the paired condvar instead of sleep-polling.
     state_seq: Mutex<u64>,
     state_changed: Condvar,
+    /// Fault-injection: this many upcoming transfers are dropped
+    /// deterministically, ahead of the probabilistic loss model.
+    force_drop: AtomicU64,
     stats: LinkStats,
 }
 
@@ -100,6 +103,7 @@ impl Link {
             up: AtomicBool::new(true),
             state_seq: Mutex::new(0),
             state_changed: Condvar::new(),
+            force_drop: AtomicU64::new(0),
             stats: LinkStats::default(),
         })
     }
@@ -140,6 +144,13 @@ impl Link {
         *self.config.lock() = config;
     }
 
+    /// Fault-injection hook: the next `n` transfer attempts are dropped
+    /// deterministically (counted in [`LinkStats::dropped`]), regardless
+    /// of the configured loss probability. Repeated calls accumulate.
+    pub fn drop_next(&self, n: u64) {
+        self.force_drop.fetch_add(n, Ordering::SeqCst);
+    }
+
     /// Link statistics.
     pub fn stats(&self) -> &LinkStats {
         &self.stats
@@ -163,6 +174,14 @@ impl Link {
         if !self.is_up() {
             self.stats.refused.incr();
             return Transfer::Down;
+        }
+        if self
+            .force_drop
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            self.stats.dropped.incr();
+            return Transfer::Dropped;
         }
         let config = self.config.lock().clone();
         let mut rng = self.rng.lock();

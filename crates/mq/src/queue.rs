@@ -196,10 +196,18 @@ impl Queue {
     ///
     /// [`MqError::ManagerStopped`] if the queue closes while waiting.
     pub fn wait_nonempty(&self, wait: Wait) -> MqResult<bool> {
-        let deadline = match wait {
+        let (deadline, timeout) = match wait {
             Wait::NoWait => return Ok(!self.is_empty()),
-            Wait::Timeout(t) => Some(self.clock.now() + t),
-            Wait::Forever => None,
+            Wait::Timeout(t) => (Some(self.clock.now() + t), Some(t)),
+            Wait::Forever => (None, None),
+        };
+        // Under a virtual clock, a timed wait is additionally bounded in
+        // real time: daemon loops (channel movers, listeners, ack pumps)
+        // lean on the timeout to re-check their stop flags, and a sim
+        // clock nobody advances anymore must not park them forever.
+        let mut real_slices = match timeout {
+            Some(t) if self.clock.is_virtual() => Some((t.as_u64() / 2).max(1)),
+            _ => None,
         };
         let mut store = self.store.lock();
         loop {
@@ -216,6 +224,12 @@ impl Queue {
                 _ if self.clock.is_virtual() => Duration::from_millis(2),
                 _ => Duration::from_millis(200),
             };
+            if let Some(slices) = &mut real_slices {
+                if *slices == 0 {
+                    return Ok(false);
+                }
+                *slices -= 1;
+            }
             self.available.wait_for(&mut store, real_wait);
         }
     }

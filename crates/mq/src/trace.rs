@@ -65,6 +65,28 @@ pub enum TraceStage {
     RelayDeadLettered,
 }
 
+impl TraceStage {
+    /// Every stage, for name lookups and seen-mask iteration.
+    pub const ALL: [TraceStage; 16] = [
+        TraceStage::Send,
+        TraceStage::FanOut,
+        TraceStage::ReadAck,
+        TraceStage::ProcessAck,
+        TraceStage::Verdict,
+        TraceStage::SuccessNotify,
+        TraceStage::CompensationReleased,
+        TraceStage::CompensationConsumed,
+        TraceStage::Annihilated,
+        TraceStage::CompensationDelivered,
+        TraceStage::CompensationDeferred,
+        TraceStage::SphereBegin,
+        TraceStage::SphereCommit,
+        TraceStage::SphereAbort,
+        TraceStage::RelayForwarded,
+        TraceStage::RelayDeadLettered,
+    ];
+}
+
 // lint: registry-sink trace-stage
 impl fmt::Display for TraceStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -133,7 +155,34 @@ pub struct TraceLog {
     enabled: AtomicBool,
     seq: AtomicU64,
     dropped: AtomicU64,
+    /// Bitmask of every stage ever recorded — survives ring eviction, so
+    /// "did stage X happen at all?" stays answerable after millions of
+    /// events have rolled through a 4k ring.
+    seen: AtomicU64,
     events: Mutex<VecDeque<TraceEvent>>,
+}
+
+/// Stable bit position for the seen-stages mask.
+fn stage_bit(stage: TraceStage) -> u64 {
+    let shift = match stage {
+        TraceStage::Send => 0,
+        TraceStage::FanOut => 1,
+        TraceStage::ReadAck => 2,
+        TraceStage::ProcessAck => 3,
+        TraceStage::Verdict => 4,
+        TraceStage::SuccessNotify => 5,
+        TraceStage::CompensationReleased => 6,
+        TraceStage::CompensationConsumed => 7,
+        TraceStage::Annihilated => 8,
+        TraceStage::CompensationDelivered => 9,
+        TraceStage::CompensationDeferred => 10,
+        TraceStage::SphereBegin => 11,
+        TraceStage::SphereCommit => 12,
+        TraceStage::SphereAbort => 13,
+        TraceStage::RelayForwarded => 14,
+        TraceStage::RelayDeadLettered => 15,
+    };
+    1_u64 << shift
 }
 
 impl fmt::Debug for TraceLog {
@@ -160,8 +209,15 @@ impl TraceLog {
             enabled: AtomicBool::new(true),
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            seen: AtomicU64::new(0),
             events: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
         }
+    }
+
+    /// Whether `stage` has ever been recorded on this log, regardless of
+    /// whether its events are still retained in the ring.
+    pub fn stage_seen(&self, stage: TraceStage) -> bool {
+        self.seen.load(Ordering::Relaxed) & stage_bit(stage) != 0
     }
 
     /// Enables or disables recording (disabled recording is a no-op).
@@ -207,6 +263,7 @@ impl TraceLog {
             return;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.seen.fetch_or(stage_bit(stage), Ordering::Relaxed);
         let event = TraceEvent {
             seq,
             at,
@@ -370,5 +427,33 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 2000);
+    }
+
+    #[test]
+    fn stage_seen_survives_ring_eviction() {
+        let log = TraceLog::with_capacity(2);
+        assert!(!log.stage_seen(TraceStage::Verdict));
+        log.record(Time(0), TraceStage::Verdict, None, None, "");
+        // Flood the ring so the verdict event itself is evicted.
+        for i in 0..10 {
+            log.record(Time(i), TraceStage::Annihilated, None, None, "");
+        }
+        assert!(log.events().iter().all(|e| e.stage != TraceStage::Verdict));
+        assert!(log.stage_seen(TraceStage::Verdict));
+        assert!(log.stage_seen(TraceStage::Annihilated));
+        assert!(!log.stage_seen(TraceStage::SphereCommit));
+    }
+
+    #[test]
+    fn all_lists_every_stage_exactly_once() {
+        let mut names: Vec<String> = TraceStage::ALL.iter().map(|s| s.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), TraceStage::ALL.len());
+        // The seen-mask bit assignment is injective.
+        let mut bits: Vec<u64> = TraceStage::ALL.iter().map(|s| stage_bit(*s)).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), TraceStage::ALL.len());
     }
 }

@@ -1,0 +1,215 @@
+//! The fault plane: one scripting surface over every fault-injection hook.
+//!
+//! Fault hooks grew up scattered: the simulated [`Link`] has partition
+//! toggles, the TCP acceptor has [`TcpAcceptor::inject_drop_before_ack`]
+//! and [`TcpAcceptor::kick_all`], and storage faults lived as ad-hoc test
+//! journals. A failure *schedule* — the kind a declarative scenario
+//! declares — needs to script all of them uniformly without downcasting to
+//! a concrete transport. [`FaultPlane`] is that surface: every injectable
+//! component exposes a named fault point and applies [`FaultAction`]s,
+//! refusing the ones it cannot express.
+//!
+//! | action | [`Link`] | [`TcpAcceptor`] | [`FaultableJournal`] |
+//! |---|---|---|---|
+//! | `Partition` | link down | pause accepts + kick | — |
+//! | `Heal` | link up | resume accepts | — |
+//! | `DropNext(n)` | next `n` transfers dropped | next `n` batches unacked | — |
+//! | `KickConnections` | — | close live conns | — |
+//! | `TearJournalTail` | — | — | drop newest record |
+//! | `FailStorage` | — | — | appends fail |
+//! | `HealStorage` | — | — | appends recover |
+
+use std::fmt;
+
+use crate::error::{MqError, MqResult};
+use crate::journal::FaultableJournal;
+use crate::net::Link;
+
+use super::tcp::TcpAcceptor;
+
+/// One scripted fault, interpreted by whichever component it targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sever the component: a link goes down, an acceptor stops taking
+    /// connections and closes live ones. Senders observe an unavailable
+    /// transport and back off until [`FaultAction::Heal`].
+    Partition,
+    /// Undo a [`FaultAction::Partition`].
+    Heal,
+    /// Make the next `n` transfers fail *after* any receiver-side effect:
+    /// a link drops the next `n` batches outright; a TCP acceptor delivers
+    /// the next `n` batches but closes the connection instead of acking —
+    /// the classic duplicate-generating fault that receiver dedup absorbs.
+    DropNext(u64),
+    /// Hard-close every live connection once (transient network blip,
+    /// unlike the sustained [`FaultAction::Partition`]).
+    KickConnections,
+    /// Tear the newest journal record off, as if its final write was
+    /// interrupted; recovery silently stops before it.
+    TearJournalTail,
+    /// Make journal appends fail until [`FaultAction::HealStorage`].
+    FailStorage,
+    /// Undo a [`FaultAction::FailStorage`].
+    HealStorage,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Partition => write!(f, "partition"),
+            FaultAction::Heal => write!(f, "heal"),
+            FaultAction::DropNext(n) => write!(f, "drop_next({n})"),
+            FaultAction::KickConnections => write!(f, "kick_connections"),
+            FaultAction::TearJournalTail => write!(f, "tear_journal_tail"),
+            FaultAction::FailStorage => write!(f, "fail_storage"),
+            FaultAction::HealStorage => write!(f, "heal_storage"),
+        }
+    }
+}
+
+/// A component that can have faults scripted into it.
+///
+/// Implementations apply the actions they can express and refuse the rest
+/// with [`MqError::Transport`] naming the fault point — a failure schedule
+/// aimed at the wrong component is a scenario bug, not a silent no-op.
+pub trait FaultPlane: Send + Sync + fmt::Debug {
+    /// Stable name of this fault point (e.g. `link:QM.A->QM.B`,
+    /// `tcp:QM.B`, `journal:QM.B`), used in schedules and errors.
+    fn fault_point(&self) -> String;
+
+    /// Applies one fault action.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::Transport`] when this component cannot express `action`.
+    fn apply_fault(&self, action: FaultAction) -> MqResult<()>;
+}
+
+/// Builds the standard refusal for an unsupported action.
+fn unsupported(point: &dyn FaultPlane, action: FaultAction) -> MqError {
+    MqError::Transport {
+        peer: point.fault_point(),
+        reason: format!("fault point cannot express {action}"),
+    }
+}
+
+impl FaultPlane for Link {
+    fn fault_point(&self) -> String {
+        "link".to_owned()
+    }
+
+    fn apply_fault(&self, action: FaultAction) -> MqResult<()> {
+        match action {
+            FaultAction::Partition => {
+                self.set_up(false);
+                Ok(())
+            }
+            FaultAction::Heal => {
+                self.set_up(true);
+                Ok(())
+            }
+            FaultAction::DropNext(n) => {
+                self.drop_next(n);
+                Ok(())
+            }
+            _ => Err(unsupported(self, action)),
+        }
+    }
+}
+
+impl FaultPlane for TcpAcceptor {
+    fn fault_point(&self) -> String {
+        format!("tcp:{}", self.manager_name())
+    }
+
+    fn apply_fault(&self, action: FaultAction) -> MqResult<()> {
+        match action {
+            FaultAction::Partition => {
+                self.set_paused(true);
+                self.kick_all();
+                Ok(())
+            }
+            FaultAction::Heal => {
+                self.set_paused(false);
+                Ok(())
+            }
+            FaultAction::DropNext(n) => {
+                self.inject_drop_before_ack(n);
+                Ok(())
+            }
+            FaultAction::KickConnections => {
+                self.kick_all();
+                Ok(())
+            }
+            _ => Err(unsupported(self, action)),
+        }
+    }
+}
+
+impl FaultPlane for FaultableJournal {
+    fn fault_point(&self) -> String {
+        "journal".to_owned()
+    }
+
+    fn apply_fault(&self, action: FaultAction) -> MqResult<()> {
+        match action {
+            FaultAction::TearJournalTail => {
+                self.tear_tail();
+                Ok(())
+            }
+            FaultAction::FailStorage => {
+                self.set_failing(true);
+                Ok(())
+            }
+            FaultAction::HealStorage => {
+                self.set_failing(false);
+                Ok(())
+            }
+            _ => Err(unsupported(self, action)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Transfer;
+
+    #[test]
+    fn link_partition_heal_and_forced_drops() {
+        let link = Link::ideal();
+        let plane: &dyn FaultPlane = link.as_ref();
+        plane.apply_fault(FaultAction::Partition).unwrap();
+        assert_eq!(link.transfer(), Transfer::Down);
+        plane.apply_fault(FaultAction::Heal).unwrap();
+        plane.apply_fault(FaultAction::DropNext(2)).unwrap();
+        assert_eq!(link.transfer(), Transfer::Dropped);
+        assert_eq!(link.transfer(), Transfer::Dropped);
+        assert!(matches!(link.transfer(), Transfer::Deliver(_)));
+    }
+
+    #[test]
+    fn link_refuses_storage_faults() {
+        let link = Link::ideal();
+        let err = link.apply_fault(FaultAction::TearJournalTail).unwrap_err();
+        match err {
+            MqError::Transport { peer, reason } => {
+                assert_eq!(peer, "link");
+                assert!(reason.contains("tear_journal_tail"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_storage_faults_via_plane() {
+        let journal = FaultableJournal::new();
+        let plane: &dyn FaultPlane = journal.as_ref();
+        plane.apply_fault(FaultAction::FailStorage).unwrap();
+        assert!(journal.is_failing());
+        plane.apply_fault(FaultAction::HealStorage).unwrap();
+        assert!(!journal.is_failing());
+        assert!(plane.apply_fault(FaultAction::Partition).is_err());
+        assert_eq!(plane.fault_point(), "journal");
+    }
+}

@@ -27,6 +27,7 @@
 //! ([`crate::relay`]) supplies the at-most-once half across connection
 //! failures, restarts, and multi-hop relays.
 
+pub mod fault;
 pub mod frame;
 pub mod reactor;
 pub mod tcp;

@@ -761,6 +761,10 @@ struct AcceptorShared {
     /// delivering a batch but *before* acking it, forcing the sender down
     /// the resend-and-dedup path deterministically.
     drop_before_ack: AtomicU64,
+    /// Fault-injection: while set, new connections are refused on accept
+    /// (paired with a kick of live ones, this models a partition of the
+    /// receiving side that heals without rebinding).
+    paused: AtomicBool,
 }
 
 /// The receiving side of the TCP transport: one listener per queue
@@ -820,6 +824,7 @@ impl TcpAcceptor {
             metrics: TransportMetrics::registered(manager.obs().metrics()),
             conns: Mutex::new(Vec::new()),
             drop_before_ack: AtomicU64::new(0),
+            paused: AtomicBool::new(false),
         });
         let accept_shared = shared.clone();
         let handle = std::thread::Builder::new()
@@ -856,6 +861,19 @@ impl TcpAcceptor {
         }
     }
 
+    /// Fault-injection hook: while paused, new connections are refused at
+    /// accept time (senders keep reconnect-looping and back off). Combined
+    /// with [`TcpAcceptor::kick_all`] this partitions the receiving side;
+    /// unpausing heals it without rebinding the listener.
+    pub fn set_paused(&self, paused: bool) {
+        self.shared.paused.store(paused, Ordering::SeqCst);
+    }
+
+    /// Name of the queue manager this acceptor feeds.
+    pub fn manager_name(&self) -> &str {
+        &self.shared.local_name
+    }
+
     /// Stops accepting and closes live connections (the reactor reaps
     /// their handlers on the resulting close events). Idempotent.
     pub fn shutdown(&self) {
@@ -889,6 +907,12 @@ fn accept_loop(shared: &Arc<AcceptorShared>, listener: &TcpListener) {
         if shared.stop.load(Ordering::SeqCst) {
             let _ = stream.shutdown(Shutdown::Both);
             break;
+        }
+        if shared.paused.load(Ordering::SeqCst) {
+            // Partitioned: refuse the connection; the sender's supervisor
+            // keeps retrying and succeeds once the fault heals.
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
         }
         let _ = stream.set_nodelay(true);
         if stream.set_nonblocking(true).is_err() {

@@ -1,0 +1,739 @@
+//! Lowering a [`ScenarioSpec`] onto the real harness.
+//!
+//! Compilation expands every templated block (managers, queues,
+//! channels, routes, ackers) over its index range, builds the queue
+//! managers on one shared clock and observability hub, connects the
+//! declared channels (in-process links or loopback TCP), applies the
+//! routing declarations, instantiates one event-driven conditional
+//! messenger per sending manager, and resolves fault triggers against
+//! the expanded plan. The result is a [`Compiled`] world the executor
+//! ([`crate::exec`]) drives.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use condmsg::{CondConfig, Condition, ConditionalMessenger, Destination, DestinationSet};
+use dsphere::DSphereService;
+use mq::channel::Channel;
+use mq::journal::{FaultableJournal, Journal, MemJournal, NullJournal};
+use mq::net::{Link, LinkConfig};
+use mq::transport::tcp::{TcpAcceptor, TcpConfig};
+use mq::{Obs, QueueManager};
+use simtime::{Millis, SharedClock, SimClock, SystemClock};
+
+use crate::error::{spec_err, ScenarioResult};
+use crate::spec::{
+    AckMode, ActorSpec, ChannelKind, ClockMode, ConditionSpec, DelaySpec, DestSpec,
+    FaultActionSpec, JournalKind, ScenarioSpec, SetSpec, TriggerSpec,
+};
+use crate::spec::{expand_idx, expand_msg};
+
+/// TCP tuned for loopback chaos runs: fast reconnect so crash-rebuild
+/// and kicked connections heal within the scenario's settle budget.
+pub(crate) fn scenario_tcp_config() -> TcpConfig {
+    TcpConfig {
+        connect_timeout: std::time::Duration::from_millis(1_000),
+        read_timeout: std::time::Duration::from_millis(1_500),
+        heartbeat_interval: std::time::Duration::from_millis(200),
+        backoff_initial: std::time::Duration::from_millis(5),
+        backoff_max: std::time::Duration::from_millis(100),
+        expected_peer: None,
+    }
+}
+
+/// One live queue manager plus everything needed to crash-rebuild it.
+pub(crate) struct ManagerRt {
+    pub(crate) qmgr: Arc<QueueManager>,
+    /// The journal shared across rebuilds — recovery replays it.
+    pub(crate) journal: Arc<dyn Journal>,
+    pub(crate) faultable: Option<Arc<FaultableJournal>>,
+    pub(crate) acceptor: Option<Arc<TcpAcceptor>>,
+    pub(crate) addr: Option<SocketAddr>,
+    /// Application queues declared on this manager (re-ensured on rebuild).
+    pub(crate) queues: Vec<String>,
+}
+
+/// One expanded channel declaration (a single `from -> to` edge).
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelDecl {
+    pub(crate) from: String,
+    pub(crate) to: String,
+    pub(crate) kind: ChannelKind,
+    pub(crate) from_start: bool,
+    /// Seed for this edge's link loss model.
+    pub(crate) seed: u64,
+}
+
+/// A connected channel, kept alive for the run.
+pub(crate) struct ChannelRt {
+    pub(crate) decl: ChannelDecl,
+    /// The simulated link, when this edge is in-process (fault target).
+    pub(crate) link: Option<Arc<Link>>,
+    /// Held so the mover thread outlives compilation; never read.
+    pub(crate) _channel: Channel,
+}
+
+/// One expanded routing declaration.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteDecl {
+    pub(crate) manager: String,
+    pub(crate) to: Option<String>,
+    pub(crate) via: Vec<String>,
+}
+
+/// Where a fault lands, resolved from the `point` syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PointKind {
+    /// `link:<from>-><to>` — the in-process link on that edge.
+    Link { from: String, to: String },
+    /// `tcp:<manager>` — that manager's acceptor.
+    Tcp { manager: String },
+    /// `journal:<manager>` — that manager's faultable journal.
+    Journal { manager: String },
+    /// `crash:<manager>` — executor-level crash-and-rebuild.
+    Crash { manager: String },
+}
+
+/// A fault trigger with fractions resolved to absolute send indexes.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedTrigger {
+    /// Fire just before the send with this global index.
+    AtSend(u64),
+    /// Fire once the scenario clock reaches this time.
+    AtMs(u64),
+    /// Fire once a queue's depth reaches the threshold.
+    WhenDepth {
+        manager: String,
+        queue: String,
+        min_depth: u64,
+    },
+}
+
+/// One scheduled fault, ready to fire.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledFault {
+    pub(crate) point: PointKind,
+    pub(crate) action: FaultActionSpec,
+    pub(crate) trigger: ResolvedTrigger,
+}
+
+/// One acknowledging receiver over a single concrete queue.
+#[derive(Debug, Clone)]
+pub(crate) struct AckerRt {
+    pub(crate) manager: String,
+    pub(crate) queue: String,
+    pub(crate) recipient: Option<String>,
+    pub(crate) mode: AckMode,
+    pub(crate) delay: DelaySpec,
+}
+
+/// One actor with its per-run message count resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct ActorRt {
+    pub(crate) spec: ActorSpec,
+    pub(crate) count: u64,
+    /// Worst-case milliseconds from send to a deadline-driven verdict for
+    /// this actor's condition shape (used to size settle budgets).
+    pub(crate) horizon_ms: u64,
+}
+
+/// A compiled, live scenario world.
+pub struct Compiled {
+    pub(crate) clock_mode: ClockMode,
+    pub(crate) sim: Option<Arc<SimClock>>,
+    pub(crate) clock: SharedClock,
+    pub(crate) obs: Arc<Obs>,
+    pub(crate) managers: HashMap<String, ManagerRt>,
+    pub(crate) channels: Vec<ChannelRt>,
+    /// Every expanded channel edge, including deferred ones — consulted
+    /// when a manager is crash-rebuilt to re-establish its outbound edges.
+    pub(crate) decls: Vec<ChannelDecl>,
+    pub(crate) routes: Vec<RouteDecl>,
+    pub(crate) messengers: HashMap<String, Arc<ConditionalMessenger>>,
+    pub(crate) spheres: HashMap<String, Arc<DSphereService>>,
+    pub(crate) faults: Vec<CompiledFault>,
+    pub(crate) actors: Vec<ActorRt>,
+    pub(crate) ackers: Vec<AckerRt>,
+    /// `(manager, queue)` → index into `ackers`.
+    pub(crate) ack_plan: HashMap<(String, String), usize>,
+    pub(crate) oracle: crate::spec::OracleSpec,
+}
+
+impl Compiled {
+    /// The shared observability hub all managers report into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The declared oracle expectations.
+    pub(crate) fn spec_oracle(&self) -> &crate::spec::OracleSpec {
+        &self.oracle
+    }
+}
+
+/// Compiles `spec` into a live world. `quick` selects the actors'
+/// `quick_count` populations and scales fractional fault triggers.
+///
+/// # Errors
+///
+/// [`crate::ScenarioError::Spec`] for dangling references (a channel to
+/// an undeclared manager, a fault on a non-faultable journal, …) and
+/// any harness error while building the world.
+pub fn compile(spec: &ScenarioSpec, quick: bool) -> ScenarioResult<Compiled> {
+    spec.validate()?;
+    let (clock_mode, sim, clock): (ClockMode, Option<Arc<SimClock>>, SharedClock) =
+        match spec.clock {
+            ClockMode::Sim => {
+                let sim = SimClock::new();
+                (ClockMode::Sim, Some(sim.clone()), sim)
+            }
+            ClockMode::Real => (ClockMode::Real, None, SystemClock::new()),
+        };
+    let obs = Arc::new(Obs::default());
+
+    let mut managers: HashMap<String, ManagerRt> = HashMap::new();
+    for block in &spec.managers {
+        for i in block.offset..block.offset + block.count {
+            let name = expand_idx(&block.name, i);
+            if managers.contains_key(&name) {
+                return Err(spec_err(format!("duplicate manager `{name}`")));
+            }
+            let (journal, faultable): (Arc<dyn Journal>, Option<Arc<FaultableJournal>>) =
+                match block.journal {
+                    JournalKind::None => (Arc::new(NullJournal), None),
+                    JournalKind::Mem => (MemJournal::new(), None),
+                    JournalKind::Faultable => {
+                        let j = FaultableJournal::new();
+                        (j.clone(), Some(j))
+                    }
+                };
+            let qmgr = QueueManager::builder(&name)
+                .clock(clock.clone())
+                .obs(obs.clone())
+                .journal(journal.clone())
+                .build()?;
+            let (acceptor, addr) = if block.tcp {
+                let acc = TcpAcceptor::bind(&qmgr, "127.0.0.1:0")?;
+                let addr = acc.local_addr();
+                (Some(acc), Some(addr))
+            } else {
+                (None, None)
+            };
+            managers.insert(
+                name,
+                ManagerRt {
+                    qmgr,
+                    journal,
+                    faultable,
+                    acceptor,
+                    addr,
+                    queues: Vec::new(),
+                },
+            );
+        }
+    }
+
+    for block in &spec.queues {
+        for i in block.offset..block.offset + block.count {
+            let mgr_name = expand_idx(&block.manager, i);
+            let q_name = expand_idx(&block.name, i);
+            let rt = managers
+                .get_mut(&mgr_name)
+                .ok_or_else(|| spec_err(format!("queue on undeclared manager `{mgr_name}`")))?;
+            rt.qmgr.ensure_queue(&q_name)?;
+            rt.queues.push(q_name);
+        }
+    }
+
+    // Expand channel edges; connect the from-start ones now.
+    let mut decls = Vec::new();
+    for (b, block) in spec.channels.iter().enumerate() {
+        for i in block.offset..block.offset + block.count {
+            decls.push(ChannelDecl {
+                from: expand_idx(&block.from, i),
+                to: expand_idx(&block.to, i),
+                kind: block.kind.clone(),
+                from_start: block.from_start,
+                seed: spec
+                    .seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add((b as u64) << 32 | i),
+            });
+        }
+    }
+    let mut channels = Vec::new();
+    for decl in &decls {
+        if decl.from_start {
+            channels.push(connect_edge(&managers, decl)?);
+        }
+    }
+
+    // Routing declarations come after channels: a later `define_route` /
+    // group on the same remote overrides the channel's auto-route, which
+    // is how federation topologies (spoke -> relay -> hub) are declared.
+    let mut routes = Vec::new();
+    for block in &spec.routes {
+        for i in block.offset..block.offset + block.count {
+            routes.push(RouteDecl {
+                manager: expand_idx(&block.manager, i),
+                to: block.to.as_ref().map(|t| expand_idx(t, i)),
+                via: block.via.iter().map(|v| expand_idx(v, i)).collect(),
+            });
+        }
+    }
+    for route in &routes {
+        apply_route(&managers, route)?;
+    }
+
+    // One event-driven messenger per sending manager. Event-driven mode
+    // works under both clocks: acks evaluate on arrival and deadline
+    // verdicts fire from armed timers, so the executor never needs an
+    // external evaluation daemon.
+    let mut messengers: HashMap<String, Arc<ConditionalMessenger>> = HashMap::new();
+    let mut spheres: HashMap<String, Arc<DSphereService>> = HashMap::new();
+    let mut actors = Vec::new();
+    let mut total_sends = 0_u64;
+    for actor in &spec.actors {
+        let rt = managers
+            .get(&actor.manager)
+            .ok_or_else(|| spec_err(format!("actor on undeclared manager `{}`", actor.manager)))?;
+        if !messengers.contains_key(&actor.manager) {
+            let config = CondConfig {
+                event_driven: true,
+                ..CondConfig::default()
+            };
+            let messenger = ConditionalMessenger::with_config(rt.qmgr.clone(), config)?;
+            messengers.insert(actor.manager.clone(), messenger);
+        }
+        if matches!(actor.mode, crate::spec::ActorMode::Sphere { .. })
+            && !spheres.contains_key(&actor.manager)
+        {
+            let messenger = &messengers[&actor.manager];
+            spheres.insert(actor.manager.clone(), DSphereService::new(messenger.clone()));
+        }
+        let count = actor.resolved_count(quick);
+        total_sends += count;
+        actors.push(ActorRt {
+            spec: actor.clone(),
+            count,
+            horizon_ms: condition_horizon_ms(&actor.condition)
+                + actor.evaluation_timeout_ms.unwrap_or(0),
+        });
+    }
+
+    // Acknowledging receivers, one per concrete queue.
+    let mut ackers = Vec::new();
+    let mut ack_plan = HashMap::new();
+    for block in &spec.ackers {
+        for i in block.offset..block.offset + block.count {
+            let mgr_name = expand_idx(&block.manager, i);
+            let q_name = expand_idx(&block.queue, i);
+            let rt = managers
+                .get(&mgr_name)
+                .ok_or_else(|| spec_err(format!("acker on undeclared manager `{mgr_name}`")))?;
+            if !rt.queues.iter().any(|q| q == &q_name) {
+                return Err(spec_err(format!(
+                    "acker on undeclared queue `{q_name}` of `{mgr_name}`"
+                )));
+            }
+            let idx = ackers.len();
+            ackers.push(AckerRt {
+                manager: mgr_name.clone(),
+                queue: q_name.clone(),
+                recipient: block.recipient.as_ref().map(|r| expand_idx(r, i)),
+                mode: block.mode,
+                delay: block.delay.clone(),
+            });
+            if ack_plan.insert((mgr_name, q_name), idx).is_some() {
+                return Err(spec_err("two ackers over the same queue"));
+            }
+        }
+    }
+
+    let mut faults = Vec::new();
+    for fault in &spec.faults {
+        let point = parse_point(&fault.point)?;
+        validate_point(&point, &fault.action, &managers, &decls, &actors, &ackers)?;
+        let trigger = match &fault.trigger {
+            TriggerSpec::AtMs(ms) => ResolvedTrigger::AtMs(*ms),
+            TriggerSpec::AfterFraction(f) => {
+                let at = ((total_sends as f64) * f).ceil() as u64;
+                ResolvedTrigger::AtSend(at.min(total_sends))
+            }
+            TriggerSpec::WhenDepth {
+                manager,
+                queue,
+                min_depth,
+            } => {
+                if !managers.contains_key(manager) {
+                    return Err(spec_err(format!(
+                        "fault trigger watches undeclared manager `{manager}`"
+                    )));
+                }
+                ResolvedTrigger::WhenDepth {
+                    manager: manager.clone(),
+                    queue: queue.clone(),
+                    min_depth: *min_depth,
+                }
+            }
+        };
+        faults.push(CompiledFault {
+            point,
+            action: fault.action,
+            trigger,
+        });
+    }
+
+    Ok(Compiled {
+        clock_mode,
+        sim,
+        clock,
+        obs,
+        managers,
+        channels,
+        decls,
+        routes,
+        messengers,
+        spheres,
+        faults,
+        actors,
+        ackers,
+        ack_plan,
+        oracle: spec.oracle.clone(),
+    })
+}
+
+/// Connects one expanded edge. The `from` and `to` managers must exist;
+/// TCP edges additionally need the target to have a bound acceptor.
+pub(crate) fn connect_edge(
+    managers: &HashMap<String, ManagerRt>,
+    decl: &ChannelDecl,
+) -> ScenarioResult<ChannelRt> {
+    let from = managers
+        .get(&decl.from)
+        .ok_or_else(|| spec_err(format!("channel from undeclared manager `{}`", decl.from)))?;
+    let to = managers
+        .get(&decl.to)
+        .ok_or_else(|| spec_err(format!("channel to undeclared manager `{}`", decl.to)))?;
+    match &decl.kind {
+        ChannelKind::Link {
+            latency_ms,
+            jitter_ms,
+            drop_rate,
+        } => {
+            let link = Link::new(LinkConfig {
+                base_latency: Millis(*latency_ms),
+                jitter: Millis(*jitter_ms),
+                drop_rate: *drop_rate,
+                seed: decl.seed,
+            });
+            let channel = Channel::connect(&from.qmgr, &to.qmgr, link.clone())?;
+            Ok(ChannelRt {
+                decl: decl.clone(),
+                link: Some(link),
+                _channel: channel,
+            })
+        }
+        ChannelKind::Tcp => {
+            let addr = to.addr.ok_or_else(|| {
+                spec_err(format!(
+                    "tcp channel to `{}`, which binds no acceptor (set tcp = true)",
+                    decl.to
+                ))
+            })?;
+            let channel =
+                Channel::connect_tcp(&from.qmgr, &decl.to, addr, scenario_tcp_config())?;
+            Ok(ChannelRt {
+                decl: decl.clone(),
+                link: None,
+                _channel: channel,
+            })
+        }
+    }
+}
+
+/// Applies one routing declaration to its manager.
+pub(crate) fn apply_route(
+    managers: &HashMap<String, ManagerRt>,
+    route: &RouteDecl,
+) -> ScenarioResult<()> {
+    let rt = managers
+        .get(&route.manager)
+        .ok_or_else(|| spec_err(format!("route on undeclared manager `{}`", route.manager)))?;
+    match (&route.to, route.via.len()) {
+        (_, 0) => Err(spec_err("route with empty `via`")),
+        (Some(to), 1) => Ok(rt.qmgr.define_route(to, &route.via[0])?),
+        (Some(to), _) => Ok(rt.qmgr.define_route_group(to, &route.via)?),
+        (None, _) => Ok(rt.qmgr.define_default_route(&route.via)?),
+    }
+}
+
+fn parse_point(point: &str) -> ScenarioResult<PointKind> {
+    let (kind, rest) = point
+        .split_once(':')
+        .ok_or_else(|| spec_err(format!("fault point `{point}` has no `kind:` prefix")))?;
+    match kind {
+        "link" => {
+            let (from, to) = rest.split_once("->").ok_or_else(|| {
+                spec_err(format!("link point `{point}` must be `link:<from>-><to>`"))
+            })?;
+            Ok(PointKind::Link {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            })
+        }
+        "tcp" => Ok(PointKind::Tcp {
+            manager: rest.to_owned(),
+        }),
+        "journal" => Ok(PointKind::Journal {
+            manager: rest.to_owned(),
+        }),
+        "crash" => Ok(PointKind::Crash {
+            manager: rest.to_owned(),
+        }),
+        other => Err(spec_err(format!("unknown fault point kind `{other}`"))),
+    }
+}
+
+fn validate_point(
+    point: &PointKind,
+    action: &FaultActionSpec,
+    managers: &HashMap<String, ManagerRt>,
+    decls: &[ChannelDecl],
+    actors: &[ActorRt],
+    ackers: &[AckerRt],
+) -> ScenarioResult<()> {
+    match point {
+        PointKind::Link { from, to } => {
+            let found = decls.iter().any(|d| {
+                d.from == *from && d.to == *to && matches!(d.kind, ChannelKind::Link { .. })
+            });
+            if !found {
+                return Err(spec_err(format!(
+                    "fault point link:{from}->{to} matches no declared link channel"
+                )));
+            }
+        }
+        PointKind::Tcp { manager } => {
+            let ok = managers.get(manager).is_some_and(|m| m.acceptor.is_some());
+            if !ok {
+                return Err(spec_err(format!(
+                    "fault point tcp:{manager} matches no tcp manager"
+                )));
+            }
+        }
+        PointKind::Journal { manager } => {
+            let ok = managers.get(manager).is_some_and(|m| m.faultable.is_some());
+            if !ok {
+                return Err(spec_err(format!(
+                    "fault point journal:{manager} needs journal = \"faultable\""
+                )));
+            }
+        }
+        PointKind::Crash { manager } => {
+            if !managers.contains_key(manager) {
+                return Err(spec_err(format!(
+                    "fault point crash:{manager} matches no manager"
+                )));
+            }
+            if !matches!(action, FaultActionSpec::CrashRebuild) {
+                return Err(spec_err("crash: points only take action crash_rebuild"));
+            }
+            if actors.iter().any(|a| a.spec.manager == *manager) {
+                return Err(spec_err(format!(
+                    "crash:{manager} targets a manager hosting actors; only pure relays \
+                     can be crash-rebuilt"
+                )));
+            }
+            if ackers.iter().any(|a| a.manager == *manager) {
+                return Err(spec_err(format!(
+                    "crash:{manager} targets a manager hosting ackers; their receivers \
+                     would be left holding the dead manager"
+                )));
+            }
+            // Inbound link transports hold the target manager directly
+            // and cannot re-resolve it after a rebuild; inbound TCP
+            // re-dials the (re-bound) address on its own backoff.
+            if decls
+                .iter()
+                .any(|d| d.to == *manager && matches!(d.kind, ChannelKind::Link { .. }))
+            {
+                return Err(spec_err(format!(
+                    "crash:{manager} has inbound link channels; crash-rebuild targets \
+                     need tcp inbound edges"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Instantiates the condition tree for message `i` of an actor.
+pub(crate) fn build_condition(spec: &ConditionSpec, i: u64) -> Condition {
+    match spec {
+        ConditionSpec::Dest(d) => Condition::from(build_dest(d, i, d.offset)),
+        ConditionSpec::Set(s) => Condition::from(build_set(s, i)),
+    }
+}
+
+fn build_dest(d: &DestSpec, i: u64, m: u64) -> Destination {
+    let mut dest = Destination::queue(expand_msg(&d.manager, i, m), expand_msg(&d.queue, i, m));
+    if let Some(r) = &d.recipient {
+        dest = dest.recipient(expand_msg(r, i, m));
+    }
+    if let Some(ms) = d.pickup_within_ms {
+        dest = dest.pickup_within(Millis(ms));
+    }
+    if let Some(ms) = d.process_within_ms {
+        dest = dest.process_within(Millis(ms));
+    }
+    dest
+}
+
+fn build_set(s: &SetSpec, i: u64) -> DestinationSet {
+    let mut members = Vec::new();
+    for member in &s.members {
+        match member {
+            ConditionSpec::Dest(d) => {
+                for m in d.offset..d.offset + d.count {
+                    members.push(Condition::from(build_dest(d, i, m)));
+                }
+            }
+            ConditionSpec::Set(inner) => members.push(Condition::from(build_set(inner, i))),
+        }
+    }
+    let mut set = DestinationSet::of(members);
+    if let Some(ms) = s.pickup_within_ms {
+        set = set.pickup_within(Millis(ms));
+    }
+    if let Some(ms) = s.process_within_ms {
+        set = set.process_within(Millis(ms));
+    }
+    if let Some(n) = s.min_pickup {
+        set = set.min_pickup(n);
+    }
+    if let Some(n) = s.max_pickup {
+        set = set.max_pickup(n);
+    }
+    if let Some(n) = s.min_process {
+        set = set.min_process(n);
+    }
+    if let Some(n) = s.max_process {
+        set = set.max_process(n);
+    }
+    set
+}
+
+/// Worst-case milliseconds from send to a deadline verdict: the longest
+/// pickup window plus the longest process window anywhere in the tree.
+pub(crate) fn condition_horizon_ms(spec: &ConditionSpec) -> u64 {
+    fn walk(spec: &ConditionSpec, pickup: &mut u64, process: &mut u64) {
+        match spec {
+            ConditionSpec::Dest(d) => {
+                *pickup = (*pickup).max(d.pickup_within_ms.unwrap_or(0));
+                *process = (*process).max(d.process_within_ms.unwrap_or(0));
+            }
+            ConditionSpec::Set(s) => {
+                *pickup = (*pickup).max(s.pickup_within_ms.unwrap_or(0));
+                *process = (*process).max(s.process_within_ms.unwrap_or(0));
+                for m in &s.members {
+                    walk(m, pickup, process);
+                }
+            }
+        }
+    }
+    let (mut pickup, mut process) = (0, 0);
+    walk(spec, &mut pickup, &mut process);
+    pickup + process
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AckerSpec, ActorSpec, ChannelSpec, ManagerSpec, QueueSpec};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("tiny")
+            .manager(ManagerSpec::new("QM.{i}").fan(2, 0))
+            .queue(QueueSpec::new("QM.1", "Q.APP"))
+            .channel(ChannelSpec::link("QM.0", "QM.1"))
+            .actor(ActorSpec::new(
+                "a",
+                "QM.0",
+                3,
+                DestSpec::new("QM.1", "Q.APP").pickup_within_ms(500),
+            ))
+            .acker(AckerSpec::new("QM.1", "Q.APP"))
+    }
+
+    #[test]
+    fn compiles_and_expands() {
+        let world = compile(&tiny_spec(), false).unwrap();
+        assert_eq!(world.managers.len(), 2);
+        assert!(world.managers.contains_key("QM.0"));
+        assert!(world.managers.contains_key("QM.1"));
+        assert_eq!(world.channels.len(), 1);
+        assert_eq!(world.actors.iter().map(|a| a.count).sum::<u64>(), 3);
+        assert_eq!(world.ackers.len(), 1);
+        assert_eq!(world.ack_plan[&("QM.1".to_owned(), "Q.APP".to_owned())], 0);
+        assert!(world.messengers.contains_key("QM.0"));
+        for (_, m) in world.managers {
+            m.qmgr.shutdown();
+        }
+    }
+
+    #[test]
+    fn rejects_dangling_references() {
+        let spec = tiny_spec().queue(QueueSpec::new("QM.9", "Q.X"));
+        let Err(e) = compile(&spec, false) else {
+            panic!("expected a dangling-reference error");
+        };
+        assert!(e.to_string().contains("QM.9"), "{e}");
+    }
+
+    #[test]
+    fn rejects_crash_on_actor_manager() {
+        let spec = tiny_spec().fault(crate::spec::FaultSpec::at_fraction(
+            "crash:QM.0",
+            FaultActionSpec::CrashRebuild,
+            0.5,
+        ));
+        let Err(e) = compile(&spec, false) else {
+            panic!("expected a crash-target error");
+        };
+        assert!(e.to_string().contains("hosting actors"), "{e}");
+    }
+
+    #[test]
+    fn fraction_triggers_resolve_to_send_indexes() {
+        let spec = tiny_spec().fault(crate::spec::FaultSpec::at_fraction(
+            "link:QM.0->QM.1",
+            FaultActionSpec::Partition,
+            0.5,
+        ));
+        let world = compile(&spec, false).unwrap();
+        match &world.faults[0].trigger {
+            ResolvedTrigger::AtSend(n) => assert_eq!(*n, 2),
+            other => panic!("unexpected trigger {other:?}"),
+        }
+        for (_, m) in world.managers {
+            m.qmgr.shutdown();
+        }
+    }
+
+    #[test]
+    fn condition_instantiation_expands_members() {
+        let spec = ConditionSpec::Set(
+            SetSpec::new()
+                .member(DestSpec::new("QM.B{m}", "Q.SYNC").fan(3, 0))
+                .pickup_within_ms(500),
+        );
+        let cond = build_condition(&spec, 7);
+        let leaves = cond.leaves();
+        assert_eq!(leaves.len(), 3);
+        assert_eq!(leaves[0].address().manager, "QM.B0");
+        assert_eq!(leaves[2].address().manager, "QM.B2");
+        assert_eq!(condition_horizon_ms(&spec), 500);
+    }
+}

@@ -1,0 +1,1044 @@
+//! Driving a compiled scenario to completion.
+//!
+//! Two execution strategies share one send path and one oracle:
+//!
+//! * **Real time** ([`ClockMode::Real`]): acknowledging receivers run as
+//!   threads sampling their latency distribution against the system
+//!   clock, dependency spheres commit inline, and faults fire from send
+//!   indexes, wall-clock times, or queue-depth triggers.
+//! * **Simulated time** ([`ClockMode::Sim`]): every message is sent at
+//!   one virtual instant, acknowledgment reads are scheduled as a
+//!   deterministic event timeline from the seeded delay samples, and the
+//!   executor advances the clock through the timeline — so a
+//!   million-message day of traffic settles in seconds, with deadline
+//!   verdicts firing from armed timers at exact virtual times.
+//!
+//! Either way the run ends the same: every tracked message's outcome is
+//! collected, destination queues are swept (consuming compensations and
+//! triggering lazy annihilation), and the [`crate::oracle`] checks that
+//! declared expectations held exactly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use condmsg::{CondMessageId, ConditionalReceiver, MessageKind, MessageOutcome, SendOptions};
+use mq::transport::tcp::TcpAcceptor;
+use mq::{FaultAction, FaultPlane, QueueManager, Wait};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtime::{Millis, Time};
+
+use crate::compile::{
+    compile, connect_edge, apply_route, build_condition, ChannelDecl, Compiled, CompiledFault,
+    PointKind, ResolvedTrigger, RouteDecl,
+};
+use crate::error::{engine_err, ScenarioResult};
+use crate::oracle::{self, ActorTally, OracleReport, Tally};
+use crate::pacer::{ticks_for_ms, Pacer};
+use crate::spec::{
+    expand_idx, AckMode, ActorMode, ClockMode, ConditionSpec, DelaySpec, Expect, FaultActionSpec,
+    ScenarioSpec,
+};
+
+/// Metrics surfaced in every [`RunReport`].
+const KEY_METRICS: &[&str] = &[
+    "cond.sent",
+    "cond.fanout",
+    "cond.verdict.success",
+    "cond.verdict.failure",
+    "cond.comp.released",
+    "cond.recv.annihilated",
+    "dsphere.committed",
+    "dsphere.aborted",
+    "mq.relay.forwarded",
+];
+
+/// Extra settle time past a condition's own deadlines, covering ack
+/// transit and verdict notification under chaos.
+const SETTLE_SLACK_MS: u64 = 20_000;
+
+/// What a finished run looked like.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// Whether the quick populations ran.
+    pub quick: bool,
+    /// Conditional sends accepted (including sphere member sends).
+    pub sent: u64,
+    /// Sends rejected at the send call.
+    pub send_errors: u64,
+    /// Success verdicts observed.
+    pub success: u64,
+    /// Failure verdicts observed.
+    pub failure: u64,
+    /// Committed sphere rounds.
+    pub spheres_committed: u64,
+    /// Aborted sphere rounds.
+    pub spheres_aborted: u64,
+    /// Compensation messages consumed by the terminal sweep.
+    pub comps_swept: u64,
+    /// Send-to-verdict latency per tracked message, scenario-clock ms.
+    pub verdict_latency_ms: Vec<u64>,
+    /// Key run-wide metric counters.
+    pub metrics: Vec<(String, u64)>,
+    /// The oracle's verdict.
+    pub oracle: OracleReport,
+}
+
+/// Compiles and runs `spec`, returning the report. `quick` selects the
+/// actors' reduced populations.
+///
+/// # Errors
+///
+/// Spec/compile errors, harness failures, and engine errors when the run
+/// cannot be driven to completion (a wedged delivery, an unbindable
+/// address after crash-rebuild, …). Oracle *failures* are not errors —
+/// they are reported in [`RunReport::oracle`].
+pub fn run(spec: &ScenarioSpec, quick: bool) -> ScenarioResult<RunReport> {
+    let mut world = compile(spec, quick)?;
+    let result = match world.clock_mode {
+        ClockMode::Real => run_real(spec, &mut world, quick),
+        ClockMode::Sim => run_sim(spec, &mut world, quick),
+    };
+    for rt in world.managers.values() {
+        rt.qmgr.shutdown();
+    }
+    result
+}
+
+/// One accepted conditional send we track to its verdict.
+struct SendRecord {
+    actor_idx: usize,
+    /// Message index within the actor (the `{i}` binding).
+    msg_idx: u64,
+    id: CondMessageId,
+    sent_at: Time,
+}
+
+fn sample_delay_ms(rng: &mut StdRng, delay: &DelaySpec) -> u64 {
+    match delay {
+        DelaySpec::Fixed { ms } => *ms,
+        DelaySpec::Uniform { min_ms, max_ms } => {
+            if max_ms > min_ms {
+                rng.gen_range(*min_ms..=*max_ms)
+            } else {
+                *min_ms
+            }
+        }
+        DelaySpec::Pareto {
+            scale_ms,
+            alpha,
+            cap_ms,
+        } => {
+            let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+            let u = u.max(1e-12);
+            let d = scale_ms * u.powf(-1.0 / alpha.max(1e-6));
+            (d as u64).min(*cap_ms)
+        }
+    }
+}
+
+fn acker_rng(seed: u64, acker_idx: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(acker_idx as u64 + 1)))
+}
+
+// ------------------------------------------------------------- faults --
+
+fn to_mq_action(action: FaultActionSpec) -> ScenarioResult<FaultAction> {
+    Ok(match action {
+        FaultActionSpec::Partition => FaultAction::Partition,
+        FaultActionSpec::Heal => FaultAction::Heal,
+        FaultActionSpec::DropNext(n) => FaultAction::DropNext(n),
+        FaultActionSpec::KickConnections => FaultAction::KickConnections,
+        FaultActionSpec::TearJournalTail => FaultAction::TearJournalTail,
+        FaultActionSpec::FailStorage => FaultAction::FailStorage,
+        FaultActionSpec::HealStorage => FaultAction::HealStorage,
+        FaultActionSpec::CrashRebuild => {
+            return Err(engine_err("crash_rebuild is not a transport fault"))
+        }
+    })
+}
+
+fn fire_fault(world: &mut Compiled, fault: &CompiledFault) -> ScenarioResult<()> {
+    match &fault.point {
+        PointKind::Crash { manager } => crash_rebuild(world, &manager.clone()),
+        PointKind::Link { from, to } => {
+            let link = world
+                .channels
+                .iter()
+                .find(|c| c.decl.from == *from && c.decl.to == *to && c.link.is_some())
+                .and_then(|c| c.link.clone())
+                .ok_or_else(|| engine_err(format!("no live link {from}->{to} to fault")))?;
+            let plane: &dyn FaultPlane = link.as_ref();
+            plane.apply_fault(to_mq_action(fault.action)?)?;
+            Ok(())
+        }
+        PointKind::Tcp { manager } => {
+            let acc = world
+                .managers
+                .get(manager)
+                .and_then(|m| m.acceptor.clone())
+                .ok_or_else(|| engine_err(format!("no live acceptor on {manager} to fault")))?;
+            let plane: &dyn FaultPlane = acc.as_ref();
+            plane.apply_fault(to_mq_action(fault.action)?)?;
+            Ok(())
+        }
+        PointKind::Journal { manager } => {
+            let j = world
+                .managers
+                .get(manager)
+                .and_then(|m| m.faultable.clone())
+                .ok_or_else(|| engine_err(format!("no faultable journal on {manager}")))?;
+            let plane: &dyn FaultPlane = j.as_ref();
+            plane.apply_fault(to_mq_action(fault.action)?)?;
+            Ok(())
+        }
+    }
+}
+
+/// Crashes a relay manager and rebuilds it from its journal: same name,
+/// same listen address, declared queues re-ensured, every outbound edge
+/// (including deferred ones) reconnected, and routing declarations
+/// reapplied. Inbound TCP peers re-dial the same address on their own
+/// backoff; custody of in-flight envelopes survives via the journal.
+fn crash_rebuild(world: &mut Compiled, name: &str) -> ScenarioResult<()> {
+    let mut rt = world
+        .managers
+        .remove(name)
+        .ok_or_else(|| engine_err(format!("crash of unknown manager `{name}`")))?;
+    if let Some(acc) = rt.acceptor.take() {
+        acc.shutdown();
+    }
+    rt.qmgr.crash();
+    // Outbound movers hold the dead manager; drop them — the rebuild
+    // reconnects every declared outbound edge below.
+    world.channels.retain(|c| c.decl.from != name);
+
+    let qmgr = QueueManager::builder(name)
+        .clock(world.clock.clone())
+        .obs(world.obs.clone())
+        .journal(rt.journal.clone())
+        .build()?;
+    for q in &rt.queues {
+        qmgr.ensure_queue(q)?;
+    }
+    let acceptor = match rt.addr {
+        Some(addr) => {
+            // The old socket may linger briefly; retry the exact address
+            // so inbound peers heal without re-resolution.
+            let pacer = Pacer::new();
+            let mut bound: Option<Arc<TcpAcceptor>> = None;
+            for _ in 0..ticks_for_ms(10_000) {
+                match TcpAcceptor::bind(&qmgr, &addr.to_string()) {
+                    Ok(a) => {
+                        bound = Some(a);
+                        break;
+                    }
+                    Err(_) => pacer.tick(),
+                }
+            }
+            Some(bound.ok_or_else(|| {
+                engine_err(format!("could not rebind {addr} after crash of {name}"))
+            })?)
+        }
+        None => None,
+    };
+    rt.qmgr = qmgr;
+    rt.acceptor = acceptor;
+    world.managers.insert(name.to_owned(), rt);
+
+    let decls: Vec<ChannelDecl> = world
+        .decls
+        .iter()
+        .filter(|d| d.from == name)
+        .cloned()
+        .collect();
+    for decl in &decls {
+        let ch = connect_edge(&world.managers, decl)?;
+        world.channels.push(ch);
+    }
+    let routes: Vec<RouteDecl> = world
+        .routes
+        .iter()
+        .filter(|r| r.manager == name)
+        .cloned()
+        .collect();
+    for route in &routes {
+        apply_route(&world.managers, route)?;
+    }
+    Ok(())
+}
+
+fn queue_depth(world: &Compiled, manager: &str, queue: &str) -> u64 {
+    world
+        .managers
+        .get(manager)
+        .and_then(|rt| rt.qmgr.queue(queue).ok())
+        .map_or(0, |q| q.depth() as u64)
+}
+
+// ---------------------------------------------------------- send path --
+
+/// Fires every not-yet-fired send-indexed fault due at global send
+/// index `g` (`at <= g`). Returns an error if a fault cannot land.
+fn fire_due_send_faults(
+    world: &mut Compiled,
+    fired: &mut [bool],
+    g: u64,
+) -> ScenarioResult<()> {
+    for k in 0..fired.len() {
+        if fired[k] {
+            continue;
+        }
+        let due = matches!(world.faults[k].trigger, ResolvedTrigger::AtSend(at) if at <= g);
+        if due {
+            fired[k] = true;
+            let fault = world.faults[k].clone();
+            fire_fault(world, &fault)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs every actor's send loop in declaration order, firing due
+/// send-indexed faults before each send. Sphere rounds resolve inline;
+/// plain sends are recorded for the settle phase.
+fn do_sends(
+    world: &mut Compiled,
+    tally: &mut Tally,
+    records: &mut Vec<SendRecord>,
+    fired: &mut [bool],
+) -> ScenarioResult<()> {
+    let pacer = Pacer::new();
+    let mut g = 0_u64;
+    for actor_idx in 0..world.actors.len() {
+        let actor = world.actors[actor_idx].clone();
+        for i in 0..actor.count {
+            fire_due_send_faults(world, fired, g)?;
+            g += 1;
+            let payload = expand_idx(&actor.spec.payload, i);
+            let comp = actor
+                .spec
+                .compensation
+                .as_ref()
+                .map(|c| Bytes::from(expand_idx(c, i)));
+            let cond = build_condition(&actor.spec.condition, i);
+            let opts = SendOptions {
+                evaluation_timeout: actor.spec.evaluation_timeout_ms.map(Millis),
+                ..SendOptions::default()
+            };
+            match actor.spec.mode {
+                ActorMode::Send => {
+                    let messenger = world
+                        .messengers
+                        .get(&actor.spec.manager)
+                        .ok_or_else(|| engine_err("actor manager lost its messenger"))?
+                        .clone();
+                    let sent_at = world.clock.now();
+                    match messenger.send_with(payload, comp, &cond, opts) {
+                        Ok(id) => {
+                            tally.per_actor[actor_idx].sent += 1;
+                            records.push(SendRecord {
+                                actor_idx,
+                                msg_idx: i,
+                                id,
+                                sent_at,
+                            });
+                        }
+                        Err(_) => tally.per_actor[actor_idx].send_errors += 1,
+                    }
+                }
+                ActorMode::Sphere { timeout_ms } => {
+                    let service = world
+                        .spheres
+                        .get(&actor.spec.manager)
+                        .ok_or_else(|| engine_err("sphere actor lost its service"))?
+                        .clone();
+                    let mut sphere = service.begin_with_timeout(Millis(timeout_ms));
+                    let sent = match comp {
+                        Some(c) => sphere.send_message_with_compensation(payload, c, &cond),
+                        None => sphere.send_message(payload, &cond),
+                    };
+                    if sent.is_err() {
+                        tally.per_actor[actor_idx].send_errors += 1;
+                        continue;
+                    }
+                    tally.per_actor[actor_idx].sent += 1;
+                    let budget =
+                        ticks_for_ms(timeout_ms + actor.horizon_ms + SETTLE_SLACK_MS);
+                    let mut outcome = None;
+                    for _ in 0..budget {
+                        match sphere.try_commit() {
+                            Ok(Some(o)) => {
+                                outcome = Some(o);
+                                break;
+                            }
+                            Ok(None) => pacer.tick(),
+                            Err(e) => {
+                                return Err(engine_err(format!(
+                                    "sphere round {i} of `{}` failed: {e}",
+                                    actor.spec.name
+                                )))
+                            }
+                        }
+                    }
+                    match outcome {
+                        Some(o) if o.is_committed() => tally.per_actor[actor_idx].committed += 1,
+                        Some(_) => tally.per_actor[actor_idx].aborted += 1,
+                        None => tally.per_actor[actor_idx].undecided += 1,
+                    }
+                }
+            }
+        }
+    }
+    fire_due_send_faults(world, fired, u64::MAX)?;
+    Ok(())
+}
+
+// -------------------------------------------------------- settle/sweep --
+
+fn settle_records(
+    world: &Compiled,
+    tally: &mut Tally,
+    records: &[SendRecord],
+    latencies: &mut Vec<u64>,
+    wait_for: impl Fn(&crate::compile::ActorRt) -> Wait,
+) {
+    for rec in records {
+        let actor = &world.actors[rec.actor_idx];
+        let Some(messenger) = world.messengers.get(&actor.spec.manager) else {
+            tally.per_actor[rec.actor_idx].undecided += 1;
+            continue;
+        };
+        match messenger.take_outcome(rec.id, wait_for(actor)) {
+            Ok(Some(n)) => {
+                match n.outcome {
+                    MessageOutcome::Success => tally.per_actor[rec.actor_idx].success += 1,
+                    MessageOutcome::Failure => tally.per_actor[rec.actor_idx].failure += 1,
+                }
+                latencies.push(n.decided_at.since(rec.sent_at).as_u64());
+            }
+            Ok(None) | Err(_) => tally.per_actor[rec.actor_idx].undecided += 1,
+        }
+    }
+}
+
+/// Drains every declared application queue: compensations are consumed,
+/// and reads trigger the lazy annihilation sweep (reads return `None`
+/// while matched original/compensation pairs vanish, so the loop keys on
+/// depth, not on read results).
+fn sweep_queues(world: &Compiled, tally: &mut Tally) -> ScenarioResult<()> {
+    let pacer = Pacer::new();
+    for (name, rt) in &world.managers {
+        for q in &rt.queues {
+            let recipient = world
+                .ack_plan
+                .get(&(name.clone(), q.clone()))
+                .and_then(|idx| world.ackers[*idx].recipient.clone());
+            let mut recv = match &recipient {
+                Some(r) => ConditionalReceiver::with_identity(rt.qmgr.clone(), r.clone())?,
+                None => ConditionalReceiver::new(rt.qmgr.clone())?,
+            };
+            let mut budget = ticks_for_ms(30_000);
+            loop {
+                let depth = rt.qmgr.queue(q).map(|qq| qq.depth()).unwrap_or(0);
+                if depth == 0 || budget == 0 {
+                    break;
+                }
+                match recv.read_message(q, Wait::NoWait) {
+                    Ok(Some(m)) => {
+                        if m.kind() == MessageKind::Compensation {
+                            tally.comps_swept += 1;
+                        }
+                    }
+                    Ok(None) => {
+                        // Annihilation in progress or a comp still in
+                        // transit: give the world a beat.
+                        budget -= 1;
+                        pacer.tick();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn finish(
+    spec: &ScenarioSpec,
+    world: &Compiled,
+    quick: bool,
+    tally: Tally,
+    latencies: Vec<u64>,
+) -> RunReport {
+    let snapshot = world.obs.snapshot();
+    let metrics = KEY_METRICS
+        .iter()
+        .map(|m| ((*m).to_owned(), snapshot.counter(m)))
+        .collect();
+    let oracle = oracle::evaluate(world, &tally);
+    let mut report = RunReport {
+        name: spec.name.clone(),
+        quick,
+        sent: 0,
+        send_errors: 0,
+        success: 0,
+        failure: 0,
+        spheres_committed: 0,
+        spheres_aborted: 0,
+        comps_swept: tally.comps_swept,
+        verdict_latency_ms: latencies,
+        metrics,
+        oracle,
+    };
+    for t in &tally.per_actor {
+        report.sent += t.sent;
+        report.send_errors += t.send_errors;
+        report.success += t.success;
+        report.failure += t.failure;
+        report.spheres_committed += t.committed;
+        report.spheres_aborted += t.aborted;
+    }
+    report
+}
+
+// ----------------------------------------------------------- real time --
+
+struct AckerThreads {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    error: Arc<parking_lot::Mutex<Option<String>>>,
+}
+
+impl AckerThreads {
+    fn start(world: &Compiled, seed: u64) -> AckerThreads {
+        let stop = Arc::new(AtomicBool::new(false));
+        let error = Arc::new(parking_lot::Mutex::new(None::<String>));
+        let mut threads = Vec::new();
+        for (idx, acker) in world.ackers.iter().enumerate() {
+            let Some(rt) = world.managers.get(&acker.manager) else {
+                continue;
+            };
+            let qmgr = rt.qmgr.clone();
+            let clock = world.clock.clone();
+            let acker = acker.clone();
+            let stop = stop.clone();
+            let err_slot = error.clone();
+            let mut rng = acker_rng(seed, idx);
+            let handle = std::thread::Builder::new()
+                .name(format!("scenario-acker-{}", acker.queue))
+                .spawn(move || {
+                    let recv = match &acker.recipient {
+                        Some(r) => ConditionalReceiver::with_identity(qmgr, r.clone()),
+                        None => ConditionalReceiver::new(qmgr),
+                    };
+                    let mut recv = match recv {
+                        Ok(r) => r,
+                        Err(e) => {
+                            *err_slot.lock() = Some(format!("acker on {}: {e}", acker.queue));
+                            return;
+                        }
+                    };
+                    while !stop.load(Ordering::SeqCst) {
+                        let d = sample_delay_ms(&mut rng, &acker.delay);
+                        if d > 0 {
+                            clock.sleep(Millis(d));
+                        }
+                        let result = match acker.mode {
+                            AckMode::Read => recv
+                                .read_message(&acker.queue, Wait::Timeout(Millis(100)))
+                                .map(|_| ()),
+                            AckMode::Process => recv.begin_tx().and_then(|()| {
+                                match recv.read_message(&acker.queue, Wait::Timeout(Millis(100)))
+                                {
+                                    Ok(Some(_)) => recv.commit_tx(),
+                                    Ok(None) => recv.rollback_tx(),
+                                    Err(e) => {
+                                        let _ = recv.rollback_tx();
+                                        Err(e)
+                                    }
+                                }
+                            }),
+                        };
+                        if let Err(e) = result {
+                            *err_slot.lock() = Some(format!("acker on {}: {e}", acker.queue));
+                            return;
+                        }
+                    }
+                });
+            match handle {
+                Ok(h) => threads.push(h),
+                Err(e) => *error.lock() = Some(format!("spawn acker: {e}")),
+            }
+        }
+        AckerThreads {
+            stop,
+            threads,
+            error,
+        }
+    }
+
+    fn stop_and_join(self) -> ScenarioResult<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        match self.error.lock().take() {
+            Some(e) => Err(engine_err(e)),
+            None => Ok(()),
+        }
+    }
+}
+
+fn run_real(spec: &ScenarioSpec, world: &mut Compiled, quick: bool) -> ScenarioResult<RunReport> {
+    let mut tally = Tally {
+        per_actor: vec![ActorTally::default(); world.actors.len()],
+        comps_swept: 0,
+    };
+    let mut records = Vec::new();
+    let mut fired = vec![false; world.faults.len()];
+    let ackers = AckerThreads::start(world, spec.seed);
+
+    let send_result = do_sends(world, &mut tally, &mut records, &mut fired);
+
+    // Time- and depth-triggered faults, in declaration order.
+    let pacer = Pacer::new();
+    let mut fault_result = Ok(());
+    if send_result.is_ok() {
+        for k in 0..world.faults.len() {
+            if fired[k] {
+                continue;
+            }
+            let fault = world.faults[k].clone();
+            let ready = match &fault.trigger {
+                ResolvedTrigger::AtSend(_) => true,
+                ResolvedTrigger::AtMs(at) => {
+                    let now = world.clock.now().as_millis();
+                    if *at > now {
+                        world.clock.sleep(Millis(at - now));
+                    }
+                    true
+                }
+                ResolvedTrigger::WhenDepth {
+                    manager,
+                    queue,
+                    min_depth,
+                } => pacer.wait_until(ticks_for_ms(60_000), || {
+                    queue_depth(world, manager, queue) >= *min_depth
+                }),
+            };
+            if !ready {
+                fault_result = Err(engine_err(format!(
+                    "fault on {:?} never triggered: depth threshold not reached",
+                    fault.point
+                )));
+                break;
+            }
+            fired[k] = true;
+            if let Err(e) = fire_fault(world, &fault) {
+                fault_result = Err(e);
+                break;
+            }
+        }
+    }
+
+    if send_result.is_ok() && fault_result.is_ok() {
+        let mut latencies = Vec::new();
+        settle_records(world, &mut tally, &records, &mut latencies, |actor| {
+            Wait::Timeout(Millis(actor.horizon_ms + SETTLE_SLACK_MS))
+        });
+        ackers.stop_and_join()?;
+        sweep_queues(world, &mut tally)?;
+        Ok(finish(spec, world, quick, tally, latencies))
+    } else {
+        let _ = ackers.stop_and_join();
+        Err(send_result.err().unwrap_or_else(|| {
+            fault_result
+                .err()
+                .unwrap_or_else(|| engine_err("scenario failed"))
+        }))
+    }
+}
+
+// ------------------------------------------------------ simulated time --
+
+/// A scheduled acknowledgment read in the virtual timeline.
+struct ReadEvent {
+    /// Absolute virtual time of the read.
+    at_ms: u64,
+    acker_idx: usize,
+}
+
+fn run_sim(spec: &ScenarioSpec, world: &mut Compiled, quick: bool) -> ScenarioResult<RunReport> {
+    let sim = world
+        .sim
+        .clone()
+        .ok_or_else(|| engine_err("sim run without a sim clock"))?;
+    if world.faults.iter().any(|f| {
+        matches!(f.trigger, ResolvedTrigger::WhenDepth { .. })
+    }) {
+        return Err(engine_err(
+            "when_depth fault triggers need clock = \"real\"",
+        ));
+    }
+
+    let mut tally = Tally {
+        per_actor: vec![ActorTally::default(); world.actors.len()],
+        comps_swept: 0,
+    };
+    let mut records = Vec::new();
+    let mut fired = vec![false; world.faults.len()];
+
+    // Phase 1: every message is sent at one virtual instant T0, with
+    // send-indexed faults interleaved. Nothing advances the clock here,
+    // so every pickup/process deadline is anchored at exactly T0.
+    let t0 = world.clock.now().as_millis();
+    do_sends(world, &mut tally, &mut records, &mut fired)?;
+
+    // Count originals landing on each destination queue, and note which
+    // actor owns the queue (sampled expectations are per actor, so two
+    // actors sharing a queue would make attribution ambiguous).
+    let mut q_sent: HashMap<(String, String), u64> = HashMap::new();
+    let mut q_owner: HashMap<(String, String), usize> = HashMap::new();
+    for rec in &records {
+        let actor = &world.actors[rec.actor_idx];
+        // Leaves are re-derived from the spec rather than kept per-send:
+        // with a million records, storing each instantiated tree would
+        // dwarf the run itself.
+        let cond = build_condition(&actor.spec.condition, rec.msg_idx);
+        for leaf in cond.leaves() {
+            let key = (
+                leaf.address().manager.clone(),
+                leaf.address().queue.clone(),
+            );
+            *q_sent.entry(key.clone()).or_insert(0) += 1;
+            if let Some(prev) = q_owner.insert(key.clone(), rec.actor_idx) {
+                if prev != rec.actor_idx
+                    && (world.actors[prev].spec.expect == Expect::Sampled
+                        || actor.spec.expect == Expect::Sampled)
+                {
+                    return Err(engine_err(format!(
+                        "queue {}/{} is shared by sampled actors; attribution is ambiguous",
+                        key.0, key.1
+                    )));
+                }
+            }
+        }
+    }
+
+    // Phase 2: delivery barrier. Movers run in thread time; the sim
+    // clock advances only when delivery stalls (a mover parked on a
+    // virtual-latency sleep), and total skew is tracked so deadline
+    // windows are never silently burned.
+    let min_window_ms = world
+        .actors
+        .iter()
+        .filter(|a| a.spec.expect == Expect::Sampled)
+        .map(|a| a.horizon_ms)
+        .min()
+        .unwrap_or(u64::MAX);
+    let pacer = Pacer::new();
+    let mut skew_ms = 0_u64;
+    {
+        let mut stall = 0_u32;
+        let mut last_total = u64::MAX;
+        for _ in 0..ticks_for_ms(300_000) {
+            let mut remaining = 0_u64;
+            for ((mgr, q), want) in &q_sent {
+                let have = queue_depth(world, mgr, q);
+                remaining += want.saturating_sub(have);
+            }
+            if remaining == 0 {
+                break;
+            }
+            pacer.tick();
+            if remaining == last_total {
+                stall += 1;
+                if stall >= 5 {
+                    sim.advance(Millis(1));
+                    skew_ms += 1;
+                    stall = 0;
+                    if skew_ms * 2 >= min_window_ms {
+                        return Err(engine_err(
+                            "delivery stalled long enough to burn pickup windows",
+                        ));
+                    }
+                }
+            } else {
+                stall = 0;
+            }
+            last_total = remaining;
+        }
+    }
+
+    // Phase 3: build the deterministic acknowledgment timeline. Each
+    // acked queue gets `q_sent` delay samples from its acker's seeded
+    // distribution; for sampled actors, delays at or past the pickup
+    // window mean the message is never read (it fails by deadline), and
+    // the exact expected success count is recorded for the oracle.
+    let mut events: Vec<ReadEvent> = Vec::new();
+    let mut rngs: Vec<StdRng> = (0..world.ackers.len())
+        .map(|idx| acker_rng(spec.seed, idx))
+        .collect();
+    for ((mgr, q), n) in &q_sent {
+        let Some(&acker_idx) = world.ack_plan.get(&(mgr.clone(), q.clone())) else {
+            continue; // no acker: every message here fails by deadline
+        };
+        let mut delays: Vec<u64> = (0..*n)
+            .map(|_| sample_delay_ms(&mut rngs[acker_idx], &world.ackers[acker_idx].delay))
+            .collect();
+        delays.sort_unstable();
+        let owner = q_owner.get(&(mgr.clone(), q.clone())).copied();
+        let sampled_window = owner.and_then(|a| {
+            let actor = &world.actors[a];
+            if actor.spec.expect == Expect::Sampled {
+                match &actor.spec.condition {
+                    ConditionSpec::Dest(d) => d.pickup_within_ms,
+                    ConditionSpec::Set(_) => None,
+                }
+            } else {
+                None
+            }
+        });
+        for d in delays {
+            if let Some(window) = sampled_window {
+                if d >= window {
+                    continue; // never read; deadline failure expected
+                }
+                if let Some(a) = owner {
+                    let t = &mut tally.per_actor[a];
+                    t.expected_success = Some(t.expected_success.unwrap_or(0) + 1);
+                }
+            }
+            events.push(ReadEvent {
+                at_ms: t0 + d,
+                acker_idx,
+            });
+        }
+    }
+    // Sampled actors with zero expected successes still need the field
+    // set, or the oracle treats them as unattributed.
+    for (actor, t) in world.actors.iter().zip(tally.per_actor.iter_mut()) {
+        if actor.spec.expect == Expect::Sampled && t.expected_success.is_none() {
+            t.expected_success = Some(0);
+        }
+    }
+    // Time-triggered faults join the same timeline as pseudo-events.
+    let mut timeline: Vec<(u64, Result<usize, usize>)> = Vec::with_capacity(events.len());
+    for (k, ev) in events.iter().enumerate() {
+        timeline.push((ev.at_ms, Ok(k)));
+    }
+    for k in 0..world.faults.len() {
+        if let ResolvedTrigger::AtMs(at) = world.faults[k].trigger {
+            if !fired[k] {
+                timeline.push((t0 + at, Err(k)));
+            }
+        }
+    }
+    timeline.sort_by_key(|(at, _)| *at);
+
+    // Phase 4: drive the timeline in 250 ms buckets. Advancing to the
+    // bucket *floor* means reads happen at or slightly before their
+    // sampled instant — never after — so a read planned inside a window
+    // can never slip past its deadline from bucketing alone.
+    const BUCKET_MS: u64 = 250;
+    let mut receivers: Vec<Option<ConditionalReceiver>> = Vec::new();
+    for acker in &world.ackers {
+        let recv = match world.managers.get(&acker.manager) {
+            Some(rt) => match &acker.recipient {
+                Some(r) => Some(ConditionalReceiver::with_identity(rt.qmgr.clone(), r.clone())?),
+                None => Some(ConditionalReceiver::new(rt.qmgr.clone())?),
+            },
+            None => None,
+        };
+        receivers.push(recv);
+    }
+    let mut cursor = 0_usize;
+    while cursor < timeline.len() {
+        let bucket_floor = (timeline[cursor].0 / BUCKET_MS) * BUCKET_MS;
+        if bucket_floor > world.clock.now().as_millis() {
+            sim.advance_to(Time(bucket_floor));
+        }
+        while cursor < timeline.len() && timeline[cursor].0 < bucket_floor + BUCKET_MS {
+            match timeline[cursor].1 {
+                Ok(ev_idx) => {
+                    let acker_idx = events[ev_idx].acker_idx;
+                    let acker = world.ackers[acker_idx].clone();
+                    if let Some(recv) = receivers[acker_idx].as_mut() {
+                        perform_read(recv, &acker)?;
+                    }
+                }
+                Err(fault_idx) => {
+                    fired[fault_idx] = true;
+                    let fault = world.faults[fault_idx].clone();
+                    fire_fault(world, &fault)?;
+                }
+            }
+            cursor += 1;
+        }
+        quiesce_acks(world, &pacer);
+    }
+    drop(receivers);
+
+    // Phase 5: advance past every deadline so pending verdicts fire,
+    // compensations release, and annihilation candidates land.
+    let horizon = world
+        .actors
+        .iter()
+        .map(|a| a.horizon_ms + a.spec.evaluation_timeout_ms.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    sim.advance_to(Time(t0 + horizon + 2_000));
+    quiesce_acks(world, &pacer);
+
+    // Phase 6: collect outcomes (already decided — NoWait with a short
+    // grace for notification threads), sweep, and judge.
+    let mut latencies = Vec::new();
+    settle_records(world, &mut tally, &records, &mut latencies, |_| Wait::NoWait);
+    sweep_queues(world, &mut tally)?;
+    Ok(finish(spec, world, quick, tally, latencies))
+}
+
+fn perform_read(
+    recv: &mut ConditionalReceiver,
+    acker: &crate::compile::AckerRt,
+) -> ScenarioResult<()> {
+    match acker.mode {
+        AckMode::Read => {
+            recv.read_message(&acker.queue, Wait::NoWait)?;
+        }
+        AckMode::Process => {
+            recv.begin_tx()?;
+            match recv.read_message(&acker.queue, Wait::NoWait) {
+                Ok(Some(_)) => recv.commit_tx()?,
+                Ok(None) => recv.rollback_tx()?,
+                Err(e) => {
+                    let _ = recv.rollback_tx();
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Waits (in thread time, no virtual advance) until every transmission
+/// queue and every sender's ack queue is empty and stays empty for a few
+/// ticks — i.e. all acknowledgments born so far have been evaluated.
+fn quiesce_acks(world: &Compiled, pacer: &Pacer) {
+    let mut stable = 0_u32;
+    let mut budget = ticks_for_ms(30_000);
+    while stable < 3 && budget > 0 {
+        let mut busy = 0_u64;
+        for rt in world.managers.values() {
+            for q in rt.qmgr.queue_names() {
+                if q.starts_with("SYSTEM.XMIT.") {
+                    busy += queue_depth(world, rt.qmgr.name(), &q);
+                }
+            }
+        }
+        for (name, messenger) in &world.messengers {
+            busy += queue_depth(world, name, &messenger.config().ack_queue);
+        }
+        if busy == 0 {
+            stable += 1;
+        } else {
+            stable = 0;
+        }
+        budget -= 1;
+        pacer.tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AckerSpec, ActorSpec, ChannelSpec, DestSpec, ManagerSpec, QueueSpec};
+
+    #[test]
+    fn sample_delay_is_deterministic_and_bounded() {
+        let spec = DelaySpec::Pareto {
+            scale_ms: 100.0,
+            alpha: 1.3,
+            cap_ms: 5_000,
+        };
+        let a: Vec<u64> = {
+            let mut rng = acker_rng(7, 0);
+            (0..64).map(|_| sample_delay_ms(&mut rng, &spec)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = acker_rng(7, 0);
+            (0..64).map(|_| sample_delay_ms(&mut rng, &spec)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|d| *d <= 5_000));
+        assert!(a.iter().any(|d| *d >= 100), "{a:?}");
+
+        let mut rng = acker_rng(7, 1);
+        assert_eq!(
+            sample_delay_ms(&mut rng, &DelaySpec::Fixed { ms: 42 }),
+            42
+        );
+        let u = sample_delay_ms(
+            &mut rng,
+            &DelaySpec::Uniform {
+                min_ms: 5,
+                max_ms: 9,
+            },
+        );
+        assert!((5..=9).contains(&u));
+    }
+
+    #[test]
+    fn sim_success_scenario_end_to_end() {
+        let spec = ScenarioSpec::new("unit-sim")
+            .seed(11)
+            .manager(ManagerSpec::new("QM.S"))
+            .manager(ManagerSpec::new("QM.D"))
+            .queue(QueueSpec::new("QM.D", "Q.APP"))
+            .channel(ChannelSpec::link("QM.S", "QM.D"))
+            .channel(ChannelSpec::link("QM.D", "QM.S"))
+            .actor(ActorSpec::new(
+                "ok",
+                "QM.S",
+                5,
+                DestSpec::new("QM.D", "Q.APP").pickup_within_ms(10_000),
+            ))
+            .acker(AckerSpec::new("QM.D", "Q.APP").delay(crate::spec::DelaySpec::Fixed {
+                ms: 50,
+            }));
+        let report = run(&spec, false).unwrap();
+        assert_eq!(report.sent, 5);
+        assert_eq!(report.success, 5);
+        assert_eq!(report.failure, 0);
+        assert!(report.oracle.passed(), "{}", report.oracle);
+    }
+
+    #[test]
+    fn sim_failure_and_annihilation_scenario() {
+        let spec = ScenarioSpec::new("unit-fail")
+            .seed(3)
+            .manager(ManagerSpec::new("QM.S"))
+            .manager(ManagerSpec::new("QM.D"))
+            .queue(QueueSpec::new("QM.D", "Q.NOBODY"))
+            .channel(ChannelSpec::link("QM.S", "QM.D"))
+            .actor(
+                ActorSpec::new(
+                    "doomed",
+                    "QM.S",
+                    4,
+                    DestSpec::new("QM.D", "Q.NOBODY").pickup_within_ms(400),
+                )
+                .compensation("undo-{i}")
+                .expect(Expect::Failure),
+            );
+        let report = run(&spec, false).unwrap();
+        assert_eq!(report.failure, 4);
+        assert_eq!(report.success, 0);
+        assert!(report.oracle.passed(), "{}", report.oracle);
+    }
+}
